@@ -1,0 +1,71 @@
+// Extension study (paper §5.2.1 future work): thresholding strategies on the
+// same ImDiffusion score series — best-F1 grid (the evaluation protocol),
+// fixed upper-quantile (the paper's deployed rule), POT (OmniAnomaly's rule),
+// and Hundman-style nonparametric dynamic thresholding.
+//
+// Usage: bench_ext_thresholding [--scale F]
+
+#include <cstdio>
+
+#include "core/imdiffusion.h"
+#include "eval/runner.h"
+#include "eval/tables.h"
+#include "metrics/add.h"
+#include "metrics/classification.h"
+#include "metrics/dynamic_threshold.h"
+#include "metrics/pot.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  HarnessOptions options = ParseHarnessOptions(argc, argv);
+  // SMAP-like data: the dataset where the paper observes fixed-threshold
+  // precision loss.
+  MtsDataset dataset =
+      MakeBenchmarkDataset(BenchmarkId::kSmap, options.dataset_seed, 0.3f);
+  MtsDataset norm = NormalizeDataset(dataset);
+  auto detector = MakeDetector("ImDiffusion", 7, options.profile);
+  detector->Fit(norm.train);
+  DetectionResult result = detector->Run(norm.test);
+
+  std::printf("=== Extension: thresholding strategies on ImDiffusion scores "
+              "(SMAP-like) ===\n\n");
+  TextTable table({"Strategy", "P", "R", "F1", "ADD"});
+  auto report = [&](const char* name, const std::vector<uint8_t>& preds) {
+    const BinaryMetrics m = ComputeAdjustedMetrics(norm.test_labels, preds);
+    table.AddRow({name, FormatMetric(m.precision, 3), FormatMetric(m.recall, 3),
+                  FormatMetric(m.f1, 3),
+                  FormatMetric(AverageDetectionDelay(norm.test_labels, preds),
+                               1)});
+  };
+
+  BinaryMetrics best;
+  const float best_threshold =
+      BestF1Threshold(result.scores, norm.test_labels, 64, &best);
+  report("best-F1 grid (oracle)", ThresholdScores(result.scores, best_threshold));
+
+  const float fixed = Quantile(result.scores, 0.97);
+  report("fixed 97th percentile", ThresholdScores(result.scores, fixed));
+
+  PotConfig pot;
+  report("POT (EVT)", ThresholdScores(result.scores, PotThreshold(result.scores, pot)));
+
+  DynamicThresholdConfig dynamic;
+  dynamic.window = std::min<int64_t>(300, norm.test_length());
+  dynamic.stride = 50;
+  report("dynamic (Hundman)", DynamicThreshold(result.scores, dynamic));
+
+  report("ensemble vote (Eq. 12 + xi)", result.labels);
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nThe paper suggests dynamic thresholding to recover the precision a "
+      "fixed threshold loses on SMAP/SWaT-style data.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

@@ -1,0 +1,72 @@
+// Reproduces Fig. 1: reconstruction vs forecasting vs imputation modeling of
+// the same series around an outlier period. Prints the per-timestep predicted
+// error of each approach (diffusion backbone identical; only the masking
+// differs) so the crossover the figure shows — comparable error inside the
+// outlier, imputation clearly lower on normal ranges — can be read off.
+//
+// Usage: bench_fig1_motivation [--scale F]
+
+#include <cstdio>
+
+#include "core/imdiffusion.h"
+#include "eval/runner.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  HarnessOptions options = ParseHarnessOptions(argc, argv);
+  MtsDataset dataset =
+      MakeBenchmarkDataset(BenchmarkId::kSmd, options.dataset_seed, 0.25f);
+  MtsDataset norm = NormalizeDataset(dataset);
+
+  std::printf("=== Fig. 1: modeling-approach comparison on one series ===\n");
+  const char* kVariants[] = {"ImDiffusion", "Forecasting", "Reconstruction"};
+  std::vector<std::vector<float>> scores;
+  for (const char* name : kVariants) {
+    auto detector = MakeDetector(name, 7, options.profile);
+    detector->Fit(norm.train);
+    scores.push_back(detector->Run(norm.test).scores);
+    std::printf("%s scored\n", name);
+    std::fflush(stdout);
+  }
+  // Locate the first anomalous segment and print errors around it.
+  const auto segments = FindSegments(norm.test_labels);
+  int64_t lo = 0, hi = std::min<int64_t>(120, norm.test_length());
+  if (!segments.empty()) {
+    lo = std::max<int64_t>(segments[0].start - 40, 0);
+    hi = std::min<int64_t>(segments[0].end + 40, norm.test_length());
+  }
+  std::printf("\nt,label,imputation_error,forecasting_error,"
+              "reconstruction_error\n");
+  for (int64_t t = lo; t < hi; ++t) {
+    std::printf("%lld,%d,%.5f,%.5f,%.5f\n", static_cast<long long>(t),
+                norm.test_labels[static_cast<size_t>(t)],
+                scores[0][static_cast<size_t>(t)],
+                scores[1][static_cast<size_t>(t)],
+                scores[2][static_cast<size_t>(t)]);
+  }
+  // Aggregate view (the figure's visual claim).
+  for (int v = 0; v < 3; ++v) {
+    double normal = 0, abnormal = 0;
+    int nn = 0, na = 0;
+    for (size_t t = 0; t < scores[v].size(); ++t) {
+      if (norm.test_labels[t]) {
+        abnormal += scores[v][t];
+        ++na;
+      } else {
+        normal += scores[v][t];
+        ++nn;
+      }
+    }
+    std::printf("%s: mean normal-range error %.4f, mean outlier error %.4f\n",
+                kVariants[v], normal / std::max(nn, 1),
+                abnormal / std::max(na, 1));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

@@ -1,0 +1,63 @@
+// Reproduces Fig. 2: conditional vs unconditional imputed diffusion on a
+// series with anomalies. The unconditional model's imputed error separates
+// normal from abnormal points much more sharply because anomalous unmasked
+// values are never revealed directly.
+//
+// Usage: bench_fig2_conditional [--scale F]
+
+#include <cstdio>
+
+#include "core/imdiffusion.h"
+#include "eval/runner.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  HarnessOptions options = ParseHarnessOptions(argc, argv);
+  MtsDataset dataset =
+      MakeBenchmarkDataset(BenchmarkId::kPsm, options.dataset_seed, 0.25f);
+  MtsDataset norm = NormalizeDataset(dataset);
+
+  std::printf("=== Fig. 2: conditional vs unconditional imputed error ===\n");
+  std::vector<std::vector<float>> scores;
+  for (const char* name : {"ImDiffusion", "Conditional"}) {
+    auto detector = MakeDetector(name, 7, options.profile);
+    detector->Fit(norm.train);
+    scores.push_back(detector->Run(norm.test).scores);
+    std::printf("%s scored\n", name);
+    std::fflush(stdout);
+  }
+  double uncond_normal = 0, uncond_abnormal = 0;
+  double cond_normal = 0, cond_abnormal = 0;
+  int nn = 0, na = 0;
+  for (size_t t = 0; t < scores[0].size(); ++t) {
+    if (norm.test_labels[t]) {
+      uncond_abnormal += scores[0][t];
+      cond_abnormal += scores[1][t];
+      ++na;
+    } else {
+      uncond_normal += scores[0][t];
+      cond_normal += scores[1][t];
+      ++nn;
+    }
+  }
+  uncond_normal /= std::max(nn, 1);
+  uncond_abnormal /= std::max(na, 1);
+  cond_normal /= std::max(nn, 1);
+  cond_abnormal /= std::max(na, 1);
+  std::printf("\nmodel,normal_error,abnormal_error,separation_ratio\n");
+  std::printf("unconditional,%.4f,%.4f,%.2f\n", uncond_normal, uncond_abnormal,
+              uncond_abnormal / std::max(uncond_normal, 1e-9));
+  std::printf("conditional,%.4f,%.4f,%.2f\n", cond_normal, cond_abnormal,
+              cond_abnormal / std::max(cond_normal, 1e-9));
+  std::printf(
+      "\nPaper's claim: the unconditional model yields the larger "
+      "normal/abnormal error gap (separation ratio).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

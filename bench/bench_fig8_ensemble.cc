@@ -1,0 +1,79 @@
+// Reproduces Fig. 8: the step-wise ensemble inference on an SMD-like window —
+// per-denoising-step imputations, errors, per-step anomaly labels (Eq. 12),
+// and the final aggregated vote signal with the threshold ξ.
+//
+// Usage: bench_fig8_ensemble [--scale F]
+
+#include <cstdio>
+
+#include "core/imdiffusion.h"
+#include "eval/runner.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  HarnessOptions options = ParseHarnessOptions(argc, argv);
+  MtsDataset dataset =
+      MakeBenchmarkDataset(BenchmarkId::kSmd, options.dataset_seed, 0.25f);
+  MtsDataset norm = NormalizeDataset(dataset);
+  ImDiffusionConfig config = options.profile == SpeedProfile::kPaper
+                                 ? PaperImDiffusionConfig()
+                                 : FastImDiffusionConfig();
+  config.seed = 7;
+  ImDiffusionDetector detector(config);
+  detector.Fit(norm.train);
+  ImDiffusionDetector::StepTrace trace;
+  DetectionResult result = detector.RunWithTrace(norm.test, &trace);
+
+  std::printf("=== Fig. 8: ensemble inference trace ===\n");
+  std::printf("vote steps (reverse-chain index s of T=%d): ",
+              config.schedule.num_steps);
+  for (int s : trace.steps) std::printf("%d ", s);
+  std::printf("\nvote threshold xi = %d\n\n", config.vote_threshold);
+
+  // Focus on the region around the first anomaly.
+  const auto segments = FindSegments(norm.test_labels);
+  int64_t lo = 0, hi = std::min<int64_t>(80, norm.test_length());
+  if (!segments.empty()) {
+    lo = std::max<int64_t>(segments[0].start - 25, 0);
+    hi = std::min<int64_t>(segments[0].end + 25, norm.test_length());
+  }
+
+  // Per-step error + label rows (the figure's 10 sub-plots).
+  for (size_t s = 0; s < trace.steps.size(); ++s) {
+    std::printf("step s=%d errors: ", trace.steps[s]);
+    for (int64_t t = lo; t < hi; t += 4) {
+      std::printf("%.3f%s ", trace.step_errors[s][static_cast<size_t>(t)],
+                  trace.step_labels[s][static_cast<size_t>(t)] ? "*" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nt,true_label,votes,final_label,score\n");
+  for (int64_t t = lo; t < hi; ++t) {
+    std::printf("%lld,%d,%d,%d,%.4f\n", static_cast<long long>(t),
+                norm.test_labels[static_cast<size_t>(t)],
+                trace.votes[static_cast<size_t>(t)],
+                result.labels[static_cast<size_t>(t)],
+                result.scores[static_cast<size_t>(t)]);
+  }
+  // Demonstrate the ensemble's variance-reduction claim: count points whose
+  // final-step label is positive but which the vote rejects (filtered FPs).
+  int filtered = 0, kept = 0;
+  const auto& final_labels = trace.step_labels.back();
+  for (size_t t = 0; t < final_labels.size(); ++t) {
+    if (final_labels[t] && !result.labels[t]) {
+      norm.test_labels[t] ? ++kept : ++filtered;
+    }
+  }
+  std::printf(
+      "\nFinal-step positives rejected by the vote: %d on normal data "
+      "(false positives removed), %d on anomalies.\n",
+      filtered, kept);
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

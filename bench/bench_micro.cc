@@ -1,0 +1,134 @@
+// google-benchmark micro-benchmarks for the substrate: tensor kernels,
+// attention, diffusion steps, and end-to-end ImTransformer inference.
+
+#include <benchmark/benchmark.h>
+
+#include "core/im_transformer.h"
+#include "core/masking.h"
+#include "diffusion/ddpm.h"
+#include "nn/attention.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({64, 100, 24}, rng);
+  Tensor b = Tensor::Randn({64, 24, 100}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchedMatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn({512, 100}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(t));
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim);
+
+void BM_Conv1d(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::Randn({8, 16, 100}, rng);
+  Tensor w = Tensor::Randn({16, 16, 5}, rng);
+  Tensor bias = Tensor::Randn({16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv1d(x, w, bias, 2));
+  }
+}
+BENCHMARK(BM_Conv1d);
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = Tensor::Randn({8, 100, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(nn::Var(x)).value());
+  }
+}
+BENCHMARK(BM_AttentionForward);
+
+void BM_TransformerLayerTrainStep(benchmark::State& state) {
+  Rng rng(6);
+  nn::TransformerEncoderLayer layer(32, 4, 64, rng);
+  Tensor x = Tensor::Randn({8, 100, 32}, rng);
+  Tensor target = Tensor::Randn({8, 100, 32}, rng);
+  for (auto _ : state) {
+    nn::Var out = layer.Forward(nn::Var(x));
+    nn::Var loss = nn::MseLossV(out, target);
+    nn::Backward(loss);
+    for (nn::Var& p : layer.Parameters()) p.ClearGrad();
+  }
+}
+BENCHMARK(BM_TransformerLayerTrainStep);
+
+void BM_DiffusionQSample(benchmark::State& state) {
+  ScheduleConfig config;
+  config.num_steps = 50;
+  GaussianDiffusion diffusion(config);
+  Rng rng(7);
+  Tensor x0 = Tensor::Randn({16, 8, 100}, rng);
+  int t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diffusion.QSample(x0, t % 50, rng, nullptr));
+    ++t;
+  }
+}
+BENCHMARK(BM_DiffusionQSample);
+
+void BM_ImTransformerForward(benchmark::State& state) {
+  ImTransformerConfig config;
+  config.num_features = 8;
+  config.window = 100;
+  config.hidden = 24;
+  config.num_blocks = 2;
+  config.num_heads = 1;
+  config.ff_dim = 48;
+  config.step_embed_dim = 32;
+  config.side_dim = 16;
+  config.num_diffusion_steps = 16;
+  Rng rng(8);
+  ImTransformer model(config, rng);
+  Tensor x = Tensor::Randn({8, 8, 100}, rng);
+  Tensor ref = Tensor::Randn({8, 8, 100}, rng);
+  Tensor mask = MakeGratingMask(8, 100, 5, 0);
+  Tensor mask_b({8, 8, 100});
+  for (int64_t b = 0; b < 8; ++b) {
+    std::copy_n(mask.data(), mask.numel(),
+                mask_b.mutable_data() + b * mask.numel());
+  }
+  std::vector<int64_t> policies(8, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(x, ref, mask_b, 5, policies).value());
+  }
+}
+BENCHMARK(BM_ImTransformerForward);
+
+void BM_GratingMask(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeGratingMask(16, 100, 5, 0));
+  }
+}
+BENCHMARK(BM_GratingMask);
+
+}  // namespace
+}  // namespace imdiff
+
+BENCHMARK_MAIN();

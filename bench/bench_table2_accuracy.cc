@@ -1,0 +1,57 @@
+// Reproduces Table 2 (per-dataset P/R/F1/F1-std/R-AUC-PR of all detectors)
+// and Table 3 (averages over the six datasets).
+//
+// Usage: bench_table2_accuracy [--seeds N] [--scale F] [--paper]
+// Defaults are scaled for a single CPU core; see EXPERIMENTS.md.
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/runner.h"
+#include "eval/tables.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  const HarnessOptions options = ParseHarnessOptions(argc, argv);
+  std::printf(
+      "=== Table 2: accuracy on the six simulated benchmarks "
+      "(seeds=%d, scale=%.2f) ===\n",
+      options.num_seeds, options.size_scale);
+  const std::vector<std::string> detectors = Table2DetectorNames();
+  std::vector<std::vector<AggregateMetrics>> all(detectors.size());
+
+  for (BenchmarkId id : AllBenchmarks()) {
+    MtsDataset dataset =
+        MakeBenchmarkDataset(id, options.dataset_seed, options.size_scale);
+    TextTable table({"Method", "P", "R", "F1", "F1-std", "R-AUC-PR"});
+    for (size_t d = 0; d < detectors.size(); ++d) {
+      const AggregateMetrics agg = EvaluateManySeeds(
+          detectors[d], dataset, options.num_seeds, options.profile);
+      all[d].push_back(agg);
+      table.AddRow({detectors[d], FormatMetric(agg.precision),
+                    FormatMetric(agg.recall), FormatMetric(agg.f1),
+                    FormatMetric(agg.f1_std), FormatMetric(agg.r_auc_pr)});
+    }
+    std::printf("\n--- %s ---\n%s", dataset.name.c_str(),
+                table.ToString().c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n=== Table 3: averages over all six datasets ===\n");
+  TextTable avg_table({"Method", "P", "R", "F1", "F1-std", "R-AUC-PR"});
+  for (size_t d = 0; d < detectors.size(); ++d) {
+    const AggregateMetrics avg = AverageAggregates(all[d]);
+    avg_table.AddRow({detectors[d], FormatMetric(avg.precision),
+                      FormatMetric(avg.recall), FormatMetric(avg.f1),
+                      FormatMetric(avg.f1_std), FormatMetric(avg.r_auc_pr)});
+  }
+  std::printf("%s", avg_table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

@@ -1,0 +1,56 @@
+// Reproduces Table 4: ADD (average detection delay, mean ± std over seeds)
+// of every detector on every dataset, plus the cross-dataset average.
+//
+// Usage: bench_table4_timeliness [--seeds N] [--scale F] [--paper]
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/runner.h"
+#include "eval/tables.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  HarnessOptions options = ParseHarnessOptions(argc, argv);
+  std::printf(
+      "=== Table 4: ADD (mean +- std) per dataset (seeds=%d, scale=%.2f) "
+      "===\n\n",
+      options.num_seeds, options.size_scale);
+  const std::vector<std::string> detectors = Table2DetectorNames();
+  std::vector<std::string> header = {"Method"};
+  for (BenchmarkId id : AllBenchmarks()) header.push_back(BenchmarkName(id));
+  header.push_back("Average");
+  TextTable table(header);
+
+  // Pre-generate datasets once.
+  std::vector<MtsDataset> datasets;
+  for (BenchmarkId id : AllBenchmarks()) {
+    datasets.push_back(
+        MakeBenchmarkDataset(id, options.dataset_seed, options.size_scale));
+  }
+  for (const std::string& name : detectors) {
+    std::vector<std::string> row = {name};
+    double total = 0, total_std = 0;
+    for (const MtsDataset& dataset : datasets) {
+      const AggregateMetrics agg =
+          EvaluateManySeeds(name, dataset, options.num_seeds, options.profile);
+      row.push_back(FormatMeanStd(agg.add, agg.add_std));
+      total += agg.add;
+      total_std += agg.add_std;
+    }
+    row.push_back(FormatMeanStd(total / datasets.size(),
+                                total_std / datasets.size()));
+    table.AddRow(std::move(row));
+    std::printf("%s done\n", name.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

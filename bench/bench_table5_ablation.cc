@@ -1,0 +1,59 @@
+// Reproduces Table 5 (per-dataset ablation results: ImDiffusion vs
+// Forecasting / Reconstruction / Non-ensemble / Conditional / Random Mask /
+// w/o spatial / w/o temporal transformer) and Table 6 (ablation averages).
+//
+// Usage: bench_table5_ablation [--seeds N] [--scale F] [--paper]
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/runner.h"
+#include "eval/tables.h"
+
+namespace imdiff {
+namespace {
+
+int Main(int argc, char** argv) {
+  HarnessOptions options = ParseHarnessOptions(argc, argv);
+  // Ablations are ImDiffusion-only (the heavy detector); default to a single
+  // seed and smaller scale so the 8x6 grid completes on one core.
+  std::printf(
+      "=== Table 5: ablation analysis per dataset (seeds=%d, scale=%.2f) "
+      "===\n",
+      options.num_seeds, options.size_scale);
+  const std::vector<std::string> variants = AblationDetectorNames();
+  std::vector<std::vector<AggregateMetrics>> all(variants.size());
+
+  for (BenchmarkId id : AllBenchmarks()) {
+    MtsDataset dataset =
+        MakeBenchmarkDataset(id, options.dataset_seed, options.size_scale);
+    TextTable table({"Method", "P", "R", "F1", "R-AUC-PR", "ADD"});
+    for (size_t v = 0; v < variants.size(); ++v) {
+      const AggregateMetrics agg = EvaluateManySeeds(
+          variants[v], dataset, options.num_seeds, options.profile);
+      all[v].push_back(agg);
+      table.AddRow({variants[v], FormatMetric(agg.precision, 3),
+                    FormatMetric(agg.recall, 3), FormatMetric(agg.f1, 3),
+                    FormatMetric(agg.r_auc_pr, 3), FormatMetric(agg.add, 1)});
+    }
+    std::printf("\n--- %s ---\n%s", dataset.name.c_str(),
+                table.ToString().c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n=== Table 6: ablation averages over all datasets ===\n");
+  TextTable avg_table({"Method", "P", "R", "F1", "R-AUC-PR", "ADD"});
+  for (size_t v = 0; v < variants.size(); ++v) {
+    const AggregateMetrics avg = AverageAggregates(all[v]);
+    avg_table.AddRow({variants[v], FormatMetric(avg.precision),
+                      FormatMetric(avg.recall), FormatMetric(avg.f1),
+                      FormatMetric(avg.r_auc_pr), FormatMetric(avg.add, 0)});
+  }
+  std::printf("%s", avg_table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

@@ -1,0 +1,73 @@
+// Production scenario (paper §6): monitoring email-delivery microservice
+// latency. Streams a simulated multi-service latency feed, trains
+// ImDiffusion on an incident-free history, then processes the live window in
+// chunks and raises alerts — reporting detection delay per incident and
+// sustained throughput, the two reliability axes the paper evaluates.
+
+#include <cstdio>
+
+#include "core/imdiffusion.h"
+#include "data/benchmarks.h"
+#include "metrics/add.h"
+#include "metrics/classification.h"
+#include "utils/stopwatch.h"
+
+int main() {
+  using namespace imdiff;
+
+  MtsDataset stream = MakeMicroserviceLatencyDataset(/*seed=*/3,
+                                                     /*num_services=*/6,
+                                                     /*train_length=*/1200,
+                                                     /*test_length=*/1200);
+  std::printf("monitoring %lld services, %lld history samples (30 s period)\n",
+              static_cast<long long>(stream.num_features()),
+              static_cast<long long>(stream.train_length()));
+  MtsDataset norm = NormalizeDataset(stream);
+
+  ImDiffusionConfig config = FastImDiffusionConfig();
+  config.seed = 9;
+  ImDiffusionDetector detector(config);
+  Stopwatch train_timer;
+  detector.Fit(norm.train);
+  std::printf("trained on incident-free history in %.1f s\n",
+              train_timer.ElapsedSeconds());
+
+  // Online phase: score the stream.
+  Stopwatch infer_timer;
+  DetectionResult result = detector.Run(norm.test);
+  const double seconds = infer_timer.ElapsedSeconds();
+  std::printf("scored %lld live samples at %.1f points/s (need > %.2f to keep "
+              "up with 30 s sampling)\n",
+              static_cast<long long>(norm.test_length()),
+              norm.test_length() / seconds, stream.num_features() / 30.0);
+
+  // Alert on the built-in ensemble decision; report per-incident delay.
+  const auto segments = FindSegments(norm.test_labels);
+  std::printf("\n%zu injected incidents:\n", segments.size());
+  for (const AnomalySegment& seg : segments) {
+    int64_t detected_at = -1;
+    for (int64_t t = seg.start; t < norm.test_length(); ++t) {
+      if (result.labels[static_cast<size_t>(t)]) {
+        detected_at = t;
+        break;
+      }
+    }
+    if (detected_at >= 0) {
+      std::printf("  incident @%lld (len %lld): alert after %lld samples "
+                  "(%.1f min)\n",
+                  static_cast<long long>(seg.start),
+                  static_cast<long long>(seg.end - seg.start),
+                  static_cast<long long>(detected_at - seg.start),
+                  (detected_at - seg.start) * 30.0 / 60.0);
+    } else {
+      std::printf("  incident @%lld: MISSED\n",
+                  static_cast<long long>(seg.start));
+    }
+  }
+  std::printf("\naverage detection delay (ADD): %.1f samples\n",
+              AverageDetectionDelay(norm.test_labels, result.labels));
+  BinaryMetrics m = ComputeAdjustedMetrics(norm.test_labels, result.labels);
+  std::printf("built-in voting rule: precision %.3f, recall %.3f, F1 %.3f\n",
+              m.precision, m.recall, m.f1);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Spacecraft-telemetry scenario (SMAP/MSL-style data): short, strongly
+// inter-correlated channels where the anomalies of interest are inter-metric
+// correlation breaks. Shows per-step model introspection via RunWithTrace —
+// the step-wise ensemble votes that make the decision explainable.
+
+#include <cstdio>
+
+#include "core/imdiffusion.h"
+#include "data/benchmarks.h"
+#include "metrics/classification.h"
+
+int main() {
+  using namespace imdiff;
+
+  MtsDataset dataset = MakeBenchmarkDataset(BenchmarkId::kMsl, /*seed=*/5,
+                                            /*size_scale=*/0.25f);
+  MtsDataset norm = NormalizeDataset(dataset);
+  std::printf("telemetry: %lld channels, %lld samples\n",
+              static_cast<long long>(norm.num_features()),
+              static_cast<long long>(norm.test_length()));
+
+  ImDiffusionConfig config = FastImDiffusionConfig();
+  config.seed = 21;
+  ImDiffusionDetector detector(config);
+  detector.Fit(norm.train);
+
+  ImDiffusionDetector::StepTrace trace;
+  DetectionResult result = detector.RunWithTrace(norm.test, &trace);
+
+  BinaryMetrics m = ComputeAdjustedMetrics(norm.test_labels, result.labels);
+  std::printf("voting rule: precision %.3f recall %.3f F1 %.3f\n", m.precision,
+              m.recall, m.f1);
+
+  // Explainability: for the strongest alert, show how the votes accumulated
+  // across denoising steps.
+  size_t peak = 0;
+  for (size_t t = 1; t < result.scores.size(); ++t) {
+    if (result.scores[t] > result.scores[peak]) peak = t;
+  }
+  std::printf("\nstrongest alert at t=%zu (true label %d):\n", peak,
+              norm.test_labels[peak]);
+  for (size_t s = 0; s < trace.steps.size(); ++s) {
+    std::printf("  denoising step %2d: error %.4f -> vote %s\n",
+                trace.steps[s], trace.step_errors[s][peak],
+                trace.step_labels[s][peak] ? "ANOMALY" : "normal");
+  }
+  std::printf("  total votes %d / %zu (threshold xi = %d)\n",
+              trace.votes[peak], trace.steps.size(),
+              detector.config().vote_threshold);
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "baselines/beatgan.h"
+
+#include <algorithm>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Var BeatGanDetector::Generate(const Tensor& batch) const {
+  // [B, W, K] -> [B, K, W] for convolution.
+  Var x = PermuteV(Var(batch), {0, 2, 1});
+  Var h = nn::ReluV(enc1_->Forward(x));
+  h = nn::ReluV(enc2_->Forward(h));  // bottleneck channels
+  h = nn::ReluV(dec1_->Forward(h));
+  h = dec2_->Forward(h);             // [B, K, W]
+  return PermuteV(h, {0, 2, 1});
+}
+
+Var BeatGanDetector::Discriminate(const Var& x_bwk) const {
+  Var x = PermuteV(x_bwk, {0, 2, 1});
+  Var h = nn::ReluV(d1_->Forward(x));
+  h = nn::ReluV(d2_->Forward(h));           // [B, C, W]
+  // Global average pool over time.
+  const int64_t c = h.dim(1);
+  const int64_t w = h.dim(2);
+  Var pooled = nn::ScaleV(
+      ReshapeV(nn::MatMulV(ReshapeV(h, {-1, w}),
+                           Var(Tensor::Full({w, 1}, 1.0f))),
+               {h.dim(0), c}),
+      1.0f / static_cast<float>(w));
+  return d_head_->Forward(pooled);  // [B, 1] logits
+}
+
+void BeatGanDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  const int64_t c = config_.channels;
+  enc1_ = std::make_unique<nn::Conv1dLayer>(num_features_, c, 5, 2, *rng_);
+  enc2_ = std::make_unique<nn::Conv1dLayer>(c, config_.bottleneck, 5, 2, *rng_);
+  dec1_ = std::make_unique<nn::Conv1dLayer>(config_.bottleneck, c, 5, 2, *rng_);
+  dec2_ = std::make_unique<nn::Conv1dLayer>(c, num_features_, 5, 2, *rng_);
+  d1_ = std::make_unique<nn::Conv1dLayer>(num_features_, c, 5, 2, *rng_);
+  d2_ = std::make_unique<nn::Conv1dLayer>(c, config_.bottleneck, 5, 2, *rng_);
+  d_head_ = std::make_unique<nn::Linear>(config_.bottleneck, 1, *rng_);
+
+  Tensor windows = WindowBatch(train, config_.window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+
+  std::vector<Var> g_params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           enc1_.get(), enc2_.get(), dec1_.get(), dec2_.get()}) {
+    for (const Var& p : m->Parameters()) g_params.push_back(p);
+  }
+  std::vector<Var> d_params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           d1_.get(), d2_.get(), d_head_.get()}) {
+    for (const Var& p : m->Parameters()) d_params.push_back(p);
+  }
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam g_adam(g_params, opt);
+  nn::Adam d_adam(d_params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+
+      // Discriminator step: real -> 1, reconstruction -> 0.
+      {
+        Var fake = Generate(batch);
+        // Detach the generator output by re-wrapping its value.
+        Var fake_detached(fake.value());
+        Var d_real = Discriminate(Var(batch));
+        Var d_fake = Discriminate(fake_detached);
+        // BCE with logits: softplus(-logit) for target 1, softplus(logit)
+        // for target 0.
+        Var d_loss = Add(nn::MeanV(nn::SoftplusV(nn::Neg(d_real))),
+                         nn::MeanV(nn::SoftplusV(d_fake)));
+        nn::Backward(d_loss);
+        d_adam.Step();
+        g_adam.ZeroGrad();  // drop any spill into generator params
+      }
+      // Generator step: reconstruction + fool the discriminator.
+      {
+        Var fake = Generate(batch);
+        Var recon = nn::MseLossV(fake, batch);
+        Var adv = nn::MeanV(nn::SoftplusV(nn::Neg(Discriminate(fake))));
+        Var g_loss = Add(recon, nn::ScaleV(adv, config_.adv_weight));
+        nn::Backward(g_loss);
+        g_adam.Step();
+        d_adam.ZeroGrad();
+      }
+    }
+  }
+}
+
+DetectionResult BeatGanDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(dec2_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.window;
+  const auto starts = WindowStarts(length, window, window);
+  Tensor windows = WindowBatch(test, window, window);
+  const int64_t n = windows.dim(0);
+  std::vector<std::vector<float>> window_scores;
+  const std::vector<int64_t> order = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 16) {
+    const int64_t bsz = std::min<int64_t>(16, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor xhat = Generate(batch).value();
+    auto errors = baselines::PerStepError(xhat, batch);
+    for (auto& row : errors) window_scores.push_back(std::move(row));
+  }
+  DetectionResult result;
+  result.scores = OverlapAverage(window_scores, starts, length, window);
+  return result;
+}
+
+}  // namespace imdiff

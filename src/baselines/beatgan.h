@@ -1,0 +1,59 @@
+// BeatGAN (Zhou et al., IJCAI 2019): adversarially regularized convolutional
+// autoencoder. The generator reconstructs windows; a discriminator pushes the
+// reconstructions toward the data manifold. The anomaly score is the
+// per-timestep reconstruction error.
+
+#ifndef IMDIFF_BASELINES_BEATGAN_H_
+#define IMDIFF_BASELINES_BEATGAN_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "nn/layers.h"
+
+namespace imdiff {
+
+struct BeatGanConfig {
+  int64_t window = 50;
+  int64_t channels = 16;     // conv width
+  int64_t bottleneck = 8;
+  float adv_weight = 0.1f;   // generator adversarial loss weight
+  int epochs = 10;
+  int batch_size = 16;
+  int64_t train_stride = 10;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class BeatGanDetector : public AnomalyDetector {
+ public:
+  explicit BeatGanDetector(const BeatGanConfig& config) : config_(config) {}
+
+  std::string name() const override { return "BeatGAN"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  // batch [B, W, K] -> reconstruction [B, W, K].
+  nn::Var Generate(const Tensor& batch) const;
+  // batch-var [B, W, K] -> discriminator logits [B, 1].
+  nn::Var Discriminate(const nn::Var& x) const;
+
+  BeatGanConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  // Generator: conv encoder-decoder over [B, K, W].
+  std::unique_ptr<nn::Conv1dLayer> enc1_;
+  std::unique_ptr<nn::Conv1dLayer> enc2_;
+  std::unique_ptr<nn::Conv1dLayer> dec1_;
+  std::unique_ptr<nn::Conv1dLayer> dec2_;
+  // Discriminator.
+  std::unique_ptr<nn::Conv1dLayer> d1_;
+  std::unique_ptr<nn::Conv1dLayer> d2_;
+  std::unique_ptr<nn::Linear> d_head_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_BEATGAN_H_

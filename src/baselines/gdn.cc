@@ -1,0 +1,177 @@
+#include "baselines/gdn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+void GdnDetector::RefreshGraph() {
+  const int64_t k = num_features_;
+  const Tensor& table = sensor_embed_->Parameters()[0].value();  // [K, E]
+  const int64_t e = table.dim(1);
+  adjacency_mask_ = Tensor::Full({k, k}, -1e9f);
+  const float* pt = table.data();
+  float* pm = adjacency_mask_.mutable_data();
+  for (int64_t i = 0; i < k; ++i) {
+    // Cosine similarity to every other sensor.
+    std::vector<std::pair<float, int64_t>> sims;
+    double ni = 0.0;
+    for (int64_t d = 0; d < e; ++d) ni += static_cast<double>(pt[i * e + d]) * pt[i * e + d];
+    ni = std::sqrt(ni) + 1e-9;
+    for (int64_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      double dot = 0.0, nj = 0.0;
+      for (int64_t d = 0; d < e; ++d) {
+        dot += static_cast<double>(pt[i * e + d]) * pt[j * e + d];
+        nj += static_cast<double>(pt[j * e + d]) * pt[j * e + d];
+      }
+      nj = std::sqrt(nj) + 1e-9;
+      sims.emplace_back(static_cast<float>(dot / (ni * nj)), j);
+    }
+    std::partial_sort(sims.begin(),
+                      sims.begin() + std::min<size_t>(sims.size(),
+                                                      static_cast<size_t>(config_.top_k)),
+                      sims.end(), std::greater<>());
+    const size_t kk = std::min<size_t>(sims.size(), static_cast<size_t>(config_.top_k));
+    for (size_t s = 0; s < kk; ++s) {
+      pm[i * k + sims[s].second] = 0.0f;
+    }
+    pm[i * k + i] = 0.0f;  // self loop
+  }
+}
+
+Var GdnDetector::ForecastBatch(const Tensor& batch) const {
+  const int64_t bsz = batch.dim(0);
+  const int64_t k = num_features_;
+  const int64_t e = config_.embed_dim;
+  // Histories per sensor: [B, history, K] -> [B, K, history].
+  Tensor hist = Permute(Slice(batch, 1, 0, config_.history), {0, 2, 1});
+  Var h = hist_proj_->Forward(Var(std::move(hist)));  // [B, K, E]
+
+  // Attention weights from embeddings, masked to the top-k graph:
+  // A = softmax(E E^T + mask) (constant across the batch).
+  Var embed = sensor_embed_->Parameters()[0];          // [K, E]
+  Var scores = nn::MatMulV(embed, embed, false, true); // [K, K]
+  scores = nn::AddConst(scores, adjacency_mask_);
+  Var attn = nn::SoftmaxV(scores);                     // [K, K]
+  // Broadcast to the batch: [B, K, K] via zero-add.
+  Var attn_b = Add(Var(Tensor::Zeros({bsz, k, k})),
+                   ReshapeV(attn, {1, k, k}));
+  Var z = nn::BatchedMatMulV(attn_b, h);               // [B, K, E]
+
+  // Output MLP on [aggregated, own embedding].
+  Var embed_b = Add(Var(Tensor::Zeros({bsz, k, e})), ReshapeV(embed, {1, k, e}));
+  Var features = nn::ConcatV({z, embed_b}, 2);         // [B, K, 2E]
+  Var out = out_mlp_->Forward(features);               // [B, K, 1]
+  return ReshapeV(out, {bsz, k});
+}
+
+void GdnDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  sensor_embed_ =
+      std::make_unique<nn::Embedding>(num_features_, config_.embed_dim, *rng_);
+  hist_proj_ =
+      std::make_unique<nn::Linear>(config_.history, config_.embed_dim, *rng_);
+  out_mlp_ = std::make_unique<nn::Mlp>(2 * config_.embed_dim,
+                                       2 * config_.embed_dim, 1, *rng_);
+
+  const int64_t window = config_.history + 1;
+  Tensor windows = WindowBatch(train, window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+  std::vector<Var> params = sensor_embed_->Parameters();
+  for (const Var& p : hist_proj_->Parameters()) params.push_back(p);
+  for (const Var& p : out_mlp_->Parameters()) params.push_back(p);
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    RefreshGraph();
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+      Var pred = ForecastBatch(batch);
+      Tensor target =
+          Slice(batch, 1, config_.history, 1).Reshape({bsz, num_features_});
+      Var loss = nn::MseLossV(pred, target);
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+  RefreshGraph();
+
+  // Robust per-sensor residual statistics on the training data (for the
+  // max-deviation score).
+  err_median_.assign(static_cast<size_t>(num_features_), 0.0f);
+  err_iqr_.assign(static_cast<size_t>(num_features_), 1.0f);
+  std::vector<std::vector<float>> residuals(
+      static_cast<size_t>(num_features_));
+  const std::vector<int64_t> order2 = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 64) {
+    const int64_t bsz = std::min<int64_t>(64, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order2, start, bsz);
+    Tensor pred = ForecastBatch(batch).value();
+    Tensor target =
+        Slice(batch, 1, config_.history, 1).Reshape({bsz, num_features_});
+    for (int64_t b = 0; b < bsz; ++b) {
+      for (int64_t j = 0; j < num_features_; ++j) {
+        residuals[static_cast<size_t>(j)].push_back(
+            std::abs(pred.flat(b * num_features_ + j) -
+                     target.flat(b * num_features_ + j)));
+      }
+    }
+  }
+  for (int64_t j = 0; j < num_features_; ++j) {
+    auto& r = residuals[static_cast<size_t>(j)];
+    if (r.empty()) continue;
+    std::sort(r.begin(), r.end());
+    const auto q = [&](double p) {
+      return r[static_cast<size_t>(p * (r.size() - 1))];
+    };
+    err_median_[static_cast<size_t>(j)] = q(0.5);
+    err_iqr_[static_cast<size_t>(j)] = std::max(1e-4f, q(0.75) - q(0.25));
+  }
+}
+
+DetectionResult GdnDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(out_mlp_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.history + 1;
+  DetectionResult result;
+  result.scores.assign(static_cast<size_t>(length), 0.0f);
+  if (length < window) return result;
+  Tensor windows = WindowBatch(test, window, 1);
+  const auto starts = WindowStarts(length, window, 1);
+  const int64_t n = windows.dim(0);
+  const std::vector<int64_t> order = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 64) {
+    const int64_t bsz = std::min<int64_t>(64, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor pred = ForecastBatch(batch).value();
+    Tensor target =
+        Slice(batch, 1, config_.history, 1).Reshape({bsz, num_features_});
+    for (int64_t b = 0; b < bsz; ++b) {
+      float max_dev = 0.0f;
+      for (int64_t j = 0; j < num_features_; ++j) {
+        const float err = std::abs(pred.flat(b * num_features_ + j) -
+                                   target.flat(b * num_features_ + j));
+        const float dev = (err - err_median_[static_cast<size_t>(j)]) /
+                          err_iqr_[static_cast<size_t>(j)];
+        max_dev = std::max(max_dev, dev);
+      }
+      const int64_t pos = starts[static_cast<size_t>(start + b)] + window - 1;
+      result.scores[static_cast<size_t>(pos)] = max_dev;
+    }
+  }
+  return result;
+}
+
+}  // namespace imdiff

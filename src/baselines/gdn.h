@@ -1,0 +1,60 @@
+// GDN — Graph Deviation Network (Deng & Hooi, AAAI 2021): learned sensor
+// embeddings define a top-k similarity graph; a graph-attention layer
+// aggregates neighbour histories to forecast each sensor's next value; the
+// anomaly score is the maximum robustly-normalized per-sensor deviation.
+//
+// Simplification vs the original (DESIGN.md §4): the meta-learning extension
+// is omitted; the adjacency is recomputed from the embeddings once per epoch.
+
+#ifndef IMDIFF_BASELINES_GDN_H_
+#define IMDIFF_BASELINES_GDN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "nn/layers.h"
+
+namespace imdiff {
+
+struct GdnConfig {
+  int64_t history = 20;   // input window per sensor
+  int64_t embed_dim = 16;
+  int top_k = 5;          // neighbours per sensor
+  int epochs = 10;
+  int batch_size = 32;
+  int64_t train_stride = 2;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class GdnDetector : public AnomalyDetector {
+ public:
+  explicit GdnDetector(const GdnConfig& config) : config_(config) {}
+
+  std::string name() const override { return "GDN"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  // Forecast next value per sensor for a [B, history+1, K] batch -> [B, K].
+  nn::Var ForecastBatch(const Tensor& batch) const;
+  // Recomputes the top-k adjacency mask from the current embeddings.
+  void RefreshGraph();
+
+  GdnConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::Embedding> sensor_embed_;  // [K, E]
+  std::unique_ptr<nn::Linear> hist_proj_;        // history -> E
+  std::unique_ptr<nn::Mlp> out_mlp_;             // 2E -> 1
+  Tensor adjacency_mask_;                        // [K, K]: 0 allowed, -1e9 blocked
+  // Robust normalization statistics from the train-forecast residuals.
+  std::vector<float> err_median_;
+  std::vector<float> err_iqr_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_GDN_H_

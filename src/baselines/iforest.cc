@@ -1,0 +1,156 @@
+#include "baselines/iforest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+namespace {
+
+// Average path length of an unsuccessful BST search over n points.
+double AveragePathLength(double n) {
+  if (n <= 1.0) return 0.0;
+  const double h = std::log(n - 1.0) + 0.5772156649015329;  // harmonic approx
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+}  // namespace
+
+IsolationForest::IsolationForest(const IsolationForestConfig& config)
+    : config_(config) {}
+
+std::vector<std::vector<float>> IsolationForest::Featurize(
+    const Tensor& series) const {
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  const int ctx = config_.context;
+  std::vector<std::vector<float>> out(static_cast<size_t>(length));
+  const float* p = series.data();
+  for (int64_t t = 0; t < length; ++t) {
+    std::vector<float>& row = out[static_cast<size_t>(t)];
+    row.reserve(static_cast<size_t>(k * (1 + ctx)));
+    for (int64_t j = 0; j < k; ++j) row.push_back(p[t * k + j]);
+    for (int c = 1; c <= ctx; ++c) {
+      const int64_t prev = std::max<int64_t>(0, t - c);
+      for (int64_t j = 0; j < k; ++j) {
+        row.push_back(p[t * k + j] - p[prev * k + j]);
+      }
+    }
+  }
+  return out;
+}
+
+void IsolationForest::Fit(const Tensor& train) {
+  IMDIFF_CHECK_EQ(train.ndim(), 2u);
+  const auto data = Featurize(train);
+  num_features_ = static_cast<int64_t>(data[0].size());
+  const int n = static_cast<int>(data.size());
+  const int psi = std::min(config_.subsample, n);
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max(2, psi))));
+  c_norm_ = AveragePathLength(static_cast<double>(psi));
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(config_.num_trees));
+  std::vector<int> indices(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) indices[static_cast<size_t>(i)] = i;
+  for (Tree& tree : trees_) {
+    std::shuffle(indices.begin(), indices.end(), rng.engine());
+    std::vector<int> sample(indices.begin(), indices.begin() + psi);
+    BuildNode(tree, sample, 0, psi, 0, max_depth, data, rng);
+  }
+}
+
+int IsolationForest::BuildNode(Tree& tree, std::vector<int>& points, int begin,
+                               int end, int depth, int max_depth,
+                               const std::vector<std::vector<float>>& data,
+                               Rng& rng) {
+  const int idx = static_cast<int>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  const int count = end - begin;
+  if (count <= 1 || depth >= max_depth) {
+    tree.nodes[static_cast<size_t>(idx)].size = count;
+    return idx;
+  }
+  // Pick a split feature with spread; give up after a few tries.
+  int feature = -1;
+  float lo = 0.0f, hi = 0.0f;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int f =
+        static_cast<int>(rng.UniformInt(0, num_features_ - 1));
+    lo = hi = data[static_cast<size_t>(points[static_cast<size_t>(begin)])]
+                  [static_cast<size_t>(f)];
+    for (int i = begin + 1; i < end; ++i) {
+      const float v = data[static_cast<size_t>(points[static_cast<size_t>(i)])]
+                          [static_cast<size_t>(f)];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi > lo) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) {
+    tree.nodes[static_cast<size_t>(idx)].size = count;
+    return idx;
+  }
+  const float threshold = static_cast<float>(rng.Uniform(lo, hi));
+  // Partition in place.
+  int mid = begin;
+  for (int i = begin; i < end; ++i) {
+    if (data[static_cast<size_t>(points[static_cast<size_t>(i)])]
+            [static_cast<size_t>(feature)] < threshold) {
+      std::swap(points[static_cast<size_t>(i)],
+                points[static_cast<size_t>(mid)]);
+      ++mid;
+    }
+  }
+  if (mid == begin || mid == end) {
+    tree.nodes[static_cast<size_t>(idx)].size = count;
+    return idx;
+  }
+  tree.nodes[static_cast<size_t>(idx)].feature = feature;
+  tree.nodes[static_cast<size_t>(idx)].threshold = threshold;
+  const int left =
+      BuildNode(tree, points, begin, mid, depth + 1, max_depth, data, rng);
+  const int right =
+      BuildNode(tree, points, mid, end, depth + 1, max_depth, data, rng);
+  tree.nodes[static_cast<size_t>(idx)].left = left;
+  tree.nodes[static_cast<size_t>(idx)].right = right;
+  return idx;
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   const std::vector<float>& x) const {
+  int idx = 0;
+  double depth = 0.0;
+  for (;;) {
+    const Node& node = tree.nodes[static_cast<size_t>(idx)];
+    if (node.feature < 0) {
+      return depth + AveragePathLength(static_cast<double>(node.size));
+    }
+    idx = x[static_cast<size_t>(node.feature)] < node.threshold ? node.left
+                                                                : node.right;
+    depth += 1.0;
+  }
+}
+
+DetectionResult IsolationForest::Run(const Tensor& test) {
+  IMDIFF_CHECK(!trees_.empty()) << "Fit must be called before Run";
+  const auto data = Featurize(test);
+  DetectionResult result;
+  result.scores.reserve(data.size());
+  for (const auto& x : data) {
+    double mean_path = 0.0;
+    for (const Tree& tree : trees_) mean_path += PathLength(tree, x);
+    mean_path /= static_cast<double>(trees_.size());
+    result.scores.push_back(
+        static_cast<float>(std::pow(2.0, -mean_path / c_norm_)));
+  }
+  return result;
+}
+
+}  // namespace imdiff

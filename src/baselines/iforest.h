@@ -1,0 +1,64 @@
+// Isolation Forest (Liu, Ting & Zhou, 2008/2012).
+//
+// Classic tree-ensemble anomaly detector: anomalies isolate in fewer random
+// splits. Fit builds trees on subsamples of the training points; the score of
+// a test point is 2^(-E[h(x)] / c(ψ)) where h is the path length and c the
+// average unsuccessful-search length of a BST.
+
+#ifndef IMDIFF_BASELINES_IFOREST_H_
+#define IMDIFF_BASELINES_IFOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+
+struct IsolationForestConfig {
+  int num_trees = 100;
+  int subsample = 256;
+  uint64_t seed = 1;
+  // Context window: each point is featurized as the concatenation of the
+  // current values and the deltas to `context` steps back, letting the forest
+  // see short-term dynamics (0 = raw values only).
+  int context = 1;
+};
+
+class IsolationForest : public AnomalyDetector {
+ public:
+  explicit IsolationForest(const IsolationForestConfig& config);
+
+  std::string name() const override { return "IForest"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 = leaf
+    float threshold = 0.0f;
+    int left = -1;
+    int right = -1;
+    int size = 0;           // points at this (external) node
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  std::vector<std::vector<float>> Featurize(const Tensor& series) const;
+  int BuildNode(Tree& tree, std::vector<int>& points, int begin, int end,
+                int depth, int max_depth,
+                const std::vector<std::vector<float>>& data, Rng& rng);
+  double PathLength(const Tree& tree, const std::vector<float>& x) const;
+
+  IsolationForestConfig config_;
+  std::vector<Tree> trees_;
+  double c_norm_ = 1.0;
+  int64_t num_features_ = 0;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_IFOREST_H_

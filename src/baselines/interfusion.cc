@@ -1,0 +1,127 @@
+#include "baselines/interfusion.h"
+
+#include <algorithm>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Var InterFusionDetector::Reconstruct(const Tensor& batch,
+                                     LatentStats* stats) const {
+  const int64_t bsz = batch.dim(0);
+  const int64_t window = config_.window;
+  Var h = RunGru(*encoder_, Var(batch));  // [B, W, H]
+
+  // Temporal latent per step.
+  Var mu_t = mu_t_head_->Forward(h);
+  Var logvar_t = logvar_t_head_->Forward(h);
+  Tensor eps_t = Tensor::Randn(mu_t.shape(), *rng_);
+  Var z_t = Add(mu_t, Mul(nn::ExpV(nn::ScaleV(logvar_t, 0.5f)),
+                          Var(std::move(eps_t))));
+
+  // Global inter-metric latent from mean-pooled hidden states.
+  Var pooled = nn::ScaleV(
+      ReshapeV(nn::MatMulV(ReshapeV(PermuteV(h, {0, 2, 1}), {-1, window}),
+                           Var(Tensor::Full({window, 1}, 1.0f))),
+               {bsz, config_.hidden}),
+      1.0f / static_cast<float>(window));
+  Var mu_g = mu_g_head_->Forward(pooled);        // [B, Zg]
+  Var logvar_g = logvar_g_head_->Forward(pooled);
+  Tensor eps_g = Tensor::Randn(mu_g.shape(), *rng_);
+  Var z_g = Add(mu_g, Mul(nn::ExpV(nn::ScaleV(logvar_g, 0.5f)),
+                          Var(std::move(eps_g))));
+
+  // Broadcast z_g over time and decode [z_t, z_g].
+  Var z_g_b = Add(Var(Tensor::Zeros({bsz, window, config_.latent_global})),
+                  ReshapeV(z_g, {bsz, 1, config_.latent_global}));
+  Var z = nn::ConcatV({z_t, z_g_b}, 2);
+  Var dec = RunGru(*decoder_, z);
+  if (stats != nullptr) {
+    stats->mu_t = mu_t;
+    stats->logvar_t = logvar_t;
+    stats->mu_g = mu_g;
+    stats->logvar_g = logvar_g;
+  }
+  return out_head_->Forward(dec);  // [B, W, K]
+}
+
+void InterFusionDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  encoder_ = std::make_unique<nn::GruCell>(num_features_, config_.hidden, *rng_);
+  mu_t_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, config_.latent_temporal, *rng_);
+  logvar_t_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, config_.latent_temporal, *rng_);
+  mu_g_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, config_.latent_global, *rng_);
+  logvar_g_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, config_.latent_global, *rng_);
+  decoder_ = std::make_unique<nn::GruCell>(
+      config_.latent_temporal + config_.latent_global, config_.hidden, *rng_);
+  out_head_ = std::make_unique<nn::Linear>(config_.hidden, num_features_, *rng_);
+
+  Tensor windows = WindowBatch(train, config_.window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+  std::vector<Var> params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           encoder_.get(), mu_t_head_.get(), logvar_t_head_.get(),
+           mu_g_head_.get(), logvar_g_head_.get(), decoder_.get(),
+           out_head_.get()}) {
+    for (const Var& p : m->Parameters()) params.push_back(p);
+  }
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  auto kl_term = [](const Var& mu, const Var& logvar) {
+    return nn::ScaleV(
+        nn::MeanV(Sub(Add(nn::ExpV(logvar), Mul(mu, mu)),
+                      nn::AddScalarV(logvar, 1.0f))),
+        0.5f);
+  };
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+      LatentStats stats;
+      Var xhat = Reconstruct(batch, &stats);
+      Var loss = Add(
+          nn::MseLossV(xhat, batch),
+          nn::ScaleV(Add(kl_term(stats.mu_t, stats.logvar_t),
+                         kl_term(stats.mu_g, stats.logvar_g)),
+                     config_.kl_weight));
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+}
+
+DetectionResult InterFusionDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(out_head_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.window;
+  const auto starts = WindowStarts(length, window, window);
+  Tensor windows = WindowBatch(test, window, window);
+  const int64_t n = windows.dim(0);
+  std::vector<std::vector<float>> window_scores;
+  const std::vector<int64_t> order = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 16) {
+    const int64_t bsz = std::min<int64_t>(16, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor xhat = Reconstruct(batch, nullptr).value();
+    auto errors = baselines::PerStepError(xhat, batch);
+    for (auto& row : errors) window_scores.push_back(std::move(row));
+  }
+  DetectionResult result;
+  result.scores = OverlapAverage(window_scores, starts, length, window);
+  return result;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,65 @@
+// InterFusion (Li et al., KDD 2021): hierarchical stochastic model with an
+// inter-metric (global, per-window) latent and a temporal (per-step) latent,
+// decoded jointly to reconstruct the window; the reconstruction error is the
+// anomaly score.
+//
+// Simplification vs the original (DESIGN.md §4): the two-view hierarchical
+// VAE is kept (global inter-metric latent + per-step temporal latent) but the
+// MCMC-based test-time imputation is omitted.
+
+#ifndef IMDIFF_BASELINES_INTERFUSION_H_
+#define IMDIFF_BASELINES_INTERFUSION_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace imdiff {
+
+struct InterFusionConfig {
+  int64_t window = 50;
+  int64_t hidden = 32;
+  int64_t latent_temporal = 8;
+  int64_t latent_global = 8;
+  float kl_weight = 0.05f;
+  int epochs = 10;
+  int batch_size = 16;
+  int64_t train_stride = 10;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class InterFusionDetector : public AnomalyDetector {
+ public:
+  explicit InterFusionDetector(const InterFusionConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "InterFusion"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  struct LatentStats {
+    nn::Var mu_t, logvar_t;  // temporal latent stats [B, W, Zt]
+    nn::Var mu_g, logvar_g;  // global latent stats [B, Zg]
+  };
+  nn::Var Reconstruct(const Tensor& batch, LatentStats* stats) const;
+
+  InterFusionConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::GruCell> encoder_;
+  std::unique_ptr<nn::Linear> mu_t_head_;
+  std::unique_ptr<nn::Linear> logvar_t_head_;
+  std::unique_ptr<nn::Linear> mu_g_head_;      // from mean-pooled hidden
+  std::unique_ptr<nn::Linear> logvar_g_head_;
+  std::unique_ptr<nn::GruCell> decoder_;
+  std::unique_ptr<nn::Linear> out_head_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_INTERFUSION_H_

@@ -1,0 +1,93 @@
+#include "baselines/lstm_ad.h"
+
+#include <algorithm>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Var LstmAdDetector::ForecastBatch(const Tensor& batch) const {
+  const int64_t bsz = batch.dim(0);
+  const int64_t k = batch.dim(2);
+  // History part: [B, history, K].
+  Tensor history = Slice(batch, 1, 0, config_.history);
+  Var h1 = RunLstm(*lstm1_, Var(std::move(history)));
+  Var final_h;
+  RunLstm(*lstm2_, h1, &final_h);  // [B, hidden]
+  Var pred = head_->Forward(final_h);  // [B, K]
+  return ReshapeV(pred, {bsz, k});
+}
+
+void LstmAdDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  lstm1_ = std::make_unique<nn::LstmCell>(num_features_, config_.hidden, *rng_);
+  lstm2_ = std::make_unique<nn::LstmCell>(config_.hidden, config_.hidden, *rng_);
+  head_ = std::make_unique<nn::Linear>(config_.hidden, num_features_, *rng_);
+
+  const int64_t window = config_.history + 1;
+  Tensor windows = WindowBatch(train, window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+  std::vector<Var> params = lstm1_->Parameters();
+  for (const Var& p : lstm2_->Parameters()) params.push_back(p);
+  for (const Var& p : head_->Parameters()) params.push_back(p);
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+      Var pred = ForecastBatch(batch);
+      Tensor target =
+          Slice(batch, 1, config_.history, 1).Reshape({bsz, num_features_});
+      nn::Var loss = nn::MseLossV(pred, target);
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+}
+
+DetectionResult LstmAdDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(head_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t k = test.dim(1);
+  const int64_t window = config_.history + 1;
+  DetectionResult result;
+  result.scores.assign(static_cast<size_t>(length), 0.0f);
+  if (length < window) return result;
+
+  // One window per forecastable timestamp (stride 1).
+  Tensor windows = WindowBatch(test, window, 1);
+  const auto starts = WindowStarts(length, window, 1);
+  const int64_t n = windows.dim(0);
+  const std::vector<int64_t> order = baselines::Iota(n);
+  const int64_t batch_size = 64;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t bsz = std::min<int64_t>(batch_size, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor pred = ForecastBatch(batch).value();
+    Tensor target =
+        Slice(batch, 1, config_.history, 1).Reshape({bsz, k});
+    const float* pp = pred.data();
+    const float* pt = target.data();
+    for (int64_t b = 0; b < bsz; ++b) {
+      float acc = 0.0f;
+      for (int64_t j = 0; j < k; ++j) {
+        const float d = pp[b * k + j] - pt[b * k + j];
+        acc += d * d;
+      }
+      const int64_t pos = starts[static_cast<size_t>(start + b)] + window - 1;
+      result.scores[static_cast<size_t>(pos)] = acc / static_cast<float>(k);
+    }
+  }
+  return result;
+}
+
+}  // namespace imdiff

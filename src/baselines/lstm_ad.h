@@ -1,0 +1,48 @@
+// LSTM-AD (Malhotra et al., ESANN 2015): stacked-LSTM one-step-ahead
+// forecaster; the squared prediction error is the anomaly score.
+
+#ifndef IMDIFF_BASELINES_LSTM_AD_H_
+#define IMDIFF_BASELINES_LSTM_AD_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace imdiff {
+
+struct LstmAdConfig {
+  int64_t history = 25;   // input window length
+  int64_t hidden = 32;
+  int epochs = 8;
+  int batch_size = 32;
+  int64_t train_stride = 2;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class LstmAdDetector : public AnomalyDetector {
+ public:
+  explicit LstmAdDetector(const LstmAdConfig& config) : config_(config) {}
+
+  std::string name() const override { return "LSTM-AD"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  // Forecast for each window in a [B, history+1, K] batch; returns [B, K].
+  nn::Var ForecastBatch(const Tensor& batch) const;
+
+  LstmAdConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::LstmCell> lstm1_;
+  std::unique_ptr<nn::LstmCell> lstm2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_LSTM_AD_H_

@@ -1,0 +1,122 @@
+#include "baselines/madgan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Var MadGanDetector::Encode(const Tensor& batch) const {
+  Var h = RunGru(*enc_rnn_, Var(batch));
+  return enc_head_->Forward(h);  // [B, W, Z]
+}
+
+Var MadGanDetector::GenerateFromZ(const Var& z) const {
+  Var h = RunLstm(*gen_rnn_, z);
+  return gen_head_->Forward(h);  // [B, W, K]
+}
+
+Var MadGanDetector::Discriminate(const Var& x) const {
+  Var final_h;
+  RunLstm(*disc_rnn_, x, &final_h);
+  return disc_head_->Forward(final_h);  // [B, 1]
+}
+
+void MadGanDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  enc_rnn_ = std::make_unique<nn::GruCell>(num_features_, config_.hidden, *rng_);
+  enc_head_ = std::make_unique<nn::Linear>(config_.hidden, config_.latent, *rng_);
+  gen_rnn_ = std::make_unique<nn::LstmCell>(config_.latent, config_.hidden, *rng_);
+  gen_head_ = std::make_unique<nn::Linear>(config_.hidden, num_features_, *rng_);
+  disc_rnn_ = std::make_unique<nn::LstmCell>(num_features_, config_.hidden, *rng_);
+  disc_head_ = std::make_unique<nn::Linear>(config_.hidden, 1, *rng_);
+
+  Tensor windows = WindowBatch(train, config_.window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+
+  std::vector<Var> g_params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           enc_rnn_.get(), enc_head_.get(), gen_rnn_.get(), gen_head_.get()}) {
+    for (const Var& p : m->Parameters()) g_params.push_back(p);
+  }
+  std::vector<Var> d_params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           disc_rnn_.get(), disc_head_.get()}) {
+    for (const Var& p : m->Parameters()) d_params.push_back(p);
+  }
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam g_adam(g_params, opt);
+  nn::Adam d_adam(d_params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+
+      // Discriminator: real windows vs generated-from-noise windows.
+      {
+        Tensor z_noise =
+            Tensor::Randn({bsz, config_.window, config_.latent}, *rng_);
+        Var fake = GenerateFromZ(Var(std::move(z_noise)));
+        Var fake_detached(fake.value());
+        Var d_loss = Add(nn::MeanV(nn::SoftplusV(nn::Neg(Discriminate(Var(batch))))),
+                         nn::MeanV(nn::SoftplusV(Discriminate(fake_detached))));
+        nn::Backward(d_loss);
+        d_adam.Step();
+        g_adam.ZeroGrad();
+      }
+      // Generator + encoder: reconstruct real windows and fool D.
+      {
+        Var xhat = GenerateFromZ(Encode(batch));
+        Var recon = nn::MseLossV(xhat, batch);
+        Var adv = nn::MeanV(nn::SoftplusV(nn::Neg(Discriminate(xhat))));
+        Var g_loss = Add(recon, nn::ScaleV(adv, 0.1f));
+        nn::Backward(g_loss);
+        g_adam.Step();
+        d_adam.ZeroGrad();
+      }
+    }
+  }
+}
+
+DetectionResult MadGanDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(gen_head_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.window;
+  const auto starts = WindowStarts(length, window, window);
+  Tensor windows = WindowBatch(test, window, window);
+  const int64_t n = windows.dim(0);
+  std::vector<std::vector<float>> window_scores;
+  const std::vector<int64_t> order = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 16) {
+    const int64_t bsz = std::min<int64_t>(16, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor xhat = GenerateFromZ(Encode(batch)).value();
+    auto recon_errors = baselines::PerStepError(xhat, batch);
+    // Discriminator abnormality per window: 1 - sigmoid(logit).
+    Tensor logits = Discriminate(Var(batch)).value();
+    for (int64_t b = 0; b < bsz; ++b) {
+      const float d_prob =
+          1.0f / (1.0f + std::exp(-logits.flat(b)));
+      const float abnormality = 1.0f - d_prob;
+      auto& row = recon_errors[static_cast<size_t>(b)];
+      for (float& v : row) {
+        v = config_.dr_lambda * v + (1.0f - config_.dr_lambda) * abnormality;
+      }
+      window_scores.push_back(std::move(row));
+    }
+  }
+  DetectionResult result;
+  result.scores = OverlapAverage(window_scores, starts, length, window);
+  return result;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,59 @@
+// MAD-GAN (Li et al., ICANN 2019): LSTM generator + LSTM discriminator.
+// The anomaly score is the DR-score: a convex combination of reconstruction
+// error and the discriminator's abnormality estimate.
+//
+// Simplification vs the original (DESIGN.md §4): the test-time latent-space
+// inversion by gradient search is replaced by a jointly trained encoder
+// (AE-GAN style), which supplies the latent used for reconstruction.
+
+#ifndef IMDIFF_BASELINES_MADGAN_H_
+#define IMDIFF_BASELINES_MADGAN_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace imdiff {
+
+struct MadGanConfig {
+  int64_t window = 40;
+  int64_t hidden = 32;
+  int64_t latent = 8;
+  float dr_lambda = 0.7f;  // weight on reconstruction in the DR-score
+  int epochs = 10;
+  int batch_size = 16;
+  int64_t train_stride = 10;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class MadGanDetector : public AnomalyDetector {
+ public:
+  explicit MadGanDetector(const MadGanConfig& config) : config_(config) {}
+
+  std::string name() const override { return "MAD-GAN"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  nn::Var Encode(const Tensor& batch) const;      // [B,W,K] -> z [B,W,Z]
+  nn::Var GenerateFromZ(const nn::Var& z) const;  // z -> [B,W,K]
+  nn::Var Discriminate(const nn::Var& x) const;   // [B,W,K] -> logits [B,1]
+
+  MadGanConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::GruCell> enc_rnn_;
+  std::unique_ptr<nn::Linear> enc_head_;
+  std::unique_ptr<nn::LstmCell> gen_rnn_;
+  std::unique_ptr<nn::Linear> gen_head_;
+  std::unique_ptr<nn::LstmCell> disc_rnn_;
+  std::unique_ptr<nn::Linear> disc_head_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_MADGAN_H_

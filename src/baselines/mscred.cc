@@ -1,0 +1,128 @@
+#include "baselines/mscred.h"
+
+#include <algorithm>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Tensor MscredDetector::ComputeSignatures(
+    const Tensor& series, std::vector<int64_t>* positions) const {
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  const int64_t max_scale =
+      *std::max_element(config_.scales.begin(), config_.scales.end());
+  const int64_t dim =
+      static_cast<int64_t>(config_.scales.size()) * k * k;
+  std::vector<int64_t> steps;
+  for (int64_t t = max_scale; t < length; t += config_.segment_stride) {
+    steps.push_back(t);
+  }
+  if (steps.empty()) steps.push_back(std::min(max_scale, length - 1));
+  Tensor out({static_cast<int64_t>(steps.size()), dim});
+  float* po = out.mutable_data();
+  const float* p = series.data();
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const int64_t t = steps[si];
+    float* row = po + static_cast<int64_t>(si) * dim;
+    int64_t offset = 0;
+    for (int64_t scale : config_.scales) {
+      const int64_t begin = std::max<int64_t>(0, t - scale);
+      const float inv = 1.0f / static_cast<float>(t - begin + 1);
+      for (int64_t i = 0; i < k; ++i) {
+        for (int64_t j = 0; j < k; ++j) {
+          float acc = 0.0f;
+          for (int64_t tau = begin; tau <= t; ++tau) {
+            acc += p[tau * k + i] * p[tau * k + j];
+          }
+          row[offset + i * k + j] = acc * inv;
+        }
+      }
+      offset += k * k;
+    }
+  }
+  if (positions != nullptr) *positions = std::move(steps);
+  return out;
+}
+
+Var MscredDetector::Reconstruct(const Tensor& batch) const {
+  Var h = nn::ReluV(encoder_->Forward(Var(batch)));  // [B, S, H]
+  Var states = RunGru(*gru_, h);                     // [B, S, H]
+  return decoder_->Forward(states);                  // [B, S, D]
+}
+
+void MscredDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  std::vector<int64_t> positions;
+  Tensor signatures = ComputeSignatures(train, &positions);  // [N, D]
+  signature_dim_ = signatures.dim(1);
+  encoder_ = std::make_unique<nn::Linear>(signature_dim_, config_.hidden, *rng_);
+  gru_ = std::make_unique<nn::GruCell>(config_.hidden, config_.hidden, *rng_);
+  decoder_ = std::make_unique<nn::Linear>(config_.hidden, signature_dim_, *rng_);
+
+  // Sequences of consecutive signatures.
+  Tensor sequences = WindowBatch(signatures, config_.sequence, 2);
+  const int64_t n = sequences.dim(0);
+  std::vector<Var> params = encoder_->Parameters();
+  for (const Var& p : gru_->Parameters()) params.push_back(p);
+  for (const Var& p : decoder_->Parameters()) params.push_back(p);
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(sequences, order, start, bsz);
+      Var recon = Reconstruct(batch);
+      Var loss = nn::MseLossV(recon, batch);
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+}
+
+DetectionResult MscredDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(decoder_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  std::vector<int64_t> positions;
+  Tensor signatures = ComputeSignatures(test, &positions);  // [N, D]
+  const int64_t n = signatures.dim(0);
+  // Reconstruct the whole signature sequence in chunks of `sequence`.
+  std::vector<float> sig_scores(static_cast<size_t>(n), 0.0f);
+  for (int64_t start = 0; start < n; start += config_.sequence) {
+    const int64_t len = std::min<int64_t>(config_.sequence, n - start);
+    Tensor chunk({1, len, signature_dim_});
+    std::copy_n(signatures.data() + start * signature_dim_,
+                len * signature_dim_, chunk.mutable_data());
+    Tensor recon = Reconstruct(chunk).value();
+    for (int64_t s = 0; s < len; ++s) {
+      float acc = 0.0f;
+      for (int64_t d = 0; d < signature_dim_; ++d) {
+        const float diff = recon.flat(s * signature_dim_ + d) -
+                           chunk.flat(s * signature_dim_ + d);
+        acc += diff * diff;
+      }
+      sig_scores[static_cast<size_t>(start + s)] =
+          acc / static_cast<float>(signature_dim_);
+    }
+  }
+  // Upsample signature scores to timestamps: each timestamp takes the score
+  // of the nearest signature at or after it.
+  DetectionResult result;
+  result.scores.assign(static_cast<size_t>(length), 0.0f);
+  size_t si = 0;
+  for (int64_t t = 0; t < length; ++t) {
+    while (si + 1 < positions.size() && positions[si] < t) ++si;
+    result.scores[static_cast<size_t>(t)] = sig_scores[si];
+  }
+  return result;
+}
+
+}  // namespace imdiff

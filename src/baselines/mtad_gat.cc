@@ -1,0 +1,145 @@
+#include "baselines/mtad_gat.h"
+
+#include <algorithm>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+MtadGatDetector::Outputs MtadGatDetector::ForwardBatch(
+    const Tensor& batch) const {
+  const int64_t bsz = batch.dim(0);
+  const int64_t window = config_.window;
+  const int64_t k = num_features_;
+  Tensor input = Slice(batch, 1, 0, window);  // [B, W, K]
+  Var x(input);
+
+  // Time-oriented attention: tokens = timesteps.
+  Var ht = temporal_attn_->Forward(temporal_in_->Forward(x));  // [B, W, d]
+
+  // Feature-oriented attention: tokens = features, each summarized by its
+  // window values.
+  Var xf = PermuteV(x, {0, 2, 1});                       // [B, K, W]
+  Var hf = feature_attn_->Forward(feature_in_->Forward(xf));  // [B, K, d]
+  // Pool feature context and broadcast over time.
+  Var pooled = nn::ScaleV(
+      ReshapeV(nn::MatMulV(ReshapeV(PermuteV(hf, {0, 2, 1}), {-1, k}),
+                           Var(Tensor::Full({k, 1}, 1.0f))),
+               {bsz, 1, config_.d_model}),
+      1.0f / static_cast<float>(k));
+  Var hf_broadcast =
+      Add(Var(Tensor::Zeros({bsz, window, config_.d_model})),
+          feature_pool_->Forward(pooled));  // [B, W, d]
+
+  // Joint representation -> GRU.
+  Var joint = nn::ConcatV({ht, hf_broadcast, x}, 2);  // [B, W, 2d+K]
+  Var final_h;
+  Var states = RunGru(*gru_, joint, &final_h);  // [B, W, H], [B, H]
+
+  Outputs out;
+  out.forecast = forecast_head_->Forward(final_h);      // [B, K]
+  out.reconstruction = recon_head_->Forward(states);    // [B, W, K]
+  return out;
+}
+
+void MtadGatDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  const int64_t d = config_.d_model;
+  temporal_in_ = std::make_unique<nn::Linear>(num_features_, d, *rng_);
+  temporal_attn_ =
+      std::make_unique<nn::TransformerEncoderLayer>(d, 4, 2 * d, *rng_);
+  feature_in_ = std::make_unique<nn::Linear>(config_.window, d, *rng_);
+  feature_attn_ =
+      std::make_unique<nn::TransformerEncoderLayer>(d, 4, 2 * d, *rng_);
+  feature_pool_ = std::make_unique<nn::Linear>(d, d, *rng_);
+  gru_ = std::make_unique<nn::GruCell>(2 * d + num_features_, config_.hidden,
+                                       *rng_);
+  forecast_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, num_features_, *rng_);
+  recon_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, num_features_, *rng_);
+
+  Tensor windows =
+      WindowBatch(train, config_.window + 1, config_.train_stride);
+  const int64_t n = windows.dim(0);
+  std::vector<Var> params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           temporal_in_.get(), temporal_attn_.get(), feature_in_.get(),
+           feature_attn_.get(), feature_pool_.get(), gru_.get(),
+           forecast_head_.get(), recon_head_.get()}) {
+    for (const Var& p : m->Parameters()) params.push_back(p);
+  }
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+      Outputs out = ForwardBatch(batch);
+      Tensor target_next = Slice(batch, 1, config_.window, 1)
+                               .Reshape({bsz, num_features_});
+      Tensor target_window = Slice(batch, 1, 0, config_.window);
+      Var loss = Add(nn::MseLossV(out.forecast, target_next),
+                     nn::MseLossV(out.reconstruction, target_window));
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+}
+
+DetectionResult MtadGatDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(recon_head_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.window;
+  const int64_t k = num_features_;
+  // Stride W/2 so forecast errors cover most timestamps; recon errors are
+  // averaged over overlaps.
+  const int64_t stride = std::max<int64_t>(1, window / 2);
+  const auto starts = WindowStarts(length, window + 1, stride);
+  Tensor windows = WindowBatch(test, window + 1, stride);
+  const int64_t n = windows.dim(0);
+  std::vector<std::vector<float>> window_scores;
+  const std::vector<int64_t> order = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 16) {
+    const int64_t bsz = std::min<int64_t>(16, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Outputs out = ForwardBatch(batch);
+    Tensor recon = out.reconstruction.value();
+    Tensor forecast = out.forecast.value();
+    Tensor target_window = Slice(batch, 1, 0, window);
+    auto recon_err = baselines::PerStepError(recon, target_window);
+    const float* pf = forecast.data();
+    const float* pb = batch.data();
+    for (int64_t b = 0; b < bsz; ++b) {
+      // Forecast error applies to the last (forecasted) step.
+      float facc = 0.0f;
+      for (int64_t j = 0; j < k; ++j) {
+        const float d =
+            pf[b * k + j] - pb[(b * (window + 1) + window) * k + j];
+        facc += d * d;
+      }
+      facc /= static_cast<float>(k);
+      std::vector<float> row(static_cast<size_t>(window + 1), 0.0f);
+      for (int64_t w = 0; w < window; ++w) {
+        row[static_cast<size_t>(w)] =
+            (1.0f - config_.gamma) *
+            recon_err[static_cast<size_t>(b)][static_cast<size_t>(w)];
+      }
+      row[static_cast<size_t>(window)] += config_.gamma * facc;
+      window_scores.push_back(std::move(row));
+    }
+  }
+  DetectionResult result;
+  result.scores = OverlapAverage(window_scores, starts, length, window + 1);
+  return result;
+}
+
+}  // namespace imdiff

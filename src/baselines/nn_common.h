@@ -1,0 +1,66 @@
+// Shared helpers for the neural-network baseline detectors.
+
+#ifndef IMDIFF_BASELINES_NN_COMMON_H_
+#define IMDIFF_BASELINES_NN_COMMON_H_
+
+#include <numeric>
+#include <vector>
+
+#include "data/windowing.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace baselines {
+
+// Gathers windows[order[start .. start+bsz)] into a contiguous batch.
+inline Tensor GatherWindows(const Tensor& windows,
+                            const std::vector<int64_t>& order, int64_t start,
+                            int64_t bsz) {
+  const int64_t per = windows.dim(1) * windows.dim(2);
+  Tensor out({bsz, windows.dim(1), windows.dim(2)});
+  for (int64_t b = 0; b < bsz; ++b) {
+    std::copy_n(windows.data() + order[static_cast<size_t>(start + b)] * per,
+                per, out.mutable_data() + b * per);
+  }
+  return out;
+}
+
+// Identity order [0, n).
+inline std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+// Mean squared error over the feature axis for each (window, timestep):
+// pred/target are [B, W, K]; result[b][w] = mean_k (pred - target)^2.
+inline std::vector<std::vector<float>> PerStepError(const Tensor& pred,
+                                                    const Tensor& target) {
+  const int64_t batch = pred.dim(0);
+  const int64_t window = pred.dim(1);
+  const int64_t k = pred.dim(2);
+  std::vector<std::vector<float>> out(
+      static_cast<size_t>(batch),
+      std::vector<float>(static_cast<size_t>(window), 0.0f));
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t w = 0; w < window; ++w) {
+      float acc = 0.0f;
+      const int64_t off = (b * window + w) * k;
+      for (int64_t j = 0; j < k; ++j) {
+        const float d = pp[off + j] - pt[off + j];
+        acc += d * d;
+      }
+      out[static_cast<size_t>(b)][static_cast<size_t>(w)] =
+          acc / static_cast<float>(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_NN_COMMON_H_

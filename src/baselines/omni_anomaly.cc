@@ -1,0 +1,93 @@
+#include "baselines/omni_anomaly.h"
+
+#include <algorithm>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Var OmniAnomalyDetector::Reconstruct(const Tensor& batch, Var* mu_out,
+                                     Var* logvar_out) const {
+  Var h = RunGru(*encoder_, Var(batch));        // [B, W, H]
+  Var mu = mu_head_->Forward(h);                // [B, W, Z]
+  Var logvar = logvar_head_->Forward(h);        // [B, W, Z]
+  // Reparameterization with a fresh standard-normal draw.
+  Tensor eps = Tensor::Randn(mu.shape(), *rng_);
+  Var sigma = nn::ExpV(nn::ScaleV(logvar, 0.5f));
+  Var z = Add(mu, Mul(sigma, Var(std::move(eps))));
+  Var dec = RunGru(*decoder_, z);               // [B, W, H]
+  if (mu_out != nullptr) *mu_out = mu;
+  if (logvar_out != nullptr) *logvar_out = logvar;
+  return out_head_->Forward(dec);               // [B, W, K]
+}
+
+void OmniAnomalyDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  encoder_ = std::make_unique<nn::GruCell>(num_features_, config_.hidden, *rng_);
+  mu_head_ = std::make_unique<nn::Linear>(config_.hidden, config_.latent, *rng_);
+  logvar_head_ =
+      std::make_unique<nn::Linear>(config_.hidden, config_.latent, *rng_);
+  decoder_ = std::make_unique<nn::GruCell>(config_.latent, config_.hidden, *rng_);
+  out_head_ = std::make_unique<nn::Linear>(config_.hidden, num_features_, *rng_);
+
+  Tensor windows = WindowBatch(train, config_.window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+  std::vector<Var> params;
+  for (const auto* m :
+       std::initializer_list<const nn::Module*>{encoder_.get(), mu_head_.get(),
+                                                logvar_head_.get(),
+                                                decoder_.get(), out_head_.get()}) {
+    for (const Var& p : m->Parameters()) params.push_back(p);
+  }
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+      Var mu, logvar;
+      Var xhat = Reconstruct(batch, &mu, &logvar);
+      Var recon = nn::MseLossV(xhat, batch);
+      // KL(q || N(0,I)) = -0.5 mean(1 + logvar - mu^2 - exp(logvar)).
+      Var kl = nn::ScaleV(
+          nn::MeanV(Sub(Add(nn::ExpV(logvar), Mul(mu, mu)),
+                        nn::AddScalarV(logvar, 1.0f))),
+          0.5f);
+      Var loss = Add(recon, nn::ScaleV(kl, config_.kl_weight));
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+}
+
+DetectionResult OmniAnomalyDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(out_head_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.window;
+  const auto starts = WindowStarts(length, window, window);
+  Tensor windows = WindowBatch(test, window, window);
+  const int64_t n = windows.dim(0);
+  std::vector<std::vector<float>> window_scores;
+  const std::vector<int64_t> order = baselines::Iota(n);
+  const int64_t batch_size = 16;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t bsz = std::min<int64_t>(batch_size, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor xhat = Reconstruct(batch, nullptr, nullptr).value();
+    auto errors = baselines::PerStepError(xhat, batch);
+    for (auto& row : errors) window_scores.push_back(std::move(row));
+  }
+  DetectionResult result;
+  result.scores = OverlapAverage(window_scores, starts, length, window);
+  return result;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,58 @@
+// OmniAnomaly (Su et al., KDD 2019): GRU + VAE with per-timestep stochastic
+// latents; the reconstruction error of the test window is the anomaly score
+// and POT selects the operating threshold.
+//
+// Simplification vs the original (see DESIGN.md §4): planar normalizing flows
+// and the linear Gaussian state-space connection are omitted; the GRU-VAE
+// backbone and POT thresholding are kept.
+
+#ifndef IMDIFF_BASELINES_OMNI_ANOMALY_H_
+#define IMDIFF_BASELINES_OMNI_ANOMALY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+
+namespace imdiff {
+
+struct OmniAnomalyConfig {
+  int64_t window = 50;
+  int64_t hidden = 32;
+  int64_t latent = 8;
+  float kl_weight = 0.05f;
+  int epochs = 10;
+  int batch_size = 16;
+  int64_t train_stride = 10;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class OmniAnomalyDetector : public AnomalyDetector {
+ public:
+  explicit OmniAnomalyDetector(const OmniAnomalyConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "OmniAnomaly"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  // Reconstruction of a [B, W, K] batch; outputs xhat plus latent stats.
+  nn::Var Reconstruct(const Tensor& batch, nn::Var* mu, nn::Var* logvar) const;
+
+  OmniAnomalyConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::GruCell> encoder_;
+  std::unique_ptr<nn::Linear> mu_head_;
+  std::unique_ptr<nn::Linear> logvar_head_;
+  std::unique_ptr<nn::GruCell> decoder_;
+  std::unique_ptr<nn::Linear> out_head_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_OMNI_ANOMALY_H_

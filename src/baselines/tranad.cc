@@ -1,0 +1,138 @@
+#include "baselines/tranad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/nn_common.h"
+#include "nn/optimizer.h"
+
+namespace imdiff {
+
+using nn::Var;
+
+Var TranAdDetector::Encode(const Tensor& batch, const Tensor& focus) const {
+  const int64_t bsz = batch.dim(0);
+  const int64_t window = config_.window;
+  // Concatenate the window with the focus score along features: [B, W, 2K].
+  Tensor joint = Concat({batch, focus}, 2);
+  Var h = input_proj_->Forward(Var(std::move(joint)));  // [B, W, d]
+  h = nn::AddConst(h, pos_embed_.Reshape({1, window, config_.d_model}));
+  h = layer1_->Forward(h);
+  if (config_.num_layers > 1) h = layer2_->Forward(h);
+  (void)bsz;
+  return h;
+}
+
+Var TranAdDetector::Phase1(const Tensor& batch) const {
+  Tensor zero_focus = Tensor::Zeros(batch.shape());
+  return decoder1_->Forward(Encode(batch, zero_focus));  // [B, W, K]
+}
+
+Var TranAdDetector::Phase2(const Tensor& batch, const Tensor& focus) const {
+  return decoder2_->Forward(Encode(batch, focus));  // [B, W, K]
+}
+
+void TranAdDetector::Fit(const Tensor& train) {
+  num_features_ = train.dim(1);
+  rng_ = std::make_unique<Rng>(config_.seed);
+  const int64_t d = config_.d_model;
+  input_proj_ = std::make_unique<nn::Linear>(2 * num_features_, d, *rng_);
+  {
+    std::vector<int64_t> positions(static_cast<size_t>(config_.window));
+    for (int64_t l = 0; l < config_.window; ++l) {
+      positions[static_cast<size_t>(l)] = l;
+    }
+    pos_embed_ = nn::SinusoidalEmbedding(positions, d);
+  }
+  layer1_ = std::make_unique<nn::TransformerEncoderLayer>(
+      d, config_.num_heads, 2 * d, *rng_);
+  layer2_ = std::make_unique<nn::TransformerEncoderLayer>(
+      d, config_.num_heads, 2 * d, *rng_);
+  decoder1_ = std::make_unique<nn::Linear>(d, num_features_, *rng_);
+  decoder2_ = std::make_unique<nn::Linear>(d, num_features_, *rng_);
+
+  Tensor windows = WindowBatch(train, config_.window, config_.train_stride);
+  const int64_t n = windows.dim(0);
+  std::vector<Var> params;
+  for (const auto* m : std::initializer_list<const nn::Module*>{
+           input_proj_.get(), layer1_.get(), layer2_.get(), decoder1_.get(),
+           decoder2_.get()}) {
+    for (const Var& p : m->Parameters()) params.push_back(p);
+  }
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(params, opt);
+
+  std::vector<int64_t> order = baselines::Iota(n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // TranAD's annealing: early epochs favour phase-1 reconstruction, later
+    // epochs the self-conditioned phase 2.
+    const float w1 = std::pow(config_.epsilon, static_cast<float>(epoch + 1));
+    const float w2 = 1.0f - w1;
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    for (int64_t start = 0; start < n; start += config_.batch_size) {
+      const int64_t bsz = std::min<int64_t>(config_.batch_size, n - start);
+      Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+      Var o1 = Phase1(batch);
+      // Focus score from phase 1, detached (self-conditioning input).
+      Tensor focus(batch.shape());
+      {
+        const float* po = o1.value().data();
+        const float* pb = batch.data();
+        float* pf = focus.mutable_data();
+        const int64_t m = focus.numel();
+        for (int64_t i = 0; i < m; ++i) {
+          const float diff = po[i] - pb[i];
+          pf[i] = diff * diff;
+        }
+      }
+      Var o2 = Phase2(batch, focus);
+      Var loss = Add(nn::ScaleV(nn::MseLossV(o1, batch), w1),
+                     nn::ScaleV(nn::MseLossV(o2, batch), w2));
+      nn::Backward(loss);
+      adam.Step();
+    }
+  }
+}
+
+DetectionResult TranAdDetector::Run(const Tensor& test) {
+  IMDIFF_CHECK(decoder2_ != nullptr) << "Fit must be called before Run";
+  const int64_t length = test.dim(0);
+  const int64_t window = config_.window;
+  const auto starts = WindowStarts(length, window, window);
+  Tensor windows = WindowBatch(test, window, window);
+  const int64_t n = windows.dim(0);
+  std::vector<std::vector<float>> window_scores;
+  const std::vector<int64_t> order = baselines::Iota(n);
+  for (int64_t start = 0; start < n; start += 16) {
+    const int64_t bsz = std::min<int64_t>(16, n - start);
+    Tensor batch = baselines::GatherWindows(windows, order, start, bsz);
+    Tensor o1 = Phase1(batch).value();
+    Tensor focus(batch.shape());
+    {
+      const float* po = o1.data();
+      const float* pb = batch.data();
+      float* pf = focus.mutable_data();
+      const int64_t m = focus.numel();
+      for (int64_t i = 0; i < m; ++i) {
+        const float diff = po[i] - pb[i];
+        pf[i] = diff * diff;
+      }
+    }
+    Tensor o2 = Phase2(batch, focus).value();
+    auto e1 = baselines::PerStepError(o1, batch);
+    auto e2 = baselines::PerStepError(o2, batch);
+    for (int64_t b = 0; b < bsz; ++b) {
+      auto& row = e1[static_cast<size_t>(b)];
+      for (size_t w = 0; w < row.size(); ++w) {
+        row[w] = 0.5f * (row[w] + e2[static_cast<size_t>(b)][w]);
+      }
+      window_scores.push_back(std::move(row));
+    }
+  }
+  DetectionResult result;
+  result.scores = OverlapAverage(window_scores, starts, length, window);
+  return result;
+}
+
+}  // namespace imdiff

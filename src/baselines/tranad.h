@@ -1,0 +1,58 @@
+// TranAD (Tuli et al., VLDB 2022): transformer encoder with two decoders and
+// adversarial self-conditioning. Phase 1 reconstructs the window; its squared
+// error becomes the focus score fed back as conditioning for phase 2. The
+// training loss anneals between the two reconstructions; the anomaly score is
+// the mean of both phases' errors.
+
+#ifndef IMDIFF_BASELINES_TRANAD_H_
+#define IMDIFF_BASELINES_TRANAD_H_
+
+#include <memory>
+#include <string>
+
+#include "core/detector.h"
+#include "nn/attention.h"
+
+namespace imdiff {
+
+struct TranAdConfig {
+  int64_t window = 30;
+  int64_t d_model = 32;
+  int num_layers = 2;
+  int num_heads = 4;
+  float epsilon = 0.9f;  // annealing base for the phase weights
+  int epochs = 10;
+  int batch_size = 16;
+  int64_t train_stride = 5;
+  float lr = 1e-3f;
+  uint64_t seed = 1;
+};
+
+class TranAdDetector : public AnomalyDetector {
+ public:
+  explicit TranAdDetector(const TranAdConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TranAD"; }
+  void Fit(const Tensor& train) override;
+  DetectionResult Run(const Tensor& test) override;
+
+ private:
+  // Encodes [x ; focus] and decodes with the given decoder head.
+  nn::Var Encode(const Tensor& batch, const Tensor& focus) const;
+  nn::Var Phase1(const Tensor& batch) const;
+  nn::Var Phase2(const Tensor& batch, const Tensor& focus) const;
+
+  TranAdConfig config_;
+  int64_t num_features_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<nn::Linear> input_proj_;  // 2K -> d
+  Tensor pos_embed_;                        // [W, d] sinusoidal constant
+  std::unique_ptr<nn::TransformerEncoderLayer> layer1_;
+  std::unique_ptr<nn::TransformerEncoderLayer> layer2_;
+  std::unique_ptr<nn::Linear> decoder1_;    // d -> K
+  std::unique_ptr<nn::Linear> decoder2_;    // d -> K
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_BASELINES_TRANAD_H_

@@ -1,0 +1,41 @@
+// Common interface implemented by ImDiffusion and every baseline detector.
+
+#ifndef IMDIFF_CORE_DETECTOR_H_
+#define IMDIFF_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace imdiff {
+
+// Output of one detection pass over a test series.
+struct DetectionResult {
+  // Per-timestamp anomaly score, higher = more anomalous. Always present.
+  std::vector<float> scores;
+  // Optional built-in binary decision (detectors with an internal rule, e.g.
+  // ImDiffusion's ensemble voting). Empty when the detector defers
+  // thresholding to the harness.
+  std::vector<uint8_t> labels;
+};
+
+// A self-supervised anomaly detector: fit on an anomaly-free series, score a
+// test series per timestamp.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on a [L, K] series assumed anomaly-free.
+  virtual void Fit(const Tensor& train) = 0;
+
+  // Scores a [L, K] test series. Fit must have been called.
+  virtual DetectionResult Run(const Tensor& test) = 0;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_CORE_DETECTOR_H_

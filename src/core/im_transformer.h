@@ -1,0 +1,83 @@
+// ImTransformer: the denoising network of ImDiffusion (paper §4.4, Fig. 5).
+//
+// A stack of residual blocks in the DiffWave/CSDI style. Each block mixes in
+// the diffusion-step embedding and masking-policy embedding, applies a
+// temporal transformer layer (attention over the time axis, per feature) and
+// a spatial transformer layer (attention over the feature axis, per
+// timestep), combines the result with the complementary time/feature side
+// information, and emits a gated residual plus a skip connection. The summed
+// skips are projected to the ε prediction.
+
+#ifndef IMDIFF_CORE_IM_TRANSFORMER_H_
+#define IMDIFF_CORE_IM_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace imdiff {
+
+struct ImTransformerConfig {
+  int64_t num_features = 8;   // K
+  int64_t window = 100;       // L
+  int64_t hidden = 64;        // residual channel dim (paper: 128)
+  int num_blocks = 4;         // residual blocks (paper: 4)
+  int num_heads = 4;
+  int64_t ff_dim = 128;       // transformer feed-forward width
+  int64_t step_embed_dim = 64;
+  int64_t side_dim = 32;      // time/feature complementary embedding width
+  int num_policies = 2;       // grating mask policies
+  int num_diffusion_steps = 50;
+  // Ablations (§5.3.5): drop the spatial or temporal transformer.
+  bool use_temporal = true;
+  bool use_spatial = true;
+};
+
+// The ε_Θ(X_t^{M0}, t | ε_t^{M1}, p) network.
+class ImTransformer : public nn::Module {
+ public:
+  ImTransformer(const ImTransformerConfig& config, Rng& rng);
+
+  // Predicts the noise for a batch of windows.
+  //   x_masked  [B, K, L]: corrupted values on the masked (to-impute) region,
+  //                        zero on the observed region
+  //   noise_ref [B, K, L]: reference for the observed region (forward noise
+  //                        in the unconditional model, raw values in the
+  //                        conditional ablation), zero on the masked region
+  //   mask      [B, K, L]: 1 = observed
+  //   t: diffusion step (shared across the batch)
+  //   policies: mask policy index per batch element
+  // Returns ε̂ [B, K, L] as an autograd Var (differentiable wrt parameters).
+  nn::Var Forward(const Tensor& x_masked, const Tensor& noise_ref,
+                  const Tensor& mask, int t,
+                  const std::vector<int64_t>& policies) const;
+
+  std::vector<nn::Var> Parameters() const override;
+  const ImTransformerConfig& config() const { return config_; }
+
+ private:
+  struct ResidualBlock {
+    std::unique_ptr<nn::Linear> step_proj;    // D_step -> D
+    std::unique_ptr<nn::TransformerEncoderLayer> temporal;
+    std::unique_ptr<nn::TransformerEncoderLayer> spatial;
+    std::unique_ptr<nn::Linear> side_proj;    // 2*side -> D
+    std::unique_ptr<nn::Linear> gate_proj;    // D -> 2D (filter/gate)
+    std::unique_ptr<nn::Linear> out_proj;     // D -> 2D (residual/skip)
+  };
+
+  ImTransformerConfig config_;
+  std::unique_ptr<nn::Linear> input_proj_;    // 3 -> D (x, ref, mask channels)
+  std::unique_ptr<nn::Mlp> step_mlp_;         // sinusoidal -> D_step
+  std::unique_ptr<nn::Embedding> policy_embed_;  // [num_policies, D_step]
+  std::unique_ptr<nn::Embedding> feature_embed_; // [K, side]
+  Tensor time_embed_;                          // [L, side] sinusoidal constant
+  std::vector<ResidualBlock> blocks_;
+  std::unique_ptr<nn::Linear> head1_;          // D -> D
+  std::unique_ptr<nn::Linear> head2_;          // D -> 1
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_CORE_IM_TRANSFORMER_H_

@@ -1,0 +1,483 @@
+#include "core/imdiffusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "data/windowing.h"
+#include "metrics/classification.h"
+#include "nn/optimizer.h"
+#include "utils/logging.h"
+
+namespace imdiff {
+namespace {
+
+// [N, W, K] -> [N, K, W] (the model's feature-major layout).
+Tensor WindowsToBkl(const Tensor& windows) {
+  return Permute(windows, {0, 2, 1});
+}
+
+// Tiles a [K, L] mask to [B, K, L].
+Tensor TileMask(const Tensor& mask, int64_t batch) {
+  Tensor out({batch, mask.dim(0), mask.dim(1)});
+  const int64_t n = mask.numel();
+  float* po = out.mutable_data();
+  for (int64_t b = 0; b < batch; ++b) {
+    std::copy_n(mask.data(), n, po + b * n);
+  }
+  return out;
+}
+
+Tensor Complement(const Tensor& mask) {
+  Tensor out(mask.shape());
+  const float* pm = mask.data();
+  float* po = out.mutable_data();
+  const int64_t n = mask.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = 1.0f - pm[i];
+  return out;
+}
+
+}  // namespace
+
+ImDiffusionConfig PaperImDiffusionConfig() {
+  ImDiffusionConfig config;
+  config.model.window = 100;
+  config.model.hidden = 128;
+  config.model.num_blocks = 4;
+  config.model.num_heads = 8;
+  config.model.ff_dim = 256;
+  config.schedule.num_steps = 50;
+  config.num_masked_windows = 5;
+  config.epochs = 40;
+  config.vote_last_steps = 30;
+  config.vote_stride = 3;
+  return config;
+}
+
+ImDiffusionConfig FastImDiffusionConfig() {
+  ImDiffusionConfig config;
+  config.model.window = 100;
+  config.model.hidden = 24;
+  config.model.num_blocks = 2;
+  config.model.num_heads = 1;
+  config.model.ff_dim = 48;
+  config.model.step_embed_dim = 32;
+  config.model.side_dim = 16;
+  config.schedule.num_steps = 16;  // T scaled from 50
+  // With few steps the terminal ᾱ_T must still be ~0 so that starting the
+  // reverse chain from pure noise is in-distribution (T=50 with β_end=0.2
+  // achieves this in the paper's setting).
+  config.schedule.beta_end = 0.7f;
+  config.num_masked_windows = 5;
+  config.epochs = 30;
+  config.batch_size = 8;
+  config.lr = 2e-3f;
+  config.train_stride = 10;
+  // With the scaled-down denoiser, mid-chain imputations carry little signal
+  // relative to the final steps; voting over the last 6 of 16 steps keeps the
+  // ensemble's variance reduction without diluting the decision (the paper's
+  // 30-of-50 span assumes a far stronger denoiser).
+  config.vote_last_steps = 6;
+  config.vote_stride = 1;
+  // Single-chain imputation on CPU: posterior-mean (DDIM-style) sampling
+  // replaces averaging many stochastic chains.
+  config.stochastic_sampling = false;
+  return config;
+}
+
+ImDiffusionDetector::ImDiffusionDetector(const ImDiffusionConfig& config)
+    : config_(config) {}
+
+std::string ImDiffusionDetector::name() const {
+  switch (config_.mask_strategy) {
+    case MaskStrategy::kForecasting:
+      return "ImDiffusion-Forecasting";
+    case MaskStrategy::kReconstruction:
+      return "ImDiffusion-Reconstruction";
+    case MaskStrategy::kRandom:
+      return config_.conditional ? "ImDiffusion-RandomMask-Cond"
+                                 : "ImDiffusion-RandomMask";
+    case MaskStrategy::kGrating:
+      break;
+  }
+  if (config_.conditional) return "ImDiffusion-Conditional";
+  if (!config_.ensemble) return "ImDiffusion-NonEnsemble";
+  if (!config_.model.use_spatial) return "ImDiffusion-NoSpatial";
+  if (!config_.model.use_temporal) return "ImDiffusion-NoTemporal";
+  return "ImDiffusion";
+}
+
+void ImDiffusionDetector::Fit(const Tensor& train) {
+  IMDIFF_CHECK_EQ(train.ndim(), 2u);
+  const int64_t k = train.dim(1);
+  config_.model.num_features = k;
+  config_.model.num_diffusion_steps = config_.schedule.num_steps;
+  config_.model.num_policies = 2;
+
+  rng_ = std::make_unique<Rng>(config_.seed);
+  model_ = std::make_unique<ImTransformer>(config_.model, *rng_);
+  diffusion_ = std::make_unique<GaussianDiffusion>(config_.schedule);
+  loss_history_.clear();
+
+  const int64_t window = config_.model.window;
+  Tensor windows = WindowsToBkl(
+      WindowBatch(train, window, config_.train_stride));  // [N, K, L]
+  const int64_t num_windows = windows.dim(0);
+  const int64_t per_window = k * window;
+
+  nn::Adam::Options opt;
+  opt.lr = config_.lr;
+  nn::Adam adam(model_->Parameters(), opt);
+
+  const int num_steps = config_.schedule.num_steps;
+  std::vector<int64_t> order(static_cast<size_t>(num_windows));
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng_->engine());
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int64_t start = 0; start < num_windows;
+         start += config_.batch_size) {
+      const int64_t bsz =
+          std::min<int64_t>(config_.batch_size, num_windows - start);
+      Tensor x0({bsz, k, window});
+      for (int64_t b = 0; b < bsz; ++b) {
+        std::copy_n(windows.data() + order[static_cast<size_t>(start + b)] *
+                                         per_window,
+                    per_window, x0.mutable_data() + b * per_window);
+      }
+      const int t = static_cast<int>(rng_->UniformInt(0, num_steps - 1));
+      const int num_policies = NumPolicies(config_.mask_strategy);
+      const int policy =
+          num_policies > 1 ? static_cast<int>(rng_->UniformInt(0, 1)) : 0;
+      auto mask_pair =
+          MakeMaskPair(config_.mask_strategy, k, window,
+                       config_.num_masked_windows, rng_.get());
+      const Tensor& mask2d = policy == 0 ? mask_pair.first : mask_pair.second;
+      Tensor mask = TileMask(mask2d, bsz);
+      Tensor inv_mask = Complement(mask);
+
+      Tensor eps = Tensor::Randn(x0.shape(), *rng_);
+      Tensor x_t = diffusion_->QSampleWithNoise(x0, t, eps);
+      Tensor x_masked = Mul(x_t, inv_mask);
+      // Unconditional reference (§4.1): the unmasked values carried through
+      // the forward process with their ground-truth noise — hidden behind
+      // noise at large t, recoverable step-by-step in the reverse process.
+      // Conditional ablation: the raw observed values instead.
+      Tensor noise_ref = Mul(config_.conditional ? x0 : x_t, mask);
+
+      std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
+      nn::Var pred = model_->Forward(x_masked, noise_ref, mask, t, policies);
+      nn::Var loss = nn::MaskedMseLossV(pred, eps, inv_mask);
+      nn::Backward(loss);
+      adam.Step();
+      epoch_loss += loss.value().flat(0);
+      ++batches;
+    }
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    loss_history_.push_back(mean_loss);
+    if (config_.verbose) {
+      IMDIFF_LOG(Info) << name() << " epoch " << epoch << " loss "
+                       << mean_loss;
+    }
+  }
+}
+
+DetectionResult ImDiffusionDetector::Run(const Tensor& test) {
+  return RunWithTrace(test, nullptr);
+}
+
+DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
+                                                  StepTrace* trace) {
+  IMDIFF_CHECK(model_ != nullptr) << "Fit must be called before Run";
+  IMDIFF_CHECK_EQ(test.ndim(), 2u);
+  const int64_t k = test.dim(1);
+  IMDIFF_CHECK_EQ(k, config_.model.num_features);
+  const int64_t window = config_.model.window;
+  const int64_t length = test.dim(0);
+  const int num_steps = config_.schedule.num_steps;
+
+  // Forecasting imputes only the second half-window; use stride W/2 so that
+  // (almost) every timestamp is predicted once. Other strategies cover every
+  // point with one window.
+  const int64_t stride = config_.mask_strategy == MaskStrategy::kForecasting
+                             ? std::max<int64_t>(1, window / 2)
+                             : window;
+  const std::vector<int64_t> starts = WindowStarts(length, window, stride);
+  Tensor windows = WindowsToBkl(WindowBatch(test, window, stride));
+  const int64_t num_windows = windows.dim(0);
+  const int64_t per_window = k * window;
+
+  // Vote steps along the reverse chain, expressed as forward index t;
+  // s = T - t is the reverse-step number (s == T is the fully denoised step).
+  const int vote_span = std::min(config_.vote_last_steps, num_steps);
+  std::vector<int> vote_ts;
+  for (int t = 0; t < vote_span; t += config_.vote_stride) vote_ts.push_back(t);
+  std::sort(vote_ts.begin(), vote_ts.end(), std::greater<int>());
+  const size_t num_votes = vote_ts.size();
+
+  const int num_policies = NumPolicies(config_.mask_strategy);
+
+  // Per vote step: per-window per-position squared-error (mean over features)
+  // restricted to imputed coordinates; coverage marks which positions were
+  // imputed at all (relevant for forecasting).
+  std::vector<std::vector<std::vector<float>>> step_window_errors(
+      num_votes,
+      std::vector<std::vector<float>>(
+          static_cast<size_t>(num_windows),
+          std::vector<float>(static_cast<size_t>(window), 0.0f)));
+  std::vector<std::vector<std::vector<float>>> step_window_imputed(
+      trace != nullptr ? num_votes : 0,
+      std::vector<std::vector<float>>(
+          static_cast<size_t>(num_windows),
+          std::vector<float>(static_cast<size_t>(window), 0.0f)));
+  // Masks are deterministic per policy for grating/forecast/reconstruction;
+  // for random masking draw one pair shared by all windows of this run.
+  auto mask_pair = MakeMaskPair(config_.mask_strategy, k, window,
+                                config_.num_masked_windows, rng_.get());
+
+  for (int64_t chunk = 0; chunk < num_windows; chunk += config_.infer_batch) {
+    const int64_t bsz =
+        std::min<int64_t>(config_.infer_batch, num_windows - chunk);
+    Tensor x0({bsz, k, window});
+    std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
+                x0.mutable_data());
+
+    // Per vote step, accumulated (over policies) signed residual and imputed
+    // values per (window, feature, position); each coordinate is masked in
+    // exactly one policy, so accumulation assigns each entry once. Tensors
+    // share storage when copied, so each entry must be constructed
+    // independently.
+    std::vector<Tensor> step_diff;
+    std::vector<Tensor> step_val;
+    step_diff.reserve(num_votes);
+    for (size_t s = 0; s < num_votes; ++s) {
+      step_diff.emplace_back(Shape{bsz, k, window});
+      if (trace != nullptr) step_val.emplace_back(Shape{bsz, k, window});
+    }
+
+    for (int policy = 0; policy < num_policies; ++policy) {
+      const Tensor& mask2d =
+          policy == 0 ? mask_pair.first : mask_pair.second;
+      Tensor mask = TileMask(mask2d, bsz);
+      Tensor inv_mask = Complement(mask);
+      // Ground-truth forward noise for the unmasked region, fixed for the
+      // whole chain: the reference at step t is the forward-noised unmasked
+      // values q(x_t | x_0) under this noise (§4.1). The conditional
+      // ablation feeds the raw values at every step instead.
+      Tensor ref_noise = Tensor::Randn(x0.shape(), *rng_);
+
+      std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
+      Tensor cur = Tensor::Randn(x0.shape(), *rng_);  // x_T
+      size_t vote_idx = 0;
+      for (int t = num_steps - 1; t >= 0; --t) {
+        Tensor x_masked = Mul(cur, inv_mask);
+        Tensor noise_ref =
+            Mul(config_.conditional
+                    ? x0
+                    : diffusion_->QSampleWithNoise(x0, t, ref_noise),
+                mask);
+        Tensor eps_pred =
+            model_->Forward(x_masked, noise_ref, mask, t, policies).value();
+        // Step's fully-denoised estimate, used for scoring when score_on_x0.
+        Tensor x0_hat;
+        const bool is_vote = vote_idx < num_votes && t == vote_ts[vote_idx];
+        if (is_vote && config_.score_on_x0) {
+          x0_hat = diffusion_->PredictX0(cur, eps_pred, t);
+        }
+        cur = config_.stochastic_sampling
+                  ? diffusion_->PStep(cur, eps_pred, t, *rng_)
+                  : diffusion_->PosteriorMean(cur, eps_pred, t);
+        // Record if this is a vote step (vote_ts is descending in t).
+        if (is_vote) {
+          // Imputed-region signed residual vs ground truth.
+          const float* pc =
+              config_.score_on_x0 ? x0_hat.data() : cur.data();
+          const float* px = x0.data();
+          const float* pi = inv_mask.data();
+          float* ps = step_diff[vote_idx].mutable_data();
+          const int64_t n = cur.numel();
+          for (int64_t i = 0; i < n; ++i) {
+            if (pi[i] != 0.0f) {
+              ps[i] += pc[i] - px[i];
+            }
+          }
+          if (trace != nullptr) {
+            float* pv = step_val[vote_idx].mutable_data();
+            for (int64_t i = 0; i < n; ++i) {
+              if (pi[i] != 0.0f) pv[i] += pc[i];
+            }
+          }
+          ++vote_idx;
+        }
+      }
+    }
+
+    // Reduce over features -> per-(window, position) error: squared
+    // moving-average bias of the signed residual (robust to zero-mean noise)
+    // plus a weighted raw squared term (retains point spikes).
+    const int64_t bias_half = std::max(1, config_.bias_window) / 2;
+    std::vector<float> bias(static_cast<size_t>(window));
+    std::vector<float> max_err(static_cast<size_t>(window));
+    for (size_t s = 0; s < num_votes; ++s) {
+      const float* ps = step_diff[s].data();
+      for (int64_t b = 0; b < bsz; ++b) {
+        auto& row = step_window_errors[s][static_cast<size_t>(chunk + b)];
+        std::fill(row.begin(), row.end(), 0.0f);
+        std::fill(max_err.begin(), max_err.end(), 0.0f);
+        for (int64_t j = 0; j < k; ++j) {
+          const float* drow = ps + (b * k + j) * window;
+          for (int64_t l = 0; l < window; ++l) {
+            const int64_t lo = std::max<int64_t>(0, l - bias_half);
+            const int64_t hi = std::min<int64_t>(window - 1, l + bias_half);
+            float acc = 0.0f;
+            for (int64_t m = lo; m <= hi; ++m) acc += drow[m];
+            bias[static_cast<size_t>(l)] = acc / static_cast<float>(hi - lo + 1);
+          }
+          for (int64_t l = 0; l < window; ++l) {
+            const float d = drow[l];
+            const float bl = bias[static_cast<size_t>(l)];
+            const float e = bl * bl + config_.raw_error_weight * d * d;
+            row[static_cast<size_t>(l)] += e;
+            max_err[static_cast<size_t>(l)] =
+                std::max(max_err[static_cast<size_t>(l)], e);
+          }
+        }
+        // Feature aggregation: mean catches broad deviations, max keeps
+        // single-channel anomalies from being diluted by K.
+        for (int64_t l = 0; l < window; ++l) {
+          row[static_cast<size_t>(l)] =
+              0.5f * (row[static_cast<size_t>(l)] / static_cast<float>(k) +
+                      max_err[static_cast<size_t>(l)]);
+        }
+        if (trace != nullptr) {
+          const float* pv = step_val[s].data();
+          auto& vrow = step_window_imputed[s][static_cast<size_t>(chunk + b)];
+          for (int64_t l = 0; l < window; ++l) {
+            vrow[static_cast<size_t>(l)] = pv[(b * k + 0) * window + l];
+          }
+        }
+      }
+    }
+  }
+
+  // Scatter window errors back to series positions (overlap-averaged), with
+  // positions lacking coverage dropped from scoring (score 0).
+  auto to_series = [&](const std::vector<std::vector<float>>& wnd) {
+    std::vector<float> series =
+        OverlapAverage(wnd, starts, length, window);
+    if (config_.mask_strategy == MaskStrategy::kForecasting) {
+      // Zero out the uncovered warm-up prefix.
+      for (int64_t l = 0; l < std::min<int64_t>(window / 2, length); ++l) {
+        series[static_cast<size_t>(l)] = 0.0f;
+      }
+    } else {
+      // The first masked sub-window of the series is imputed with one-sided
+      // context only; treat it as warm-up (forecasting baselines likewise
+      // skip their history prefix).
+      const int64_t warmup =
+          std::min<int64_t>(window / (2 * config_.num_masked_windows), length);
+      for (int64_t l = 0; l < warmup; ++l) {
+        series[static_cast<size_t>(l)] = 0.0f;
+      }
+    }
+    return series;
+  };
+
+  // Centered moving average over the error series (width error_smoothing).
+  auto smooth = [&](std::vector<float> series) {
+    const int w = config_.error_smoothing;
+    if (w <= 1) return series;
+    std::vector<float> out(series.size(), 0.0f);
+    const int64_t n = static_cast<int64_t>(series.size());
+    const int64_t half = w / 2;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t lo = std::max<int64_t>(0, i - half);
+      const int64_t hi = std::min(n - 1, i + half);
+      float acc = 0.0f;
+      for (int64_t j = lo; j <= hi; ++j) acc += series[static_cast<size_t>(j)];
+      out[static_cast<size_t>(i)] = acc / static_cast<float>(hi - lo + 1);
+    }
+    return out;
+  };
+
+  std::vector<std::vector<float>> step_series(num_votes);
+  for (size_t s = 0; s < num_votes; ++s) {
+    step_series[s] = smooth(to_series(step_window_errors[s]));
+  }
+  // The final (fully denoised) step is the last entry (t == vote_ts.back(),
+  // which is the smallest t; when vote_stride > 1 the true final step t=0 is
+  // always included because vote_ts starts at 0).
+  const std::vector<float>& final_errors = step_series.back();
+  last_mean_error_ =
+      std::accumulate(final_errors.begin(), final_errors.end(), 0.0) /
+      std::max<size_t>(1, final_errors.size());
+
+  // Eq. 12: τ_s = (ΣE_final / ΣE_s) τ_final.
+  const float tau_final =
+      Quantile(final_errors, config_.tau_quantile);
+  const double sum_final =
+      std::accumulate(final_errors.begin(), final_errors.end(), 0.0);
+  std::vector<std::vector<uint8_t>> step_labels(num_votes);
+  std::vector<int> votes(static_cast<size_t>(length), 0);
+  std::vector<float> soft_votes(static_cast<size_t>(length), 0.0f);
+  for (size_t s = 0; s < num_votes; ++s) {
+    const double sum_s =
+        std::accumulate(step_series[s].begin(), step_series[s].end(), 0.0);
+    const float ratio =
+        sum_s > 0.0 ? static_cast<float>(sum_final / sum_s) : 1.0f;
+    const float tau_s = ratio * tau_final;
+    step_labels[s].resize(static_cast<size_t>(length));
+    for (int64_t l = 0; l < length; ++l) {
+      const float e = step_series[s][static_cast<size_t>(l)];
+      const bool hit = tau_s > 0.0f ? e >= tau_s : false;
+      step_labels[s][static_cast<size_t>(l)] = hit ? 1 : 0;
+      votes[static_cast<size_t>(l)] += hit ? 1 : 0;
+      // Soft vote: continuous threshold margin (gives the ensemble score a
+      // fine-grained ordering for threshold-free metrics).
+      if (tau_s > 0.0f) {
+        soft_votes[static_cast<size_t>(l)] += std::min(e / tau_s, 50.0f);
+      }
+    }
+  }
+
+  DetectionResult result;
+  result.labels.resize(static_cast<size_t>(length));
+  for (int64_t l = 0; l < length; ++l) {
+    result.labels[static_cast<size_t>(l)] =
+        votes[static_cast<size_t>(l)] > config_.vote_threshold ? 1 : 0;
+  }
+  if (config_.ensemble) {
+    result.scores.resize(static_cast<size_t>(length));
+    for (int64_t l = 0; l < length; ++l) {
+      result.scores[static_cast<size_t>(l)] =
+          soft_votes[static_cast<size_t>(l)] /
+          static_cast<float>(num_votes);
+    }
+  } else {
+    result.scores = final_errors;
+    // Non-ensemble rule: threshold the final-step error directly.
+    for (int64_t l = 0; l < length; ++l) {
+      result.labels[static_cast<size_t>(l)] =
+          final_errors[static_cast<size_t>(l)] >= tau_final ? 1 : 0;
+    }
+  }
+
+  if (trace != nullptr) {
+    trace->steps.clear();
+    for (int t : vote_ts) trace->steps.push_back(num_steps - t);
+    trace->step_errors = step_series;
+    trace->step_labels = std::move(step_labels);
+    trace->votes = std::move(votes);
+    trace->step_imputed.assign(num_votes, {});
+    for (size_t s = 0; s < num_votes; ++s) {
+      trace->step_imputed[s] = to_series(step_window_imputed[s]);
+    }
+  }
+  return result;
+}
+
+}  // namespace imdiff

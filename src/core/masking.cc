@@ -1,0 +1,78 @@
+#include "core/masking.h"
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+Tensor MakeGratingMask(int64_t num_features, int64_t window,
+                       int num_masked_windows, int policy) {
+  IMDIFF_CHECK_GT(num_masked_windows, 0);
+  IMDIFF_CHECK(policy == 0 || policy == 1);
+  const int num_subwindows = 2 * num_masked_windows;
+  IMDIFF_CHECK_GE(window, num_subwindows);
+  Tensor mask = Tensor::Full({num_features, window}, 1.0f);
+  float* p = mask.mutable_data();
+  for (int64_t l = 0; l < window; ++l) {
+    // Sub-window index via even partition (handles window % num_subwindows).
+    const int sub = static_cast<int>(l * num_subwindows / window);
+    const bool masked = (sub % 2) == policy;
+    if (masked) {
+      for (int64_t k = 0; k < num_features; ++k) p[k * window + l] = 0.0f;
+    }
+  }
+  return mask;
+}
+
+std::pair<Tensor, Tensor> MakeMaskPair(MaskStrategy strategy,
+                                       int64_t num_features, int64_t window,
+                                       int num_masked_windows, Rng* rng) {
+  switch (strategy) {
+    case MaskStrategy::kGrating: {
+      return {MakeGratingMask(num_features, window, num_masked_windows, 0),
+              MakeGratingMask(num_features, window, num_masked_windows, 1)};
+    }
+    case MaskStrategy::kRandom: {
+      IMDIFF_CHECK(rng != nullptr) << "random masking needs an Rng";
+      Tensor m0({num_features, window});
+      Tensor m1({num_features, window});
+      float* p0 = m0.mutable_data();
+      float* p1 = m1.mutable_data();
+      const int64_t n = m0.numel();
+      for (int64_t i = 0; i < n; ++i) {
+        const bool observed = rng->Bernoulli(0.5);
+        p0[i] = observed ? 1.0f : 0.0f;
+        p1[i] = observed ? 0.0f : 1.0f;
+      }
+      return {std::move(m0), std::move(m1)};
+    }
+    case MaskStrategy::kForecasting: {
+      Tensor m = Tensor::Full({num_features, window}, 1.0f);
+      float* p = m.mutable_data();
+      const int64_t split = window / 2;
+      for (int64_t k = 0; k < num_features; ++k) {
+        for (int64_t l = split; l < window; ++l) p[k * window + l] = 0.0f;
+      }
+      return {m, m.Clone()};
+    }
+    case MaskStrategy::kReconstruction: {
+      Tensor m = Tensor::Zeros({num_features, window});
+      return {m, m.Clone()};
+    }
+  }
+  IMDIFF_CHECK(false) << "unreachable";
+  return {Tensor(), Tensor()};
+}
+
+int NumPolicies(MaskStrategy strategy) {
+  switch (strategy) {
+    case MaskStrategy::kGrating:
+    case MaskStrategy::kRandom:
+      return 2;
+    case MaskStrategy::kForecasting:
+    case MaskStrategy::kReconstruction:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,46 @@
+// Data-masking strategies for imputation-based anomaly detection (paper
+// §4.2).
+//
+// Masks are [K, L] tensors with 1 = observed (unmasked) and 0 = missing
+// (to impute), matching the paper's mask M. The two policies p ∈ {0, 1} are
+// mutually complementary so every point is imputed by exactly one policy.
+
+#ifndef IMDIFF_CORE_MASKING_H_
+#define IMDIFF_CORE_MASKING_H_
+
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+
+enum class MaskStrategy {
+  kGrating,  // equal-interval staggered windows along time (paper default)
+  kRandom,   // iid Bernoulli(0.5) element masking (CSDI-style)
+  // Ablation modes that reduce imputation to the classic tasks:
+  kForecasting,     // first half observed, second half missing
+  kReconstruction,  // everything missing
+};
+
+// Grating mask for one policy: the window of length L is cut into
+// 2 * num_masked_windows equal sub-windows; policy 0 masks the even ones,
+// policy 1 the odd ones. Masks span all K features (Fig. 3).
+Tensor MakeGratingMask(int64_t num_features, int64_t window,
+                       int num_masked_windows, int policy);
+
+// Complementary mask pair for the given strategy. For kRandom the pair is a
+// Bernoulli draw and its complement (rng required). For kForecasting /
+// kReconstruction only policy 0 is meaningful; policy 1 repeats it so callers
+// can treat every strategy uniformly.
+std::pair<Tensor, Tensor> MakeMaskPair(MaskStrategy strategy,
+                                       int64_t num_features, int64_t window,
+                                       int num_masked_windows, Rng* rng);
+
+// Number of distinct mask policies a strategy uses at inference (2 for
+// grating/random, 1 for forecasting/reconstruction).
+int NumPolicies(MaskStrategy strategy);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_CORE_MASKING_H_

@@ -1,0 +1,68 @@
+#include "core/online_detector.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+OnlineDetector::OnlineDetector(AnomalyDetector* detector,
+                               const Options& options)
+    : detector_(detector), options_(options) {
+  IMDIFF_CHECK(detector_ != nullptr);
+  IMDIFF_CHECK_GT(options_.block, 0);
+  IMDIFF_CHECK_GE(options_.context, 0);
+}
+
+void OnlineDetector::Fit(const Tensor& raw_train) {
+  IMDIFF_CHECK_EQ(raw_train.ndim(), 2u);
+  num_features_ = raw_train.dim(1);
+  stats_ = FitMinMax(raw_train);
+  detector_->Fit(ApplyMinMax(raw_train, stats_));
+}
+
+OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
+  IMDIFF_CHECK_GT(num_features_, 0) << "Fit must be called before Append";
+  IMDIFF_CHECK_EQ(static_cast<int64_t>(sample.size()), num_features_);
+  // Normalize the incoming sample with the training statistics.
+  std::vector<float> normalized(sample.size());
+  for (int64_t j = 0; j < num_features_; ++j) {
+    const float range = stats_.max[static_cast<size_t>(j)] -
+                        stats_.min[static_cast<size_t>(j)];
+    const float inv = range > 1e-9f ? 1.0f / range : 0.0f;
+    normalized[static_cast<size_t>(j)] = std::clamp(
+        (sample[static_cast<size_t>(j)] - stats_.min[static_cast<size_t>(j)]) *
+            inv,
+        -1.0f, 2.0f);
+  }
+  buffer_.push_back(std::move(normalized));
+  const int64_t max_buffer = options_.context + options_.block;
+  while (static_cast<int64_t>(buffer_.size()) > max_buffer) {
+    buffer_.pop_front();
+  }
+  ++total_samples_;
+  ++pending_;
+
+  Alert alert;
+  if (pending_ < options_.block) return alert;
+  pending_ = 0;
+
+  // Score the buffered context + block; emit only the block's tail.
+  const int64_t buffered = static_cast<int64_t>(buffer_.size());
+  Tensor series({buffered, num_features_});
+  float* p = series.mutable_data();
+  for (int64_t i = 0; i < buffered; ++i) {
+    std::copy(buffer_[static_cast<size_t>(i)].begin(),
+              buffer_[static_cast<size_t>(i)].end(), p + i * num_features_);
+  }
+  const DetectionResult result = detector_->Run(series);
+  const int64_t emit = std::min(options_.block, buffered);
+  alert.start = total_samples_ - emit;
+  alert.scores.assign(result.scores.end() - emit, result.scores.end());
+  if (!result.labels.empty()) {
+    alert.labels.assign(result.labels.end() - emit, result.labels.end());
+  }
+  return alert;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,68 @@
+// Online streaming wrapper around an AnomalyDetector, matching the paper's
+// §6 deployment mode: samples arrive one at a time (30 s latency samples in
+// production); once a full detection window has accumulated, the window is
+// scored and per-timestamp alerts are emitted with bounded delay.
+
+#ifndef IMDIFF_CORE_ONLINE_DETECTOR_H_
+#define IMDIFF_CORE_ONLINE_DETECTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/detector.h"
+#include "data/dataset.h"
+
+namespace imdiff {
+
+// Streams samples into a fitted detector. The wrapper owns the normalization
+// statistics (fit on the training history) so raw production samples can be
+// pushed directly.
+class OnlineDetector {
+ public:
+  struct Options {
+    // Samples per scored block. Smaller blocks reduce alert latency at the
+    // cost of more frequent inference; the block is padded with recent
+    // history up to the detector's preferred context before scoring.
+    int64_t block = 100;
+    // History samples retained in front of each block for context.
+    int64_t context = 100;
+  };
+
+  // `detector` must outlive this wrapper. Fit() must be called before
+  // streaming.
+  OnlineDetector(AnomalyDetector* detector, const Options& options);
+
+  // Fits the wrapped detector on raw (unnormalized) training history and
+  // records its normalization statistics.
+  void Fit(const Tensor& raw_train);
+
+  // Emitted scores/labels for one block of timestamps.
+  struct Alert {
+    int64_t start = 0;                // global index of the block's first sample
+    std::vector<float> scores;        // per-timestamp
+    std::vector<uint8_t> labels;      // detector's built-in rule (may be empty)
+  };
+
+  // Appends one [K] sample. Returns an Alert when a block boundary was
+  // crossed and the block was scored; otherwise an Alert with empty scores.
+  Alert Append(const std::vector<float>& sample);
+
+  // Total samples streamed so far.
+  int64_t total_samples() const { return total_samples_; }
+
+ private:
+  AnomalyDetector* detector_;
+  Options options_;
+  MinMaxStats stats_;
+  int64_t num_features_ = 0;
+  int64_t total_samples_ = 0;
+  // Normalized rolling buffer: up to context_ + block samples.
+  std::deque<std::vector<float>> buffer_;
+  int64_t pending_ = 0;  // samples accumulated toward the current block
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_CORE_ONLINE_DETECTOR_H_

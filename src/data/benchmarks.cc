@@ -1,0 +1,257 @@
+#include "data/benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+std::vector<BenchmarkId> AllBenchmarks() {
+  return {BenchmarkId::kSmd,  BenchmarkId::kPsm, BenchmarkId::kSwat,
+          BenchmarkId::kSmap, BenchmarkId::kMsl, BenchmarkId::kGcp};
+}
+
+std::string BenchmarkName(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kSmd:
+      return "SMD";
+    case BenchmarkId::kPsm:
+      return "PSM";
+    case BenchmarkId::kSwat:
+      return "SWaT";
+    case BenchmarkId::kSmap:
+      return "SMAP";
+    case BenchmarkId::kMsl:
+      return "MSL";
+    case BenchmarkId::kGcp:
+      return "GCP";
+  }
+  return "?";
+}
+
+namespace {
+
+// Profile of one simulated benchmark: generator + injector configuration.
+struct BenchmarkProfile {
+  SyntheticConfig signal;
+  InjectionConfig injection;
+  int64_t train_length;
+  int64_t test_length;
+};
+
+// Published traits each profile encodes (scaled lengths):
+//  - SMD: server machines, moderate dims, subtle anomalies (small deviation
+//    between normal/abnormal), ~4% anomaly rate, long series.
+//  - PSM: eBay server pooled metrics, higher anomaly rate, subtle deviations.
+//  - SWaT: 51-dim water-treatment testbed -> highest dims here, multi-regime
+//    complex patterns, large training set, ranged actuator attacks.
+//  - SMAP: soil-moisture satellite; short sequences, strongly inter-correlated
+//    channels, telemetry glitches.
+//  - MSL: Mars rover; strong inter-metric structure, correlation-break
+//    anomalies dominate.
+//  - GCP: cloud-platform service metrics; smooth periodic load curves with
+//    spike/level-shift incidents (easiest dataset — all methods score high).
+BenchmarkProfile GetProfile(BenchmarkId id) {
+  BenchmarkProfile p;
+  switch (id) {
+    case BenchmarkId::kSmd: {
+      p.signal.dims = 8;
+      p.signal.num_factors = 3;
+      p.signal.harmonics = 2;
+      p.signal.noise_sigma = 0.04f;
+      p.signal.num_regimes = 1;
+      p.train_length = 1600;
+      p.test_length = 1600;
+      p.injection.anomaly_rate = 0.06;
+      p.injection.min_magnitude = 1.0f;  // subtle deviations (smallest here)
+      p.injection.max_magnitude = 2.0f;
+      p.injection.max_event_length = 48;
+      p.injection.types = {AnomalyType::kLevelShift,
+                           AnomalyType::kAmplitudeChange, AnomalyType::kSpike,
+                           AnomalyType::kTrendDrift};
+      break;
+    }
+    case BenchmarkId::kPsm: {
+      p.signal.dims = 8;
+      p.signal.num_factors = 3;
+      p.signal.harmonics = 3;
+      p.signal.noise_sigma = 0.05f;
+      p.train_length = 1600;
+      p.test_length = 1600;
+      p.injection.anomaly_rate = 0.14;
+      p.injection.min_magnitude = 1.0f;
+      p.injection.max_magnitude = 2.2f;
+      p.injection.max_event_length = 64;
+      p.injection.types = {AnomalyType::kLevelShift,
+                           AnomalyType::kAmplitudeChange,
+                           AnomalyType::kCorrelationBreak,
+                           AnomalyType::kSpike};
+      break;
+    }
+    case BenchmarkId::kSwat: {
+      p.signal.dims = 16;  // scaled from 51 (see DESIGN.md)
+      p.signal.num_factors = 5;
+      p.signal.harmonics = 3;
+      p.signal.noise_sigma = 0.06f;
+      p.signal.num_regimes = 3;  // intricate, diverse patterns
+      p.signal.ar_sigma = 0.05f;
+      p.signal.burst_rate = 0.012;  // most volatile dataset
+      p.train_length = 2400;  // expansive training set
+      p.test_length = 1600;
+      p.injection.anomaly_rate = 0.12;
+      p.injection.min_magnitude = 1.2f;
+      p.injection.max_magnitude = 2.6f;
+      p.injection.min_event_length = 10;
+      p.injection.max_event_length = 90;  // long actuator attacks
+      p.injection.types = {AnomalyType::kLevelShift, AnomalyType::kFlatline,
+                           AnomalyType::kAmplitudeChange,
+                           AnomalyType::kTrendDrift};
+      break;
+    }
+    case BenchmarkId::kSmap: {
+      p.signal.dims = 8;
+      p.signal.num_factors = 2;  // strong inter-channel correlation
+      p.signal.harmonics = 2;
+      p.signal.noise_sigma = 0.03f;
+      p.signal.factor_correlation = 0.9f;
+      p.train_length = 900;  // shorter sequences
+      p.test_length = 900;
+      p.injection.anomaly_rate = 0.12;
+      p.injection.min_magnitude = 1.2f;
+      p.injection.max_magnitude = 2.4f;
+      p.injection.max_event_length = 70;
+      p.injection.types = {AnomalyType::kCorrelationBreak,
+                           AnomalyType::kLevelShift, AnomalyType::kSpike};
+      break;
+    }
+    case BenchmarkId::kMsl: {
+      p.signal.dims = 10;
+      p.signal.num_factors = 3;
+      p.signal.harmonics = 2;
+      p.signal.noise_sigma = 0.035f;
+      p.signal.factor_correlation = 0.92f;  // prominent inter-metric structure
+      p.train_length = 1200;
+      p.test_length = 1200;
+      p.injection.anomaly_rate = 0.10;
+      p.injection.min_magnitude = 1.1f;
+      p.injection.max_magnitude = 2.2f;
+      p.injection.max_event_length = 60;
+      p.injection.channel_fraction = 0.35;  // localized inter-metric breaks
+      p.injection.types = {AnomalyType::kCorrelationBreak,
+                           AnomalyType::kFlatline, AnomalyType::kLevelShift};
+      break;
+    }
+    case BenchmarkId::kGcp: {
+      p.signal.dims = 6;
+      p.signal.num_factors = 2;
+      p.signal.harmonics = 2;
+      p.signal.noise_sigma = 0.025f;
+      p.train_length = 1200;
+      p.test_length = 1200;
+      p.injection.anomaly_rate = 0.08;
+      p.injection.min_magnitude = 1.2f;  // pronounced incidents
+      p.injection.max_magnitude = 2.8f;
+      p.injection.max_event_length = 50;
+      p.injection.types = {AnomalyType::kSpike, AnomalyType::kLevelShift,
+                           AnomalyType::kAmplitudeChange};
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+MtsDataset MakeBenchmarkDataset(BenchmarkId id, uint64_t seed,
+                                float size_scale) {
+  IMDIFF_CHECK_GT(size_scale, 0.0f);
+  BenchmarkProfile profile = GetProfile(id);
+  const int64_t train_length = std::max<int64_t>(
+      200, static_cast<int64_t>(profile.train_length * size_scale));
+  const int64_t test_length = std::max<int64_t>(
+      200, static_cast<int64_t>(profile.test_length * size_scale));
+
+  // One generator run spans train+test so the test continues the same
+  // underlying process (as in the real benchmarks).
+  Rng rng(seed * 1000003ull + static_cast<uint64_t>(id) * 7919ull);
+  SyntheticConfig signal = profile.signal;
+  signal.length = train_length + test_length;
+  Tensor full = GenerateCleanSeries(signal, rng);
+
+  MtsDataset out;
+  out.name = BenchmarkName(id);
+  {
+    const int64_t k = full.dim(1);
+    Tensor train({train_length, k});
+    Tensor test({test_length, k});
+    std::copy_n(full.data(), train_length * k, train.mutable_data());
+    std::copy_n(full.data() + train_length * k, test_length * k,
+                test.mutable_data());
+    out.train = std::move(train);
+    out.test = std::move(test);
+  }
+  std::vector<AnomalyEvent> events =
+      InjectAnomalies(out.test, profile.injection, rng);
+  out.test_labels = LabelsFromEvents(events, test_length);
+  return out;
+}
+
+MtsDataset MakeMicroserviceLatencyDataset(uint64_t seed, int64_t num_services,
+                                          int64_t train_length,
+                                          int64_t test_length) {
+  Rng rng(seed * 2654435761ull + 17ull);
+  const int64_t total = train_length + test_length;
+  // Latency baseline per service, diurnal load curve (period ~ 2880 samples at
+  // 30 s would be a day; scaled to the series length), plus bursty noise.
+  Tensor full({total, num_services});
+  float* p = full.mutable_data();
+  const float day_period = static_cast<float>(total) / 3.0f;
+  for (int64_t s = 0; s < num_services; ++s) {
+    const float base = static_cast<float>(rng.Uniform(20.0, 120.0));  // ms
+    const float diurnal_amp = base * static_cast<float>(rng.Uniform(0.2, 0.5));
+    const float phase = static_cast<float>(rng.Uniform(0.0, 6.283));
+    float burst = 0.0f;
+    for (int64_t t = 0; t < total; ++t) {
+      // Diurnal load raises latency; bursts decay geometrically.
+      const float load =
+          std::sin(6.283185f * static_cast<float>(t) / day_period + phase);
+      burst *= 0.9f;
+      if (rng.Bernoulli(0.01)) {
+        burst += static_cast<float>(rng.Uniform(0.05, 0.25)) * base;
+      }
+      const float jitter =
+          static_cast<float>(rng.Normal(0.0, 0.02)) * base;
+      p[t * num_services + s] =
+          base + diurnal_amp * (0.5f + 0.5f * load) + burst + jitter;
+    }
+  }
+  MtsDataset out;
+  out.name = "MicroserviceLatency";
+  {
+    Tensor train({train_length, num_services});
+    Tensor test({test_length, num_services});
+    std::copy_n(full.data(), train_length * num_services,
+                train.mutable_data());
+    std::copy_n(full.data() + train_length * num_services,
+                test_length * num_services, test.mutable_data());
+    out.train = std::move(train);
+    out.test = std::move(test);
+  }
+  // Incidents: latency regressions (level shifts / drifts) on a subset of
+  // services — the events ImDiffusion monitors in production.
+  InjectionConfig incidents;
+  incidents.anomaly_rate = 0.07;
+  incidents.min_event_length = 8;
+  incidents.max_event_length = 80;
+  incidents.min_magnitude = 1.0f;
+  incidents.max_magnitude = 2.5f;
+  incidents.channel_fraction = 0.4;
+  incidents.types = {AnomalyType::kLevelShift, AnomalyType::kTrendDrift,
+                     AnomalyType::kAmplitudeChange};
+  std::vector<AnomalyEvent> events = InjectAnomalies(out.test, incidents, rng);
+  out.test_labels = LabelsFromEvents(events, test_length);
+  return out;
+}
+
+}  // namespace imdiff

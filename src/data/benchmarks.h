@@ -1,0 +1,45 @@
+// Simulated equivalents of the six public benchmarks used by the paper
+// (SMD, PSM, SWaT, SMAP, MSL, GCP), plus the microservice-latency stream used
+// for the production evaluation (Table 7).
+//
+// The originals are not redistributable/available offline; these simulators
+// reproduce each dataset's published traits — dimensionality ratio,
+// train/test ratio, anomaly rate, anomaly style, pattern complexity — scaled
+// down so that the full table benches run on one CPU core. See DESIGN.md §1
+// for the substitution rationale.
+
+#ifndef IMDIFF_DATA_BENCHMARKS_H_
+#define IMDIFF_DATA_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace imdiff {
+
+enum class BenchmarkId { kSmd, kPsm, kSwat, kSmap, kMsl, kGcp };
+
+// All six benchmarks in the paper's Table 2 column order
+// (SMD, PSM, SWaT, SMAP, MSL, GCP).
+std::vector<BenchmarkId> AllBenchmarks();
+
+std::string BenchmarkName(BenchmarkId id);
+
+// Relative size multiplier applied to every benchmark's train/test length.
+// 1.0 reproduces the default (CPU-scaled) sizes; smaller values give faster
+// smoke runs.
+MtsDataset MakeBenchmarkDataset(BenchmarkId id, uint64_t seed,
+                                float size_scale = 1.0f);
+
+// Simulated email-delivery microservice latency stream (Table 7): a
+// 1-channel-per-service MTS with daily periodicity, load bursts, and
+// incident-shaped latency regressions.
+MtsDataset MakeMicroserviceLatencyDataset(uint64_t seed, int64_t num_services = 6,
+                                          int64_t train_length = 1600,
+                                          int64_t test_length = 1600);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DATA_BENCHMARKS_H_

@@ -1,0 +1,119 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+#include "utils/csv.h"
+
+namespace imdiff {
+
+MinMaxStats FitMinMax(const Tensor& series) {
+  IMDIFF_CHECK_EQ(series.ndim(), 2u);
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  IMDIFF_CHECK_GT(length, 0);
+  MinMaxStats stats;
+  stats.min.assign(static_cast<size_t>(k), 0.0f);
+  stats.max.assign(static_cast<size_t>(k), 0.0f);
+  const float* p = series.data();
+  for (int64_t j = 0; j < k; ++j) {
+    stats.min[j] = stats.max[j] = p[j];
+  }
+  for (int64_t i = 1; i < length; ++i) {
+    const float* row = p + i * k;
+    for (int64_t j = 0; j < k; ++j) {
+      stats.min[j] = std::min(stats.min[j], row[j]);
+      stats.max[j] = std::max(stats.max[j], row[j]);
+    }
+  }
+  return stats;
+}
+
+Tensor ApplyMinMax(const Tensor& series, const MinMaxStats& stats) {
+  IMDIFF_CHECK_EQ(series.ndim(), 2u);
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  IMDIFF_CHECK_EQ(static_cast<size_t>(k), stats.min.size());
+  Tensor out(series.shape());
+  const float* pin = series.data();
+  float* pout = out.mutable_data();
+  for (int64_t j = 0; j < k; ++j) {
+    const float range = stats.max[j] - stats.min[j];
+    const float inv = range > 1e-9f ? 1.0f / range : 0.0f;
+    for (int64_t i = 0; i < length; ++i) {
+      float v = (pin[i * k + j] - stats.min[j]) * inv;
+      v = std::clamp(v, -1.0f, 2.0f);
+      pout[i * k + j] = v;
+    }
+  }
+  return out;
+}
+
+MtsDataset NormalizeDataset(const MtsDataset& dataset) {
+  MinMaxStats stats = FitMinMax(dataset.train);
+  MtsDataset out;
+  out.name = dataset.name;
+  out.train = ApplyMinMax(dataset.train, stats);
+  out.test = ApplyMinMax(dataset.test, stats);
+  out.test_labels = dataset.test_labels;
+  return out;
+}
+
+namespace {
+
+Tensor RowsToTensor(const std::vector<std::vector<float>>& rows) {
+  IMDIFF_CHECK(!rows.empty());
+  const int64_t length = static_cast<int64_t>(rows.size());
+  const int64_t k = static_cast<int64_t>(rows[0].size());
+  Tensor out({length, k});
+  float* p = out.mutable_data();
+  for (int64_t i = 0; i < length; ++i) {
+    IMDIFF_CHECK_EQ(static_cast<int64_t>(rows[i].size()), k)
+        << "ragged CSV at row" << i;
+    std::copy(rows[i].begin(), rows[i].end(), p + i * k);
+  }
+  return out;
+}
+
+}  // namespace
+
+MtsDataset LoadCsvDataset(const std::string& name,
+                          const std::string& train_path,
+                          const std::string& test_path,
+                          const std::string& labels_path) {
+  MtsDataset out;
+  out.name = name;
+  out.train = RowsToTensor(ReadCsv(train_path, /*skip_header=*/false));
+  out.test = RowsToTensor(ReadCsv(test_path, /*skip_header=*/false));
+  if (!labels_path.empty()) {
+    const auto rows = ReadCsv(labels_path, /*skip_header=*/false);
+    out.test_labels.reserve(rows.size());
+    for (const auto& row : rows) {
+      IMDIFF_CHECK(!row.empty());
+      out.test_labels.push_back(row[0] > 0.5f ? 1 : 0);
+    }
+  } else {
+    out.test_labels.assign(static_cast<size_t>(out.test.dim(0)), 0);
+  }
+  IMDIFF_CHECK_EQ(static_cast<int64_t>(out.test_labels.size()),
+                  out.test.dim(0));
+  return out;
+}
+
+std::vector<AnomalySegment> FindSegments(const std::vector<uint8_t>& labels) {
+  std::vector<AnomalySegment> segments;
+  int64_t start = -1;
+  for (int64_t i = 0; i < static_cast<int64_t>(labels.size()); ++i) {
+    if (labels[i] != 0 && start < 0) start = i;
+    if (labels[i] == 0 && start >= 0) {
+      segments.push_back({start, i});
+      start = -1;
+    }
+  }
+  if (start >= 0) {
+    segments.push_back({start, static_cast<int64_t>(labels.size())});
+  }
+  return segments;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,62 @@
+// Multivariate time-series dataset containers and normalization.
+
+#ifndef IMDIFF_DATA_DATASET_H_
+#define IMDIFF_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace imdiff {
+
+// A train/test split of one multivariate time series. `train` is assumed
+// anomaly-free (the usual self-supervised setting); `test_labels[l]` is 1 when
+// timestamp l of `test` is anomalous.
+struct MtsDataset {
+  std::string name;
+  Tensor train;                      // [L_train, K]
+  Tensor test;                       // [L_test, K]
+  std::vector<uint8_t> test_labels;  // size L_test
+
+  int64_t num_features() const { return train.dim(1); }
+  int64_t train_length() const { return train.dim(0); }
+  int64_t test_length() const { return test.dim(0); }
+};
+
+// Per-channel min-max statistics.
+struct MinMaxStats {
+  std::vector<float> min;
+  std::vector<float> max;
+};
+
+// Fits per-channel min/max on a [L, K] series.
+MinMaxStats FitMinMax(const Tensor& series);
+
+// Maps each channel to [0, 1] using `stats`, clamping to [-1, 2] so that
+// unseen extreme test values stay bounded (standard practice in this
+// benchmark family). Constant channels map to 0.
+Tensor ApplyMinMax(const Tensor& series, const MinMaxStats& stats);
+
+// Normalizes train and test with statistics fit on train only.
+MtsDataset NormalizeDataset(const MtsDataset& dataset);
+
+// Loads a dataset from CSV files: train/test are numeric [L, K] tables and
+// labels a single 0/1 column. Pass an empty labels path for an all-normal
+// test segment.
+MtsDataset LoadCsvDataset(const std::string& name,
+                          const std::string& train_path,
+                          const std::string& test_path,
+                          const std::string& labels_path);
+
+// Contiguous anomalous segments [start, end) in a label vector.
+struct AnomalySegment {
+  int64_t start;
+  int64_t end;
+};
+std::vector<AnomalySegment> FindSegments(const std::vector<uint8_t>& labels);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DATA_DATASET_H_

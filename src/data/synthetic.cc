@@ -1,0 +1,301 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+namespace {
+
+constexpr float kTwoPi = 6.283185307179586f;
+
+}  // namespace
+
+Tensor GenerateCleanSeries(const SyntheticConfig& config, Rng& rng) {
+  IMDIFF_CHECK_GT(config.length, 0);
+  IMDIFF_CHECK_GT(config.dims, 0);
+  IMDIFF_CHECK_GT(config.num_factors, 0);
+  const int64_t length = config.length;
+  const int64_t k = config.dims;
+  const int f = config.num_factors;
+
+  // Latent factors: sum of sinusoids + AR(1) drift, one column per factor.
+  std::vector<std::vector<float>> factors(
+      static_cast<size_t>(f), std::vector<float>(static_cast<size_t>(length)));
+  // Regime boundaries (regime switching changes factor periods/phases).
+  std::vector<int64_t> regime_starts = {0};
+  for (int r = 1; r < config.num_regimes; ++r) {
+    regime_starts.push_back(length * r / config.num_regimes);
+  }
+  regime_starts.push_back(length);
+
+  for (int fi = 0; fi < f; ++fi) {
+    std::vector<float>& col = factors[static_cast<size_t>(fi)];
+    for (size_t reg = 0; reg + 1 < regime_starts.size(); ++reg) {
+      // Fresh harmonic stack per regime.
+      std::vector<float> periods, phases, amps;
+      for (int h = 0; h < config.harmonics; ++h) {
+        periods.push_back(static_cast<float>(
+            rng.Uniform(config.min_period, config.max_period)));
+        phases.push_back(static_cast<float>(rng.Uniform(0.0, kTwoPi)));
+        amps.push_back(static_cast<float>(rng.Uniform(0.4, 1.0)) /
+                       static_cast<float>(h + 1));
+      }
+      for (int64_t t = regime_starts[reg]; t < regime_starts[reg + 1]; ++t) {
+        float v = 0.0f;
+        for (int h = 0; h < config.harmonics; ++h) {
+          v += amps[static_cast<size_t>(h)] *
+               std::sin(kTwoPi * static_cast<float>(t) /
+                            periods[static_cast<size_t>(h)] +
+                        phases[static_cast<size_t>(h)]);
+        }
+        col[static_cast<size_t>(t)] = v;
+      }
+    }
+    // AR(1) drift added on top.
+    float drift = 0.0f;
+    for (int64_t t = 0; t < length; ++t) {
+      drift = config.ar_coef * drift +
+              static_cast<float>(rng.Normal(0.0, config.ar_sigma));
+      col[static_cast<size_t>(t)] += drift;
+    }
+    // Benign raised-cosine load bumps: smooth, unpredictable onsets.
+    if (config.bump_rate > 0.0) {
+      for (int64_t t = 0; t < length; ++t) {
+        if (!rng.Bernoulli(config.bump_rate)) continue;
+        const int64_t len =
+            rng.UniformInt(config.bump_min_length, config.bump_max_length);
+        const float amp =
+            config.bump_amplitude * static_cast<float>(rng.Uniform(0.5, 1.5)) *
+            (rng.Bernoulli(0.5) ? 1.0f : -1.0f);
+        for (int64_t u = 0; u < len && t + u < length; ++u) {
+          const float phase = kTwoPi * static_cast<float>(u) /
+                              static_cast<float>(len);
+          col[static_cast<size_t>(t + u)] +=
+              amp * 0.5f * (1.0f - std::cos(phase));
+        }
+        t += len;  // no overlapping bumps
+      }
+    }
+  }
+
+  // Channel loadings: each channel mixes the factors, concentrated on one
+  // primary factor to create realistic cross-channel correlation structure.
+  Tensor out({length, k});
+  float* po = out.mutable_data();
+  for (int64_t j = 0; j < k; ++j) {
+    const int primary = static_cast<int>(j % f);
+    std::vector<float> loading(static_cast<size_t>(f));
+    for (int fi = 0; fi < f; ++fi) {
+      const float base = fi == primary ? config.factor_correlation
+                                       : (1.0f - config.factor_correlation) /
+                                             static_cast<float>(f);
+      loading[static_cast<size_t>(fi)] =
+          base * static_cast<float>(rng.Uniform(0.7, 1.3));
+      if (rng.Bernoulli(0.5)) {
+        loading[static_cast<size_t>(fi)] = -loading[static_cast<size_t>(fi)];
+      }
+    }
+    const float offset = static_cast<float>(rng.Uniform(-0.5, 0.5));
+    const float gain = static_cast<float>(rng.Uniform(0.6, 1.4));
+    // Benign variability state: slow amplitude wobble (AR(1) gain modulation)
+    // and heteroscedastic noise bursts. Both occur in normal data and are
+    // never labeled as anomalies.
+    float wobble = 0.0f;
+    int64_t burst_remaining = 0;
+    for (int64_t t = 0; t < length; ++t) {
+      float v = offset;
+      for (int fi = 0; fi < f; ++fi) {
+        v += loading[static_cast<size_t>(fi)] *
+             factors[static_cast<size_t>(fi)][static_cast<size_t>(t)];
+      }
+      wobble = 0.995f * wobble +
+               static_cast<float>(rng.Normal(0.0, 0.1 * config.amplitude_wobble));
+      if (burst_remaining > 0) {
+        --burst_remaining;
+      } else if (rng.Bernoulli(config.burst_rate)) {
+        burst_remaining = rng.UniformInt(
+            std::max<int64_t>(1, config.burst_length / 2),
+            config.burst_length * 2);
+      }
+      const float sigma = burst_remaining > 0
+                              ? config.noise_sigma * config.burst_scale
+                              : config.noise_sigma;
+      v = gain * (1.0f + wobble) * v +
+          static_cast<float>(rng.Normal(0.0, sigma));
+      po[t * k + j] = v;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Per-channel scale (std) used to size anomaly magnitudes.
+std::vector<float> ChannelStd(const Tensor& series) {
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  std::vector<float> out(static_cast<size_t>(k), 0.0f);
+  const float* p = series.data();
+  for (int64_t j = 0; j < k; ++j) {
+    double mean = 0.0;
+    for (int64_t t = 0; t < length; ++t) mean += p[t * k + j];
+    mean /= static_cast<double>(length);
+    double var = 0.0;
+    for (int64_t t = 0; t < length; ++t) {
+      const double d = p[t * k + j] - mean;
+      var += d * d;
+    }
+    out[static_cast<size_t>(j)] =
+        static_cast<float>(std::sqrt(var / static_cast<double>(length)) + 1e-6);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AnomalyEvent> InjectAnomalies(Tensor& series,
+                                          const InjectionConfig& config,
+                                          Rng& rng) {
+  IMDIFF_CHECK_EQ(series.ndim(), 2u);
+  IMDIFF_CHECK(!config.types.empty());
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  const std::vector<float> scales = ChannelStd(series);
+  float* p = series.mutable_data();
+
+  const int64_t target_span =
+      static_cast<int64_t>(config.anomaly_rate * static_cast<double>(length));
+  std::vector<uint8_t> occupied(static_cast<size_t>(length), 0);
+  std::vector<AnomalyEvent> events;
+  int64_t injected = 0;
+  int attempts = 0;
+  const int max_attempts = 500;
+
+  while (injected < target_span && attempts < max_attempts) {
+    ++attempts;
+    AnomalyEvent event;
+    event.type = config.types[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(config.types.size()) - 1))];
+    const int64_t max_len =
+        std::min(config.max_event_length, target_span - injected +
+                                               config.min_event_length);
+    event.length = event.type == AnomalyType::kSpike
+                       ? rng.UniformInt(1, 3)
+                       : rng.UniformInt(config.min_event_length,
+                                        std::max(config.min_event_length,
+                                                 max_len));
+    if (event.length >= length) continue;
+    event.start = rng.UniformInt(0, length - event.length - 1);
+    // Reject overlap (with 5-step guard bands so events stay distinct).
+    bool overlap = false;
+    const int64_t lo = std::max<int64_t>(0, event.start - 5);
+    const int64_t hi = std::min(length, event.start + event.length + 5);
+    for (int64_t t = lo; t < hi; ++t) {
+      if (occupied[static_cast<size_t>(t)]) {
+        overlap = true;
+        break;
+      }
+    }
+    if (overlap) continue;
+
+    event.magnitude = static_cast<float>(
+        rng.Uniform(config.min_magnitude, config.max_magnitude));
+    // Affected channels.
+    const int64_t num_channels = std::max<int64_t>(
+        1, static_cast<int64_t>(config.channel_fraction * static_cast<double>(k)));
+    std::vector<int64_t> all(static_cast<size_t>(k));
+    for (int64_t j = 0; j < k; ++j) all[static_cast<size_t>(j)] = j;
+    std::shuffle(all.begin(), all.end(), rng.engine());
+    event.channels.assign(all.begin(), all.begin() + num_channels);
+
+    // Apply.
+    for (int64_t j : event.channels) {
+      const float scale = scales[static_cast<size_t>(j)];
+      switch (event.type) {
+        case AnomalyType::kSpike: {
+          const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            p[t * k + j] += sign * event.magnitude * 3.0f * scale;
+          }
+          break;
+        }
+        case AnomalyType::kLevelShift: {
+          const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            p[t * k + j] += sign * event.magnitude * scale;
+          }
+          break;
+        }
+        case AnomalyType::kAmplitudeChange: {
+          // Mean-preserving scaling around the event-local mean.
+          double mean = 0.0;
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            mean += p[t * k + j];
+          }
+          mean /= static_cast<double>(event.length);
+          const float factor = 1.0f + event.magnitude;
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            p[t * k + j] = static_cast<float>(mean) +
+                           factor * (p[t * k + j] - static_cast<float>(mean));
+          }
+          break;
+        }
+        case AnomalyType::kCorrelationBreak: {
+          // Replace with an independent random walk: breaks the inter-metric
+          // dependency while keeping the marginal scale similar.
+          float walk = p[event.start * k + j];
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            walk += static_cast<float>(rng.Normal(0.0, 0.5 * scale)) *
+                    event.magnitude;
+            p[t * k + j] = walk;
+          }
+          break;
+        }
+        case AnomalyType::kFlatline: {
+          const float frozen = p[event.start * k + j];
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            p[t * k + j] = frozen;
+          }
+          break;
+        }
+        case AnomalyType::kTrendDrift: {
+          const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+          for (int64_t t = event.start; t < event.start + event.length; ++t) {
+            const float frac = static_cast<float>(t - event.start + 1) /
+                               static_cast<float>(event.length);
+            p[t * k + j] += sign * event.magnitude * scale * 2.0f * frac;
+          }
+          break;
+        }
+      }
+    }
+    for (int64_t t = event.start; t < event.start + event.length; ++t) {
+      occupied[static_cast<size_t>(t)] = 1;
+    }
+    injected += event.length;
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const AnomalyEvent& a, const AnomalyEvent& b) {
+              return a.start < b.start;
+            });
+  return events;
+}
+
+std::vector<uint8_t> LabelsFromEvents(const std::vector<AnomalyEvent>& events,
+                                      int64_t length, int64_t margin) {
+  std::vector<uint8_t> labels(static_cast<size_t>(length), 0);
+  for (const AnomalyEvent& e : events) {
+    IMDIFF_CHECK_LE(e.start + e.length, length);
+    const int64_t lo = std::max<int64_t>(0, e.start - margin);
+    const int64_t hi = std::min(length, e.start + e.length + margin);
+    for (int64_t t = lo; t < hi; ++t) {
+      labels[static_cast<size_t>(t)] = 1;
+    }
+  }
+  return labels;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,102 @@
+// Synthetic multivariate time-series generation and anomaly injection.
+//
+// The generator produces correlated multivariate series from a small set of
+// shared latent factors (periodic + autoregressive), which is the structure
+// the six public benchmarks exhibit: channels are noisy mixtures of a few
+// underlying system behaviours. Anomalies are injected into copies of the
+// clean series with per-event type, span, and affected channels.
+
+#ifndef IMDIFF_DATA_SYNTHETIC_H_
+#define IMDIFF_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+
+// Configuration of the clean-signal generator.
+struct SyntheticConfig {
+  int64_t length = 2000;
+  int64_t dims = 8;          // K channels
+  int num_factors = 3;       // shared latent factors
+  int harmonics = 2;         // sinusoids per factor
+  float min_period = 24.0f;  // shortest base period (timesteps)
+  float max_period = 200.0f;
+  float ar_coef = 0.85f;     // AR(1) latent drift strength
+  float ar_sigma = 0.03f;    // AR(1) innovation scale
+  float noise_sigma = 0.03f; // per-channel observation noise
+  float factor_correlation = 0.8f;  // channel loading concentration
+  int num_regimes = 1;       // >1 adds regime switching (SWaT-like complexity)
+  // Benign variability (present in train AND test, never labeled):
+  // heteroscedastic noise bursts and slow amplitude wobble. These mimic the
+  // stochastic variability of production series that triggers false alarms in
+  // single-signal detectors (paper §1).
+  double burst_rate = 0.008;   // per-step probability of starting a burst
+  float burst_scale = 2.5f;    // noise multiplier during a burst
+  int64_t burst_length = 8;    // mean burst duration
+  float amplitude_wobble = 0.25f;  // slow AR(1) gain modulation strength
+  // Benign smooth "load bumps" on the latent factors: raised-cosine bumps
+  // with random onset, amplitude, and duration. They are unpredictable from
+  // history (punishing forecasting) yet easy to interpolate from both-sided
+  // context (favouring imputation) — the production-variability trait the
+  // paper's §1 motivates.
+  double bump_rate = 0.006;    // per-step probability of a bump starting
+  float bump_amplitude = 0.8f; // peak scale (× U(0.5, 1.5))
+  int64_t bump_min_length = 15;
+  int64_t bump_max_length = 50;
+};
+
+// Anomaly styles matching the taxonomy seen across the benchmarks.
+enum class AnomalyType {
+  kSpike,             // short large-amplitude point outliers
+  kLevelShift,        // ranged additive offset
+  kAmplitudeChange,   // ranged multiplicative scaling
+  kCorrelationBreak,  // affected channels decouple from the latent factors
+  kFlatline,          // sensor freeze (constant value)
+  kTrendDrift,        // slow linear drift over the range
+};
+
+struct AnomalyEvent {
+  int64_t start = 0;
+  int64_t length = 0;
+  AnomalyType type = AnomalyType::kLevelShift;
+  float magnitude = 1.0f;
+  std::vector<int64_t> channels;  // affected channel indices
+};
+
+// Parameters of the anomaly injector.
+struct InjectionConfig {
+  double anomaly_rate = 0.08;   // target fraction of anomalous timestamps
+  int64_t min_event_length = 6;
+  int64_t max_event_length = 60;
+  float min_magnitude = 0.8f;
+  float max_magnitude = 2.5f;
+  // Fraction of channels affected per event (at least one).
+  double channel_fraction = 0.5;
+  std::vector<AnomalyType> types = {
+      AnomalyType::kSpike, AnomalyType::kLevelShift,
+      AnomalyType::kAmplitudeChange, AnomalyType::kCorrelationBreak};
+};
+
+// Generates a clean [length, dims] series.
+Tensor GenerateCleanSeries(const SyntheticConfig& config, Rng& rng);
+
+// Injects anomalies in place and returns the event list. Events never
+// overlap; the total anomalous span approximates anomaly_rate * length.
+std::vector<AnomalyEvent> InjectAnomalies(Tensor& series,
+                                          const InjectionConfig& config,
+                                          Rng& rng);
+
+// Expands events into a per-timestamp 0/1 label vector. `margin` extends each
+// event's label by that many steps on both sides, absorbing the transition
+// effects an injected event has on its immediate neighbourhood (real
+// benchmark labels include such onset regions).
+std::vector<uint8_t> LabelsFromEvents(const std::vector<AnomalyEvent>& events,
+                                      int64_t length, int64_t margin = 3);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DATA_SYNTHETIC_H_

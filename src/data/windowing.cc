@@ -1,0 +1,68 @@
+#include "data/windowing.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+std::vector<int64_t> WindowStarts(int64_t length, int64_t window,
+                                  int64_t stride) {
+  IMDIFF_CHECK_GT(window, 0);
+  IMDIFF_CHECK_GT(stride, 0);
+  std::vector<int64_t> starts;
+  if (length <= window) {
+    starts.push_back(0);
+    return starts;
+  }
+  for (int64_t s = 0; s + window <= length; s += stride) starts.push_back(s);
+  // Ensure the tail is covered.
+  if (starts.back() + window < length) starts.push_back(length - window);
+  return starts;
+}
+
+Tensor WindowBatch(const Tensor& series, int64_t window, int64_t stride) {
+  IMDIFF_CHECK_EQ(series.ndim(), 2u);
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  const auto starts = WindowStarts(length, window, stride);
+  Tensor out({static_cast<int64_t>(starts.size()), window, k});
+  float* po = out.mutable_data();
+  const float* pin = series.data();
+  for (size_t n = 0; n < starts.size(); ++n) {
+    float* dst = po + static_cast<int64_t>(n) * window * k;
+    if (length >= window) {
+      std::copy_n(pin + starts[n] * k, window * k, dst);
+    } else {
+      // Front-pad short series by repeating the first row.
+      const int64_t pad = window - length;
+      for (int64_t i = 0; i < pad; ++i) std::copy_n(pin, k, dst + i * k);
+      std::copy_n(pin, length * k, dst + pad * k);
+    }
+  }
+  return out;
+}
+
+std::vector<float> OverlapAverage(
+    const std::vector<std::vector<float>>& window_scores,
+    const std::vector<int64_t>& starts, int64_t length, int64_t window) {
+  IMDIFF_CHECK_EQ(window_scores.size(), starts.size());
+  std::vector<float> sum(static_cast<size_t>(length), 0.0f);
+  std::vector<int> count(static_cast<size_t>(length), 0);
+  for (size_t n = 0; n < starts.size(); ++n) {
+    IMDIFF_CHECK_EQ(static_cast<int64_t>(window_scores[n].size()), window);
+    for (int64_t i = 0; i < window; ++i) {
+      const int64_t pos = std::min(starts[n] + i, length - 1);
+      sum[static_cast<size_t>(pos)] += window_scores[n][static_cast<size_t>(i)];
+      ++count[static_cast<size_t>(pos)];
+    }
+  }
+  for (int64_t i = 0; i < length; ++i) {
+    if (count[static_cast<size_t>(i)] > 0) {
+      sum[static_cast<size_t>(i)] /= static_cast<float>(count[static_cast<size_t>(i)]);
+    }
+  }
+  return sum;
+}
+
+}  // namespace imdiff

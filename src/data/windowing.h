@@ -1,0 +1,29 @@
+// Sliding-window extraction for window-based detectors.
+
+#ifndef IMDIFF_DATA_WINDOWING_H_
+#define IMDIFF_DATA_WINDOWING_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace imdiff {
+
+// Stacks sliding windows of a [L, K] series into [N, W, K] with the given
+// stride. If L < W the series is front-padded by repeating the first row.
+// The final window is aligned to the series end so the tail is always covered.
+Tensor WindowBatch(const Tensor& series, int64_t window, int64_t stride);
+
+// Start offsets of the windows produced by WindowBatch (same N).
+std::vector<int64_t> WindowStarts(int64_t length, int64_t window,
+                                  int64_t stride);
+
+// Scatters per-window per-timestep scores [N, W] back onto a length-L series,
+// averaging where windows overlap.
+std::vector<float> OverlapAverage(const std::vector<std::vector<float>>& window_scores,
+                                  const std::vector<int64_t>& starts,
+                                  int64_t length, int64_t window);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DATA_WINDOWING_H_

@@ -1,0 +1,72 @@
+#include "diffusion/ddpm.h"
+
+#include <cmath>
+
+namespace imdiff {
+
+Tensor GaussianDiffusion::QSample(const Tensor& x0, int t, Rng& rng,
+                                  Tensor* eps_out) const {
+  Tensor eps = Tensor::Randn(x0.shape(), rng);
+  Tensor x_t = QSampleWithNoise(x0, t, eps);
+  if (eps_out != nullptr) *eps_out = std::move(eps);
+  return x_t;
+}
+
+Tensor GaussianDiffusion::QSampleWithNoise(const Tensor& x0, int t,
+                                           const Tensor& eps) const {
+  IMDIFF_CHECK(x0.shape() == eps.shape());
+  const float a = schedule_.sqrt_alpha_bar(t);
+  const float b = schedule_.sqrt_one_minus_alpha_bar(t);
+  Tensor out(x0.shape());
+  const float* px = x0.data();
+  const float* pe = eps.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = a * px[i] + b * pe[i];
+  return out;
+}
+
+Tensor GaussianDiffusion::PosteriorMean(const Tensor& x_t,
+                                        const Tensor& eps_pred, int t) const {
+  IMDIFF_CHECK(x_t.shape() == eps_pred.shape());
+  const float inv_sqrt_alpha = 1.0f / std::sqrt(schedule_.alpha(t));
+  const float coef = schedule_.beta(t) / schedule_.sqrt_one_minus_alpha_bar(t);
+  Tensor out(x_t.shape());
+  const float* px = x_t.data();
+  const float* pe = eps_pred.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = inv_sqrt_alpha * (px[i] - coef * pe[i]);
+  }
+  return out;
+}
+
+Tensor GaussianDiffusion::PStep(const Tensor& x_t, const Tensor& eps_pred,
+                                int t, Rng& rng) const {
+  Tensor mean = PosteriorMean(x_t, eps_pred, t);
+  if (t == 0) return mean;
+  const float sigma = std::sqrt(schedule_.posterior_variance(t));
+  float* pm = mean.mutable_data();
+  const int64_t n = mean.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    pm[i] += sigma * static_cast<float>(rng.Normal());
+  }
+  return mean;
+}
+
+Tensor GaussianDiffusion::PredictX0(const Tensor& x_t, const Tensor& eps_pred,
+                                    int t) const {
+  const float a = schedule_.sqrt_alpha_bar(t);
+  const float b = schedule_.sqrt_one_minus_alpha_bar(t);
+  Tensor out(x_t.shape());
+  const float* px = x_t.data();
+  const float* pe = eps_pred.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.numel();
+  const float inv_a = 1.0f / a;
+  for (int64_t i = 0; i < n; ++i) po[i] = (px[i] - b * pe[i]) * inv_a;
+  return out;
+}
+
+}  // namespace imdiff

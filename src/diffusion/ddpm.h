@@ -1,0 +1,55 @@
+// Generic Gaussian diffusion (DDPM) utilities: forward corruption, the
+// ε-prediction training target, and ancestral reverse sampling.
+//
+// The ImDiffusion core (src/core) builds its unconditional *imputation*
+// sampler on top of these primitives; the reconstruction-style ablation uses
+// them directly.
+
+#ifndef IMDIFF_DIFFUSION_DDPM_H_
+#define IMDIFF_DIFFUSION_DDPM_H_
+
+#include <functional>
+
+#include "diffusion/schedule.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+
+// Gaussian diffusion over arbitrary-shape tensors with a fixed schedule.
+class GaussianDiffusion {
+ public:
+  explicit GaussianDiffusion(const ScheduleConfig& config)
+      : schedule_(config) {}
+
+  const NoiseSchedule& schedule() const { return schedule_; }
+  int num_steps() const { return schedule_.num_steps(); }
+
+  // Closed-form forward sample x_t = sqrt(ᾱ_t) x0 + sqrt(1-ᾱ_t) ε with
+  // ε ~ N(0, I). If eps_out is non-null the sampled noise is returned for use
+  // as the training target.
+  Tensor QSample(const Tensor& x0, int t, Rng& rng, Tensor* eps_out) const;
+
+  // Same, but with caller-provided noise (used when the noise must be stored,
+  // e.g. ImDiffusion's unmasked-region reference noise).
+  Tensor QSampleWithNoise(const Tensor& x0, int t, const Tensor& eps) const;
+
+  // DDPM posterior mean given x_t and the predicted noise ε̂ (Eq. 5):
+  //   μ = 1/sqrt(α_t) (x_t - β_t / sqrt(1-ᾱ_t) ε̂)
+  Tensor PosteriorMean(const Tensor& x_t, const Tensor& eps_pred, int t) const;
+
+  // One ancestral reverse step: μ + sqrt(β̃_t) z (z = 0 at t == 0).
+  Tensor PStep(const Tensor& x_t, const Tensor& eps_pred, int t,
+               Rng& rng) const;
+
+  // Estimate of x0 implied by (x_t, ε̂): (x_t - sqrt(1-ᾱ_t) ε̂)/sqrt(ᾱ_t).
+  Tensor PredictX0(const Tensor& x_t, const Tensor& eps_pred, int t) const;
+
+ private:
+  NoiseSchedule schedule_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DIFFUSION_DDPM_H_

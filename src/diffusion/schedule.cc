@@ -1,0 +1,78 @@
+#include "diffusion/schedule.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+NoiseSchedule::NoiseSchedule(const ScheduleConfig& config) {
+  const int steps = config.num_steps;
+  IMDIFF_CHECK_GT(steps, 0);
+  beta_.resize(static_cast<size_t>(steps));
+  switch (config.type) {
+    case ScheduleType::kLinear: {
+      for (int t = 0; t < steps; ++t) {
+        const float frac =
+            steps == 1 ? 0.0f : static_cast<float>(t) / (steps - 1);
+        beta_[t] = config.beta_start + frac * (config.beta_end - config.beta_start);
+      }
+      break;
+    }
+    case ScheduleType::kQuadratic: {
+      const float s0 = std::sqrt(config.beta_start);
+      const float s1 = std::sqrt(config.beta_end);
+      for (int t = 0; t < steps; ++t) {
+        const float frac =
+            steps == 1 ? 0.0f : static_cast<float>(t) / (steps - 1);
+        const float s = s0 + frac * (s1 - s0);
+        beta_[t] = s * s;
+      }
+      break;
+    }
+    case ScheduleType::kCosine: {
+      constexpr float kOffset = 0.008f;
+      auto f = [&](float u) {
+        const float v = (u + kOffset) / (1.0f + kOffset) *
+                        (3.14159265358979323846f / 2.0f);
+        const float c = std::cos(v);
+        return c * c;
+      };
+      float prev = f(0.0f);
+      float bar = 1.0f;
+      for (int t = 0; t < steps; ++t) {
+        const float cur = f(static_cast<float>(t + 1) / steps);
+        float b = 1.0f - cur / prev;
+        if (b < 1e-5f) b = 1e-5f;
+        if (b > 0.999f) b = 0.999f;
+        beta_[t] = b;
+        prev = cur;
+        bar *= 1.0f - b;
+      }
+      break;
+    }
+  }
+  alpha_.resize(beta_.size());
+  alpha_bar_.resize(beta_.size());
+  sqrt_alpha_bar_.resize(beta_.size());
+  sqrt_one_minus_alpha_bar_.resize(beta_.size());
+  posterior_var_.resize(beta_.size());
+  float bar = 1.0f;
+  for (size_t t = 0; t < beta_.size(); ++t) {
+    alpha_[t] = 1.0f - beta_[t];
+    const float prev_bar = bar;
+    bar *= alpha_[t];
+    alpha_bar_[t] = bar;
+    sqrt_alpha_bar_[t] = std::sqrt(bar);
+    sqrt_one_minus_alpha_bar_[t] = std::sqrt(1.0f - bar);
+    posterior_var_[t] =
+        t == 0 ? beta_[0] : (1.0f - prev_bar) / (1.0f - bar) * beta_[t];
+  }
+}
+
+size_t NoiseSchedule::Check(int t) const {
+  IMDIFF_CHECK(t >= 0 && t < num_steps()) << "step" << t;
+  return static_cast<size_t>(t);
+}
+
+}  // namespace imdiff

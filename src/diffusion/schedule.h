@@ -1,0 +1,57 @@
+// DDPM noise schedules (Ho et al. 2020, Sec. 3.3 of the paper).
+//
+// Provides the β_t sequence, the cumulative ᾱ_t products, and the posterior
+// variances β̃_t used by the reverse process.
+
+#ifndef IMDIFF_DIFFUSION_SCHEDULE_H_
+#define IMDIFF_DIFFUSION_SCHEDULE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace imdiff {
+
+enum class ScheduleType {
+  kLinear,     // β linearly spaced in [beta_start, beta_end]
+  kQuadratic,  // sqrt(β) linearly spaced (CSDI's default)
+  kCosine,     // Nichol & Dhariwal cosine ᾱ schedule
+};
+
+struct ScheduleConfig {
+  ScheduleType type = ScheduleType::kQuadratic;
+  int num_steps = 50;  // T
+  float beta_start = 1e-4f;
+  float beta_end = 0.2f;
+};
+
+// Precomputed diffusion schedule. Index t is 0-based: t in [0, T).
+class NoiseSchedule {
+ public:
+  explicit NoiseSchedule(const ScheduleConfig& config);
+
+  int num_steps() const { return static_cast<int>(beta_.size()); }
+  float beta(int t) const { return beta_[Check(t)]; }
+  float alpha(int t) const { return alpha_[Check(t)]; }
+  // ᾱ_t = prod_{i<=t} α_i.
+  float alpha_bar(int t) const { return alpha_bar_[Check(t)]; }
+  float sqrt_alpha_bar(int t) const { return sqrt_alpha_bar_[Check(t)]; }
+  float sqrt_one_minus_alpha_bar(int t) const {
+    return sqrt_one_minus_alpha_bar_[Check(t)];
+  }
+  // Posterior variance β̃_t = (1-ᾱ_{t-1})/(1-ᾱ_t) β_t (β_0 at t == 0).
+  float posterior_variance(int t) const { return posterior_var_[Check(t)]; }
+
+ private:
+  size_t Check(int t) const;
+
+  std::vector<float> beta_;
+  std::vector<float> alpha_;
+  std::vector<float> alpha_bar_;
+  std::vector<float> sqrt_alpha_bar_;
+  std::vector<float> sqrt_one_minus_alpha_bar_;
+  std::vector<float> posterior_var_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DIFFUSION_SCHEDULE_H_

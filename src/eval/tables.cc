@@ -1,0 +1,55 @@
+#include "eval/tables.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  IMDIFF_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string FormatMetric(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string FormatMeanStd(double mean, double std_dev, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << mean << " +- "
+      << std_dev;
+  return out.str();
+}
+
+}  // namespace imdiff

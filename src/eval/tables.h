@@ -1,0 +1,33 @@
+// Fixed-width table printing for the bench binaries, matching the paper's
+// table layouts.
+
+#ifndef IMDIFF_EVAL_TABLES_H_
+#define IMDIFF_EVAL_TABLES_H_
+
+#include <string>
+#include <vector>
+
+namespace imdiff {
+
+// A simple left-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders with column padding and a header rule.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision ("0.9284").
+std::string FormatMetric(double value, int precision = 4);
+// "104 ± 14" style mean±std rendering.
+std::string FormatMeanStd(double mean, double std_dev, int precision = 0);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_EVAL_TABLES_H_

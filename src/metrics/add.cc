@@ -1,0 +1,28 @@
+#include "metrics/add.h"
+
+#include "data/dataset.h"
+#include "utils/check.h"
+
+namespace imdiff {
+
+double AverageDetectionDelay(const std::vector<uint8_t>& labels,
+                             const std::vector<uint8_t>& predictions) {
+  IMDIFF_CHECK_EQ(labels.size(), predictions.size());
+  const int64_t n = static_cast<int64_t>(labels.size());
+  const auto segments = FindSegments(labels);
+  if (segments.empty()) return 0.0;
+  double total = 0.0;
+  for (const AnomalySegment& seg : segments) {
+    int64_t delay = n - seg.start;  // penalty when never detected
+    for (int64_t t = seg.start; t < n; ++t) {
+      if (predictions[static_cast<size_t>(t)] != 0) {
+        delay = t - seg.start;
+        break;
+      }
+    }
+    total += static_cast<double>(delay);
+  }
+  return total / static_cast<double>(segments.size());
+}
+
+}  // namespace imdiff

@@ -1,0 +1,21 @@
+// Average (Sequence) Detection Delay — ADD (Doshi et al., IJCNN 2022; Eq. 13
+// of the paper). For each true anomalous event starting at ρ_i, the delay is
+// the gap until the first alarm at or after ρ_i; undetected events are
+// penalized with the remaining sequence length.
+
+#ifndef IMDIFF_METRICS_ADD_H_
+#define IMDIFF_METRICS_ADD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imdiff {
+
+// Mean detection delay over all anomalous events. Returns 0 when the label
+// vector contains no events.
+double AverageDetectionDelay(const std::vector<uint8_t>& labels,
+                             const std::vector<uint8_t>& predictions);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_METRICS_ADD_H_

@@ -1,0 +1,106 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+BinaryMetrics ComputeMetrics(const std::vector<uint8_t>& labels,
+                             const std::vector<uint8_t>& predictions) {
+  IMDIFF_CHECK_EQ(labels.size(), predictions.size());
+  BinaryMetrics m;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool truth = labels[i] != 0;
+    const bool pred = predictions[i] != 0;
+    if (truth && pred) ++m.tp;
+    if (!truth && pred) ++m.fp;
+    if (truth && !pred) ++m.fn;
+  }
+  m.precision = m.tp + m.fp > 0
+                    ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fp)
+                    : 0.0;
+  m.recall = m.tp + m.fn > 0
+                 ? static_cast<double>(m.tp) / static_cast<double>(m.tp + m.fn)
+                 : 0.0;
+  m.f1 = m.precision + m.recall > 0.0
+             ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+             : 0.0;
+  return m;
+}
+
+std::vector<uint8_t> PointAdjust(const std::vector<uint8_t>& labels,
+                                 const std::vector<uint8_t>& predictions) {
+  IMDIFF_CHECK_EQ(labels.size(), predictions.size());
+  std::vector<uint8_t> adjusted = predictions;
+  const size_t n = labels.size();
+  size_t i = 0;
+  while (i < n) {
+    if (labels[i] == 0) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    bool hit = false;
+    while (j < n && labels[j] != 0) {
+      hit = hit || predictions[j] != 0;
+      ++j;
+    }
+    if (hit) {
+      for (size_t t = i; t < j; ++t) adjusted[t] = 1;
+    }
+    i = j;
+  }
+  return adjusted;
+}
+
+BinaryMetrics ComputeAdjustedMetrics(const std::vector<uint8_t>& labels,
+                                     const std::vector<uint8_t>& predictions) {
+  return ComputeMetrics(labels, PointAdjust(labels, predictions));
+}
+
+std::vector<uint8_t> ThresholdScores(const std::vector<float>& scores,
+                                     float threshold) {
+  std::vector<uint8_t> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return out;
+}
+
+float Quantile(std::vector<float> values, double q) {
+  IMDIFF_CHECK(!values.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<float>(values[lo] * (1.0 - frac) + values[hi] * frac);
+}
+
+float BestF1Threshold(const std::vector<float>& scores,
+                      const std::vector<uint8_t>& labels, int num_candidates,
+                      BinaryMetrics* best_metrics) {
+  IMDIFF_CHECK_EQ(scores.size(), labels.size());
+  IMDIFF_CHECK_GT(num_candidates, 1);
+  float best_threshold = 0.0f;
+  BinaryMetrics best;
+  best.f1 = -1.0;
+  for (int c = 0; c < num_candidates; ++c) {
+    // Sweep the upper score range, where anomaly thresholds live.
+    const double q = 0.5 + 0.5 * static_cast<double>(c) / (num_candidates - 1);
+    const float threshold = Quantile(scores, q);
+    const BinaryMetrics m =
+        ComputeAdjustedMetrics(labels, ThresholdScores(scores, threshold));
+    if (m.f1 > best.f1) {
+      best = m;
+      best_threshold = threshold;
+    }
+  }
+  if (best_metrics != nullptr) *best_metrics = best;
+  return best_threshold;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,52 @@
+// Point-wise anomaly-detection accuracy metrics with the point-adjustment
+// protocol used throughout the MTS anomaly detection literature (Su et al.
+// 2019): if any timestamp inside a true anomalous segment is flagged, the
+// whole segment counts as detected.
+
+#ifndef IMDIFF_METRICS_CLASSIFICATION_H_
+#define IMDIFF_METRICS_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imdiff {
+
+struct BinaryMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+};
+
+// Plain point-wise metrics.
+BinaryMetrics ComputeMetrics(const std::vector<uint8_t>& labels,
+                             const std::vector<uint8_t>& predictions);
+
+// Expands predictions with the point-adjust protocol: any hit inside a true
+// segment marks the entire segment as predicted.
+std::vector<uint8_t> PointAdjust(const std::vector<uint8_t>& labels,
+                                 const std::vector<uint8_t>& predictions);
+
+// Point-adjusted metrics (the Table 2/3 protocol).
+BinaryMetrics ComputeAdjustedMetrics(const std::vector<uint8_t>& labels,
+                                     const std::vector<uint8_t>& predictions);
+
+// Thresholds scores at `threshold` (>= is anomalous).
+std::vector<uint8_t> ThresholdScores(const std::vector<float>& scores,
+                                     float threshold);
+
+// Grid-searches a threshold over score quantiles and returns the one
+// maximizing point-adjusted F1 (the protocol the baselines' papers use when
+// no threshold rule is given). Outputs the metrics at the best threshold.
+float BestF1Threshold(const std::vector<float>& scores,
+                      const std::vector<uint8_t>& labels, int num_candidates,
+                      BinaryMetrics* best_metrics);
+
+// q-th quantile (0..1) of a score vector (linear interpolation).
+float Quantile(std::vector<float> values, double q);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_METRICS_CLASSIFICATION_H_

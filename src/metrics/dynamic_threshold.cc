@@ -1,0 +1,106 @@
+#include "metrics/dynamic_threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+namespace {
+
+struct MeanStd {
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+
+MeanStd ComputeMeanStd(const std::vector<float>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (float v : values) out.mean += v;
+  out.mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (float v : values) {
+    var += (v - out.mean) * (v - out.mean);
+  }
+  out.std_dev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace
+
+float SelectWindowThreshold(const std::vector<float>& window_scores,
+                            const std::vector<float>& z_candidates) {
+  IMDIFF_CHECK(!window_scores.empty());
+  IMDIFF_CHECK(!z_candidates.empty());
+  const MeanStd base = ComputeMeanStd(window_scores);
+  if (base.std_dev < 1e-12) {
+    // Constant scores: nothing is anomalous; return an unreachable threshold.
+    return static_cast<float>(base.mean) + 1.0f;
+  }
+  double best_objective = -1.0;
+  float best_threshold =
+      static_cast<float>(base.mean + z_candidates.back() * base.std_dev);
+  for (float z : z_candidates) {
+    const float threshold = static_cast<float>(base.mean + z * base.std_dev);
+    // Partition scores and count flagged points / contiguous sequences.
+    std::vector<float> kept;
+    kept.reserve(window_scores.size());
+    int64_t flagged = 0;
+    int64_t sequences = 0;
+    bool in_sequence = false;
+    for (float v : window_scores) {
+      if (v >= threshold) {
+        ++flagged;
+        if (!in_sequence) {
+          ++sequences;
+          in_sequence = true;
+        }
+      } else {
+        kept.push_back(v);
+        in_sequence = false;
+      }
+    }
+    if (flagged == 0 || kept.empty()) continue;
+    const MeanStd pruned = ComputeMeanStd(kept);
+    const double delta_mean = (base.mean - pruned.mean) / std::max(base.mean, 1e-12);
+    const double delta_std =
+        (base.std_dev - pruned.std_dev) / std::max(base.std_dev, 1e-12);
+    const double objective =
+        (delta_mean + delta_std) /
+        (static_cast<double>(flagged) +
+         static_cast<double>(sequences) * static_cast<double>(sequences));
+    if (objective > best_objective) {
+      best_objective = objective;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+std::vector<uint8_t> DynamicThreshold(const std::vector<float>& scores,
+                                      const DynamicThresholdConfig& config) {
+  const int64_t n = static_cast<int64_t>(scores.size());
+  std::vector<uint8_t> out(scores.size(), 0);
+  if (n == 0) return out;
+  const int64_t window = std::min<int64_t>(config.window, n);
+  IMDIFF_CHECK_GT(window, 0);
+  const int64_t stride = std::max<int64_t>(1, config.stride);
+  for (int64_t start = 0; start < n; start += stride) {
+    // History window ending at the current evaluation block.
+    const int64_t hist_begin = std::max<int64_t>(0, start + stride - window);
+    const int64_t hist_end = std::min(n, start + stride);
+    std::vector<float> history(scores.begin() + hist_begin,
+                               scores.begin() + hist_end);
+    const float threshold =
+        SelectWindowThreshold(history, config.z_candidates);
+    const int64_t block_end = std::min(n, start + stride);
+    for (int64_t t = start; t < block_end; ++t) {
+      if (scores[static_cast<size_t>(t)] >= threshold) {
+        out[static_cast<size_t>(t)] = 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,40 @@
+// Nonparametric dynamic thresholding (Hundman et al., KDD 2018).
+//
+// The paper (§5.2.1) names this as the remedy for the fixed-threshold
+// precision loss it observes on SWaT/SMAP: instead of one global threshold,
+// each sliding history window picks the smallest threshold μ + zσ (z from a
+// candidate grid) that maximizes the normalized reduction in mean/std once
+// the flagged points are removed, penalized by the number of flagged points
+// and contiguous flagged sequences.
+
+#ifndef IMDIFF_METRICS_DYNAMIC_THRESHOLD_H_
+#define IMDIFF_METRICS_DYNAMIC_THRESHOLD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imdiff {
+
+struct DynamicThresholdConfig {
+  // History window the statistics are computed over.
+  int64_t window = 400;
+  // Hop between re-evaluations of the threshold.
+  int64_t stride = 100;
+  // Candidate z values for μ + zσ.
+  std::vector<float> z_candidates = {2.0f, 2.5f, 3.0f, 3.5f, 4.0f,
+                                     5.0f, 6.0f, 8.0f, 10.0f};
+};
+
+// Returns the per-timestamp binary decision for `scores` under dynamic
+// thresholding. Each position is decided by the window covering it (the most
+// recent window for the tail).
+std::vector<uint8_t> DynamicThreshold(const std::vector<float>& scores,
+                                      const DynamicThresholdConfig& config);
+
+// The threshold selected for a single score window; exposed for testing.
+float SelectWindowThreshold(const std::vector<float>& window_scores,
+                            const std::vector<float>& z_candidates);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_METRICS_DYNAMIC_THRESHOLD_H_

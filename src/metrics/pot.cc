@@ -1,0 +1,57 @@
+#include "metrics/pot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/classification.h"
+#include "utils/check.h"
+
+namespace imdiff {
+
+GpdFit FitGpdMoments(const std::vector<float>& exceedances) {
+  GpdFit fit;
+  if (exceedances.size() < 8) return fit;
+  double mean = 0.0;
+  for (float v : exceedances) mean += v;
+  mean /= static_cast<double>(exceedances.size());
+  double var = 0.0;
+  for (float v : exceedances) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(exceedances.size());
+  if (mean <= 0.0 || var <= 1e-12) return fit;
+  // Method of moments for GPD: shape = 0.5 (1 - mean^2/var),
+  // scale = 0.5 mean (mean^2/var + 1).
+  const double ratio = mean * mean / var;
+  fit.shape = 0.5 * (1.0 - ratio);
+  fit.scale = 0.5 * mean * (ratio + 1.0);
+  fit.valid = fit.scale > 0.0;
+  return fit;
+}
+
+float PotThreshold(const std::vector<float>& scores, const PotConfig& config) {
+  IMDIFF_CHECK(!scores.empty());
+  const float u = Quantile(scores, config.initial_quantile);
+  std::vector<float> exceedances;
+  for (float s : scores) {
+    if (s > u) exceedances.push_back(s - u);
+  }
+  const GpdFit fit = FitGpdMoments(exceedances);
+  if (!fit.valid) return u;
+  const double n = static_cast<double>(scores.size());
+  const double nu = static_cast<double>(exceedances.size());
+  const double arg = config.risk * n / nu;
+  double threshold;
+  if (std::abs(fit.shape) < 1e-6) {
+    // γ -> 0 limit: exponential tail.
+    threshold = u - fit.scale * std::log(arg);
+  } else {
+    threshold = u + fit.scale / fit.shape * (std::pow(arg, -fit.shape) - 1.0);
+  }
+  // Keep the threshold within the observed score range neighbourhood.
+  const float max_score = *std::max_element(scores.begin(), scores.end());
+  return std::min(static_cast<float>(threshold), max_score * 1.5f);
+}
+
+}  // namespace imdiff

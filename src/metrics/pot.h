@@ -1,0 +1,33 @@
+// Peaks-Over-Threshold (POT) thresholding via extreme value theory
+// (Siffer et al., KDD 2017), as used by OmniAnomaly for automatic threshold
+// selection. Exceedances over an initial high quantile are fit with a
+// Generalized Pareto Distribution; the final threshold targets a risk level q.
+
+#ifndef IMDIFF_METRICS_POT_H_
+#define IMDIFF_METRICS_POT_H_
+
+#include <vector>
+
+namespace imdiff {
+
+struct PotConfig {
+  double initial_quantile = 0.98;  // u = this quantile of the scores
+  double risk = 1e-3;              // target exceedance probability
+};
+
+// Returns the POT threshold for `scores`. Falls back to the initial quantile
+// when the GPD fit is degenerate (too few exceedances or zero variance).
+float PotThreshold(const std::vector<float>& scores, const PotConfig& config);
+
+// Method-of-moments GPD fit on exceedances (y > 0): returns {shape γ,
+// scale σ}; used internally and exposed for testing.
+struct GpdFit {
+  double shape = 0.0;
+  double scale = 1.0;
+  bool valid = false;
+};
+GpdFit FitGpdMoments(const std::vector<float>& exceedances);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_METRICS_POT_H_

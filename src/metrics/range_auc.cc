@@ -1,0 +1,123 @@
+#include "metrics/range_auc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+std::vector<double> SoftenLabels(const std::vector<uint8_t>& labels,
+                                 int64_t buffer) {
+  const int64_t n = static_cast<int64_t>(labels.size());
+  std::vector<double> soft(labels.size(), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    if (labels[static_cast<size_t>(i)] != 0) soft[static_cast<size_t>(i)] = 1.0;
+  }
+  if (buffer <= 0) return soft;
+  // For each point outside segments, soft value decays with distance to the
+  // nearest segment: sqrt(1 - d/buffer).
+  // Forward pass for distance-to-previous-anomaly, backward for next.
+  std::vector<int64_t> dist(labels.size(), buffer + 1);
+  int64_t last = -(buffer + 1);
+  for (int64_t i = 0; i < n; ++i) {
+    if (labels[static_cast<size_t>(i)] != 0) last = i;
+    dist[static_cast<size_t>(i)] = std::min(dist[static_cast<size_t>(i)], i - last);
+  }
+  last = n + buffer + 1;
+  for (int64_t i = n - 1; i >= 0; --i) {
+    if (labels[static_cast<size_t>(i)] != 0) last = i;
+    dist[static_cast<size_t>(i)] = std::min(dist[static_cast<size_t>(i)], last - i);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (labels[static_cast<size_t>(i)] != 0) continue;
+    const int64_t d = dist[static_cast<size_t>(i)];
+    if (d <= buffer) {
+      soft[static_cast<size_t>(i)] =
+          std::sqrt(1.0 - static_cast<double>(d) / static_cast<double>(buffer + 1));
+    }
+  }
+  return soft;
+}
+
+namespace {
+
+// Shared sweep: sorts by descending score and walks thresholds, yielding the
+// cumulative positive mass (soft labels) and negative mass above each cut.
+struct SweepPoint {
+  double pos_mass;  // sum of soft labels with score >= threshold
+  double neg_mass;  // sum of (1 - soft) with score >= threshold
+  double count;     // number of points above threshold
+};
+
+std::vector<SweepPoint> Sweep(const std::vector<float>& scores,
+                              const std::vector<double>& soft) {
+  IMDIFF_CHECK_EQ(scores.size(), soft.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<SweepPoint> points;
+  points.reserve(scores.size() + 1);
+  points.push_back({0.0, 0.0, 0.0});
+  double pos = 0.0, neg = 0.0, count = 0.0;
+  for (size_t idx = 0; idx < order.size(); ++idx) {
+    const size_t i = order[idx];
+    pos += soft[i];
+    neg += 1.0 - soft[i];
+    count += 1.0;
+    // Only emit at distinct-score boundaries (ties handled jointly).
+    if (idx + 1 == order.size() ||
+        scores[order[idx + 1]] != scores[order[idx]]) {
+      points.push_back({pos, neg, count});
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+double RangeAucRoc(const std::vector<float>& scores,
+                   const std::vector<uint8_t>& labels, int64_t buffer) {
+  IMDIFF_CHECK_EQ(scores.size(), labels.size());
+  const std::vector<double> soft = SoftenLabels(labels, buffer);
+  const auto points = Sweep(scores, soft);
+  const double total_pos = points.back().pos_mass;
+  const double total_neg = points.back().neg_mass;
+  if (total_pos <= 0.0 || total_neg <= 0.0) return 0.0;
+  double auc = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double tpr0 = points[i - 1].pos_mass / total_pos;
+    const double tpr1 = points[i].pos_mass / total_pos;
+    const double fpr0 = points[i - 1].neg_mass / total_neg;
+    const double fpr1 = points[i].neg_mass / total_neg;
+    auc += (fpr1 - fpr0) * 0.5 * (tpr0 + tpr1);
+  }
+  return auc;
+}
+
+double RangeAucPr(const std::vector<float>& scores,
+                  const std::vector<uint8_t>& labels, int64_t buffer) {
+  IMDIFF_CHECK_EQ(scores.size(), labels.size());
+  const std::vector<double> soft = SoftenLabels(labels, buffer);
+  const auto points = Sweep(scores, soft);
+  const double total_pos = points.back().pos_mass;
+  if (total_pos <= 0.0) return 0.0;
+  // Trapezoidal integration of precision over recall.
+  double auc = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = 1.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double recall = points[i].pos_mass / total_pos;
+    const double precision =
+        points[i].count > 0.0 ? points[i].pos_mass / points[i].count : 1.0;
+    auc += (recall - prev_recall) * 0.5 * (precision + prev_precision);
+    prev_recall = recall;
+    prev_precision = precision;
+  }
+  return auc;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,32 @@
+// Range-based, threshold-independent accuracy (Paparrizos et al., VLDB 2022,
+// "Volume Under the Surface").
+//
+// Binary labels are first softened with continuous buffer regions of width
+// `buffer` around every anomalous segment (sqrt-decaying ramp), then AUC-ROC
+// and AUC-PR are computed on the soft labels, rewarding detections near the
+// true range without requiring a threshold choice.
+
+#ifndef IMDIFF_METRICS_RANGE_AUC_H_
+#define IMDIFF_METRICS_RANGE_AUC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imdiff {
+
+// Soft label curve in [0,1]: 1 inside segments, sqrt ramp over `buffer` steps
+// on each side, 0 elsewhere.
+std::vector<double> SoftenLabels(const std::vector<uint8_t>& labels,
+                                 int64_t buffer);
+
+// Range AUC-ROC on the softened labels.
+double RangeAucRoc(const std::vector<float>& scores,
+                   const std::vector<uint8_t>& labels, int64_t buffer = 20);
+
+// Range AUC-PR on the softened labels (the paper's R-AUC-PR columns).
+double RangeAucPr(const std::vector<float>& scores,
+                  const std::vector<uint8_t>& labels, int64_t buffer = 20);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_METRICS_RANGE_AUC_H_

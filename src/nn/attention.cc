@@ -1,0 +1,79 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace imdiff {
+namespace nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
+                                               int64_t num_heads, Rng& rng)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      d_head_(d_model / num_heads),
+      wq_(d_model, d_model, rng),
+      wk_(d_model, d_model, rng),
+      wv_(d_model, d_model, rng),
+      wo_(d_model, d_model, rng) {
+  IMDIFF_CHECK_EQ(d_model % num_heads, 0)
+      << "d_model" << d_model << "not divisible by heads" << num_heads;
+}
+
+Var MultiHeadSelfAttention::Forward(const Var& x) const {
+  IMDIFF_CHECK_EQ(x.ndim(), 3u);
+  IMDIFF_CHECK_EQ(x.dim(2), d_model_);
+  const int64_t batch = x.dim(0);
+  const int64_t length = x.dim(1);
+
+  // Project and split heads: [B,L,D] -> [B,L,H,Dh] -> [B,H,L,Dh] -> [B*H,L,Dh].
+  auto split_heads = [&](const Var& v) {
+    Var h = ReshapeV(v, {batch, length, num_heads_, d_head_});
+    h = PermuteV(h, {0, 2, 1, 3});
+    return ReshapeV(h, {batch * num_heads_, length, d_head_});
+  };
+  Var q = split_heads(wq_.Forward(x));
+  Var k = split_heads(wk_.Forward(x));
+  Var v = split_heads(wv_.Forward(x));
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Var scores = ScaleV(BatchedMatMulV(q, k, false, true), scale);
+  Var attn = SoftmaxV(scores);              // [B*H, L, L]
+  Var ctx = BatchedMatMulV(attn, v);        // [B*H, L, Dh]
+
+  // Merge heads back: [B*H,L,Dh] -> [B,H,L,Dh] -> [B,L,H,Dh] -> [B,L,D].
+  ctx = ReshapeV(ctx, {batch, num_heads_, length, d_head_});
+  ctx = PermuteV(ctx, {0, 2, 1, 3});
+  ctx = ReshapeV(ctx, {batch, length, d_model_});
+  return wo_.Forward(ctx);
+}
+
+std::vector<Var> MultiHeadSelfAttention::Parameters() const {
+  std::vector<Var> params;
+  for (const Linear* lin : {&wq_, &wk_, &wv_, &wo_}) {
+    for (const Var& p : lin->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t d_model,
+                                                 int64_t num_heads,
+                                                 int64_t d_ff, Rng& rng)
+    : attn_(d_model, num_heads, rng),
+      norm1_(d_model),
+      norm2_(d_model),
+      ff_(d_model, d_ff, d_model, rng, Mlp::Activation::kGelu) {}
+
+Var TransformerEncoderLayer::Forward(const Var& x) const {
+  Var h = Add(x, attn_.Forward(norm1_.Forward(x)));
+  return Add(h, ff_.Forward(norm2_.Forward(h)));
+}
+
+std::vector<Var> TransformerEncoderLayer::Parameters() const {
+  std::vector<Var> params = attn_.Parameters();
+  for (const Var& p : norm1_.Parameters()) params.push_back(p);
+  for (const Var& p : norm2_.Parameters()) params.push_back(p);
+  for (const Var& p : ff_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace nn
+}  // namespace imdiff

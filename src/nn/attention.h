@@ -1,0 +1,58 @@
+// Multi-head self-attention and a pre-norm transformer encoder layer.
+//
+// These are the building blocks of the ImTransformer (src/core) — which
+// applies them along the temporal axis and the feature (spatial) axis — and
+// of the TranAD baseline.
+
+#ifndef IMDIFF_NN_ATTENTION_H_
+#define IMDIFF_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace imdiff {
+namespace nn {
+
+// Scaled dot-product multi-head self-attention over [B, L, D] inputs.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t d_model, int64_t num_heads, Rng& rng);
+
+  // x: [B, L, D] -> [B, L, D].
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t d_head_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+// Pre-norm transformer encoder layer:
+//   x = x + Attention(LayerNorm(x))
+//   x = x + FeedForward(LayerNorm(x))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t d_model, int64_t num_heads, int64_t d_ff,
+                          Rng& rng);
+
+  // x: [B, L, D] -> [B, L, D].
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  MultiHeadSelfAttention attn_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Mlp ff_;
+};
+
+}  // namespace nn
+}  // namespace imdiff
+
+#endif  // IMDIFF_NN_ATTENTION_H_

@@ -1,0 +1,112 @@
+// Neural-network building blocks on top of the autograd Var graph.
+
+#ifndef IMDIFF_NN_LAYERS_H_
+#define IMDIFF_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace nn {
+
+// Base class for anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  // Returns handles to every trainable parameter (shared graph nodes).
+  virtual std::vector<Var> Parameters() const = 0;
+};
+
+// Total number of scalar parameters across a module.
+int64_t ParameterCount(const Module& m);
+
+// Fully connected layer: y = x W + b with W [in, out].
+// Accepts inputs of any rank; the last dimension must equal `in`.
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, Rng& rng, bool bias = true);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  Var w_;  // [in, out]
+  Var b_;  // [out] (undefined when bias == false)
+};
+
+// 1D convolution layer over [B, Cin, L] -> [B, Cout, L'] (stride 1).
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int64_t cin, int64_t cout, int64_t kernel, int pad, Rng& rng,
+              bool bias = true);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  int pad_;
+  Var w_;  // [Cout, Cin, K]
+  Var b_;  // [Cout]
+};
+
+// Layer normalization over the last dimension, with learned scale/shift.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  Var gamma_;  // [dim], init 1
+  Var beta_;   // [dim], init 0
+};
+
+// Learned embedding table: index -> row of [num_embeddings, dim].
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t dim, Rng& rng);
+
+  // Returns [indices.size(), dim].
+  Var Forward(const std::vector<int64_t>& indices) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  Var table_;
+};
+
+// Two-layer MLP with a configurable hidden activation.
+class Mlp : public Module {
+ public:
+  enum class Activation { kRelu, kGelu, kSilu, kTanh };
+
+  Mlp(int64_t in, int64_t hidden, int64_t out, Rng& rng,
+      Activation act = Activation::kRelu);
+
+  Var Forward(const Var& x) const;
+  std::vector<Var> Parameters() const override;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  Activation act_;
+};
+
+// Sinusoidal positional / diffusion-step embedding (constant, no params):
+// returns [positions.size(), dim] with interleaved sin/cos at geometric
+// frequencies, as in Vaswani et al. and DDPM step embeddings.
+Tensor SinusoidalEmbedding(const std::vector<int64_t>& positions, int64_t dim,
+                           float max_period = 10000.0f);
+
+}  // namespace nn
+}  // namespace imdiff
+
+#endif  // IMDIFF_NN_LAYERS_H_

@@ -1,0 +1,99 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace imdiff {
+namespace nn {
+
+Adam::Adam(std::vector<Var> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    IMDIFF_CHECK(p.requires_grad());
+    m_.push_back(Tensor::Zeros(p.shape()));
+    v_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  // Optional global-norm gradient clipping.
+  float clip_scale = 1.0f;
+  if (options_.grad_clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (const Var& p : params_) {
+      if (!p.has_grad()) continue;
+      const float* g = p.grad().data();
+      const int64_t n = p.grad().numel();
+      for (int64_t i = 0; i < n; ++i) sq += static_cast<double>(g[i]) * g[i];
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > options_.grad_clip_norm) {
+      clip_scale = options_.grad_clip_norm / static_cast<float>(norm);
+    }
+  }
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* pm = m_[i].mutable_data();
+    float* pv = v_[i].mutable_data();
+    float* pw = p.mutable_value().mutable_data();
+    const int64_t n = p.value().numel();
+    for (int64_t j = 0; j < n; ++j) {
+      const float gj = g[j] * clip_scale;
+      pm[j] = options_.beta1 * pm[j] + (1.0f - options_.beta1) * gj;
+      pv[j] = options_.beta2 * pv[j] + (1.0f - options_.beta2) * gj * gj;
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      float update = options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+      if (options_.weight_decay > 0.0f) {
+        update += options_.lr * options_.weight_decay * pw[j];
+      }
+      pw[j] -= update;
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : params_) p.ClearGrad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) velocity_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* pw = p.mutable_value().mutable_data();
+    const int64_t n = p.value().numel();
+    if (momentum_ > 0.0f) {
+      float* pv = velocity_[i].mutable_data();
+      for (int64_t j = 0; j < n; ++j) {
+        pv[j] = momentum_ * pv[j] + g[j];
+        pw[j] -= lr_ * pv[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) pw[j] -= lr_ * g[j];
+    }
+  }
+  ZeroGrad();
+}
+
+void Sgd::ZeroGrad() {
+  for (Var& p : params_) p.ClearGrad();
+}
+
+}  // namespace nn
+}  // namespace imdiff

@@ -1,0 +1,64 @@
+// Gradient-descent optimizers over autograd parameters.
+
+#ifndef IMDIFF_NN_OPTIMIZER_H_
+#define IMDIFF_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace imdiff {
+namespace nn {
+
+// Adam (Kingma & Ba). Holds per-parameter first/second-moment buffers.
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;  // decoupled (AdamW-style)
+    // Gradients are clipped to this global L2 norm before the update;
+    // <= 0 disables clipping.
+    float grad_clip_norm = 5.0f;
+  };
+
+  Adam(std::vector<Var> params, Options options);
+
+  // Applies one update from the accumulated gradients, then clears them.
+  void Step();
+  // Clears gradients without updating.
+  void ZeroGrad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  Options options_;
+  int64_t step_ = 0;
+};
+
+// Plain SGD, optionally with momentum. Used by a few baselines.
+class Sgd {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+
+  void Step();
+  void ZeroGrad();
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+};
+
+}  // namespace nn
+}  // namespace imdiff
+
+#endif  // IMDIFF_NN_OPTIMIZER_H_

@@ -1,0 +1,117 @@
+#include "nn/rnn.h"
+
+namespace imdiff {
+namespace nn {
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      wx_(input_dim, 4 * hidden_dim, rng),
+      wh_(hidden_dim, 4 * hidden_dim, rng, /*bias=*/false) {}
+
+LstmCell::State LstmCell::Step(const Var& x, const State& state) const {
+  Var gates = Add(wx_.Forward(x), wh_.Forward(state.h));  // [B, 4H]
+  Var i = SigmoidV(SliceV(gates, 1, 0, hidden_dim_));
+  Var f = SigmoidV(SliceV(gates, 1, hidden_dim_, hidden_dim_));
+  Var g = TanhV(SliceV(gates, 1, 2 * hidden_dim_, hidden_dim_));
+  Var o = SigmoidV(SliceV(gates, 1, 3 * hidden_dim_, hidden_dim_));
+  Var c = Add(Mul(f, state.c), Mul(i, g));
+  Var h = Mul(o, TanhV(c));
+  return {h, c};
+}
+
+LstmCell::State LstmCell::InitialState(int64_t batch) const {
+  return {Var(Tensor::Zeros({batch, hidden_dim_})),
+          Var(Tensor::Zeros({batch, hidden_dim_}))};
+}
+
+std::vector<Var> LstmCell::Parameters() const {
+  std::vector<Var> params = wx_.Parameters();
+  for (const Var& p : wh_.Parameters()) params.push_back(p);
+  return params;
+}
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : hidden_dim_(hidden_dim),
+      wx_zr_(input_dim, 2 * hidden_dim, rng),
+      wh_zr_(hidden_dim, 2 * hidden_dim, rng, /*bias=*/false),
+      wx_n_(input_dim, hidden_dim, rng),
+      wh_n_(hidden_dim, hidden_dim, rng, /*bias=*/false) {}
+
+Var GruCell::Step(const Var& x, const Var& h) const {
+  Var zr = Add(wx_zr_.Forward(x), wh_zr_.Forward(h));  // [B, 2H]
+  Var z = SigmoidV(SliceV(zr, 1, 0, hidden_dim_));
+  Var r = SigmoidV(SliceV(zr, 1, hidden_dim_, hidden_dim_));
+  Var n = TanhV(Add(wx_n_.Forward(x), Mul(r, wh_n_.Forward(h))));
+  // h' = (1 - z) * n + z * h
+  Var one_minus_z = AddScalarV(Neg(z), 1.0f);
+  return Add(Mul(one_minus_z, n), Mul(z, h));
+}
+
+Var GruCell::InitialState(int64_t batch) const {
+  return Var(Tensor::Zeros({batch, hidden_dim_}));
+}
+
+std::vector<Var> GruCell::Parameters() const {
+  std::vector<Var> params = wx_zr_.Parameters();
+  for (const Var& p : wh_zr_.Parameters()) params.push_back(p);
+  for (const Var& p : wx_n_.Parameters()) params.push_back(p);
+  for (const Var& p : wh_n_.Parameters()) params.push_back(p);
+  return params;
+}
+
+namespace {
+
+// Shared unrolling loop; `step` advances the recurrent state and returns the
+// hidden output for one timestep.
+template <typename StepFn>
+Var Unroll(const Var& x, StepFn step, Var* final_hidden) {
+  IMDIFF_CHECK_EQ(x.ndim(), 3u);
+  const int64_t batch = x.dim(0);
+  const int64_t length = x.dim(1);
+  const int64_t input_dim = x.dim(2);
+  std::vector<Var> outputs;
+  outputs.reserve(static_cast<size_t>(length));
+  Var h;
+  for (int64_t t = 0; t < length; ++t) {
+    Var xt = ReshapeV(SliceV(x, 1, t, 1), {batch, input_dim});
+    h = step(xt);
+    outputs.push_back(ReshapeV(h, {batch, 1, h.dim(1)}));
+  }
+  if (final_hidden != nullptr) *final_hidden = h;
+  return ConcatV(outputs, 1);
+}
+
+}  // namespace
+
+Var RunLstm(const LstmCell& cell, const Var& x, Var* final_hidden) {
+  LstmCell::State state = cell.InitialState(x.dim(0));
+  return Unroll(
+      x,
+      [&](const Var& xt) {
+        state = cell.Step(xt, state);
+        return state.h;
+      },
+      final_hidden);
+}
+
+Var RunLstm(const LstmCell& cell, const Var& x) {
+  return RunLstm(cell, x, nullptr);
+}
+
+Var RunGru(const GruCell& cell, const Var& x, Var* final_hidden) {
+  Var h = cell.InitialState(x.dim(0));
+  return Unroll(
+      x,
+      [&](const Var& xt) {
+        h = cell.Step(xt, h);
+        return h;
+      },
+      final_hidden);
+}
+
+Var RunGru(const GruCell& cell, const Var& x) {
+  return RunGru(cell, x, nullptr);
+}
+
+}  // namespace nn
+}  // namespace imdiff

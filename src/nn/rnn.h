@@ -1,0 +1,73 @@
+// Recurrent cells (LSTM, GRU) and sequence runners.
+//
+// Cells operate on [B, D] slices; the runners unroll over the time axis of a
+// [B, L, D] input inside the autograd graph, so backpropagation through time
+// falls out of the ordinary Backward() pass.
+
+#ifndef IMDIFF_NN_RNN_H_
+#define IMDIFF_NN_RNN_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace imdiff {
+namespace nn {
+
+// Standard LSTM cell.
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  struct State {
+    Var h;  // [B, H]
+    Var c;  // [B, H]
+  };
+
+  // One step: x [B, D], state -> new state.
+  State Step(const Var& x, const State& state) const;
+  // Zero initial state for batch size B.
+  State InitialState(int64_t batch) const;
+
+  std::vector<Var> Parameters() const override;
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear wx_;  // [D, 4H], gate order i,f,g,o
+  Linear wh_;  // [H, 4H] (no bias; wx_ carries it)
+};
+
+// Standard GRU cell.
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  // One step: x [B, D], h [B, H] -> new h.
+  Var Step(const Var& x, const Var& h) const;
+  Var InitialState(int64_t batch) const;
+
+  std::vector<Var> Parameters() const override;
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear wx_zr_;  // [D, 2H] for update/reset gates
+  Linear wh_zr_;  // [H, 2H]
+  Linear wx_n_;   // [D, H] candidate
+  Linear wh_n_;   // [H, H]
+};
+
+// Runs a cell across the time axis. x: [B, L, D]. Returns the hidden state at
+// every step, concatenated to [B, L, H].
+Var RunLstm(const LstmCell& cell, const Var& x);
+Var RunGru(const GruCell& cell, const Var& x);
+
+// As above but also exposes the final hidden state [B, H].
+Var RunLstm(const LstmCell& cell, const Var& x, Var* final_hidden);
+Var RunGru(const GruCell& cell, const Var& x, Var* final_hidden);
+
+}  // namespace nn
+}  // namespace imdiff
+
+#endif  // IMDIFF_NN_RNN_H_

@@ -1,0 +1,61 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace imdiff {
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'M', 'D', 'F'};
+
+}  // namespace
+
+void SaveParameters(const std::vector<Var>& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  IMDIFF_CHECK(out.good()) << "cannot write" << path;
+  out.write(kMagic, 4);
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Var& p : params) {
+    const Tensor& t = p.value();
+    const uint32_t ndim = static_cast<uint32_t>(t.ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (size_t d = 0; d < t.ndim(); ++d) {
+      const int64_t dim = t.dim(d);
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  }
+  IMDIFF_CHECK(out.good()) << "write failed" << path;
+}
+
+bool LoadParameters(std::vector<Var>& params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0) return false;
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || count != params.size()) return false;
+  for (Var& p : params) {
+    uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in.good() || ndim != p.value().ndim()) return false;
+    for (size_t d = 0; d < ndim; ++d) {
+      int64_t dim = 0;
+      in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+      if (!in.good() || dim != p.value().dim(d)) return false;
+    }
+    in.read(reinterpret_cast<char*>(p.mutable_value().mutable_data()),
+            static_cast<std::streamsize>(sizeof(float) * p.value().numel()));
+    if (!in.good()) return false;
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace imdiff

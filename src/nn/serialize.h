@@ -1,0 +1,28 @@
+// Binary (de)serialization of model parameters.
+//
+// Format: magic "IMDF", uint32 count, then per tensor: uint32 ndim,
+// int64 dims..., float payload. Loading requires identical shapes (the model
+// must be constructed with the same configuration first).
+
+#ifndef IMDIFF_NN_SERIALIZE_H_
+#define IMDIFF_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace imdiff {
+namespace nn {
+
+// Writes all parameter values to `path`. Aborts on IO failure.
+void SaveParameters(const std::vector<Var>& params, const std::string& path);
+
+// Loads values into `params` in order. Returns false (without aborting) when
+// the file is missing or malformed, so callers can fall back to training.
+bool LoadParameters(std::vector<Var>& params, const std::string& path);
+
+}  // namespace nn
+}  // namespace imdiff
+
+#endif  // IMDIFF_NN_SERIALIZE_H_

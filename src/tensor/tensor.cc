@@ -1,0 +1,109 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+#ifdef __GLIBC__
+#include <malloc.h>
+#endif
+
+namespace imdiff {
+namespace {
+
+// Training/inference loops allocate and free many multi-hundred-KB tensors.
+// With glibc's default 128 KiB mmap threshold each of those becomes an
+// mmap/munmap pair (kernel page zeroing dominates). Raising the threshold
+// keeps the chunks on the heap for reuse.
+struct MallocTuning {
+  MallocTuning() {
+#ifdef __GLIBC__
+    mallopt(M_MMAP_THRESHOLD, 512 * 1024 * 1024);
+    mallopt(M_TRIM_THRESHOLD, 512 * 1024 * 1024);
+#endif
+  }
+};
+const MallocTuning kMallocTuning;
+
+}  // namespace
+}  // namespace imdiff
+
+namespace imdiff {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    IMDIFF_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  Tensor t(shape);
+  std::fill(t.data_->begin(), t.data_->end(), value);
+  return t;
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev) {
+  Tensor t(shape);
+  rng.FillNormal(*t.data_);
+  if (stddev != 1.0f) {
+    for (float& v : *t.data_) v *= stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Rand(const Shape& shape, Rng& rng, float lo, float hi) {
+  Tensor t(shape);
+  for (float& v : *t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      IMDIFF_CHECK_EQ(infer, -1) << "at most one -1 dimension";
+      infer = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer >= 0) {
+    IMDIFF_CHECK_GT(known, 0);
+    IMDIFF_CHECK_EQ(numel() % known, 0)
+        << "cannot infer dim for" << ShapeToString(new_shape);
+    new_shape[static_cast<size_t>(infer)] = numel() / known;
+  }
+  IMDIFF_CHECK_EQ(NumElements(new_shape), numel())
+      << ShapeToString(shape_) << "->" << ShapeToString(new_shape);
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  int64_t n = std::min<int64_t>(numel(), max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << flat(i);
+  }
+  if (n < numel()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace imdiff

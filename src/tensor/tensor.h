@@ -1,0 +1,117 @@
+// Dense row-major float32 tensor.
+//
+// The storage is shared (std::shared_ptr) so that copies, reshapes, and
+// autograd bookkeeping are cheap. Tensors are logically written once after
+// construction; in-place mutation via mutable_data() is reserved for the code
+// that created the tensor.
+
+#ifndef IMDIFF_TENSOR_TENSOR_H_
+#define IMDIFF_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "utils/check.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+
+using Shape = std::vector<int64_t>;
+
+// Number of elements covered by a shape.
+int64_t NumElements(const Shape& shape);
+
+// Human-readable "[a, b, c]" rendering.
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  // An empty 0-element tensor.
+  Tensor() : shape_{0}, data_(std::make_shared<std::vector<float>>()) {}
+
+  // Uninitialized-to-zero tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<std::vector<float>>(NumElements(shape_), 0.0f)) {}
+
+  Tensor(Shape shape, std::vector<float> values)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<std::vector<float>>(std::move(values))) {
+    IMDIFF_CHECK_EQ(NumElements(shape_), static_cast<int64_t>(data_->size()));
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  // ---- Factories ------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
+  static Tensor Full(const Shape& shape, float value);
+  static Tensor Scalar(float value) { return Tensor({1}, {value}); }
+  // iid N(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng& rng, float stddev = 1.0f);
+  // iid U[lo, hi) entries.
+  static Tensor Rand(const Shape& shape, Rng& rng, float lo = 0.0f,
+                     float hi = 1.0f);
+
+  // ---- Introspection ---------------------------------------------------
+
+  const Shape& shape() const { return shape_; }
+  int64_t dim(size_t axis) const {
+    IMDIFF_CHECK_LT(axis, shape_.size());
+    return shape_[axis];
+  }
+  size_t ndim() const { return shape_.size(); }
+  int64_t numel() const { return static_cast<int64_t>(data_->size()); }
+
+  const float* data() const { return data_->data(); }
+  float* mutable_data() { return data_->data(); }
+  const std::vector<float>& vec() const { return *data_; }
+
+  float flat(int64_t i) const {
+    IMDIFF_CHECK(i >= 0 && i < numel()) << "index" << i;
+    return (*data_)[static_cast<size_t>(i)];
+  }
+  void set_flat(int64_t i, float v) {
+    IMDIFF_CHECK(i >= 0 && i < numel()) << "index" << i;
+    (*data_)[static_cast<size_t>(i)] = v;
+  }
+
+  // 2D / 3D / 4D element accessors (debug-friendly; hot loops index data()).
+  float at(int64_t i, int64_t j) const {
+    IMDIFF_CHECK_EQ(ndim(), 2u);
+    return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+  }
+  float at(int64_t i, int64_t j, int64_t k) const {
+    IMDIFF_CHECK_EQ(ndim(), 3u);
+    return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+    IMDIFF_CHECK_EQ(ndim(), 4u);
+    return (*data_)[static_cast<size_t>(
+        ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+  }
+
+  // ---- Shape manipulation (storage-sharing) ----------------------------
+
+  // Returns a tensor viewing the same storage with a new shape. One dimension
+  // may be -1 (inferred).
+  Tensor Reshape(Shape new_shape) const;
+
+  // Deep copy with distinct storage.
+  Tensor Clone() const { return Tensor(shape_, *data_); }
+
+  std::string ToString(int64_t max_elements = 32) const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_TENSOR_TENSOR_H_

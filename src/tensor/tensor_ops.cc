@@ -1,0 +1,539 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace imdiff {
+namespace {
+
+// Computes row-major strides for a shape.
+std::vector<int64_t> Strides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (size_t i = shape.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * shape[i];
+  }
+  return strides;
+}
+
+// Inner 2D matmul kernel: c[m,n] += a[m,k] * b[k,n], with optional logical
+// transposition of a and/or b. Pointers address contiguous row-major blocks.
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool ta, bool tb) {
+  if (!ta && !tb) {
+    // ikj ordering with 4-way unrolling over k: streams b rows and amortizes
+    // the c-row traffic across four partial products.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = arow[p], a1 = arow[p + 1];
+        const float a2 = arow[p + 2], a3 = arow[p + 3];
+        const float* b0 = b + p * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+      }
+      for (; p < k; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (ta && !tb) {
+    // a is [k,m] physically: c[i][j] += sum_p a[p][i] b[p][j], unrolled 4x
+    // over the reduction dim p.
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      int64_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = a[p * m + i], a1 = a[(p + 1) * m + i];
+        const float a2 = a[(p + 2) * m + i], a3 = a[(p + 3) * m + i];
+        const float* b0 = b + p * n;
+        const float* b1 = b0 + n;
+        const float* b2 = b1 + n;
+        const float* b3 = b2 + n;
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+      }
+      for (; p < k; ++p) {
+        const float av = a[p * m + i];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!ta && tb) {
+    // b is [n,k] physically: dot products of contiguous rows.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  } else {
+    // a [k,m], b [n,k].
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
+              bool transpose_b) {
+  IMDIFF_CHECK_EQ(a.ndim(), 2u);
+  IMDIFF_CHECK_EQ(b.ndim(), 2u);
+  const int64_t m = transpose_a ? a.dim(1) : a.dim(0);
+  const int64_t k = transpose_a ? a.dim(0) : a.dim(1);
+  const int64_t kb = transpose_b ? b.dim(1) : b.dim(0);
+  const int64_t n = transpose_b ? b.dim(0) : b.dim(1);
+  IMDIFF_CHECK_EQ(k, kb) << "matmul inner dims" << ShapeToString(a.shape())
+                         << ShapeToString(b.shape());
+  Tensor c({m, n});
+  MatMulKernel(a.data(), b.data(), c.mutable_data(), m, k, n, transpose_a,
+               transpose_b);
+  return c;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool transpose_a,
+                     bool transpose_b) {
+  IMDIFF_CHECK_EQ(a.ndim(), 3u);
+  IMDIFF_CHECK_EQ(b.ndim(), 3u);
+  IMDIFF_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t batch = a.dim(0);
+  const int64_t m = transpose_a ? a.dim(2) : a.dim(1);
+  const int64_t k = transpose_a ? a.dim(1) : a.dim(2);
+  const int64_t kb = transpose_b ? b.dim(2) : b.dim(1);
+  const int64_t n = transpose_b ? b.dim(1) : b.dim(2);
+  IMDIFF_CHECK_EQ(k, kb) << "bmm inner dims" << ShapeToString(a.shape())
+                         << ShapeToString(b.shape());
+  Tensor c({batch, m, n});
+  const int64_t a_step = a.dim(1) * a.dim(2);
+  const int64_t b_step = b.dim(1) * b.dim(2);
+  const int64_t c_step = m * n;
+  for (int64_t i = 0; i < batch; ++i) {
+    MatMulKernel(a.data() + i * a_step, b.data() + i * b_step,
+                 c.mutable_data() + i * c_step, m, k, n, transpose_a,
+                 transpose_b);
+  }
+  return c;
+}
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const size_t nd = std::max(a.size(), b.size());
+  Shape out(nd, 1);
+  for (size_t i = 0; i < nd; ++i) {
+    const int64_t da = i < nd - a.size() ? 1 : a[i - (nd - a.size())];
+    const int64_t db = i < nd - b.size() ? 1 : b[i - (nd - b.size())];
+    IMDIFF_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast" << ShapeToString(a) << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Op>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.mutable_data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const size_t nd = out_shape.size();
+  // Effective strides for a and b in the output coordinate system: 0 where the
+  // input dimension is broadcast.
+  std::vector<int64_t> sa(nd, 0), sb(nd, 0);
+  {
+    const auto stra = Strides(a.shape());
+    const auto strb = Strides(b.shape());
+    for (size_t i = 0; i < nd; ++i) {
+      if (i >= nd - a.shape().size()) {
+        const size_t ai = i - (nd - a.shape().size());
+        sa[i] = a.shape()[ai] == 1 ? 0 : stra[ai];
+      }
+      if (i >= nd - b.shape().size()) {
+        const size_t bi = i - (nd - b.shape().size());
+        sb[i] = b.shape()[bi] == 1 ? 0 : strb[bi];
+      }
+    }
+  }
+  std::vector<int64_t> idx(nd, 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.mutable_data();
+  const int64_t n = out.numel();
+  int64_t off_a = 0, off_b = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = op(pa[off_a], pb[off_b]);
+    // Increment multi-index from the last axis.
+    for (size_t d = nd; d-- > 0;) {
+      ++idx[d];
+      off_a += sa[d];
+      off_b += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      off_a -= sa[d] * out_shape[d];
+      off_b -= sb[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  // Align target to t's rank with leading 1s, sum over broadcast axes.
+  const size_t nd = t.ndim();
+  Shape aligned(nd, 1);
+  for (size_t i = 0; i < target.size(); ++i) {
+    aligned[nd - target.size() + i] = target[i];
+  }
+  Tensor out = t;
+  for (size_t axis = 0; axis < nd; ++axis) {
+    if (aligned[axis] == 1 && out.dim(axis) != 1) {
+      out = ReduceSumAxis(out, axis, /*keepdim=*/true);
+    }
+  }
+  return out.Reshape(target);
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + s;
+  return out;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.mutable_data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+Tensor Permute(const Tensor& t, const std::vector<size_t>& perm) {
+  IMDIFF_CHECK_EQ(perm.size(), t.ndim());
+  const size_t nd = t.ndim();
+  Shape out_shape(nd);
+  for (size_t i = 0; i < nd; ++i) out_shape[i] = t.dim(perm[i]);
+  Tensor out(out_shape);
+  const auto in_strides = Strides(t.shape());
+  // Stride of the output's i-th axis inside the input buffer.
+  std::vector<int64_t> gather(nd);
+  for (size_t i = 0; i < nd; ++i) gather[i] = in_strides[perm[i]];
+  std::vector<int64_t> idx(nd, 0);
+  const float* pin = t.data();
+  float* pout = out.mutable_data();
+  const int64_t n = t.numel();
+  int64_t off = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    pout[flat] = pin[off];
+    for (size_t d = nd; d-- > 0;) {
+      ++idx[d];
+      off += gather[d];
+      if (idx[d] < out_shape[d]) break;
+      off -= gather[d] * out_shape[d];
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, size_t axis) {
+  IMDIFF_CHECK(!parts.empty());
+  const size_t nd = parts[0].ndim();
+  IMDIFF_CHECK_LT(axis, nd);
+  Shape out_shape = parts[0].shape();
+  out_shape[axis] = 0;
+  for (const Tensor& p : parts) {
+    IMDIFF_CHECK_EQ(p.ndim(), nd);
+    for (size_t d = 0; d < nd; ++d) {
+      if (d != axis) {
+        IMDIFF_CHECK_EQ(p.dim(d), parts[0].dim(d));
+      }
+    }
+    out_shape[axis] += p.dim(axis);
+  }
+  Tensor out(out_shape);
+  // outer: product of dims before axis; inner: product after.
+  int64_t outer = 1, inner = 1;
+  for (size_t d = 0; d < axis; ++d) outer *= out_shape[d];
+  for (size_t d = axis + 1; d < nd; ++d) inner *= out_shape[d];
+  float* po = out.mutable_data();
+  const int64_t out_row = out_shape[axis] * inner;
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t p_row = p.dim(axis) * inner;
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + o * out_row + offset, pp + o * p_row,
+                  sizeof(float) * static_cast<size_t>(p_row));
+    }
+    offset += p_row;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& t, size_t axis, int64_t start, int64_t len) {
+  IMDIFF_CHECK_LT(axis, t.ndim());
+  IMDIFF_CHECK_GE(start, 0);
+  IMDIFF_CHECK_LE(start + len, t.dim(axis));
+  Shape out_shape = t.shape();
+  out_shape[axis] = len;
+  Tensor out(out_shape);
+  int64_t outer = 1, inner = 1;
+  for (size_t d = 0; d < axis; ++d) outer *= t.dim(d);
+  for (size_t d = axis + 1; d < t.ndim(); ++d) inner *= t.dim(d);
+  const int64_t in_row = t.dim(axis) * inner;
+  const int64_t out_row = len * inner;
+  const float* pin = t.data();
+  float* pout = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(pout + o * out_row, pin + o * in_row + start * inner,
+                sizeof(float) * static_cast<size_t>(out_row));
+  }
+  return out;
+}
+
+Tensor SliceBackward(const Tensor& grad, const Shape& full_shape, size_t axis,
+                     int64_t start) {
+  Tensor out(full_shape);
+  int64_t outer = 1, inner = 1;
+  for (size_t d = 0; d < axis; ++d) outer *= full_shape[d];
+  for (size_t d = axis + 1; d < full_shape.size(); ++d) inner *= full_shape[d];
+  const int64_t len = grad.dim(axis);
+  const int64_t out_row = full_shape[axis] * inner;
+  const int64_t g_row = len * inner;
+  const float* pg = grad.data();
+  float* po = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::memcpy(po + o * out_row + start * inner, pg + o * g_row,
+                sizeof(float) * static_cast<size_t>(g_row));
+  }
+  return out;
+}
+
+Tensor SoftmaxLastDim(const Tensor& t) {
+  IMDIFF_CHECK_GE(t.ndim(), 1u);
+  const int64_t last = t.dim(t.ndim() - 1);
+  const int64_t rows = t.numel() / last;
+  Tensor out(t.shape());
+  const float* pin = t.data();
+  float* pout = out.mutable_data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pin + r * last;
+    float* orow = pout + r * last;
+    float mx = row[0];
+    for (int64_t j = 1; j < last; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < last; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < last; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor ReduceSumAxis(const Tensor& t, size_t axis, bool keepdim) {
+  IMDIFF_CHECK_LT(axis, t.ndim());
+  int64_t outer = 1, inner = 1;
+  for (size_t d = 0; d < axis; ++d) outer *= t.dim(d);
+  for (size_t d = axis + 1; d < t.ndim(); ++d) inner *= t.dim(d);
+  const int64_t reduce = t.dim(axis);
+  Shape out_shape = t.shape();
+  if (keepdim) {
+    out_shape[axis] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + static_cast<int64_t>(axis));
+    if (out_shape.empty()) out_shape = {1};
+  }
+  Tensor out(out_shape);
+  const float* pin = t.data();
+  float* pout = out.mutable_data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t r = 0; r < reduce; ++r) {
+      const float* src = pin + (o * reduce + r) * inner;
+      float* dst = pout + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+double SumAll(const Tensor& t) {
+  double acc = 0.0;
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+double MeanAll(const Tensor& t) {
+  IMDIFF_CHECK_GT(t.numel(), 0);
+  return SumAll(t) / static_cast<double>(t.numel());
+}
+
+Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias, int pad) {
+  IMDIFF_CHECK_EQ(x.ndim(), 3u);
+  IMDIFF_CHECK_EQ(w.ndim(), 3u);
+  const int64_t batch = x.dim(0), cin = x.dim(1), length = x.dim(2);
+  const int64_t cout = w.dim(0), kernel = w.dim(2);
+  IMDIFF_CHECK_EQ(w.dim(1), cin);
+  const int64_t lout = length + 2 * pad - kernel + 1;
+  IMDIFF_CHECK_GT(lout, 0);
+  Tensor y({batch, cout, lout});
+  const float* px = x.data();
+  const float* pw = w.data();
+  float* py = y.mutable_data();
+  const bool has_bias = bias.numel() > 0;
+  if (has_bias) {
+    IMDIFF_CHECK_EQ(bias.numel(), cout);
+    const float* pb = bias.data();
+    for (int64_t b = 0; b < batch; ++b)
+      for (int64_t co = 0; co < cout; ++co) {
+        float* row = py + (b * cout + co) * lout;
+        for (int64_t l = 0; l < lout; ++l) row[l] = pb[co];
+      }
+  }
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* yrow = py + (b * cout + co) * lout;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = px + (b * cin + ci) * length;
+        const float* wrow = pw + (co * cin + ci) * kernel;
+        for (int64_t kk = 0; kk < kernel; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          const int64_t in_off = kk - pad;
+          const int64_t l_lo = std::max<int64_t>(0, -in_off);
+          const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
+          for (int64_t l = l_lo; l < l_hi; ++l) {
+            yrow[l] += wv * xrow[l + in_off];
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+void Conv1dBackward(const Tensor& x, const Tensor& w, int pad,
+                    const Tensor& grad_out, Tensor* grad_x, Tensor* grad_w,
+                    Tensor* grad_bias) {
+  const int64_t batch = x.dim(0), cin = x.dim(1), length = x.dim(2);
+  const int64_t cout = w.dim(0), kernel = w.dim(2);
+  const int64_t lout = grad_out.dim(2);
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pg = grad_out.data();
+  if (grad_bias != nullptr) {
+    *grad_bias = Tensor({cout});
+    float* pb = grad_bias->mutable_data();
+    for (int64_t b = 0; b < batch; ++b)
+      for (int64_t co = 0; co < cout; ++co) {
+        const float* grow = pg + (b * cout + co) * lout;
+        for (int64_t l = 0; l < lout; ++l) pb[co] += grow[l];
+      }
+  }
+  if (grad_w != nullptr) {
+    *grad_w = Tensor(w.shape());
+    float* pgw = grad_w->mutable_data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t co = 0; co < cout; ++co) {
+        const float* grow = pg + (b * cout + co) * lout;
+        for (int64_t ci = 0; ci < cin; ++ci) {
+          const float* xrow = px + (b * cin + ci) * length;
+          float* wrow = pgw + (co * cin + ci) * kernel;
+          for (int64_t kk = 0; kk < kernel; ++kk) {
+            const int64_t in_off = kk - pad;
+            const int64_t l_lo = std::max<int64_t>(0, -in_off);
+            const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
+            float acc = 0.0f;
+            for (int64_t l = l_lo; l < l_hi; ++l) {
+              acc += grow[l] * xrow[l + in_off];
+            }
+            wrow[kk] += acc;
+          }
+        }
+      }
+    }
+  }
+  if (grad_x != nullptr) {
+    *grad_x = Tensor(x.shape());
+    float* pgx = grad_x->mutable_data();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t co = 0; co < cout; ++co) {
+        const float* grow = pg + (b * cout + co) * lout;
+        for (int64_t ci = 0; ci < cin; ++ci) {
+          float* xrow = pgx + (b * cin + ci) * length;
+          const float* wrow = pw + (co * cin + ci) * kernel;
+          for (int64_t kk = 0; kk < kernel; ++kk) {
+            const float wv = wrow[kk];
+            if (wv == 0.0f) continue;
+            const int64_t in_off = kk - pad;
+            const int64_t l_lo = std::max<int64_t>(0, -in_off);
+            const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
+            for (int64_t l = l_lo; l < l_hi; ++l) {
+              xrow[l + in_off] += wv * grow[l];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace imdiff

@@ -1,0 +1,92 @@
+// Raw (non-differentiable) tensor kernels.
+//
+// These functions implement the numeric primitives used by the autograd layer
+// in src/nn. Broadcasting follows NumPy rules: shapes align from the trailing
+// dimension, and each aligned pair must be equal or contain a 1.
+
+#ifndef IMDIFF_TENSOR_TENSOR_OPS_H_
+#define IMDIFF_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace imdiff {
+
+// ---- Matrix products ------------------------------------------------------
+
+// 2D product: a [m,k] x b [k,n] -> [m,n]. transpose_a / transpose_b treat the
+// input as transposed (shapes given pre-transpose).
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+
+// Batched 3D product: a [B,m,k] x b [B,k,n] -> [B,m,n] with the same
+// transposition flags per batch element.
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+                     bool transpose_b = false);
+
+// ---- Broadcasting element-wise ops -----------------------------------------
+
+// Shape of a op b under NumPy broadcasting; aborts if incompatible.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// Reduces `t` by summation down to `target` (inverse of broadcasting);
+// used when propagating gradients through broadcast ops.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// ---- Scalar / unary ---------------------------------------------------------
+
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+// Applies `f` element-wise.
+Tensor Map(const Tensor& a, const std::function<float(float)>& f);
+
+// ---- Structural -------------------------------------------------------------
+
+// Permutes axes: out[idx[perm]] = in[idx]. perm is a permutation of
+// [0, ndim).
+Tensor Permute(const Tensor& t, const std::vector<size_t>& perm);
+
+// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, size_t axis);
+
+// Extracts t[..., start:start+len, ...] along `axis`.
+Tensor Slice(const Tensor& t, size_t axis, int64_t start, int64_t len);
+
+// Scatter-adds `grad` (a slice-shaped tensor) back into a zero tensor of shape
+// `full_shape` at [start, start+len) along `axis`. Used by Slice backward.
+Tensor SliceBackward(const Tensor& grad, const Shape& full_shape, size_t axis,
+                     int64_t start);
+
+// ---- Reductions / softmax ----------------------------------------------------
+
+// Softmax along the last dimension.
+Tensor SoftmaxLastDim(const Tensor& t);
+
+// Sum over one axis. keepdim keeps a 1-sized axis in place.
+Tensor ReduceSumAxis(const Tensor& t, size_t axis, bool keepdim);
+
+double SumAll(const Tensor& t);
+double MeanAll(const Tensor& t);
+
+// ---- Convolution --------------------------------------------------------------
+
+// 1D convolution, stride 1, zero padding `pad` on both sides:
+//   x [B, Cin, L], w [Cout, Cin, K], bias [Cout] (may be empty) -> [B, Cout, Lout]
+// with Lout = L + 2*pad - K + 1.
+Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias, int pad);
+
+// Gradients of Conv1d. Any output pointer may be null to skip it.
+void Conv1dBackward(const Tensor& x, const Tensor& w, int pad,
+                    const Tensor& grad_out, Tensor* grad_x, Tensor* grad_w,
+                    Tensor* grad_bias);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,63 @@
+// Precondition-checking macros.
+//
+// The library does not use exceptions (Google style). Programmer errors —
+// shape mismatches, out-of-range indices, invalid configuration — abort the
+// process with a message identifying the failing condition and location.
+
+#ifndef IMDIFF_UTILS_CHECK_H_
+#define IMDIFF_UTILS_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace imdiff {
+namespace internal_check {
+
+// Collects a streamed message and aborts in the destructor. Used only via the
+// IMDIFF_CHECK family below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace imdiff
+
+// Aborts with a diagnostic when `condition` is false. Additional context may
+// be streamed: IMDIFF_CHECK(a == b) << "a=" << a;
+#define IMDIFF_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::imdiff::internal_check::CheckFailure(#condition, __FILE__, __LINE__)
+
+#define IMDIFF_CHECK_EQ(a, b) IMDIFF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define IMDIFF_CHECK_NE(a, b) IMDIFF_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define IMDIFF_CHECK_LT(a, b) IMDIFF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define IMDIFF_CHECK_LE(a, b) IMDIFF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define IMDIFF_CHECK_GT(a, b) IMDIFF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define IMDIFF_CHECK_GE(a, b) IMDIFF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // IMDIFF_UTILS_CHECK_H_

@@ -1,0 +1,62 @@
+#include "utils/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in(line);
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+std::vector<std::vector<float>> ReadCsv(const std::string& path,
+                                        bool skip_header) {
+  std::ifstream in(path);
+  IMDIFF_CHECK(in.good()) << "cannot open" << path;
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    std::vector<float> row;
+    for (const std::string& cell : SplitCsvLine(line)) {
+      row.push_back(static_cast<float>(std::atof(cell.c_str())));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<float>>& rows) {
+  std::ofstream out(path);
+  IMDIFF_CHECK(out.good()) << "cannot write" << path;
+  if (!header.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (i > 0) out << ",";
+      out << header[i];
+    }
+    out << "\n";
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace imdiff

@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+
+#ifndef IMDIFF_UTILS_LOGGING_H_
+#define IMDIFF_UTILS_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace imdiff {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level emitted; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace imdiff
+
+#define IMDIFF_LOG(level)                                                  \
+  ::imdiff::internal_log::LogMessage(::imdiff::LogLevel::k##level, __FILE__, \
+                                     __LINE__)
+
+#endif  // IMDIFF_UTILS_LOGGING_H_

@@ -1,0 +1,16 @@
+#include "utils/rng.h"
+
+namespace imdiff {
+
+void Rng::FillNormal(std::vector<float>& out) {
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  for (float& v : out) v = dist(engine_);
+}
+
+Rng Rng::Fork() {
+  // Draw a fresh 64-bit seed; mixes so children are decorrelated.
+  uint64_t child = engine_() * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+  return Rng(child);
+}
+
+}  // namespace imdiff

@@ -1,0 +1,56 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library receives an explicit Rng (or a
+// seed) so that runs are reproducible; there is no global generator.
+
+#ifndef IMDIFF_UTILS_RNG_H_
+#define IMDIFF_UTILS_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace imdiff {
+
+// A seeded pseudo-random generator wrapping std::mt19937_64 with convenience
+// samplers for the distributions used across the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Standard normal scaled to N(mean, stddev^2).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Bernoulli with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Fills `out` with iid N(0,1) floats.
+  void FillNormal(std::vector<float>& out);
+
+  // Derives an independent child generator; the i-th child of a given seed is
+  // stable across runs.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_UTILS_RNG_H_

@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for throughput reporting.
+
+#ifndef IMDIFF_UTILS_STOPWATCH_H_
+#define IMDIFF_UTILS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace imdiff {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_UTILS_STOPWATCH_H_

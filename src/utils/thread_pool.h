@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// Used by the evaluation harness to run independent (detector, dataset, seed)
+// combinations concurrently. Each task owns its Rng, so parallel execution
+// does not perturb determinism.
+
+#ifndef IMDIFF_UTILS_THREAD_POOL_H_
+#define IMDIFF_UTILS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace imdiff {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Runs body(i) for i in [0, n) across the pool, blocking until all complete.
+// With a null pool the loop runs inline.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_UTILS_THREAD_POOL_H_

@@ -1,0 +1,124 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/iforest.h"
+#include "data/synthetic.h"
+#include "eval/runner.h"
+#include "metrics/classification.h"
+
+namespace imdiff {
+namespace {
+
+// Shared tiny dataset with one obvious level-shift anomaly.
+MtsDataset TinyDataset(uint64_t seed) {
+  SyntheticConfig signal;
+  signal.length = 500;
+  signal.dims = 3;
+  signal.noise_sigma = 0.02f;
+  signal.burst_rate = 0.0;
+  signal.bump_rate = 0.0;
+  signal.ar_sigma = 0.01f;
+  Rng rng(seed);
+  Tensor full = GenerateCleanSeries(signal, rng);
+  MtsDataset ds;
+  ds.name = "tiny";
+  Tensor train({250, 3});
+  Tensor test({250, 3});
+  std::copy_n(full.data(), 250 * 3, train.mutable_data());
+  std::copy_n(full.data() + 250 * 3, 250 * 3, test.mutable_data());
+  ds.train = std::move(train);
+  ds.test = std::move(test);
+  for (int64_t t = 120; t < 160; ++t) {
+    for (int64_t k = 0; k < 3; ++k) {
+      ds.test.mutable_data()[t * 3 + k] += 4.0f;
+    }
+  }
+  ds.test_labels.assign(250, 0);
+  for (int64_t t = 120; t < 160; ++t) ds.test_labels[t] = 1;
+  return ds;
+}
+
+TEST(IsolationForestTest, SeparatesObviousOutliers) {
+  IsolationForestConfig config;
+  config.num_trees = 50;
+  IsolationForest forest(config);
+  MtsDataset ds = NormalizeDataset(TinyDataset(1));
+  forest.Fit(ds.train);
+  DetectionResult result = forest.Run(ds.test);
+  // Mean score inside the anomaly clearly exceeds the normal mean.
+  double anomaly_mean = 0, normal_mean = 0;
+  int na = 0, nn = 0;
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    if (ds.test_labels[i]) {
+      anomaly_mean += result.scores[i];
+      ++na;
+    } else {
+      normal_mean += result.scores[i];
+      ++nn;
+    }
+  }
+  EXPECT_GT(anomaly_mean / na, normal_mean / nn + 0.05);
+}
+
+TEST(IsolationForestTest, ScoresInUnitRange) {
+  IsolationForestConfig config;
+  IsolationForest forest(config);
+  MtsDataset ds = NormalizeDataset(TinyDataset(2));
+  forest.Fit(ds.train);
+  DetectionResult result = forest.Run(ds.test);
+  for (float s : result.scores) {
+    EXPECT_GE(s, 0.0f);
+    EXPECT_LE(s, 1.0f);
+  }
+}
+
+TEST(IsolationForestTest, DeterministicGivenSeed) {
+  MtsDataset ds = NormalizeDataset(TinyDataset(3));
+  IsolationForestConfig config;
+  config.seed = 9;
+  IsolationForest a(config);
+  IsolationForest b(config);
+  a.Fit(ds.train);
+  b.Fit(ds.train);
+  DetectionResult ra = a.Run(ds.test);
+  DetectionResult rb = b.Run(ds.test);
+  for (size_t i = 0; i < ra.scores.size(); ++i) {
+    EXPECT_EQ(ra.scores[i], rb.scores[i]);
+  }
+}
+
+// Every baseline must fit, run, emit a full finite score series, and give
+// anomalies a higher mean score than normal data on an easy task.
+class BaselineSmokeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineSmokeTest, FitRunAndSeparate) {
+  MtsDataset ds = NormalizeDataset(TinyDataset(4));
+  auto detector = MakeDetector(GetParam(), 11, SpeedProfile::kFast);
+  ASSERT_NE(detector, nullptr);
+  EXPECT_EQ(detector->name(), GetParam());
+  detector->Fit(ds.train);
+  DetectionResult result = detector->Run(ds.test);
+  ASSERT_EQ(result.scores.size(), ds.test_labels.size());
+  for (float s : result.scores) EXPECT_TRUE(std::isfinite(s));
+  BinaryMetrics best;
+  BestF1Threshold(result.scores, ds.test_labels, 32, &best);
+  // Easy 4-sigma shift: every method should reach a usable F1.
+  EXPECT_GT(best.f1, 0.5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineSmokeTest,
+    ::testing::Values("IForest", "BeatGAN", "LSTM-AD", "InterFusion",
+                      "OmniAnomaly", "GDN", "MAD-GAN", "MTAD-GAT", "MSCRED",
+                      "TranAD"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace imdiff

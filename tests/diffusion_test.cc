@@ -1,0 +1,198 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/ddpm.h"
+#include "diffusion/schedule.h"
+
+namespace imdiff {
+namespace {
+
+class ScheduleTypeTest : public ::testing::TestWithParam<ScheduleType> {};
+
+TEST_P(ScheduleTypeTest, Invariants) {
+  ScheduleConfig config;
+  config.type = GetParam();
+  config.num_steps = 50;
+  NoiseSchedule schedule(config);
+  EXPECT_EQ(schedule.num_steps(), 50);
+  float prev_bar = 1.0f;
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_GT(schedule.beta(t), 0.0f);
+    EXPECT_LT(schedule.beta(t), 1.0f);
+    EXPECT_NEAR(schedule.alpha(t), 1.0f - schedule.beta(t), 1e-6);
+    // ᾱ monotonically decreasing in (0, 1].
+    EXPECT_LT(schedule.alpha_bar(t), prev_bar + 1e-7);
+    EXPECT_GT(schedule.alpha_bar(t), 0.0f);
+    prev_bar = schedule.alpha_bar(t);
+    // sqrt identities.
+    EXPECT_NEAR(schedule.sqrt_alpha_bar(t) * schedule.sqrt_alpha_bar(t),
+                schedule.alpha_bar(t), 1e-5);
+    EXPECT_NEAR(schedule.sqrt_one_minus_alpha_bar(t) *
+                    schedule.sqrt_one_minus_alpha_bar(t),
+                1.0f - schedule.alpha_bar(t), 1e-5);
+    EXPECT_GE(schedule.posterior_variance(t), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ScheduleTypeTest,
+                         ::testing::Values(ScheduleType::kLinear,
+                                           ScheduleType::kQuadratic,
+                                           ScheduleType::kCosine),
+                         [](const ::testing::TestParamInfo<ScheduleType>& i) {
+                           switch (i.param) {
+                             case ScheduleType::kLinear:
+                               return "Linear";
+                             case ScheduleType::kQuadratic:
+                               return "Quadratic";
+                             case ScheduleType::kCosine:
+                               return "Cosine";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ScheduleTest, LinearEndpoints) {
+  ScheduleConfig config;
+  config.type = ScheduleType::kLinear;
+  config.num_steps = 10;
+  config.beta_start = 0.001f;
+  config.beta_end = 0.2f;
+  NoiseSchedule schedule(config);
+  EXPECT_NEAR(schedule.beta(0), 0.001f, 1e-6);
+  EXPECT_NEAR(schedule.beta(9), 0.2f, 1e-6);
+}
+
+TEST(ScheduleTest, QuadraticSqrtSpacing) {
+  ScheduleConfig config;
+  config.type = ScheduleType::kQuadratic;
+  config.num_steps = 3;
+  config.beta_start = 0.01f;
+  config.beta_end = 0.09f;
+  NoiseSchedule schedule(config);
+  // sqrt(beta) evenly spaced: 0.1, 0.2, 0.3.
+  EXPECT_NEAR(schedule.beta(0), 0.01f, 1e-5);
+  EXPECT_NEAR(schedule.beta(1), 0.04f, 1e-5);
+  EXPECT_NEAR(schedule.beta(2), 0.09f, 1e-5);
+}
+
+TEST(DdpmTest, QSampleMatchesClosedForm) {
+  ScheduleConfig config;
+  config.num_steps = 20;
+  GaussianDiffusion diffusion(config);
+  Rng rng(1);
+  Tensor x0 = Tensor::Full({4}, 2.0f);
+  Tensor eps = Tensor::Full({4}, 1.0f);
+  const int t = 7;
+  Tensor xt = diffusion.QSampleWithNoise(x0, t, eps);
+  const float a = diffusion.schedule().sqrt_alpha_bar(t);
+  const float b = diffusion.schedule().sqrt_one_minus_alpha_bar(t);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(xt.flat(i), a * 2.0f + b * 1.0f, 1e-5);
+  }
+}
+
+TEST(DdpmTest, QSampleVarianceGrowsWithT) {
+  ScheduleConfig config;
+  config.num_steps = 50;
+  GaussianDiffusion diffusion(config);
+  Rng rng(2);
+  Tensor x0 = Tensor::Zeros({5000});
+  Tensor early = diffusion.QSample(x0, 1, rng, nullptr);
+  Tensor late = diffusion.QSample(x0, 49, rng, nullptr);
+  auto variance = [](const Tensor& t) {
+    double var = 0;
+    for (int64_t i = 0; i < t.numel(); ++i) var += t.flat(i) * t.flat(i);
+    return var / t.numel();
+  };
+  EXPECT_LT(variance(early), variance(late));
+  // At the final step the signal is almost fully corrupted: variance ~ 1-ᾱ.
+  EXPECT_NEAR(variance(late), 1.0 - diffusion.schedule().alpha_bar(49), 0.1);
+}
+
+TEST(DdpmTest, PredictX0InvertsQSample) {
+  // With the true noise, PredictX0 must exactly recover x0.
+  ScheduleConfig config;
+  config.num_steps = 30;
+  GaussianDiffusion diffusion(config);
+  Rng rng(3);
+  Tensor x0 = Tensor::Randn({8}, rng);
+  for (int t : {0, 10, 29}) {
+    Tensor eps;
+    Tensor xt = diffusion.QSample(x0, t, rng, &eps);
+    Tensor rec = diffusion.PredictX0(xt, eps, t);
+    for (int64_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(rec.flat(i), x0.flat(i), 1e-3) << "t=" << t;
+    }
+  }
+}
+
+TEST(DdpmTest, PosteriorMeanFormula) {
+  ScheduleConfig config;
+  config.num_steps = 10;
+  GaussianDiffusion diffusion(config);
+  Tensor xt = Tensor::Full({2}, 1.0f);
+  Tensor eps = Tensor::Full({2}, 0.5f);
+  const int t = 4;
+  Tensor mean = diffusion.PosteriorMean(xt, eps, t);
+  const NoiseSchedule& s = diffusion.schedule();
+  const float expected =
+      (1.0f - s.beta(t) / s.sqrt_one_minus_alpha_bar(t) * 0.5f) /
+      std::sqrt(s.alpha(t));
+  EXPECT_NEAR(mean.flat(0), expected, 1e-5);
+}
+
+TEST(DdpmTest, PStepIsDeterministicAtT0) {
+  ScheduleConfig config;
+  config.num_steps = 10;
+  GaussianDiffusion diffusion(config);
+  Rng rng1(4);
+  Rng rng2(5);
+  Tensor xt = Tensor::Full({3}, 0.7f);
+  Tensor eps = Tensor::Full({3}, 0.1f);
+  Tensor a = diffusion.PStep(xt, eps, 0, rng1);
+  Tensor b = diffusion.PStep(xt, eps, 0, rng2);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(a.flat(i), b.flat(i));
+}
+
+TEST(DdpmTest, PStepAddsNoiseAboveT0) {
+  ScheduleConfig config;
+  config.num_steps = 10;
+  GaussianDiffusion diffusion(config);
+  Rng rng1(6);
+  Rng rng2(7);
+  Tensor xt = Tensor::Full({64}, 0.7f);
+  Tensor eps = Tensor::Full({64}, 0.1f);
+  Tensor a = diffusion.PStep(xt, eps, 5, rng1);
+  Tensor b = diffusion.PStep(xt, eps, 5, rng2);
+  double diff = 0;
+  for (int64_t i = 0; i < 64; ++i) diff += std::abs(a.flat(i) - b.flat(i));
+  EXPECT_GT(diff, 1e-3);
+}
+
+// Full-chain property: denoising with oracle noise recovers a constant signal
+// when sampling is deterministic (posterior mean only).
+TEST(DdpmTest, OracleReverseChainConverges) {
+  ScheduleConfig config;
+  config.num_steps = 25;
+  config.beta_end = 0.5f;
+  GaussianDiffusion diffusion(config);
+  Rng rng(8);
+  Tensor x0 = Tensor::Full({16}, 0.6f);
+  Tensor eps_total = Tensor::Randn({16}, rng);
+  // Start from the fully corrupted sample.
+  Tensor cur = diffusion.QSampleWithNoise(x0, 24, eps_total);
+  for (int t = 24; t >= 0; --t) {
+    // Oracle ε̂ consistent with the current state: ε = (x_t - sqrt(ᾱ)x0)/σ.
+    const float a = diffusion.schedule().sqrt_alpha_bar(t);
+    const float b = diffusion.schedule().sqrt_one_minus_alpha_bar(t);
+    Tensor eps_hat(cur.shape());
+    for (int64_t i = 0; i < 16; ++i) {
+      eps_hat.mutable_data()[i] = (cur.flat(i) - a * x0.flat(i)) / b;
+    }
+    cur = diffusion.PosteriorMean(cur, eps_hat, t);
+  }
+  for (int64_t i = 0; i < 16; ++i) EXPECT_NEAR(cur.flat(i), 0.6f, 0.05f);
+}
+
+}  // namespace
+}  // namespace imdiff

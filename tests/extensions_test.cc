@@ -1,0 +1,141 @@
+// Tests for the extension features the paper points to: nonparametric
+// dynamic thresholding (future work in §5.2.1) and the online streaming
+// wrapper (§6 deployment mode).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lstm_ad.h"
+#include "core/online_detector.h"
+#include "data/synthetic.h"
+#include "metrics/classification.h"
+#include "metrics/dynamic_threshold.h"
+
+namespace imdiff {
+namespace {
+
+TEST(DynamicThresholdTest, FlagsInjectedSpikesOnly) {
+  Rng rng(1);
+  std::vector<float> scores(1000);
+  for (auto& s : scores) s = static_cast<float>(rng.Normal(1.0, 0.1));
+  for (int64_t t = 500; t < 510; ++t) scores[static_cast<size_t>(t)] = 4.0f;
+  DynamicThresholdConfig config;
+  auto preds = DynamicThreshold(scores, config);
+  int64_t in = 0, out = 0;
+  for (int64_t t = 0; t < 1000; ++t) {
+    const bool anomaly = t >= 500 && t < 510;
+    if (preds[static_cast<size_t>(t)]) (anomaly ? in : out) += 1;
+  }
+  EXPECT_GE(in, 8);
+  EXPECT_LT(out, 20);
+}
+
+TEST(DynamicThresholdTest, AdaptsToRegimeShiftInScores) {
+  // Score level doubles halfway: a global threshold would flag the entire
+  // second half; the dynamic threshold re-centers per window.
+  Rng rng(2);
+  std::vector<float> scores(1200);
+  for (int64_t t = 0; t < 1200; ++t) {
+    const double base = t < 600 ? 1.0 : 2.0;
+    scores[static_cast<size_t>(t)] =
+        static_cast<float>(rng.Normal(base, 0.05));
+  }
+  scores[300] = 3.0f;   // spike in regime 1
+  scores[900] = 6.0f;   // spike in regime 2
+  DynamicThresholdConfig config;
+  config.window = 300;
+  config.stride = 50;
+  auto preds = DynamicThreshold(scores, config);
+  EXPECT_EQ(preds[300], 1);
+  EXPECT_EQ(preds[900], 1);
+  int64_t second_half_flags = 0;
+  for (int64_t t = 650; t < 1200; ++t) {
+    second_half_flags += preds[static_cast<size_t>(t)];
+  }
+  // Far fewer than the 550 points a frozen first-half threshold would flag.
+  EXPECT_LT(second_half_flags, 60);
+}
+
+TEST(DynamicThresholdTest, ConstantScoresNoAlarms) {
+  std::vector<float> scores(500, 1.0f);
+  auto preds = DynamicThreshold(scores, DynamicThresholdConfig{});
+  for (uint8_t p : preds) EXPECT_EQ(p, 0);
+}
+
+TEST(DynamicThresholdTest, WindowThresholdAboveMean) {
+  Rng rng(3);
+  std::vector<float> window(400);
+  for (auto& v : window) v = static_cast<float>(rng.Normal(0.5, 0.1));
+  const float threshold = SelectWindowThreshold(window, {2.0f, 3.0f, 4.0f});
+  EXPECT_GT(threshold, 0.6f);
+}
+
+TEST(OnlineDetectorTest, StreamsAndAlertsOnShift) {
+  // Fast baseline detector keeps the test quick.
+  SyntheticConfig signal;
+  signal.length = 900;
+  signal.dims = 3;
+  signal.noise_sigma = 0.02f;
+  signal.burst_rate = 0.0;
+  signal.bump_rate = 0.0;
+  signal.ar_sigma = 0.01f;
+  Rng rng(4);
+  Tensor full = GenerateCleanSeries(signal, rng);
+  Tensor train({500, 3});
+  std::copy_n(full.data(), 500 * 3, train.mutable_data());
+
+  LstmAdConfig lstm_config;
+  lstm_config.epochs = 3;
+  LstmAdDetector detector(lstm_config);
+  OnlineDetector::Options options;
+  options.block = 50;
+  options.context = 50;
+  OnlineDetector online(&detector, options);
+  online.Fit(train);
+
+  // Stream the live segment with a level shift at samples [200, 240).
+  int64_t alerts = 0;
+  bool shift_alerted = false;
+  for (int64_t t = 500; t < 900; ++t) {
+    std::vector<float> sample(3);
+    for (int64_t k = 0; k < 3; ++k) {
+      sample[static_cast<size_t>(k)] = full.at(t, k);
+      if (t >= 700 && t < 740) sample[static_cast<size_t>(k)] += 4.0f;
+    }
+    OnlineDetector::Alert alert = online.Append(sample);
+    if (alert.scores.empty()) continue;
+    ++alerts;
+    EXPECT_EQ(alert.scores.size(), 50u);
+    // Check whether the shifted region scored high within its block.
+    for (size_t i = 0; i < alert.scores.size(); ++i) {
+      const int64_t global = alert.start + static_cast<int64_t>(i);
+      if (global >= 205 && global < 235 && alert.scores[i] > 0.05f) {
+        shift_alerted = true;
+      }
+    }
+  }
+  EXPECT_EQ(alerts, 400 / 50);
+  EXPECT_TRUE(shift_alerted);
+  EXPECT_EQ(online.total_samples(), 400);
+}
+
+TEST(OnlineDetectorTest, RejectsAppendBeforeFit) {
+  LstmAdConfig config;
+  LstmAdDetector detector(config);
+  OnlineDetector online(&detector, OnlineDetector::Options{});
+  EXPECT_DEATH(online.Append({1.0f, 2.0f}), "Fit must be called");
+}
+
+TEST(OnlineDetectorTest, RejectsWrongSampleWidth) {
+  LstmAdConfig config;
+  config.epochs = 1;
+  LstmAdDetector detector(config);
+  OnlineDetector online(&detector, OnlineDetector::Options{});
+  Rng rng(5);
+  online.Fit(Tensor::Randn({100, 3}, rng));
+  EXPECT_DEATH(online.Append({1.0f, 2.0f}), "check failed");
+}
+
+}  // namespace
+}  // namespace imdiff

@@ -1,0 +1,260 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+#include "nn/serialize.h"
+
+namespace imdiff {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapePreservesLeadingDims) {
+  Rng rng(1);
+  Linear lin(5, 3, rng);
+  Var y = lin.Forward(Var(Tensor::Randn({2, 4, 5}, rng)));
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 3}));
+  EXPECT_EQ(lin.Parameters().size(), 2u);
+  EXPECT_EQ(ParameterCount(lin), 5 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 2, rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Var y = lin.Forward(Var(Tensor::Zeros({3, 4})));
+  for (int64_t i = 0; i < y.value().numel(); ++i) {
+    EXPECT_EQ(y.value().flat(i), 0.0f);
+  }
+}
+
+TEST(LinearTest, TrainsOnLeastSquares) {
+  // y = 2x + 1 recovered by Adam in a few hundred steps.
+  Rng rng(3);
+  Linear lin(1, 1, rng);
+  Adam adam(lin.Parameters(), {.lr = 0.05f});
+  for (int step = 0; step < 300; ++step) {
+    Tensor x({8, 1});
+    Tensor y({8, 1});
+    for (int64_t i = 0; i < 8; ++i) {
+      const float v = static_cast<float>(rng.Uniform(-1, 1));
+      x.mutable_data()[i] = v;
+      y.mutable_data()[i] = 2.0f * v + 1.0f;
+    }
+    Var loss = MseLossV(lin.Forward(Var(x)), y);
+    Backward(loss);
+    adam.Step();
+  }
+  Tensor probe({1, 1}, {0.5f});
+  EXPECT_NEAR(lin.Forward(Var(probe)).value().flat(0), 2.0f, 0.1f);
+}
+
+TEST(Conv1dLayerTest, SamePaddingKeepsLength) {
+  Rng rng(4);
+  Conv1dLayer conv(3, 5, 3, 1, rng);
+  Var y = conv.Forward(Var(Tensor::Randn({2, 3, 10}, rng)));
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 10}));
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(5);
+  LayerNorm norm(6);
+  Var y = norm.Forward(Var(Tensor::Randn({4, 6}, rng, 5.0f)));
+  // With gamma=1, beta=0 each row has ~zero mean, ~unit variance.
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0, var = 0;
+    for (int64_t j = 0; j < 6; ++j) mean += y.value().at(r, j);
+    mean /= 6;
+    for (int64_t j = 0; j < 6; ++j) {
+      var += (y.value().at(r, j) - mean) * (y.value().at(r, j) - mean);
+    }
+    var /= 6;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(EmbeddingTest, LookupAndShape) {
+  Rng rng(6);
+  Embedding embed(10, 4, rng);
+  Var rows = embed.Forward({3, 3, 7});
+  EXPECT_EQ(rows.shape(), (Shape{3, 4}));
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(rows.value().at(0, j), rows.value().at(1, j));
+  }
+}
+
+TEST(MlpTest, ShapesAndParams) {
+  Rng rng(7);
+  Mlp mlp(4, 8, 2, rng, Mlp::Activation::kGelu);
+  Var y = mlp.Forward(Var(Tensor::Randn({5, 4}, rng)));
+  EXPECT_EQ(y.shape(), (Shape{5, 2}));
+  EXPECT_EQ(ParameterCount(mlp), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(SinusoidalEmbeddingTest, RangeAndDistinctness) {
+  Tensor e = SinusoidalEmbedding({0, 1, 2, 50}, 16);
+  EXPECT_EQ(e.shape(), (Shape{4, 16}));
+  for (int64_t i = 0; i < e.numel(); ++i) {
+    EXPECT_LE(std::abs(e.flat(i)), 1.0f + 1e-5f);
+  }
+  // Position 0: sin part 0, cos part 1.
+  EXPECT_NEAR(e.at(0, 0), 0.0f, 1e-6);
+  EXPECT_NEAR(e.at(0, 8), 1.0f, 1e-6);
+  // Different positions embed differently.
+  float diff = 0;
+  for (int64_t j = 0; j < 16; ++j) diff += std::abs(e.at(1, j) - e.at(3, j));
+  EXPECT_GT(diff, 0.1f);
+}
+
+TEST(AttentionTest, ShapeAndPermutationEquivariance) {
+  Rng rng(8);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = Tensor::Randn({2, 5, 8}, rng);
+  Var y = attn.Forward(Var(x));
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+  // Self-attention without positional info is permutation-equivariant:
+  // swapping two tokens swaps the outputs.
+  Tensor xs = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) {
+    std::swap(xs.mutable_data()[0 * 5 * 8 + 1 * 8 + j],
+              xs.mutable_data()[0 * 5 * 8 + 3 * 8 + j]);
+  }
+  Var ys = attn.Forward(Var(xs));
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(ys.value().at(0, 1, j), y.value().at(0, 3, j), 1e-4);
+    EXPECT_NEAR(ys.value().at(0, 3, j), y.value().at(0, 1, j), 1e-4);
+  }
+}
+
+TEST(AttentionTest, GradientsFlowToAllParameters) {
+  Rng rng(9);
+  TransformerEncoderLayer layer(8, 2, 16, rng);
+  Var y = layer.Forward(Var(Tensor::Randn({1, 4, 8}, rng)));
+  Backward(SumV(y));
+  for (const Var& p : layer.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(RnnTest, LstmShapesAndStatePropagation) {
+  Rng rng(10);
+  LstmCell cell(3, 6, rng);
+  Var out = RunLstm(cell, Var(Tensor::Randn({2, 7, 3}, rng)));
+  EXPECT_EQ(out.shape(), (Shape{2, 7, 6}));
+  Var final_h;
+  RunLstm(cell, Var(Tensor::Randn({2, 7, 3}, rng)), &final_h);
+  EXPECT_EQ(final_h.shape(), (Shape{2, 6}));
+}
+
+TEST(RnnTest, GruShapes) {
+  Rng rng(11);
+  GruCell cell(3, 5, rng);
+  Var out = RunGru(cell, Var(Tensor::Randn({2, 4, 3}, rng)));
+  EXPECT_EQ(out.shape(), (Shape{2, 4, 5}));
+}
+
+TEST(RnnTest, LstmLearnsToRememberSign) {
+  // Task: output sign of the first input summed over the sequence.
+  Rng rng(12);
+  LstmCell cell(1, 8, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = cell.Parameters();
+  for (const Var& p : head.Parameters()) params.push_back(p);
+  Adam adam(params, {.lr = 0.02f});
+  for (int step = 0; step < 150; ++step) {
+    Tensor x({4, 6, 1});
+    Tensor y({4, 1});
+    for (int64_t b = 0; b < 4; ++b) {
+      const float sign = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+      x.mutable_data()[b * 6] = sign;
+      for (int64_t t = 1; t < 6; ++t) {
+        x.mutable_data()[b * 6 + t] = static_cast<float>(rng.Normal(0, 0.1));
+      }
+      y.mutable_data()[b] = sign;
+    }
+    Var final_h;
+    RunLstm(cell, Var(x), &final_h);
+    Var loss = MseLossV(head.Forward(final_h), y);
+    Backward(loss);
+    adam.Step();
+  }
+  Tensor probe({1, 6, 1}, {1, 0, 0, 0, 0, 0});
+  Var final_h;
+  RunLstm(cell, Var(probe), &final_h);
+  EXPECT_GT(head.Forward(final_h).value().flat(0), 0.3f);
+}
+
+TEST(OptimizerTest, AdamReducesQuadratic) {
+  Var w(Tensor::Full({3}, 5.0f), true);
+  Adam adam({w}, {.lr = 0.1f});
+  for (int i = 0; i < 200; ++i) {
+    Var loss = SumV(Mul(w, w));
+    Backward(loss);
+    adam.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(w.value().flat(i), 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, GradientClippingBoundsStep) {
+  Var w(Tensor::Full({1}, 0.0f), true);
+  Adam::Options opt;
+  opt.lr = 1.0f;
+  opt.grad_clip_norm = 1.0f;
+  Adam adam({w}, opt);
+  // Huge gradient.
+  w.node()->AccumulateGrad(Tensor::Full({1}, 1e6f));
+  adam.Step();
+  EXPECT_LT(std::abs(w.value().flat(0)), 2.0f);
+}
+
+TEST(OptimizerTest, SgdWithMomentumConverges) {
+  Var w(Tensor::Full({2}, 3.0f), true);
+  Sgd sgd({w}, 0.05f, 0.9f);
+  for (int i = 0; i < 100; ++i) {
+    Backward(SumV(Mul(w, w)));
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value().flat(0), 0.0f, 0.1f);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(13);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  std::vector<Var> pa = a.Parameters();
+  std::vector<Var> pb = b.Parameters();
+  SaveParameters(pa, path);
+  ASSERT_TRUE(LoadParameters(pb, path));
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].value().numel(); ++j) {
+      EXPECT_EQ(pa[i].value().flat(j), pb[i].value().flat(j));
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(14);
+  Linear a(4, 3, rng);
+  Linear b(5, 3, rng);
+  const std::string path = ::testing::TempDir() + "/params_mismatch.bin";
+  std::vector<Var> pa = a.Parameters();
+  std::vector<Var> pb = b.Parameters();
+  SaveParameters(pa, path);
+  EXPECT_FALSE(LoadParameters(pb, path));
+}
+
+TEST(SerializeTest, MissingFileReturnsFalse) {
+  Rng rng(15);
+  Linear a(2, 2, rng);
+  std::vector<Var> pa = a.Parameters();
+  EXPECT_FALSE(LoadParameters(pa, "/nonexistent/path/params.bin"));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace imdiff

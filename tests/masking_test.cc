@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/masking.h"
+
+namespace imdiff {
+namespace {
+
+TEST(GratingMaskTest, Table1Configuration) {
+  // Window 100, 5 masked + 5 unmasked sub-windows of 10 steps each.
+  Tensor m0 = MakeGratingMask(4, 100, 5, 0);
+  Tensor m1 = MakeGratingMask(4, 100, 5, 1);
+  // Policy 0 masks even sub-windows: positions 0-9, 20-29, ...
+  EXPECT_EQ(m0.at(0, 0), 0.0f);
+  EXPECT_EQ(m0.at(0, 9), 0.0f);
+  EXPECT_EQ(m0.at(0, 10), 1.0f);
+  EXPECT_EQ(m0.at(0, 25), 0.0f);
+  // Policy 1 is the complement.
+  for (int64_t i = 0; i < m0.numel(); ++i) {
+    EXPECT_EQ(m0.flat(i) + m1.flat(i), 1.0f);
+  }
+  // Exactly half the positions are masked.
+  double sum = 0;
+  for (int64_t i = 0; i < m0.numel(); ++i) sum += m0.flat(i);
+  EXPECT_EQ(sum, 200.0);  // 4 features * 50 observed positions
+}
+
+TEST(GratingMaskTest, MasksSpanAllFeatures) {
+  Tensor m = MakeGratingMask(6, 40, 2, 0);
+  for (int64_t l = 0; l < 40; ++l) {
+    const float first = m.at(0, l);
+    for (int64_t k = 1; k < 6; ++k) EXPECT_EQ(m.at(k, l), first);
+  }
+}
+
+TEST(GratingMaskTest, UnevenWindowIsHandled) {
+  // 23 steps into 4 sub-windows: even partition, complementary.
+  Tensor m0 = MakeGratingMask(2, 23, 2, 0);
+  Tensor m1 = MakeGratingMask(2, 23, 2, 1);
+  for (int64_t i = 0; i < m0.numel(); ++i) {
+    EXPECT_EQ(m0.flat(i) + m1.flat(i), 1.0f);
+  }
+}
+
+class MaskStrategyTest : public ::testing::TestWithParam<MaskStrategy> {};
+
+TEST_P(MaskStrategyTest, PairCoversEveryPositionExactlyOnceForTwoPolicy) {
+  Rng rng(1);
+  auto pair = MakeMaskPair(GetParam(), 3, 60, 5, &rng);
+  EXPECT_EQ(pair.first.shape(), (Shape{3, 60}));
+  EXPECT_EQ(pair.second.shape(), (Shape{3, 60}));
+  if (NumPolicies(GetParam()) == 2) {
+    // Complementary: every coordinate masked (0) in exactly one policy.
+    for (int64_t i = 0; i < pair.first.numel(); ++i) {
+      EXPECT_EQ(pair.first.flat(i) + pair.second.flat(i), 1.0f);
+    }
+  }
+}
+
+TEST_P(MaskStrategyTest, ValuesAreBinary) {
+  Rng rng(2);
+  auto pair = MakeMaskPair(GetParam(), 4, 50, 5, &rng);
+  for (int64_t i = 0; i < pair.first.numel(); ++i) {
+    const float v = pair.first.flat(i);
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, MaskStrategyTest,
+    ::testing::Values(MaskStrategy::kGrating, MaskStrategy::kRandom,
+                      MaskStrategy::kForecasting,
+                      MaskStrategy::kReconstruction),
+    [](const ::testing::TestParamInfo<MaskStrategy>& info) {
+      switch (info.param) {
+        case MaskStrategy::kGrating:
+          return "Grating";
+        case MaskStrategy::kRandom:
+          return "Random";
+        case MaskStrategy::kForecasting:
+          return "Forecasting";
+        case MaskStrategy::kReconstruction:
+          return "Reconstruction";
+      }
+      return "Unknown";
+    });
+
+TEST(MaskStrategyModesTest, ForecastingMasksSecondHalf) {
+  auto pair = MakeMaskPair(MaskStrategy::kForecasting, 2, 10, 5, nullptr);
+  for (int64_t l = 0; l < 5; ++l) EXPECT_EQ(pair.first.at(0, l), 1.0f);
+  for (int64_t l = 5; l < 10; ++l) EXPECT_EQ(pair.first.at(0, l), 0.0f);
+}
+
+TEST(MaskStrategyModesTest, ReconstructionMasksEverything) {
+  auto pair = MakeMaskPair(MaskStrategy::kReconstruction, 2, 10, 5, nullptr);
+  for (int64_t i = 0; i < pair.first.numel(); ++i) {
+    EXPECT_EQ(pair.first.flat(i), 0.0f);
+  }
+}
+
+TEST(MaskStrategyModesTest, RandomMaskRoughlyHalf) {
+  Rng rng(3);
+  auto pair = MakeMaskPair(MaskStrategy::kRandom, 10, 100, 5, &rng);
+  double sum = 0;
+  for (int64_t i = 0; i < pair.first.numel(); ++i) sum += pair.first.flat(i);
+  EXPECT_GT(sum, 400.0);
+  EXPECT_LT(sum, 600.0);
+}
+
+TEST(MaskStrategyModesTest, PolicyCounts) {
+  EXPECT_EQ(NumPolicies(MaskStrategy::kGrating), 2);
+  EXPECT_EQ(NumPolicies(MaskStrategy::kRandom), 2);
+  EXPECT_EQ(NumPolicies(MaskStrategy::kForecasting), 1);
+  EXPECT_EQ(NumPolicies(MaskStrategy::kReconstruction), 1);
+}
+
+}  // namespace
+}  // namespace imdiff

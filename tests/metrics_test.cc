@@ -1,0 +1,225 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/add.h"
+#include "metrics/classification.h"
+#include "metrics/pot.h"
+#include "metrics/range_auc.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+TEST(ClassificationTest, HandComputedCounts) {
+  std::vector<uint8_t> labels = {0, 1, 1, 0, 0, 1};
+  std::vector<uint8_t> preds = {0, 1, 0, 1, 0, 1};
+  BinaryMetrics m = ComputeMetrics(labels, preds);
+  EXPECT_EQ(m.tp, 2);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ClassificationTest, EmptyPredictionsZeroPrecision) {
+  std::vector<uint8_t> labels = {1, 1};
+  std::vector<uint8_t> preds = {0, 0};
+  BinaryMetrics m = ComputeMetrics(labels, preds);
+  EXPECT_EQ(m.precision, 0.0);
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(PointAdjustTest, ExpandsHitSegments) {
+  std::vector<uint8_t> labels = {0, 1, 1, 1, 0, 1, 1, 0};
+  std::vector<uint8_t> preds = {0, 0, 1, 0, 0, 0, 0, 0};
+  auto adjusted = PointAdjust(labels, preds);
+  // First segment fully credited; second untouched.
+  EXPECT_EQ(adjusted[1], 1);
+  EXPECT_EQ(adjusted[2], 1);
+  EXPECT_EQ(adjusted[3], 1);
+  EXPECT_EQ(adjusted[5], 0);
+  EXPECT_EQ(adjusted[6], 0);
+}
+
+TEST(PointAdjustTest, PreservesFalsePositives) {
+  std::vector<uint8_t> labels = {0, 0, 1};
+  std::vector<uint8_t> preds = {1, 0, 0};
+  auto adjusted = PointAdjust(labels, preds);
+  EXPECT_EQ(adjusted[0], 1);
+  EXPECT_EQ(adjusted[2], 0);
+}
+
+TEST(PointAdjustTest, SegmentAtEnd) {
+  std::vector<uint8_t> labels = {0, 1, 1};
+  std::vector<uint8_t> preds = {0, 0, 1};
+  auto adjusted = PointAdjust(labels, preds);
+  EXPECT_EQ(adjusted[1], 1);
+}
+
+TEST(ThresholdTest, BestF1FindsSeparator) {
+  // Scores perfectly separate labels; best-F1 threshold must achieve 1.0.
+  std::vector<float> scores;
+  std::vector<uint8_t> labels;
+  for (int i = 0; i < 100; ++i) {
+    const bool anomaly = i >= 90;
+    scores.push_back(anomaly ? 5.0f + i * 0.01f : 1.0f + i * 0.001f);
+    labels.push_back(anomaly ? 1 : 0);
+  }
+  BinaryMetrics best;
+  const float threshold = BestF1Threshold(scores, labels, 64, &best);
+  EXPECT_NEAR(best.f1, 1.0, 1e-9);
+  EXPECT_GT(threshold, 1.2f);
+  EXPECT_LE(threshold, 5.0f);
+}
+
+TEST(ThresholdTest, QuantileInterpolates) {
+  std::vector<float> v = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(Quantile(v, 0.0), 1.0f, 1e-6);
+  EXPECT_NEAR(Quantile(v, 1.0), 5.0f, 1e-6);
+  EXPECT_NEAR(Quantile(v, 0.5), 3.0f, 1e-6);
+  EXPECT_NEAR(Quantile(v, 0.25), 2.0f, 1e-6);
+}
+
+TEST(ThresholdScoresTest, InclusiveBoundary) {
+  auto preds = ThresholdScores({0.5f, 1.0f, 1.5f}, 1.0f);
+  EXPECT_EQ(preds[0], 0);
+  EXPECT_EQ(preds[1], 1);
+  EXPECT_EQ(preds[2], 1);
+}
+
+TEST(RangeAucTest, SoftLabelsRampAroundSegments) {
+  std::vector<uint8_t> labels = {0, 0, 0, 1, 1, 0, 0, 0};
+  auto soft = SoftenLabels(labels, 2);
+  EXPECT_EQ(soft[3], 1.0);
+  EXPECT_EQ(soft[4], 1.0);
+  EXPECT_GT(soft[2], 0.0);
+  EXPECT_GT(soft[5], 0.0);
+  EXPECT_GT(soft[2], soft[1]);
+  EXPECT_EQ(soft[0], 0.0);
+}
+
+TEST(RangeAucTest, PerfectScoresGiveHighAuc) {
+  std::vector<uint8_t> labels(200, 0);
+  std::vector<float> scores(200, 0.0f);
+  for (int i = 100; i < 120; ++i) {
+    labels[i] = 1;
+    scores[i] = 10.0f;
+  }
+  // Exact separation without buffers scores perfectly.
+  EXPECT_GT(RangeAucRoc(scores, labels, 0), 0.99);
+  EXPECT_GT(RangeAucPr(scores, labels, 0), 0.99);
+  // With buffers, part of the positive mass lies in the (unscored) ramp, so
+  // the AUC is below 1 but still clearly better than chance.
+  EXPECT_GT(RangeAucRoc(scores, labels), 0.65);
+  EXPECT_GT(RangeAucPr(scores, labels), 0.6);
+}
+
+TEST(RangeAucTest, RandomScoresNearHalfRoc) {
+  Rng rng(1);
+  std::vector<uint8_t> labels(2000, 0);
+  for (int i = 500; i < 700; ++i) labels[i] = 1;
+  std::vector<float> scores(2000);
+  for (auto& s : scores) s = static_cast<float>(rng.Uniform());
+  const double auc = RangeAucRoc(scores, labels);
+  EXPECT_GT(auc, 0.4);
+  EXPECT_LT(auc, 0.6);
+}
+
+TEST(RangeAucTest, InvertedScoresGiveLowAuc) {
+  std::vector<uint8_t> labels(100, 0);
+  std::vector<float> scores(100, 0.0f);
+  for (int i = 0; i < 100; ++i) {
+    labels[i] = i >= 80 ? 1 : 0;
+    scores[i] = i >= 80 ? 0.0f : 1.0f;  // exactly wrong
+  }
+  EXPECT_LT(RangeAucRoc(scores, labels), 0.3);
+}
+
+TEST(RangeAucTest, NearMissRewardedByBuffer) {
+  // Detection 3 steps before the true range: zero credit point-wise, partial
+  // credit with buffers.
+  std::vector<uint8_t> labels(300, 0);
+  std::vector<float> scores(300, 0.0f);
+  for (int i = 150; i < 170; ++i) labels[i] = 1;
+  for (int i = 145; i < 149; ++i) scores[i] = 5.0f;
+  EXPECT_GT(RangeAucPr(scores, labels, 20), RangeAucPr(scores, labels, 0));
+}
+
+TEST(AddTest, ImmediateDetectionZeroDelay) {
+  std::vector<uint8_t> labels = {0, 0, 1, 1, 1, 0};
+  std::vector<uint8_t> preds = {0, 0, 1, 0, 0, 0};
+  EXPECT_EQ(AverageDetectionDelay(labels, preds), 0.0);
+}
+
+TEST(AddTest, DelayCountsFromSegmentStart) {
+  std::vector<uint8_t> labels = {0, 1, 1, 1, 1, 0};
+  std::vector<uint8_t> preds = {0, 0, 0, 1, 0, 0};
+  EXPECT_EQ(AverageDetectionDelay(labels, preds), 2.0);
+}
+
+TEST(AddTest, DetectionAfterSegmentStillCounts) {
+  // Alarm after the event ends is a (late) detection in the ADD sense.
+  std::vector<uint8_t> labels = {1, 1, 0, 0, 0};
+  std::vector<uint8_t> preds = {0, 0, 0, 1, 0};
+  EXPECT_EQ(AverageDetectionDelay(labels, preds), 3.0);
+}
+
+TEST(AddTest, MissedEventPenalizedWithRemainingLength) {
+  std::vector<uint8_t> labels = {0, 0, 1, 1, 0, 0, 0, 0, 0, 0};
+  std::vector<uint8_t> preds(10, 0);
+  EXPECT_EQ(AverageDetectionDelay(labels, preds), 8.0);  // 10 - 2
+}
+
+TEST(AddTest, AveragesOverEvents) {
+  std::vector<uint8_t> labels = {1, 0, 0, 1, 0};
+  std::vector<uint8_t> preds = {1, 0, 0, 0, 1};
+  // Event 0: delay 0. Event 1 (start 3): first alarm at 4 -> delay 1.
+  EXPECT_EQ(AverageDetectionDelay(labels, preds), 0.5);
+}
+
+TEST(AddTest, NoEventsZero) {
+  std::vector<uint8_t> labels(5, 0);
+  std::vector<uint8_t> preds(5, 1);
+  EXPECT_EQ(AverageDetectionDelay(labels, preds), 0.0);
+}
+
+TEST(PotTest, GpdMomentsOnExponentialTail) {
+  // Exponential(1) exceedances: GPD shape ~ 0, scale ~ 1.
+  Rng rng(2);
+  std::vector<float> exceedances;
+  for (int i = 0; i < 20000; ++i) {
+    exceedances.push_back(static_cast<float>(-std::log(1.0 - rng.Uniform())));
+  }
+  GpdFit fit = FitGpdMoments(exceedances);
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.shape, 0.0, 0.1);
+  EXPECT_NEAR(fit.scale, 1.0, 0.1);
+}
+
+TEST(PotTest, ThresholdAboveInitialQuantile) {
+  Rng rng(3);
+  std::vector<float> scores;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(static_cast<float>(-std::log(1.0 - rng.Uniform())));
+  }
+  PotConfig config;
+  const float u = Quantile(scores, config.initial_quantile);
+  const float threshold = PotThreshold(scores, config);
+  EXPECT_GT(threshold, u);
+}
+
+TEST(PotTest, DegenerateFallsBackToQuantile) {
+  std::vector<float> scores(100, 1.0f);  // no variance
+  PotConfig config;
+  EXPECT_NEAR(PotThreshold(scores, config), 1.0f, 1e-5);
+}
+
+TEST(PotTest, FewExceedancesInvalidFit) {
+  EXPECT_FALSE(FitGpdMoments({1.0f, 2.0f}).valid);
+}
+
+}  // namespace
+}  // namespace imdiff

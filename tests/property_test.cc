@@ -1,0 +1,154 @@
+// Randomized property tests on cross-module invariants. Each property is
+// swept over several seeds/shapes with parameterized gtest.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/masking.h"
+#include "diffusion/ddpm.h"
+#include "metrics/classification.h"
+#include "metrics/range_auc.h"
+#include "nn/autograd.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// (A + B) C == AC + BC : linearity of matmul.
+TEST_P(SeededProperty, MatMulDistributesOverAdd) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({3, 4}, rng);
+  Tensor b = Tensor::Randn({3, 4}, rng);
+  Tensor c = Tensor::Randn({4, 5}, rng);
+  Tensor lhs = MatMul(Add(a, b), c);
+  Tensor rhs = Add(MatMul(a, c), MatMul(b, c));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.flat(i), rhs.flat(i), 1e-4);
+  }
+}
+
+// (AB)^T == B^T A^T.
+TEST_P(SeededProperty, MatMulTransposeIdentity) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Randn({3, 4}, rng);
+  Tensor b = Tensor::Randn({4, 2}, rng);
+  Tensor lhs = Permute(MatMul(a, b), {1, 0});
+  Tensor rhs = MatMul(Permute(b, {1, 0}), Permute(a, {1, 0}));
+  for (int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs.flat(i), rhs.flat(i), 1e-4);
+  }
+}
+
+// Softmax is shift-invariant along the last dim.
+TEST_P(SeededProperty, SoftmaxShiftInvariance) {
+  Rng rng(GetParam());
+  Tensor t = Tensor::Randn({4, 6}, rng);
+  Tensor shifted = AddScalar(t, 13.5f);
+  Tensor a = SoftmaxLastDim(t);
+  Tensor b = SoftmaxLastDim(shifted);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.flat(i), b.flat(i), 1e-5);
+  }
+}
+
+// Autograd gradient of a random composite expression is finite and non-zero
+// somewhere.
+TEST_P(SeededProperty, CompositeGraphGradientsFinite) {
+  Rng rng(GetParam());
+  nn::Var x(Tensor::Randn({3, 5}, rng), true);
+  nn::Var w(Tensor::Randn({5, 4}, rng), true);
+  nn::Var h = nn::TanhV(nn::MatMulV(x, w));
+  h = nn::SoftmaxV(Add(h, h));
+  nn::Var loss = nn::MeanV(Mul(h, h));
+  nn::Backward(loss);
+  double total = 0;
+  for (int64_t i = 0; i < x.grad().numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(x.grad().flat(i)));
+    total += std::abs(x.grad().flat(i));
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+// q(x_t | x_0) preserves the signal/noise split: Var = ᾱ Var(x0) + (1-ᾱ).
+TEST_P(SeededProperty, ForwardProcessVariance) {
+  Rng rng(GetParam());
+  ScheduleConfig config;
+  config.num_steps = 30;
+  GaussianDiffusion diffusion(config);
+  Tensor x0 = Tensor::Randn({4000}, rng);  // unit variance signal
+  const int t = static_cast<int>(rng.UniformInt(5, 29));
+  Tensor xt = diffusion.QSample(x0, t, rng, nullptr);
+  double var = 0;
+  for (int64_t i = 0; i < xt.numel(); ++i) var += xt.flat(i) * xt.flat(i);
+  var /= xt.numel();
+  const double expected = diffusion.schedule().alpha_bar(t) +
+                          (1.0 - diffusion.schedule().alpha_bar(t));
+  EXPECT_NEAR(var, expected, 0.15);
+}
+
+// Point-adjusted F1 never decreases relative to raw F1.
+TEST_P(SeededProperty, PointAdjustNeverHurtsF1) {
+  Rng rng(GetParam());
+  std::vector<uint8_t> labels(300, 0), preds(300, 0);
+  // Random segments + random predictions.
+  for (int s = 0; s < 4; ++s) {
+    const int64_t start = rng.UniformInt(0, 280);
+    const int64_t len = rng.UniformInt(3, 15);
+    for (int64_t t = start; t < std::min<int64_t>(300, start + len); ++t) {
+      labels[static_cast<size_t>(t)] = 1;
+    }
+  }
+  for (auto& p : preds) p = rng.Bernoulli(0.1) ? 1 : 0;
+  const double raw = ComputeMetrics(labels, preds).f1;
+  const double adjusted = ComputeAdjustedMetrics(labels, preds).f1;
+  EXPECT_GE(adjusted + 1e-12, raw);
+}
+
+// Range-AUC is invariant to strictly monotone score transformations.
+TEST_P(SeededProperty, RangeAucMonotoneInvariance) {
+  Rng rng(GetParam());
+  std::vector<uint8_t> labels(200, 0);
+  for (int64_t t = 80; t < 110; ++t) labels[static_cast<size_t>(t)] = 1;
+  std::vector<float> scores(200);
+  for (auto& s : scores) s = static_cast<float>(rng.Uniform());
+  std::vector<float> transformed = scores;
+  for (auto& s : transformed) s = std::exp(2.0f * s) + 5.0f;
+  EXPECT_NEAR(RangeAucPr(scores, labels), RangeAucPr(transformed, labels),
+              1e-9);
+  EXPECT_NEAR(RangeAucRoc(scores, labels), RangeAucRoc(transformed, labels),
+              1e-9);
+}
+
+// Grating masks partition the window for every (features, window, count).
+TEST_P(SeededProperty, GratingMasksPartition) {
+  Rng rng(GetParam());
+  const int64_t k = rng.UniformInt(1, 12);
+  const int num_masked = static_cast<int>(rng.UniformInt(1, 5));
+  const int64_t window = rng.UniformInt(2 * num_masked, 120);
+  Tensor m0 = MakeGratingMask(k, window, num_masked, 0);
+  Tensor m1 = MakeGratingMask(k, window, num_masked, 1);
+  for (int64_t i = 0; i < m0.numel(); ++i) {
+    EXPECT_EQ(m0.flat(i) + m1.flat(i), 1.0f);
+  }
+}
+
+// ReduceToShape(broadcast(x)) recovers sums: sum is preserved.
+TEST_P(SeededProperty, BroadcastReduceSumPreserved) {
+  Rng rng(GetParam());
+  Tensor small = Tensor::Randn({4}, rng);
+  Tensor big = Add(Tensor::Zeros({3, 5, 4}), small);  // tile 15x
+  Tensor back = ReduceToShape(big, {4});
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(back.flat(i), 15.0f * small.flat(i), 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace imdiff

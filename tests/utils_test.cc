@@ -1,0 +1,118 @@
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "utils/check.h"
+#include "utils/rng.h"
+#include "utils/stopwatch.h"
+#include "utils/thread_pool.h"
+
+namespace imdiff {
+namespace {
+
+TEST(CheckTest, PassingConditionIsSilent) {
+  IMDIFF_CHECK(1 + 1 == 2) << "never shown";
+  IMDIFF_CHECK_EQ(3, 3);
+  IMDIFF_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingConditionAborts) {
+  EXPECT_DEATH(IMDIFF_CHECK(false) << "boom", "check failed");
+  EXPECT_DEATH(IMDIFF_CHECK_EQ(1, 2), "1 +vs +2");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(RngTest, BernoulliRespectsP) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_GT(hits, 2600);
+  EXPECT_LT(hits, 3400);
+}
+
+TEST(RngTest, ForkedChildrenDiffer) {
+  Rng parent(4);
+  Rng c1 = parent.Fork();
+  Rng c2 = parent.Fork();
+  // Two forks from the same parent are decorrelated.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += c1.UniformInt(0, 1 << 30) == c2.UniformInt(0, 1 << 30);
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(&pool, 100, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
+  int sum = 0;
+  ParallelFor(nullptr, 10, [&sum](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  const double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  (void)sink;
+  EXPECT_GE(sw.ElapsedSeconds(), t0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace imdiff

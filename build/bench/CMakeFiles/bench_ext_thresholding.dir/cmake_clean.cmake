@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_thresholding.dir/bench_ext_thresholding.cc.o"
+  "CMakeFiles/bench_ext_thresholding.dir/bench_ext_thresholding.cc.o.d"
+  "bench_ext_thresholding"
+  "bench_ext_thresholding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_thresholding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

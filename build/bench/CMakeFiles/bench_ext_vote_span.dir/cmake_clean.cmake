@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_vote_span.dir/bench_ext_vote_span.cc.o"
+  "CMakeFiles/bench_ext_vote_span.dir/bench_ext_vote_span.cc.o.d"
+  "bench_ext_vote_span"
+  "bench_ext_vote_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vote_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

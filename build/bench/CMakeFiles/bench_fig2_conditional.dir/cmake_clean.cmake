@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_conditional.dir/bench_fig2_conditional.cc.o"
+  "CMakeFiles/bench_fig2_conditional.dir/bench_fig2_conditional.cc.o.d"
+  "bench_fig2_conditional"
+  "bench_fig2_conditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_conditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

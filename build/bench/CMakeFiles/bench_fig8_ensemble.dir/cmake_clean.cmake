@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ensemble.dir/bench_fig8_ensemble.cc.o"
+  "CMakeFiles/bench_fig8_ensemble.dir/bench_fig8_ensemble.cc.o.d"
+  "bench_fig8_ensemble"
+  "bench_fig8_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_timeliness.cc" "bench/CMakeFiles/bench_table4_timeliness.dir/bench_table4_timeliness.cc.o" "gcc" "bench/CMakeFiles/bench_table4_timeliness.dir/bench_table4_timeliness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

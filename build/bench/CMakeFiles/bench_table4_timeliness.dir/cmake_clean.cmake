@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_timeliness.dir/bench_table4_timeliness.cc.o"
+  "CMakeFiles/bench_table4_timeliness.dir/bench_table4_timeliness.cc.o.d"
+  "bench_table4_timeliness"
+  "bench_table4_timeliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_timeliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_production.dir/bench_table7_production.cc.o"
+  "CMakeFiles/bench_table7_production.dir/bench_table7_production.cc.o.d"
+  "bench_table7_production"
+  "bench_table7_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microservice_latency.dir/microservice_latency.cc.o"
+  "CMakeFiles/microservice_latency.dir/microservice_latency.cc.o.d"
+  "microservice_latency"
+  "microservice_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microservice_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

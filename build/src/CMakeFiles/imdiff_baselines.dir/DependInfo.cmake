@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/beatgan.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/beatgan.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/beatgan.cc.o.d"
+  "/root/repo/src/baselines/gdn.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/gdn.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/gdn.cc.o.d"
+  "/root/repo/src/baselines/iforest.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/iforest.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/iforest.cc.o.d"
+  "/root/repo/src/baselines/interfusion.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/interfusion.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/interfusion.cc.o.d"
+  "/root/repo/src/baselines/lstm_ad.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/lstm_ad.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/lstm_ad.cc.o.d"
+  "/root/repo/src/baselines/madgan.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/madgan.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/madgan.cc.o.d"
+  "/root/repo/src/baselines/mscred.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/mscred.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/mscred.cc.o.d"
+  "/root/repo/src/baselines/mtad_gat.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/mtad_gat.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/mtad_gat.cc.o.d"
+  "/root/repo/src/baselines/omni_anomaly.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/omni_anomaly.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/omni_anomaly.cc.o.d"
+  "/root/repo/src/baselines/tranad.cc" "src/CMakeFiles/imdiff_baselines.dir/baselines/tranad.cc.o" "gcc" "src/CMakeFiles/imdiff_baselines.dir/baselines/tranad.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

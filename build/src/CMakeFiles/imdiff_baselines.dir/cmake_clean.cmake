@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_baselines.dir/baselines/beatgan.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/beatgan.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/gdn.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/gdn.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/iforest.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/iforest.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/interfusion.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/interfusion.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/lstm_ad.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/lstm_ad.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/madgan.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/madgan.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/mscred.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/mscred.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/mtad_gat.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/mtad_gat.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/omni_anomaly.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/omni_anomaly.cc.o.d"
+  "CMakeFiles/imdiff_baselines.dir/baselines/tranad.cc.o"
+  "CMakeFiles/imdiff_baselines.dir/baselines/tranad.cc.o.d"
+  "libimdiff_baselines.a"
+  "libimdiff_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/im_transformer.cc" "src/CMakeFiles/imdiff_core.dir/core/im_transformer.cc.o" "gcc" "src/CMakeFiles/imdiff_core.dir/core/im_transformer.cc.o.d"
+  "/root/repo/src/core/imdiffusion.cc" "src/CMakeFiles/imdiff_core.dir/core/imdiffusion.cc.o" "gcc" "src/CMakeFiles/imdiff_core.dir/core/imdiffusion.cc.o.d"
+  "/root/repo/src/core/masking.cc" "src/CMakeFiles/imdiff_core.dir/core/masking.cc.o" "gcc" "src/CMakeFiles/imdiff_core.dir/core/masking.cc.o.d"
+  "/root/repo/src/core/online_detector.cc" "src/CMakeFiles/imdiff_core.dir/core/online_detector.cc.o" "gcc" "src/CMakeFiles/imdiff_core.dir/core/online_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

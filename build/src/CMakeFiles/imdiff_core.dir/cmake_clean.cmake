@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_core.dir/core/im_transformer.cc.o"
+  "CMakeFiles/imdiff_core.dir/core/im_transformer.cc.o.d"
+  "CMakeFiles/imdiff_core.dir/core/imdiffusion.cc.o"
+  "CMakeFiles/imdiff_core.dir/core/imdiffusion.cc.o.d"
+  "CMakeFiles/imdiff_core.dir/core/masking.cc.o"
+  "CMakeFiles/imdiff_core.dir/core/masking.cc.o.d"
+  "CMakeFiles/imdiff_core.dir/core/online_detector.cc.o"
+  "CMakeFiles/imdiff_core.dir/core/online_detector.cc.o.d"
+  "libimdiff_core.a"
+  "libimdiff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

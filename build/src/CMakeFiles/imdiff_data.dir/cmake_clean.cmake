@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_data.dir/data/benchmarks.cc.o"
+  "CMakeFiles/imdiff_data.dir/data/benchmarks.cc.o.d"
+  "CMakeFiles/imdiff_data.dir/data/dataset.cc.o"
+  "CMakeFiles/imdiff_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/imdiff_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/imdiff_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/imdiff_data.dir/data/windowing.cc.o"
+  "CMakeFiles/imdiff_data.dir/data/windowing.cc.o.d"
+  "libimdiff_data.a"
+  "libimdiff_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

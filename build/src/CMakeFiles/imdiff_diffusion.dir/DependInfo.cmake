@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/ddpm.cc" "src/CMakeFiles/imdiff_diffusion.dir/diffusion/ddpm.cc.o" "gcc" "src/CMakeFiles/imdiff_diffusion.dir/diffusion/ddpm.cc.o.d"
+  "/root/repo/src/diffusion/schedule.cc" "src/CMakeFiles/imdiff_diffusion.dir/diffusion/schedule.cc.o" "gcc" "src/CMakeFiles/imdiff_diffusion.dir/diffusion/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

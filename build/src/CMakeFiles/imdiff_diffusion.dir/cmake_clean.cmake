@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_diffusion.dir/diffusion/ddpm.cc.o"
+  "CMakeFiles/imdiff_diffusion.dir/diffusion/ddpm.cc.o.d"
+  "CMakeFiles/imdiff_diffusion.dir/diffusion/schedule.cc.o"
+  "CMakeFiles/imdiff_diffusion.dir/diffusion/schedule.cc.o.d"
+  "libimdiff_diffusion.a"
+  "libimdiff_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_eval.dir/eval/runner.cc.o"
+  "CMakeFiles/imdiff_eval.dir/eval/runner.cc.o.d"
+  "CMakeFiles/imdiff_eval.dir/eval/tables.cc.o"
+  "CMakeFiles/imdiff_eval.dir/eval/tables.cc.o.d"
+  "libimdiff_eval.a"
+  "libimdiff_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/add.cc" "src/CMakeFiles/imdiff_metrics.dir/metrics/add.cc.o" "gcc" "src/CMakeFiles/imdiff_metrics.dir/metrics/add.cc.o.d"
+  "/root/repo/src/metrics/classification.cc" "src/CMakeFiles/imdiff_metrics.dir/metrics/classification.cc.o" "gcc" "src/CMakeFiles/imdiff_metrics.dir/metrics/classification.cc.o.d"
+  "/root/repo/src/metrics/dynamic_threshold.cc" "src/CMakeFiles/imdiff_metrics.dir/metrics/dynamic_threshold.cc.o" "gcc" "src/CMakeFiles/imdiff_metrics.dir/metrics/dynamic_threshold.cc.o.d"
+  "/root/repo/src/metrics/pot.cc" "src/CMakeFiles/imdiff_metrics.dir/metrics/pot.cc.o" "gcc" "src/CMakeFiles/imdiff_metrics.dir/metrics/pot.cc.o.d"
+  "/root/repo/src/metrics/range_auc.cc" "src/CMakeFiles/imdiff_metrics.dir/metrics/range_auc.cc.o" "gcc" "src/CMakeFiles/imdiff_metrics.dir/metrics/range_auc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

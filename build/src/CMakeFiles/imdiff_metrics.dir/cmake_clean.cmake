@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_metrics.dir/metrics/add.cc.o"
+  "CMakeFiles/imdiff_metrics.dir/metrics/add.cc.o.d"
+  "CMakeFiles/imdiff_metrics.dir/metrics/classification.cc.o"
+  "CMakeFiles/imdiff_metrics.dir/metrics/classification.cc.o.d"
+  "CMakeFiles/imdiff_metrics.dir/metrics/dynamic_threshold.cc.o"
+  "CMakeFiles/imdiff_metrics.dir/metrics/dynamic_threshold.cc.o.d"
+  "CMakeFiles/imdiff_metrics.dir/metrics/pot.cc.o"
+  "CMakeFiles/imdiff_metrics.dir/metrics/pot.cc.o.d"
+  "CMakeFiles/imdiff_metrics.dir/metrics/range_auc.cc.o"
+  "CMakeFiles/imdiff_metrics.dir/metrics/range_auc.cc.o.d"
+  "libimdiff_metrics.a"
+  "libimdiff_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimdiff_metrics.a"
+)

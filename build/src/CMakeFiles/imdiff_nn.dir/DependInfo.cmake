@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/imdiff_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/imdiff_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/autograd.cc" "src/CMakeFiles/imdiff_nn.dir/nn/autograd.cc.o" "gcc" "src/CMakeFiles/imdiff_nn.dir/nn/autograd.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/imdiff_nn.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/imdiff_nn.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/imdiff_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/imdiff_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/CMakeFiles/imdiff_nn.dir/nn/rnn.cc.o" "gcc" "src/CMakeFiles/imdiff_nn.dir/nn/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/imdiff_nn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/imdiff_nn.dir/nn/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/imdiff_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/imdiff_nn.dir/nn/autograd.cc.o"
+  "CMakeFiles/imdiff_nn.dir/nn/autograd.cc.o.d"
+  "CMakeFiles/imdiff_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/imdiff_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/imdiff_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/imdiff_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/imdiff_nn.dir/nn/rnn.cc.o"
+  "CMakeFiles/imdiff_nn.dir/nn/rnn.cc.o.d"
+  "CMakeFiles/imdiff_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/imdiff_nn.dir/nn/serialize.cc.o.d"
+  "libimdiff_nn.a"
+  "libimdiff_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

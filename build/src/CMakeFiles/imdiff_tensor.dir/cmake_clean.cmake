@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/imdiff_tensor.dir/tensor/tensor.cc.o.d"
+  "CMakeFiles/imdiff_tensor.dir/tensor/tensor_ops.cc.o"
+  "CMakeFiles/imdiff_tensor.dir/tensor/tensor_ops.cc.o.d"
+  "libimdiff_tensor.a"
+  "libimdiff_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utils/csv.cc" "src/CMakeFiles/imdiff_utils.dir/utils/csv.cc.o" "gcc" "src/CMakeFiles/imdiff_utils.dir/utils/csv.cc.o.d"
+  "/root/repo/src/utils/logging.cc" "src/CMakeFiles/imdiff_utils.dir/utils/logging.cc.o" "gcc" "src/CMakeFiles/imdiff_utils.dir/utils/logging.cc.o.d"
+  "/root/repo/src/utils/rng.cc" "src/CMakeFiles/imdiff_utils.dir/utils/rng.cc.o" "gcc" "src/CMakeFiles/imdiff_utils.dir/utils/rng.cc.o.d"
+  "/root/repo/src/utils/thread_pool.cc" "src/CMakeFiles/imdiff_utils.dir/utils/thread_pool.cc.o" "gcc" "src/CMakeFiles/imdiff_utils.dir/utils/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_utils.dir/utils/csv.cc.o"
+  "CMakeFiles/imdiff_utils.dir/utils/csv.cc.o.d"
+  "CMakeFiles/imdiff_utils.dir/utils/logging.cc.o"
+  "CMakeFiles/imdiff_utils.dir/utils/logging.cc.o.d"
+  "CMakeFiles/imdiff_utils.dir/utils/rng.cc.o"
+  "CMakeFiles/imdiff_utils.dir/utils/rng.cc.o.d"
+  "CMakeFiles/imdiff_utils.dir/utils/thread_pool.cc.o"
+  "CMakeFiles/imdiff_utils.dir/utils/thread_pool.cc.o.d"
+  "libimdiff_utils.a"
+  "libimdiff_utils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/imdiff_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/imdiff_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/imdiff_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/diffusion_test.cc" "tests/CMakeFiles/imdiff_tests.dir/diffusion_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/diffusion_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/imdiff_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/imdiff_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/imdiffusion_test.cc" "tests/CMakeFiles/imdiff_tests.dir/imdiffusion_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/imdiffusion_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/imdiff_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/layers_test.cc" "tests/CMakeFiles/imdiff_tests.dir/layers_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/layers_test.cc.o.d"
+  "/root/repo/tests/masking_test.cc" "tests/CMakeFiles/imdiff_tests.dir/masking_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/masking_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/imdiff_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/imdiff_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/imdiff_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/utils_test.cc" "tests/CMakeFiles/imdiff_tests.dir/utils_test.cc.o" "gcc" "tests/CMakeFiles/imdiff_tests.dir/utils_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/imdiff_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/imdiff_utils.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

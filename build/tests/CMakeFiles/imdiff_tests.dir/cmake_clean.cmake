@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imdiff_tests.dir/autograd_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/autograd_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/data_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/data_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/diffusion_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/diffusion_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/eval_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/eval_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/extensions_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/extensions_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/imdiffusion_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/imdiffusion_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/integration_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/layers_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/layers_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/masking_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/masking_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/metrics_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/metrics_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/property_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/tensor_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/tensor_test.cc.o.d"
+  "CMakeFiles/imdiff_tests.dir/utils_test.cc.o"
+  "CMakeFiles/imdiff_tests.dir/utils_test.cc.o.d"
+  "imdiff_tests"
+  "imdiff_tests.pdb"
+  "imdiff_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imdiff_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

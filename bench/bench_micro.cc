@@ -4,11 +4,14 @@
 #include <benchmark/benchmark.h>
 
 #include "core/im_transformer.h"
+#include "core/imdiffusion.h"
 #include "core/masking.h"
+#include "data/synthetic.h"
 #include "diffusion/ddpm.h"
 #include "nn/attention.h"
 #include "tensor/tensor_ops.h"
 #include "utils/rng.h"
+#include "utils/thread_pool.h"
 
 namespace imdiff {
 namespace {
@@ -127,6 +130,90 @@ void BM_GratingMask(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GratingMask);
+
+// ---- Serial vs compute-pool comparisons ------------------------------------
+//
+// Arg(0) is the compute-pool thread count (1 = exact serial execution). The
+// parallel kernels write disjoint output slices, so every thread count
+// produces bitwise-identical results; compare the Arg(1) and Arg(4) rows for
+// the speedup. On a machine with a single usable core the rows coincide.
+
+void BM_MatMulPool(benchmark::State& state) {
+  SetComputeThreads(static_cast<size_t>(state.range(0)));
+  const int64_t n = state.range(1);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  SetComputeThreads(1);
+}
+BENCHMARK(BM_MatMulPool)
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({1, 512})
+    ->Args({4, 512})
+    ->UseRealTime();
+
+void BM_Conv1dPool(benchmark::State& state) {
+  SetComputeThreads(static_cast<size_t>(state.range(0)));
+  Rng rng(4);
+  Tensor x = Tensor::Randn({32, 16, 400}, rng);
+  Tensor w = Tensor::Randn({16, 16, 5}, rng);
+  Tensor bias = Tensor::Randn({16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv1d(x, w, bias, 2));
+  }
+  SetComputeThreads(1);
+}
+BENCHMARK(BM_Conv1dPool)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_BatchedMatMulPool(benchmark::State& state) {
+  SetComputeThreads(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  Tensor a = Tensor::Randn({64, 100, 24}, rng);
+  Tensor b = Tensor::Randn({64, 24, 100}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchedMatMul(a, b));
+  }
+  SetComputeThreads(1);
+}
+BENCHMARK(BM_BatchedMatMulPool)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// End-to-end ImDiffusion inference (reverse-diffusion imputation over all test
+// windows) with the chunk-level parallel loop on N threads. Fit runs once,
+// outside timing.
+void BM_ImDiffusionInference(benchmark::State& state) {
+  SetComputeThreads(static_cast<size_t>(state.range(0)));
+  ImDiffusionConfig config = FastImDiffusionConfig();
+  config.epochs = 2;  // the benchmark times Run, not Fit
+  config.seed = 17;
+  SyntheticConfig signal;
+  signal.length = 1200;
+  signal.dims = 5;
+  Rng rng(9);
+  Tensor series = GenerateCleanSeries(signal, rng);
+  Tensor train({600, 5});
+  Tensor test({600, 5});
+  std::copy_n(series.data(), 600 * 5, train.mutable_data());
+  std::copy_n(series.data() + 600 * 5, 600 * 5, test.mutable_data());
+  ImDiffusionDetector detector(config);
+  detector.Fit(train);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Run(test));
+  }
+  state.SetItemsProcessed(state.iterations() * test.dim(0));
+  SetComputeThreads(1);
+}
+BENCHMARK(BM_ImDiffusionInference)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace imdiff

@@ -9,6 +9,7 @@
 #include "metrics/classification.h"
 #include "nn/optimizer.h"
 #include "utils/logging.h"
+#include "utils/thread_pool.h"
 
 namespace imdiff {
 namespace {
@@ -239,7 +240,38 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
   auto mask_pair = MakeMaskPair(config_.mask_strategy, k, window,
                                 config_.num_masked_windows, rng_.get());
 
-  for (int64_t chunk = 0; chunk < num_windows; chunk += config_.infer_batch) {
+  // Window chunks are independent, so the reverse-diffusion imputation below
+  // runs them in parallel on the compute pool. All randomness is taken from
+  // rng_ serially up front, in the exact per-(chunk, policy) order the serial
+  // loop consumed it, so scores are bitwise identical for every thread count:
+  // the chain-start noise and the unmasked-region reference noise are
+  // pre-drawn, and (when stochastic_sampling) each (chunk, policy) chain gets
+  // its own serially-forked generator for the per-step sampling noise.
+  const int64_t num_chunks =
+      (num_windows + config_.infer_batch - 1) / config_.infer_batch;
+  std::vector<std::vector<Tensor>> pre_ref_noise(
+      static_cast<size_t>(num_chunks));
+  std::vector<std::vector<Tensor>> pre_chain_start(
+      static_cast<size_t>(num_chunks));
+  std::vector<std::vector<Rng>> chain_rngs(static_cast<size_t>(num_chunks));
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t chunk = c * config_.infer_batch;
+    const int64_t bsz =
+        std::min<int64_t>(config_.infer_batch, num_windows - chunk);
+    const Shape shape{bsz, k, window};
+    for (int policy = 0; policy < num_policies; ++policy) {
+      pre_ref_noise[static_cast<size_t>(c)].push_back(
+          Tensor::Randn(shape, *rng_));
+      pre_chain_start[static_cast<size_t>(c)].push_back(
+          Tensor::Randn(shape, *rng_));
+      if (config_.stochastic_sampling) {
+        chain_rngs[static_cast<size_t>(c)].push_back(rng_->Fork());
+      }
+    }
+  }
+
+  ParallelFor(ComputePool(), static_cast<size_t>(num_chunks), [&](size_t ci) {
+    const int64_t chunk = static_cast<int64_t>(ci) * config_.infer_batch;
     const int64_t bsz =
         std::min<int64_t>(config_.infer_batch, num_windows - chunk);
     Tensor x0({bsz, k, window});
@@ -268,10 +300,11 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
       // whole chain: the reference at step t is the forward-noised unmasked
       // values q(x_t | x_0) under this noise (§4.1). The conditional
       // ablation feeds the raw values at every step instead.
-      Tensor ref_noise = Tensor::Randn(x0.shape(), *rng_);
+      const Tensor& ref_noise =
+          pre_ref_noise[ci][static_cast<size_t>(policy)];
 
       std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
-      Tensor cur = Tensor::Randn(x0.shape(), *rng_);  // x_T
+      Tensor cur = pre_chain_start[ci][static_cast<size_t>(policy)];  // x_T
       size_t vote_idx = 0;
       for (int t = num_steps - 1; t >= 0; --t) {
         Tensor x_masked = Mul(cur, inv_mask);
@@ -289,7 +322,9 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
           x0_hat = diffusion_->PredictX0(cur, eps_pred, t);
         }
         cur = config_.stochastic_sampling
-                  ? diffusion_->PStep(cur, eps_pred, t, *rng_)
+                  ? diffusion_->PStep(cur, eps_pred, t,
+                                      chain_rngs[ci][static_cast<size_t>(
+                                          policy)])
                   : diffusion_->PosteriorMean(cur, eps_pred, t);
         // Record if this is a vote step (vote_ts is descending in t).
         if (is_vote) {
@@ -362,7 +397,7 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
         }
       }
     }
-  }
+  });
 
   // Scatter window errors back to series positions (overlap-averaged), with
   // positions lacking coverage dropped from scoring (score 0).

@@ -19,6 +19,7 @@
 #include "metrics/classification.h"
 #include "metrics/range_auc.h"
 #include "utils/stopwatch.h"
+#include "utils/thread_pool.h"
 
 namespace imdiff {
 
@@ -167,7 +168,8 @@ RunMetrics EvaluateDetector(AnomalyDetector& detector,
           : 0.0;
 
   BinaryMetrics best;
-  BestF1Threshold(result.scores, normalized.test_labels, 64, &best);
+  const float threshold =
+      BestF1Threshold(result.scores, normalized.test_labels, 64, &best);
   metrics.precision = best.precision;
   metrics.recall = best.recall;
   metrics.f1 = best.f1;
@@ -175,8 +177,6 @@ RunMetrics EvaluateDetector(AnomalyDetector& detector,
   metrics.r_auc_roc = RangeAucRoc(result.scores, normalized.test_labels);
   // ADD from the best-F1 predictions (point-adjusted predictions would
   // trivially zero the delay, so the raw thresholded predictions are used).
-  const float threshold =
-      BestF1Threshold(result.scores, normalized.test_labels, 64, nullptr);
   metrics.add = AverageDetectionDelay(
       normalized.test_labels, ThresholdScores(result.scores, threshold));
   return metrics;
@@ -185,12 +185,16 @@ RunMetrics EvaluateDetector(AnomalyDetector& detector,
 AggregateMetrics EvaluateManySeeds(const std::string& detector_name,
                                    const MtsDataset& dataset, int num_seeds,
                                    SpeedProfile profile) {
-  std::vector<RunMetrics> runs;
-  runs.reserve(static_cast<size_t>(num_seeds));
-  for (int s = 0; s < num_seeds; ++s) {
-    auto detector = MakeDetector(detector_name, 1000 + 17 * s, profile);
-    runs.push_back(EvaluateDetector(*detector, dataset));
-  }
+  IMDIFF_CHECK_GE(num_seeds, 1) << "EvaluateManySeeds needs num_seeds >= 1";
+  // Seed runs are independent: each task builds its own detector (which owns
+  // its Rng, seeded from the task's seed index) and writes its own slot, so
+  // the aggregate is identical to the serial loop for any thread count.
+  std::vector<RunMetrics> runs(static_cast<size_t>(num_seeds));
+  ParallelFor(ComputePool(), static_cast<size_t>(num_seeds), [&](size_t s) {
+    auto detector = MakeDetector(detector_name,
+                                 1000 + 17 * static_cast<uint64_t>(s), profile);
+    runs[s] = EvaluateDetector(*detector, dataset);
+  });
   AggregateMetrics agg;
   agg.num_runs = num_seeds;
   for (const RunMetrics& r : runs) {
@@ -259,6 +263,13 @@ HarnessOptions ParseHarnessOptions(int argc, char** argv) {
       options.dataset_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     }
   }
+  // Non-positive values would divide by zero downstream (EvaluateManySeeds
+  // averages over num_seeds; the simulators scale lengths by size_scale) and
+  // fill the tables with NaN, so fail fast with a clear message.
+  IMDIFF_CHECK_GE(options.num_seeds, 1)
+      << "--seeds must be a positive integer";
+  IMDIFF_CHECK(options.size_scale > 0.0f)
+      << "--scale must be a positive number";
   return options;
 }
 

@@ -4,8 +4,21 @@
 #include <cmath>
 #include <cstring>
 
+#include "utils/thread_pool.h"
+
 namespace imdiff {
 namespace {
+
+// Minimum flops a ParallelForRange chunk should carry before the kernels
+// split work across the compute pool; below this, task overhead dominates.
+constexpr int64_t kGrainFlops = 16384;
+
+// Rows [begin, end) of a grain computed so that each parallel chunk holds at
+// least kGrainFlops worth of per-row work.
+size_t RowGrain(int64_t flops_per_row) {
+  return static_cast<size_t>(
+      std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, flops_per_row)));
+}
 
 // Computes row-major strides for a shape.
 std::vector<int64_t> Strides(const Shape& shape) {
@@ -16,14 +29,17 @@ std::vector<int64_t> Strides(const Shape& shape) {
   return strides;
 }
 
-// Inner 2D matmul kernel: c[m,n] += a[m,k] * b[k,n], with optional logical
-// transposition of a and/or b. Pointers address contiguous row-major blocks.
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n, bool ta, bool tb) {
+// Rows [row_begin, row_end) of the 2D matmul c[m,n] += a[m,k] * b[k,n], with
+// optional logical transposition of a and/or b. Pointers address contiguous
+// row-major blocks. Each call writes only its own c rows, so disjoint row
+// ranges may run concurrently with bitwise-identical results.
+void MatMulRows(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n, bool ta, bool tb, int64_t row_begin,
+                int64_t row_end) {
   if (!ta && !tb) {
     // ikj ordering with 4-way unrolling over k: streams b rows and amortizes
     // the c-row traffic across four partial products.
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       float* crow = c + i * n;
       const float* arow = a + i * k;
       int64_t p = 0;
@@ -47,7 +63,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
   } else if (ta && !tb) {
     // a is [k,m] physically: c[i][j] += sum_p a[p][i] b[p][j], unrolled 4x
     // over the reduction dim p.
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       float* crow = c + i * n;
       int64_t p = 0;
       for (; p + 4 <= k; p += 4) {
@@ -69,7 +85,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
     }
   } else if (!ta && tb) {
     // b is [n,k] physically: dot products of contiguous rows.
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
@@ -81,7 +97,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
     }
   } else {
     // a [k,m], b [n,k].
-    for (int64_t i = 0; i < m; ++i) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
       float* crow = c + i * n;
       for (int64_t j = 0; j < n; ++j) {
         const float* brow = b + j * k;
@@ -91,6 +107,18 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
       }
     }
   }
+}
+
+// Full 2D matmul, parallelized over output rows on the compute pool. Nested
+// calls (e.g. from a batch-level parallel section) run inline.
+void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, bool ta, bool tb) {
+  ParallelForRange(ComputePool(), static_cast<size_t>(m), RowGrain(2 * k * n),
+                   [&](size_t begin, size_t end) {
+                     MatMulRows(a, b, c, m, k, n, ta, tb,
+                                static_cast<int64_t>(begin),
+                                static_cast<int64_t>(end));
+                   });
 }
 
 }  // namespace
@@ -127,11 +155,19 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   const int64_t a_step = a.dim(1) * a.dim(2);
   const int64_t b_step = b.dim(1) * b.dim(2);
   const int64_t c_step = m * n;
-  for (int64_t i = 0; i < batch; ++i) {
-    MatMulKernel(a.data() + i * a_step, b.data() + i * b_step,
-                 c.mutable_data() + i * c_step, m, k, n, transpose_a,
-                 transpose_b);
-  }
+  // Batch-level parallelism; the per-batch MatMulKernel detects it is running
+  // on a pool worker and computes its rows inline.
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.mutable_data();
+  ParallelFor(
+      ComputePool(), static_cast<size_t>(batch),
+      [&](size_t idx) {
+        const int64_t i = static_cast<int64_t>(idx);
+        MatMulKernel(pa + i * a_step, pb + i * b_step, pc + i * c_step, m, k, n,
+                     transpose_a, transpose_b);
+      },
+      RowGrain(2 * m * k * n));
   return c;
 }
 
@@ -371,19 +407,24 @@ Tensor SoftmaxLastDim(const Tensor& t) {
   Tensor out(t.shape());
   const float* pin = t.data();
   float* pout = out.mutable_data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = pin + r * last;
-    float* orow = pout + r * last;
-    float mx = row[0];
-    for (int64_t j = 1; j < last; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < last; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      sum += orow[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < last; ++j) orow[j] *= inv;
-  }
+  ParallelForRange(
+      ComputePool(), static_cast<size_t>(rows), RowGrain(4 * last),
+      [&](size_t begin, size_t end) {
+        for (int64_t r = static_cast<int64_t>(begin);
+             r < static_cast<int64_t>(end); ++r) {
+          const float* row = pin + r * last;
+          float* orow = pout + r * last;
+          float mx = row[0];
+          for (int64_t j = 1; j < last; ++j) mx = std::max(mx, row[j]);
+          float sum = 0.0f;
+          for (int64_t j = 0; j < last; ++j) {
+            orow[j] = std::exp(row[j] - mx);
+            sum += orow[j];
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t j = 0; j < last; ++j) orow[j] *= inv;
+        }
+      });
   return out;
 }
 
@@ -439,34 +480,39 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias, int pad) {
   const float* pw = w.data();
   float* py = y.mutable_data();
   const bool has_bias = bias.numel() > 0;
-  if (has_bias) {
-    IMDIFF_CHECK_EQ(bias.numel(), cout);
-    const float* pb = bias.data();
-    for (int64_t b = 0; b < batch; ++b)
-      for (int64_t co = 0; co < cout; ++co) {
-        float* row = py + (b * cout + co) * lout;
-        for (int64_t l = 0; l < lout; ++l) row[l] = pb[co];
-      }
-  }
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < cout; ++co) {
-      float* yrow = py + (b * cout + co) * lout;
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* xrow = px + (b * cin + ci) * length;
-        const float* wrow = pw + (co * cin + ci) * kernel;
-        for (int64_t kk = 0; kk < kernel; ++kk) {
-          const float wv = wrow[kk];
-          if (wv == 0.0f) continue;
-          const int64_t in_off = kk - pad;
-          const int64_t l_lo = std::max<int64_t>(0, -in_off);
-          const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
-          for (int64_t l = l_lo; l < l_hi; ++l) {
-            yrow[l] += wv * xrow[l + in_off];
+  if (has_bias) IMDIFF_CHECK_EQ(bias.numel(), cout);
+  const float* pb = has_bias ? bias.data() : nullptr;
+  // Each batch element writes its own [cout, lout] output block, so the batch
+  // loop parallelizes with bitwise-identical results for any thread count.
+  ParallelFor(
+      ComputePool(), static_cast<size_t>(batch),
+      [&](size_t idx) {
+        const int64_t b = static_cast<int64_t>(idx);
+        if (has_bias) {
+          for (int64_t co = 0; co < cout; ++co) {
+            float* row = py + (b * cout + co) * lout;
+            for (int64_t l = 0; l < lout; ++l) row[l] = pb[co];
           }
         }
-      }
-    }
-  }
+        for (int64_t co = 0; co < cout; ++co) {
+          float* yrow = py + (b * cout + co) * lout;
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            const float* xrow = px + (b * cin + ci) * length;
+            const float* wrow = pw + (co * cin + ci) * kernel;
+            for (int64_t kk = 0; kk < kernel; ++kk) {
+              const float wv = wrow[kk];
+              if (wv == 0.0f) continue;
+              const int64_t in_off = kk - pad;
+              const int64_t l_lo = std::max<int64_t>(0, -in_off);
+              const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
+              for (int64_t l = l_lo; l < l_hi; ++l) {
+                yrow[l] += wv * xrow[l + in_off];
+              }
+            }
+          }
+        }
+      },
+      RowGrain(2 * cout * cin * kernel * lout));
   return y;
 }
 

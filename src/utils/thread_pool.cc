@@ -1,8 +1,19 @@
 #include "utils/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
 #include <utility>
 
 namespace imdiff {
+namespace {
+
+// Set inside WorkerLoop; lets ParallelFor detect re-entrant calls from a task
+// running on this pool and fall back to inline execution.
+thread_local ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -34,11 +45,19 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -48,25 +67,132 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) cv_done_.notify_all();
     }
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body) {
-  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) body(i);
+namespace {
+
+// Per-ParallelFor countdown latch. Each call owns one, so concurrent calls on
+// the same pool wait only for their own chunks (a global in-flight counter
+// would make caller A block on caller B's tasks), and body exceptions are
+// routed to the issuing caller rather than to whoever calls Pool::Wait next.
+struct LatchState {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;
+  std::exception_ptr error;
+
+  explicit LatchState(size_t n) : remaining(n) {}
+
+  void Finish(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (e && !error) error = e;
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  void WaitAndRethrow() {
+    std::exception_ptr e;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return remaining == 0; });
+      e = error;
+    }
+    if (e) std::rethrow_exception(e);
+  }
+};
+
+}  // namespace
+
+void ParallelForRange(ThreadPool* pool, size_t n, size_t grain,
+                      const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= grain ||
+      pool->InWorkerThread()) {
+    body(0, n);
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([i, &body] { body(i); });
+  // Cap the chunk count at a small multiple of the thread count: enough
+  // slack for load balancing without per-index submission overhead.
+  const size_t max_chunks = pool->num_threads() * 4;
+  const size_t chunk =
+      std::max(grain, (n + max_chunks - 1) / max_chunks);
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  auto state = std::make_shared<LatchState>(num_chunks);
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    pool->Submit([state, begin, end, &body] {
+      std::exception_ptr error;
+      try {
+        body(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      state->Finish(error);
+    });
   }
-  pool->Wait();
+  state->WaitAndRethrow();
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body, size_t grain) {
+  ParallelForRange(pool, n, grain, [&body](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+namespace {
+
+std::mutex compute_pool_mu;
+std::unique_ptr<ThreadPool> compute_pool;
+bool compute_pool_init = false;
+
+size_t DefaultComputeThreads() {
+  if (const char* env = std::getenv("IMDIFF_NUM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+// A 1-thread configuration keeps the pool null: ParallelFor(nullptr, ...)
+// runs inline, giving exact serial execution with zero idle worker threads.
+void RebuildComputePoolLocked(size_t n) {
+  compute_pool.reset();
+  if (n > 1) compute_pool = std::make_unique<ThreadPool>(n);
+  compute_pool_init = true;
+}
+
+}  // namespace
+
+ThreadPool* ComputePool() {
+  std::lock_guard<std::mutex> lock(compute_pool_mu);
+  if (!compute_pool_init) RebuildComputePoolLocked(DefaultComputeThreads());
+  return compute_pool.get();
+}
+
+size_t ComputeThreads() {
+  std::lock_guard<std::mutex> lock(compute_pool_mu);
+  if (!compute_pool_init) RebuildComputePoolLocked(DefaultComputeThreads());
+  return compute_pool ? compute_pool->num_threads() : 1;
+}
+
+void SetComputeThreads(size_t n) {
+  std::lock_guard<std::mutex> lock(compute_pool_mu);
+  RebuildComputePoolLocked(n == 0 ? DefaultComputeThreads() : n);
 }
 
 }  // namespace imdiff

@@ -1,14 +1,25 @@
-// Fixed-size thread pool with a ParallelFor helper.
+// Fixed-size thread pool with chunked ParallelFor helpers and a process-wide
+// compute pool.
 //
-// Used by the evaluation harness to run independent (detector, dataset, seed)
-// combinations concurrently. Each task owns its Rng, so parallel execution
-// does not perturb determinism.
+// The compute pool (ComputePool()) parallelizes the CPU hot path: the matmul /
+// convolution / softmax kernels in src/tensor, the per-window reverse-diffusion
+// batches in ImDiffusionDetector::Run, and the independent (detector, seed)
+// runs in EvaluateManySeeds. Each parallel unit writes a disjoint output slice
+// and owns its randomness, so results are bitwise identical for every thread
+// count (see DESIGN.md "Threading model").
+//
+// Exception safety: a task that throws does not terminate the process or leak
+// pool bookkeeping; the first exception is captured and rethrown from Wait()
+// (for Submit()-ed tasks) or from ParallelFor (for loop bodies). A ParallelFor
+// issued from inside a worker thread of the same pool runs inline, so nested
+// parallel sections cannot deadlock.
 
 #ifndef IMDIFF_UTILS_THREAD_POOL_H_
 #define IMDIFF_UTILS_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,11 +38,18 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  // Enqueues a task for asynchronous execution.
+  // Enqueues a task for asynchronous execution. If the task throws, the first
+  // exception is captured and rethrown from the next Wait().
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has completed.
+  // Blocks until every submitted task has completed, then rethrows the first
+  // exception captured from a task (if any) and clears it.
   void Wait();
+
+  // True when called from one of this pool's worker threads. Used by
+  // ParallelFor to run nested parallel sections inline instead of
+  // deadlocking on a pool whose workers are all blocked in a wait.
+  bool InWorkerThread() const;
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -44,13 +62,39 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;
   size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
   bool stop_ = false;
 };
 
 // Runs body(i) for i in [0, n) across the pool, blocking until all complete.
-// With a null pool the loop runs inline.
+// Indices are grouped into chunks of at least `grain` so tiny loops do not
+// drown in task overhead. Runs inline (and in index order) when the pool is
+// null, has a single thread, the loop fits one chunk, or the caller is itself
+// a pool worker. Each call waits on its own countdown latch, so concurrent
+// and nested ParallelFor calls on one pool neither deadlock nor over-wait.
+// The first exception thrown by `body` is rethrown to the caller.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& body);
+                 const std::function<void(size_t)>& body, size_t grain = 1);
+
+// Chunked variant: runs body(begin, end) over disjoint subranges covering
+// [0, n), each of at least `grain` indices. Prefer this in kernels where the
+// per-index dispatch of ParallelFor would dominate the work.
+void ParallelForRange(ThreadPool* pool, size_t n, size_t grain,
+                      const std::function<void(size_t, size_t)>& body);
+
+// Process-wide compute pool shared by the tensor kernels and the evaluation
+// harness. Thread count comes from IMDIFF_NUM_THREADS (default:
+// hardware_concurrency). Returns nullptr when the count is 1 — the exact
+// serial configuration — so every ParallelFor runs inline.
+ThreadPool* ComputePool();
+
+// The compute pool's thread count (1 when the pool is serial/disabled).
+size_t ComputeThreads();
+
+// Rebuilds the compute pool with `n` threads (0 = hardware_concurrency,
+// 1 = serial). Not thread-safe against concurrent compute-pool users; call
+// from a single thread at startup, between runs, or in tests.
+void SetComputeThreads(size_t n);
 
 }  // namespace imdiff
 

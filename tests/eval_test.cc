@@ -2,6 +2,7 @@
 
 #include "eval/runner.h"
 #include "eval/tables.h"
+#include "utils/thread_pool.h"
 
 namespace imdiff {
 namespace {
@@ -76,6 +77,48 @@ TEST(RunnerTest, ParseHarnessDefaults) {
   HarnessOptions options = ParseHarnessOptions(1, const_cast<char**>(argv));
   EXPECT_EQ(options.num_seeds, 2);
   EXPECT_EQ(options.profile, SpeedProfile::kFast);
+}
+
+// Regression: --seeds 0 / negative and non-positive --scale used to flow
+// straight into EvaluateManySeeds and the dataset simulators, dividing by
+// zero and emitting NaN tables. They now fail fast with a clear message.
+TEST(RunnerDeathTest, ParseHarnessRejectsNonPositiveSeeds) {
+  const char* zero[] = {"bench", "--seeds", "0"};
+  EXPECT_DEATH(ParseHarnessOptions(3, const_cast<char**>(zero)),
+               "--seeds must be a positive integer");
+  const char* negative[] = {"bench", "--seeds", "-3"};
+  EXPECT_DEATH(ParseHarnessOptions(3, const_cast<char**>(negative)),
+               "--seeds must be a positive integer");
+}
+
+TEST(RunnerDeathTest, ParseHarnessRejectsNonPositiveScale) {
+  const char* zero[] = {"bench", "--scale", "0"};
+  EXPECT_DEATH(ParseHarnessOptions(3, const_cast<char**>(zero)),
+               "--scale must be a positive number");
+  const char* negative[] = {"bench", "--scale", "-0.5"};
+  EXPECT_DEATH(ParseHarnessOptions(3, const_cast<char**>(negative)),
+               "--scale must be a positive number");
+}
+
+// The (detector, seed) runs of EvaluateManySeeds execute in parallel on the
+// compute pool; every run owns its detector and Rng, so the aggregate must
+// match the serial execution exactly.
+TEST(RunnerTest, EvaluateManySeedsIdenticalAcrossThreadCounts) {
+  MtsDataset ds = MakeBenchmarkDataset(BenchmarkId::kGcp, 3, 0.2f);
+  SetComputeThreads(1);
+  AggregateMetrics serial =
+      EvaluateManySeeds("IForest", ds, 3, SpeedProfile::kFast);
+  SetComputeThreads(4);
+  AggregateMetrics parallel =
+      EvaluateManySeeds("IForest", ds, 3, SpeedProfile::kFast);
+  SetComputeThreads(1);
+  EXPECT_EQ(serial.precision, parallel.precision);
+  EXPECT_EQ(serial.recall, parallel.recall);
+  EXPECT_EQ(serial.f1, parallel.f1);
+  EXPECT_EQ(serial.f1_std, parallel.f1_std);
+  EXPECT_EQ(serial.r_auc_pr, parallel.r_auc_pr);
+  EXPECT_EQ(serial.add, parallel.add);
+  EXPECT_EQ(serial.num_runs, parallel.num_runs);
 }
 
 TEST(TablesTest, RendersAlignedColumns) {

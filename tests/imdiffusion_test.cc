@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "data/synthetic.h"
 #include "metrics/classification.h"
+#include "utils/thread_pool.h"
 
 namespace imdiff {
 namespace {
@@ -252,6 +253,59 @@ TEST(ImDiffusionTest, VariantNamesDistinguishConfig) {
   config.conditional = false;
   config.mask_strategy = MaskStrategy::kForecasting;
   EXPECT_EQ(ImDiffusionDetector(config).name(), "ImDiffusion-Forecasting");
+}
+
+// Threading determinism contract (DESIGN.md): every parallel unit writes a
+// disjoint output slice and randomness is drawn serially, so the number of
+// compute threads (IMDIFF_NUM_THREADS in production, SetComputeThreads here)
+// must not change a single bit of the detection scores.
+TEST(ImDiffusionTest, ScoresBitwiseIdenticalAcrossThreadCounts) {
+  MtsDataset ds = NormalizeDataset(EasyDataset(31));
+
+  SetComputeThreads(1);
+  ImDiffusionDetector serial(TinyConfig(32));
+  serial.Fit(ds.train);
+  const DetectionResult serial_result = serial.Run(ds.test);
+
+  SetComputeThreads(4);
+  ImDiffusionDetector parallel(TinyConfig(32));
+  parallel.Fit(ds.train);
+  const DetectionResult parallel_result = parallel.Run(ds.test);
+  SetComputeThreads(1);
+
+  ASSERT_EQ(serial_result.scores.size(), parallel_result.scores.size());
+  for (size_t i = 0; i < serial_result.scores.size(); ++i) {
+    ASSERT_EQ(serial_result.scores[i], parallel_result.scores[i])
+        << "score diverged at position " << i;
+  }
+  EXPECT_EQ(serial_result.labels, parallel_result.labels);
+}
+
+// Same contract for the stochastic (ancestral DDPM) sampler: the per-chain
+// sampling noise comes from serially forked generators, not the thread
+// schedule.
+TEST(ImDiffusionTest, StochasticScoresBitwiseIdenticalAcrossThreadCounts) {
+  MtsDataset ds = NormalizeDataset(EasyDataset(33));
+  ImDiffusionConfig config = TinyConfig(34);
+  config.stochastic_sampling = true;
+  config.infer_batch = 2;  // several chunks so the parallel loop is exercised
+
+  SetComputeThreads(1);
+  ImDiffusionDetector serial(config);
+  serial.Fit(ds.train);
+  const DetectionResult serial_result = serial.Run(ds.test);
+
+  SetComputeThreads(4);
+  ImDiffusionDetector parallel(config);
+  parallel.Fit(ds.train);
+  const DetectionResult parallel_result = parallel.Run(ds.test);
+  SetComputeThreads(1);
+
+  ASSERT_EQ(serial_result.scores.size(), parallel_result.scores.size());
+  for (size_t i = 0; i < serial_result.scores.size(); ++i) {
+    ASSERT_EQ(serial_result.scores[i], parallel_result.scores[i])
+        << "score diverged at position " << i;
+  }
 }
 
 TEST(ImDiffusionTest, PaperConfigMatchesTable1) {

@@ -1,5 +1,7 @@
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -100,6 +102,110 @@ TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
   int sum = 0;
   ParallelFor(nullptr, 10, [&sum](size_t i) { sum += static_cast<int>(i); });
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(
+      &pool, 1000, [&hits](size_t i) { hits[i].fetch_add(1); },
+      /*grain=*/64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRangeChunksAreDisjoint) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  ParallelForRange(&pool, 500, 32, [&hits](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Regression: a throwing task used to escape WorkerLoop (std::terminate) and
+// skip the in-flight bookkeeping, deadlocking Wait(). Now the first exception
+// is rethrown from Wait() and the pool stays usable.
+TEST(ThreadPoolTest, ThrowingTaskPropagatesFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);
+  // The error is cleared; the pool keeps working.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(&pool, 100,
+                           [&ran](size_t i) {
+                             ran.fetch_add(1);
+                             if (i == 37) throw std::runtime_error("body boom");
+                           }),
+               std::runtime_error);
+  // The latch counted every chunk down and the pool stays usable.
+  std::atomic<int> after{0};
+  ParallelFor(&pool, 10, [&after](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+// Regression: ParallelFor issued from inside a pool task used to deadlock
+// (every worker blocked in Wait with nobody left to drain the queue). Nested
+// calls now run inline on the issuing worker.
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  ParallelFor(&pool, 16, [&pool, &hits](size_t outer) {
+    EXPECT_TRUE(pool.InWorkerThread());
+    ParallelFor(&pool, 16, [&hits, outer](size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Two external threads issuing ParallelFor on one pool concurrently: each
+// call waits on its own latch, so neither deadlocks nor returns before its
+// own chunks finish (the old global in-flight wait could do both).
+TEST(ThreadPoolTest, ConcurrentParallelForFromTwoThreads) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(256), b(256);
+  std::thread ta([&] {
+    for (int round = 0; round < 20; ++round) {
+      ParallelFor(&pool, a.size(), [&a](size_t i) { a[i].fetch_add(1); });
+    }
+  });
+  std::thread tb([&] {
+    for (int round = 0; round < 20; ++round) {
+      ParallelFor(&pool, b.size(), [&b](size_t i) { b[i].fetch_add(1); });
+    }
+  });
+  ta.join();
+  tb.join();
+  for (const auto& h : a) EXPECT_EQ(h.load(), 20);
+  for (const auto& h : b) EXPECT_EQ(h.load(), 20);
+}
+
+TEST(ComputePoolTest, SetComputeThreadsRebuildsPool) {
+  SetComputeThreads(4);
+  EXPECT_EQ(ComputeThreads(), 4u);
+  ThreadPool* pool = ComputePool();
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->num_threads(), 4u);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 100, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+  // 1 = exact serial execution: no pool at all, ParallelFor runs inline.
+  SetComputeThreads(1);
+  EXPECT_EQ(ComputeThreads(), 1u);
+  EXPECT_EQ(ComputePool(), nullptr);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -3,7 +3,7 @@
 // fixed upper-quantile (the paper's deployed rule), POT (OmniAnomaly's rule),
 // and Hundman-style nonparametric dynamic thresholding.
 //
-// Usage: bench_ext_thresholding [--scale F]
+// Usage: bench_ext_thresholding [--scale F] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -62,6 +62,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "\nThe paper suggests dynamic thresholding to recover the precision a "
       "fixed threshold loses on SMAP/SWaT-style data.\n");
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

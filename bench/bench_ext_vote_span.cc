@@ -3,7 +3,7 @@
 // a large denoiser; with the CPU-scaled denoiser the informative span is
 // shorter. Sweeps the span on an SMD-like dataset.
 //
-// Usage: bench_ext_vote_span [--scale F] [--seeds N]
+// Usage: bench_ext_vote_span [--scale F] [--seeds N] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -35,6 +35,7 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("\n%s", table.ToString().c_str());
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

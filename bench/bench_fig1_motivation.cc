@@ -4,7 +4,7 @@
 // differs) so the crossover the figure shows — comparable error inside the
 // outlier, imputation clearly lower on normal ranges — can be read off.
 //
-// Usage: bench_fig1_motivation [--scale F]
+// Usage: bench_fig1_motivation [--scale F] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -63,6 +63,7 @@ int Main(int argc, char** argv) {
                 kVariants[v], normal / std::max(nn, 1),
                 abnormal / std::max(na, 1));
   }
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

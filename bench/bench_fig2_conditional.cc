@@ -3,7 +3,7 @@
 // normal from abnormal points much more sharply because anomalous unmasked
 // values are never revealed directly.
 //
-// Usage: bench_fig2_conditional [--scale F]
+// Usage: bench_fig2_conditional [--scale F] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -54,6 +54,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "\nPaper's claim: the unconditional model yields the larger "
       "normal/abnormal error gap (separation ratio).\n");
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

@@ -3,7 +3,7 @@
 // plus the average. A lower error indicates better MTS modeling; the paper
 // shows imputation lowest everywhere.
 //
-// Usage: bench_fig7_predicted_error [--scale F]
+// Usage: bench_fig7_predicted_error [--scale F] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -52,6 +52,7 @@ int Main(int argc, char** argv) {
   std::printf("\n%s", table.ToString().c_str());
   std::printf("\n(Fig. 7's claim: the imputation column is lowest.)\n");
   (void)kVariants;
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

@@ -2,7 +2,7 @@
 // per-denoising-step imputations, errors, per-step anomaly labels (Eq. 12),
 // and the final aggregated vote signal with the threshold ξ.
 //
-// Usage: bench_fig8_ensemble [--scale F]
+// Usage: bench_fig8_ensemble [--scale F] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -70,6 +70,7 @@ int Main(int argc, char** argv) {
       "\nFinal-step positives rejected by the vote: %d on normal data "
       "(false positives removed), %d on anomalies.\n",
       filtered, kept);
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

@@ -4,7 +4,7 @@
 // model has a higher overall error but a *larger* abnormal-normal gap, i.e. a
 // cleaner decision boundary.
 //
-// Usage: bench_fig9_error_gap [--scale F]
+// Usage: bench_fig9_error_gap [--scale F] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -69,6 +69,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "\n(Fig. 9's claim: the unconditional row has the larger "
       "difference.)\n");
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

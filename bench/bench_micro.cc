@@ -1,15 +1,28 @@
 // google-benchmark micro-benchmarks for the substrate: tensor kernels,
 // attention, diffusion steps, and end-to-end ImTransformer inference.
+//
+// Snapshot mode: `bench_micro --metrics-out <path>` skips the benchmark
+// suite and instead runs a small end-to-end workload (ImDiffusion train +
+// inference, online block scoring, parallel kernels) that exercises every
+// instrumented phase, then dumps the metrics registry as JSON. This is the
+// machine-readable perf snapshot the BENCH_*.json trajectory builds on.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/lstm_ad.h"
 #include "core/im_transformer.h"
 #include "core/imdiffusion.h"
 #include "core/masking.h"
+#include "core/online_detector.h"
 #include "data/synthetic.h"
 #include "diffusion/ddpm.h"
 #include "nn/attention.h"
 #include "tensor/tensor_ops.h"
+#include "utils/metrics.h"
 #include "utils/rng.h"
 #include "utils/thread_pool.h"
 
@@ -215,7 +228,74 @@ BENCHMARK(BM_ImDiffusionInference)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Exercises every instrumented phase once — training epochs, the reverse-
+// diffusion steps and window scoring of ImDiffusion inference, online block
+// scoring, and the thread-pool task path — then writes the registry snapshot.
+int RunMetricsSnapshot(const std::string& path) {
+  SetComputeThreads(4);  // make the pool.* instruments load-bearing
+
+  SyntheticConfig signal;
+  signal.length = 700;
+  signal.dims = 4;
+  Rng rng(9);
+  Tensor series = GenerateCleanSeries(signal, rng);
+  Tensor train({400, 4});
+  Tensor test({300, 4});
+  std::copy_n(series.data(), 400 * 4, train.mutable_data());
+  std::copy_n(series.data() + 400 * 4, 300 * 4, test.mutable_data());
+
+  ImDiffusionConfig config = FastImDiffusionConfig();
+  config.epochs = 3;
+  config.seed = 17;
+  ImDiffusionDetector detector(config);
+  detector.Fit(train);  // train.* histograms
+  detector.Run(test);   // diffusion.step / detector.window_score histograms
+
+  // Online block scoring (the paper's §6 timeliness signal).
+  LstmAdConfig lstm;
+  lstm.epochs = 2;
+  LstmAdDetector online_base(lstm);
+  OnlineDetector::Options online_options;
+  online_options.block = 25;
+  online_options.context = 25;
+  OnlineDetector online(&online_base, online_options);
+  online.Fit(train);
+  std::vector<float> sample(4);
+  for (int64_t t = 0; t < 100; ++t) {
+    for (int64_t k = 0; k < 4; ++k) sample[static_cast<size_t>(k)] = test.at(t, k);
+    online.Append(sample);
+  }
+
+  SetComputeThreads(1);
+  if (!WriteMetricsJson(path)) {
+    std::fprintf(stderr, "failed to write metrics snapshot to %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("metrics snapshot written to %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace imdiff
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: --metrics-out must be stripped
+// before benchmark::Initialize, which rejects unknown flags.
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  if (!metrics_out.empty()) return imdiff::RunMetricsSnapshot(metrics_out);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Reproduces Table 2 (per-dataset P/R/F1/F1-std/R-AUC-PR of all detectors)
 // and Table 3 (averages over the six datasets).
 //
-// Usage: bench_table2_accuracy [--seeds N] [--scale F] [--paper]
+// Usage: bench_table2_accuracy [--seeds N] [--scale F] [--paper] [--metrics-out PATH]
 // Defaults are scaled for a single CPU core; see EXPERIMENTS.md.
 
 #include <cstdio>
@@ -48,6 +48,7 @@ int Main(int argc, char** argv) {
                       FormatMetric(avg.f1_std), FormatMetric(avg.r_auc_pr)});
   }
   std::printf("%s", avg_table.ToString().c_str());
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

@@ -1,7 +1,7 @@
 // Reproduces Table 4: ADD (average detection delay, mean ± std over seeds)
 // of every detector on every dataset, plus the cross-dataset average.
 //
-// Usage: bench_table4_timeliness [--seeds N] [--scale F] [--paper]
+// Usage: bench_table4_timeliness [--seeds N] [--scale F] [--paper] [--metrics-out PATH]
 
 #include <cstdio>
 #include <vector>
@@ -47,6 +47,7 @@ int Main(int argc, char** argv) {
     std::fflush(stdout);
   }
   std::printf("\n%s", table.ToString().c_str());
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

@@ -2,7 +2,7 @@
 // Forecasting / Reconstruction / Non-ensemble / Conditional / Random Mask /
 // w/o spatial / w/o temporal transformer) and Table 6 (ablation averages).
 //
-// Usage: bench_table5_ablation [--seeds N] [--scale F] [--paper]
+// Usage: bench_table5_ablation [--seeds N] [--scale F] [--paper] [--metrics-out PATH]
 
 #include <cstdio>
 #include <vector>
@@ -50,6 +50,7 @@ int Main(int argc, char** argv) {
                       FormatMetric(avg.r_auc_pr), FormatMetric(avg.add, 0)});
   }
   std::printf("%s", avg_table.ToString().c_str());
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

@@ -7,7 +7,7 @@
 // The "legacy" detector is an LSTM forecaster with static thresholding —
 // the class of deep detector the paper describes replacing.
 //
-// Usage: bench_table7_production [--seeds N] [--paper]
+// Usage: bench_table7_production [--seeds N] [--paper] [--metrics-out PATH]
 
 #include <cstdio>
 
@@ -66,6 +66,7 @@ int Main(int argc, char** argv) {
       "points/s %s the online requirement.\n",
       imdiff.points_per_second,
       imdiff.points_per_second > 1.0 ? "comfortably meets" : "misses");
+  WriteMetricsIfRequested(options);
   return 0;
 }
 

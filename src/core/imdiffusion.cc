@@ -9,6 +9,7 @@
 #include "metrics/classification.h"
 #include "nn/optimizer.h"
 #include "utils/logging.h"
+#include "utils/metrics.h"
 #include "utils/thread_pool.h"
 
 namespace imdiff {
@@ -110,6 +111,7 @@ std::string ImDiffusionDetector::name() const {
 }
 
 void ImDiffusionDetector::Fit(const Tensor& train) {
+  IMDIFF_TRACE_SCOPE("train.fit_seconds");
   IMDIFF_CHECK_EQ(train.ndim(), 2u);
   const int64_t k = train.dim(1);
   config_.model.num_features = k;
@@ -129,18 +131,26 @@ void ImDiffusionDetector::Fit(const Tensor& train) {
 
   nn::Adam::Options opt;
   opt.lr = config_.lr;
-  nn::Adam adam(model_->Parameters(), opt);
+  const std::vector<nn::Var> params = model_->Parameters();
+  nn::Adam adam(params, opt);
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Gauge* const epoch_loss_gauge = registry.GetGauge("train.epoch_loss");
+  Gauge* const grad_norm_gauge = registry.GetGauge("train.grad_norm");
+  Counter* const epochs_counter = registry.GetCounter("train.epochs");
 
   const int num_steps = config_.schedule.num_steps;
   std::vector<int64_t> order(static_cast<size_t>(num_windows));
   std::iota(order.begin(), order.end(), 0);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    IMDIFF_TRACE_SCOPE("train.epoch_seconds");
     std::shuffle(order.begin(), order.end(), rng_->engine());
     double epoch_loss = 0.0;
     int batches = 0;
     for (int64_t start = 0; start < num_windows;
          start += config_.batch_size) {
+      IMDIFF_TRACE_SCOPE("train.step_seconds");
       const int64_t bsz =
           std::min<int64_t>(config_.batch_size, num_windows - start);
       Tensor x0({bsz, k, window});
@@ -173,6 +183,18 @@ void ImDiffusionDetector::Fit(const Tensor& train) {
       nn::Var pred = model_->Forward(x_masked, noise_ref, mask, t, policies);
       nn::Var loss = nn::MaskedMseLossV(pred, eps, inv_mask);
       nn::Backward(loss);
+      if (MetricsEnabled()) {
+        double grad_sq = 0.0;
+        for (const nn::Var& p : params) {
+          if (!p.has_grad()) continue;
+          const float* g = p.grad().data();
+          const int64_t n = p.grad().numel();
+          for (int64_t i = 0; i < n; ++i) {
+            grad_sq += static_cast<double>(g[i]) * g[i];
+          }
+        }
+        grad_norm_gauge->Set(std::sqrt(grad_sq));
+      }
       adam.Step();
       epoch_loss += loss.value().flat(0);
       ++batches;
@@ -180,6 +202,8 @@ void ImDiffusionDetector::Fit(const Tensor& train) {
     const float mean_loss =
         batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
     loss_history_.push_back(mean_loss);
+    epoch_loss_gauge->Set(mean_loss);
+    epochs_counter->Increment();
     if (config_.verbose) {
       IMDIFF_LOG(Info) << name() << " epoch " << epoch << " loss "
                        << mean_loss;
@@ -193,6 +217,7 @@ DetectionResult ImDiffusionDetector::Run(const Tensor& test) {
 
 DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
                                                   StepTrace* trace) {
+  IMDIFF_TRACE_SCOPE("detector.run_seconds");
   IMDIFF_CHECK(model_ != nullptr) << "Fit must be called before Run";
   IMDIFF_CHECK_EQ(test.ndim(), 2u);
   const int64_t k = test.dim(1);
@@ -270,10 +295,16 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
     }
   }
 
+  Counter* const windows_scored =
+      MetricsRegistry::Global().GetCounter("detector.windows_scored");
   ParallelFor(ComputePool(), static_cast<size_t>(num_chunks), [&](size_t ci) {
+    // Per-chunk scoring latency: the full reverse-diffusion imputation and
+    // error reduction for one batch of windows (the unit the pool schedules).
+    IMDIFF_TRACE_SCOPE("detector.window_score_seconds");
     const int64_t chunk = static_cast<int64_t>(ci) * config_.infer_batch;
     const int64_t bsz =
         std::min<int64_t>(config_.infer_batch, num_windows - chunk);
+    windows_scored->Increment(bsz);
     Tensor x0({bsz, k, window});
     std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
                 x0.mutable_data());
@@ -307,6 +338,10 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
       Tensor cur = pre_chain_start[ci][static_cast<size_t>(policy)];  // x_T
       size_t vote_idx = 0;
       for (int t = num_steps - 1; t >= 0; --t) {
+        // One denoising step for this (chunk, policy): model forward plus
+        // the posterior update. The paper's per-step diagnostics (step-wise
+        // imputation quality) hang off this distribution.
+        IMDIFF_TRACE_SCOPE("diffusion.step_seconds");
         Tensor x_masked = Mul(cur, inv_mask);
         Tensor noise_ref =
             Mul(config_.conditional

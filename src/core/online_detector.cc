@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "utils/check.h"
+#include "utils/metrics.h"
 
 namespace imdiff {
 
@@ -47,6 +48,10 @@ OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
   if (pending_ < options_.block) return alert;
   pending_ = 0;
 
+  // Block scoring latency is the paper's §6 timeliness signal: a block must
+  // score faster than it accumulates (30 s per sample in production).
+  IMDIFF_TRACE_SCOPE("online.block_score_seconds");
+
   // Score the buffered context + block; emit only the block's tail.
   const int64_t buffered = static_cast<int64_t>(buffer_.size());
   Tensor series({buffered, num_features_});
@@ -56,12 +61,28 @@ OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
               buffer_[static_cast<size_t>(i)].end(), p + i * num_features_);
   }
   const DetectionResult result = detector_->Run(series);
-  const int64_t emit = std::min(options_.block, buffered);
+  // A windowed detector may legitimately return fewer scores than the block
+  // size on a short first block (it cannot score positions before its first
+  // full window), but never more than it was given, and labels must line up
+  // with scores. Clamp the emitted tail to what is actually available —
+  // `scores.end() - emit` with emit > size would be UB.
+  IMDIFF_CHECK_LE(result.scores.size(), static_cast<size_t>(buffered))
+      << "wrapped detector returned more scores than samples";
+  IMDIFF_CHECK(result.labels.empty() ||
+               result.labels.size() == result.scores.size())
+      << "wrapped detector returned mismatched labels"
+      << "(" << result.labels.size() << " vs " << result.scores.size() << ")";
+  const int64_t emit =
+      std::min({options_.block, buffered,
+                static_cast<int64_t>(result.scores.size())});
   alert.start = total_samples_ - emit;
   alert.scores.assign(result.scores.end() - emit, result.scores.end());
   if (!result.labels.empty()) {
     alert.labels.assign(result.labels.end() - emit, result.labels.end());
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("online.blocks_scored")->Increment();
+  registry.GetCounter("online.samples_emitted")->Increment(emit);
   return alert;
 }
 

@@ -47,6 +47,10 @@ class OnlineDetector {
 
   // Appends one [K] sample. Returns an Alert when a block boundary was
   // crossed and the block was scored; otherwise an Alert with empty scores.
+  // The alert may carry fewer than `block` scores when the wrapped detector
+  // cannot score the whole block yet (e.g. a windowed detector on a first
+  // block shorter than its window); `start` always indexes the first emitted
+  // score.
   Alert Append(const std::vector<float>& sample);
 
   // Total samples streamed so far.

@@ -18,6 +18,8 @@
 #include "metrics/add.h"
 #include "metrics/classification.h"
 #include "metrics/range_auc.h"
+#include "utils/logging.h"
+#include "utils/metrics.h"
 #include "utils/stopwatch.h"
 #include "utils/thread_pool.h"
 
@@ -167,6 +169,20 @@ RunMetrics EvaluateDetector(AnomalyDetector& detector,
           ? static_cast<double>(normalized.test_length()) / metrics.score_seconds
           : 0.0;
 
+  // Per-(detector, dataset) wall clock for the perf trajectory. Dynamic
+  // names are fine here: one registry lookup per evaluation run.
+  if (MetricsEnabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    const std::string run_key =
+        detector.name() + "." +
+        (dataset.name.empty() ? std::string("unnamed") : dataset.name);
+    registry.GetHistogram("eval.fit_seconds." + run_key)
+        ->Record(metrics.fit_seconds);
+    registry.GetHistogram("eval.score_seconds." + run_key)
+        ->Record(metrics.score_seconds);
+    registry.GetCounter("eval.runs")->Increment();
+  }
+
   BinaryMetrics best;
   const float threshold =
       BestF1Threshold(result.scores, normalized.test_labels, 64, &best);
@@ -261,6 +277,8 @@ HarnessOptions ParseHarnessOptions(int argc, char** argv) {
       options.profile = SpeedProfile::kPaper;
     } else if (std::strcmp(argv[i], "--dataset-seed") == 0 && i + 1 < argc) {
       options.dataset_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      options.metrics_out = argv[++i];
     }
   }
   // Non-positive values would divide by zero downstream (EvaluateManySeeds
@@ -271,6 +289,16 @@ HarnessOptions ParseHarnessOptions(int argc, char** argv) {
   IMDIFF_CHECK(options.size_scale > 0.0f)
       << "--scale must be a positive number";
   return options;
+}
+
+void WriteMetricsIfRequested(const HarnessOptions& options) {
+  if (options.metrics_out.empty()) return;
+  if (WriteMetricsJson(options.metrics_out)) {
+    IMDIFF_LOG(Info) << "metrics snapshot written to " << options.metrics_out;
+  } else {
+    IMDIFF_LOG(Error) << "failed to write metrics snapshot to "
+                      << options.metrics_out;
+  }
 }
 
 }  // namespace imdiff

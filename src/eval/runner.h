@@ -82,14 +82,24 @@ AggregateMetrics EvaluateManySeeds(const std::string& detector_name,
 // Averages aggregates across datasets (for the Table 3 / Table 6 rows).
 AggregateMetrics AverageAggregates(const std::vector<AggregateMetrics>& rows);
 
-// Shared bench-harness options parsed from argv: --seeds N --scale F --paper.
+// Shared bench-harness options parsed from argv: --seeds N --scale F --paper
+// --metrics-out PATH.
 struct HarnessOptions {
   int num_seeds = 2;
   float size_scale = 0.5f;
   SpeedProfile profile = SpeedProfile::kFast;
   uint64_t dataset_seed = 42;
+  // When non-empty, the bench main dumps the metrics registry (counters,
+  // gauges, per-phase latency histograms — see utils/metrics.h) to this path
+  // as JSON on exit via WriteMetricsIfRequested, producing the machine-
+  // readable perf snapshot the BENCH_*.json trajectory is built from.
+  std::string metrics_out;
 };
 HarnessOptions ParseHarnessOptions(int argc, char** argv);
+
+// Writes the metrics registry to options.metrics_out (no-op when empty).
+// Every bench main calls this after its tables are printed.
+void WriteMetricsIfRequested(const HarnessOptions& options);
 
 }  // namespace imdiff
 

@@ -1,8 +1,10 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
 namespace imdiff {
 namespace nn {
@@ -14,7 +16,7 @@ constexpr char kMagic[4] = {'I', 'M', 'D', 'F'};
 
 void SaveParameters(const std::vector<Var>& params, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  IMDIFF_CHECK(out.good()) << "cannot write" << path;
+  IMDIFF_CHECK(out.good()) << "cannot open for writing:" << path;
   out.write(kMagic, 4);
   const uint32_t count = static_cast<uint32_t>(params.size());
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
@@ -29,7 +31,7 @@ void SaveParameters(const std::vector<Var>& params, const std::string& path) {
     out.write(reinterpret_cast<const char*>(t.data()),
               static_cast<std::streamsize>(sizeof(float) * t.numel()));
   }
-  IMDIFF_CHECK(out.good()) << "write failed" << path;
+  IMDIFF_CHECK(out.good()) << "write failed:" << path;
 }
 
 bool LoadParameters(std::vector<Var>& params, const std::string& path) {
@@ -41,7 +43,12 @@ bool LoadParameters(std::vector<Var>& params, const std::string& path) {
   uint32_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in.good() || count != params.size()) return false;
-  for (Var& p : params) {
+  // Stage every tensor before touching params: a truncated or
+  // shape-mismatched file must leave the model byte-identical (callers fall
+  // back to training from the current weights on failure).
+  std::vector<std::vector<float>> staged;
+  staged.reserve(params.size());
+  for (const Var& p : params) {
     uint32_t ndim = 0;
     in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
     if (!in.good() || ndim != p.value().ndim()) return false;
@@ -50,9 +57,16 @@ bool LoadParameters(std::vector<Var>& params, const std::string& path) {
       in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
       if (!in.good() || dim != p.value().dim(d)) return false;
     }
-    in.read(reinterpret_cast<char*>(p.mutable_value().mutable_data()),
-            static_cast<std::streamsize>(sizeof(float) * p.value().numel()));
+    std::vector<float> payload(static_cast<size_t>(p.value().numel()));
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(sizeof(float) * payload.size()));
     if (!in.good()) return false;
+    staged.push_back(std::move(payload));
+  }
+  // Full file parsed successfully; commit.
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy(staged[i].begin(), staged[i].end(),
+              params[i].mutable_value().mutable_data());
   }
   return true;
 }

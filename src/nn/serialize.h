@@ -20,6 +20,8 @@ void SaveParameters(const std::vector<Var>& params, const std::string& path);
 
 // Loads values into `params` in order. Returns false (without aborting) when
 // the file is missing or malformed, so callers can fall back to training.
+// Transactional: on failure `params` is left byte-identical — all tensors
+// are staged and committed only after the whole file parses.
 bool LoadParameters(std::vector<Var>& params, const std::string& path);
 
 }  // namespace nn

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <utility>
+
+#include "utils/metrics.h"
 
 namespace imdiff {
 namespace {
@@ -12,6 +15,25 @@ namespace {
 // Set inside WorkerLoop; lets ParallelFor detect re-entrant calls from a task
 // running on this pool and fall back to inline execution.
 thread_local ThreadPool* tls_worker_pool = nullptr;
+
+// Registry handles for the pool instrumentation, resolved once. Tasks are
+// chunk-granular (at most 4 × threads per ParallelFor), so the two clock
+// reads per task are noise next to the chunk's work.
+struct PoolMetrics {
+  Counter* tasks_executed;
+  Histogram* queue_wait_seconds;
+  Histogram* task_seconds;
+};
+
+const PoolMetrics& GetPoolMetrics() {
+  static const PoolMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return PoolMetrics{registry.GetCounter("pool.tasks_executed"),
+                       registry.GetHistogram("pool.queue_wait_seconds"),
+                       registry.GetHistogram("pool.task_seconds")};
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -36,9 +58,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  entry.timed = MetricsEnabled();
+  if (entry.timed) entry.enqueue = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    queue_.push(std::move(entry));
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -59,7 +85,7 @@ bool ThreadPool::InWorkerThread() const { return tls_worker_pool == this; }
 void ThreadPool::WorkerLoop() {
   tls_worker_pool = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -67,11 +93,24 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    std::chrono::steady_clock::time_point start;
+    if (task.timed) {
+      start = std::chrono::steady_clock::now();
+      GetPoolMetrics().queue_wait_seconds->Record(
+          std::chrono::duration<double>(start - task.enqueue).count());
+    }
     std::exception_ptr error;
     try {
-      task();
+      task.fn();
     } catch (...) {
       error = std::current_exception();
+    }
+    if (task.timed) {
+      GetPoolMetrics().task_seconds->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+      GetPoolMetrics().tasks_executed->Increment();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

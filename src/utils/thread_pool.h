@@ -17,6 +17,7 @@
 #ifndef IMDIFF_UTILS_THREAD_POOL_H_
 #define IMDIFF_UTILS_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -54,10 +55,19 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
  private:
+  // One queued unit of work. `enqueue` stamps Submit() time when metrics
+  // collection is enabled (see utils/metrics.h) so queue wait and task
+  // execution latency aggregate into the pool.* instruments.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueue{};
+    bool timed = false;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;

@@ -2,6 +2,7 @@
 // dynamic thresholding (future work in §5.2.1) and the online streaming
 // wrapper (§6 deployment mode).
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -118,6 +119,58 @@ TEST(OnlineDetectorTest, StreamsAndAlertsOnShift) {
   EXPECT_EQ(alerts, 400 / 50);
   EXPECT_TRUE(shift_alerted);
   EXPECT_EQ(online.total_samples(), 400);
+}
+
+// Minimal windowed detector: scores only positions with a full trailing
+// window, so a series of length L yields max(0, L - W + 1) scores — fewer
+// than the input on short series, like real windowed detectors before
+// tail-padding.
+class WindowedStubDetector : public AnomalyDetector {
+ public:
+  explicit WindowedStubDetector(int64_t window) : window_(window) {}
+
+  std::string name() const override { return "WindowedStub"; }
+  void Fit(const Tensor&) override {}
+
+  DetectionResult Run(const Tensor& test) override {
+    DetectionResult result;
+    const int64_t n = std::max<int64_t>(0, test.dim(0) - window_ + 1);
+    result.scores.assign(static_cast<size_t>(n), 0.5f);
+    result.labels.assign(static_cast<size_t>(n), 0);
+    return result;
+  }
+
+ private:
+  int64_t window_;
+};
+
+// Regression: a windowed detector returning fewer scores than the block size
+// used to underflow `result.scores.end() - emit` (UB) on a short first
+// block. The emitted tail must clamp to what the detector produced.
+TEST(OnlineDetectorTest, ShortFirstBlockThroughWindowedDetector) {
+  WindowedStubDetector detector(40);
+  OnlineDetector::Options options;
+  options.block = 20;
+  options.context = 20;
+  OnlineDetector online(&detector, options);
+  Rng rng(6);
+  online.Fit(Tensor::Randn({100, 2}, rng));
+
+  std::vector<OnlineDetector::Alert> alerts;
+  for (int64_t t = 0; t < 40; ++t) {
+    OnlineDetector::Alert alert = online.Append({0.1f, 0.2f});
+    if (t == 19 || t == 39) alerts.push_back(std::move(alert));
+  }
+  ASSERT_EQ(alerts.size(), 2u);
+  // First block: 20 buffered samples, detector window 40 → zero scores.
+  EXPECT_TRUE(alerts[0].scores.empty());
+  EXPECT_TRUE(alerts[0].labels.empty());
+  // Second block: 40 buffered samples → exactly one scored position; the
+  // alert carries that clamped tail and start indexes its global position.
+  ASSERT_EQ(alerts[1].scores.size(), 1u);
+  EXPECT_EQ(alerts[1].labels.size(), 1u);
+  EXPECT_EQ(alerts[1].start, 39);
+  EXPECT_FLOAT_EQ(alerts[1].scores[0], 0.5f);
 }
 
 TEST(OnlineDetectorTest, RejectsAppendBeforeFit) {

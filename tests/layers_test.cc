@@ -1,4 +1,6 @@
 #include <cmath>
+#include <fstream>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -253,6 +255,44 @@ TEST(SerializeTest, MissingFileReturnsFalse) {
   Linear a(2, 2, rng);
   std::vector<Var> pa = a.Parameters();
   EXPECT_FALSE(LoadParameters(pa, "/nonexistent/path/params.bin"));
+}
+
+TEST(SerializeTest, FailedLoadFromTruncatedFileLeavesParamsUntouched) {
+  Rng rng(16);
+  Linear a(6, 4, rng);
+  Linear b(6, 4, rng);
+  const std::string path = ::testing::TempDir() + "/params_truncated.bin";
+  std::vector<Var> pa = a.Parameters();
+  SaveParameters(pa, path);
+
+  // Truncate mid-payload of the last tensor: the header and the first
+  // tensor parse fine, so a non-transactional loader would have already
+  // clobbered b's first parameter by the time it notices.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 8u);
+    bytes.resize(bytes.size() - 8);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::vector<Var> pb = b.Parameters();
+  std::vector<std::vector<float>> before;
+  for (const Var& p : pb) {
+    before.emplace_back(p.value().data(), p.value().data() + p.value().numel());
+  }
+
+  EXPECT_FALSE(LoadParameters(pb, path));
+  for (size_t i = 0; i < pb.size(); ++i) {
+    const float* data = pb[i].value().data();
+    for (int64_t j = 0; j < pb[i].value().numel(); ++j) {
+      // Byte-identical: exact float comparison on purpose.
+      EXPECT_EQ(data[j], before[i][static_cast<size_t>(j)])
+          << "param " << i << " index " << j << " modified by failed load";
+    }
+  }
 }
 
 }  // namespace

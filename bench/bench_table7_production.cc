@@ -7,6 +7,12 @@
 // The "legacy" detector is an LSTM forecaster with static thresholding —
 // the class of deep detector the paper describes replacing.
 //
+// The ImDiffusion row runs through the serving path (serve/replay.h): the
+// test split streams through a StreamServer, so points/second is end-to-end
+// throughput (queueing + batching + scoring) and ADD counts a detection only
+// from the moment its block is emitted — the numbers a production consumer
+// of the alert stream would measure, matching the paper's deployment story.
+//
 // Usage: bench_table7_production [--seeds N] [--paper] [--metrics-out PATH]
 
 #include <cstdio>
@@ -15,6 +21,7 @@
 #include "core/imdiffusion.h"
 #include "eval/runner.h"
 #include "eval/tables.h"
+#include "serve/replay.h"
 
 namespace imdiff {
 namespace {
@@ -27,11 +34,11 @@ int Main(int argc, char** argv) {
       options.num_seeds);
   MtsDataset stream = MakeMicroserviceLatencyDataset(options.dataset_seed);
 
-  auto eval_many = [&](const std::string& name) {
-    return EvaluateManySeeds(name, stream, options.num_seeds, options.profile);
-  };
-  const AggregateMetrics legacy = eval_many("LSTM-AD");
-  const AggregateMetrics imdiff = eval_many("ImDiffusion");
+  const AggregateMetrics legacy =
+      EvaluateManySeeds("LSTM-AD", stream, options.num_seeds, options.profile);
+  serve::StreamServer::Options served;
+  const AggregateMetrics imdiff = serve::EvaluateServedManySeeds(
+      stream, options.num_seeds, options.profile, served);
 
   TextTable table({"Detector", "P", "R", "F1", "R-AUC-PR", "ADD",
                    "points/second"});
@@ -39,7 +46,7 @@ int Main(int argc, char** argv) {
                 FormatMetric(legacy.recall), FormatMetric(legacy.f1),
                 FormatMetric(legacy.r_auc_pr), FormatMetric(legacy.add, 1),
                 FormatMetric(legacy.points_per_second, 1)});
-  table.AddRow({"ImDiffusion", FormatMetric(imdiff.precision),
+  table.AddRow({"ImDiffusion (served)", FormatMetric(imdiff.precision),
                 FormatMetric(imdiff.recall), FormatMetric(imdiff.f1),
                 FormatMetric(imdiff.r_auc_pr), FormatMetric(imdiff.add, 1),
                 FormatMetric(imdiff.points_per_second, 1)});
@@ -62,7 +69,7 @@ int Main(int argc, char** argv) {
   std::printf("%s", delta.ToString().c_str());
   // 30-second sampling means anything above ~0.04 points/s/service keeps up.
   std::printf(
-      "\nLatency samples arrive every 30 s; sustained inference at %.1f "
+      "\nLatency samples arrive every 30 s; end-to-end serving at %.1f "
       "points/s %s the online requirement.\n",
       imdiff.points_per_second,
       imdiff.points_per_second > 1.0 ? "comfortably meets" : "misses");

@@ -1,0 +1,254 @@
+// Traffic-replay load harness for the serving layer (DESIGN.md §11).
+//
+// Simulated microservice-latency streams (the Table 7 generator, one
+// realization per tenant) are replayed as N interleaved tenants through a
+// StreamServer: bounded ingest queues -> sharded workers -> per-tenant
+// sessions -> cross-session micro-batching. The harness then replays every
+// tenant serially (fresh per-block scoring, no batching, no window cache)
+// and checks that the served score streams are BITWISE identical to the
+// serial ones, and reports the aggregate throughput ratio — the speedup
+// cross-session batching + window-score reuse buys at equal results.
+//
+// Usage: serve_replay [--tenants N] [--samples L] [--block B] [--context C]
+//   [--flush-ms F] [--batch-windows W] [--queue Q] [--workers N]
+//   [--max-resident S] [--train L] [--epochs E] [--model PATH]
+//   [--no-compare-serial] [--seed S] [--metrics-out PATH]
+//
+// --model PATH warm-loads the checkpoint when it exists (skipping training)
+// and writes it after training otherwise, so repeated runs exercise the
+// registry's warm-load path.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/imdiffusion.h"
+#include "data/benchmarks.h"
+#include "serve/replay.h"
+#include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/stopwatch.h"
+
+namespace imdiff {
+namespace {
+
+struct ReplayFlags {
+  int64_t tenants = 8;
+  int64_t samples = 800;   // test samples per tenant
+  int64_t block = 100;
+  // Two blocks of history: each ready block spans three windows, two of
+  // which overlap earlier blocks and hit the window-score cache.
+  int64_t context = 200;
+  double flush_ms = 10.0;
+  int64_t batch_windows = 64;
+  int64_t queue = 4096;
+  int workers = 2;
+  int64_t max_resident = 64;
+  int64_t train = 1600;
+  int epochs = -1;  // <0: keep the fast-profile default
+  std::string model_path;
+  bool compare_serial = true;
+  uint64_t seed = 42;
+  std::string metrics_out;
+};
+
+ReplayFlags ParseFlags(int argc, char** argv) {
+  ReplayFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) {
+      IMDIFF_CHECK(i + 1 < argc) << flag << "needs a value";
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--tenants") == 0) {
+      flags.tenants = std::atoll(next("--tenants"));
+    } else if (std::strcmp(argv[i], "--samples") == 0) {
+      flags.samples = std::atoll(next("--samples"));
+    } else if (std::strcmp(argv[i], "--block") == 0) {
+      flags.block = std::atoll(next("--block"));
+    } else if (std::strcmp(argv[i], "--context") == 0) {
+      flags.context = std::atoll(next("--context"));
+    } else if (std::strcmp(argv[i], "--flush-ms") == 0) {
+      flags.flush_ms = std::atof(next("--flush-ms"));
+    } else if (std::strcmp(argv[i], "--batch-windows") == 0) {
+      flags.batch_windows = std::atoll(next("--batch-windows"));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      flags.queue = std::atoll(next("--queue"));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      flags.workers = std::atoi(next("--workers"));
+    } else if (std::strcmp(argv[i], "--max-resident") == 0) {
+      flags.max_resident = std::atoll(next("--max-resident"));
+    } else if (std::strcmp(argv[i], "--train") == 0) {
+      flags.train = std::atoll(next("--train"));
+    } else if (std::strcmp(argv[i], "--epochs") == 0) {
+      flags.epochs = std::atoi(next("--epochs"));
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      flags.model_path = next("--model");
+    } else if (std::strcmp(argv[i], "--no-compare-serial") == 0) {
+      flags.compare_serial = false;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      flags.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      flags.metrics_out = next("--metrics-out");
+    } else {
+      IMDIFF_CHECK(false) << "unknown flag" << argv[i];
+    }
+  }
+  IMDIFF_CHECK_GE(flags.tenants, 1);
+  IMDIFF_CHECK_GT(flags.samples, 0);
+  return flags;
+}
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+int Main(int argc, char** argv) {
+  const ReplayFlags flags = ParseFlags(argc, argv);
+
+  // Shared fitted model: one training history (all tenants run the same
+  // service fleet), published once, shared read-only by every session.
+  const MtsDataset train_set = MakeMicroserviceLatencyDataset(
+      flags.seed, /*num_services=*/6, /*train_length=*/flags.train,
+      /*test_length=*/1);
+  const MinMaxStats stats = FitMinMax(train_set.train);
+  ImDiffusionConfig config = FastImDiffusionConfig();
+  config.seed = flags.seed;
+  if (flags.epochs >= 0) config.epochs = flags.epochs;
+
+  serve::ModelRegistry registry;
+  const int64_t k = train_set.num_features();
+  const bool warm = !flags.model_path.empty() && FileExists(flags.model_path);
+  if (warm) {
+    const int64_t version = registry.PublishFromFile(
+        "latency", config, flags.model_path, k, stats);
+    IMDIFF_CHECK_GT(version, 0)
+        << "checkpoint exists but failed to load:" << flags.model_path;
+    std::printf("model: warm-loaded %s (version %" PRId64 ")\n",
+                flags.model_path.c_str(), version);
+  } else {
+    auto detector = std::make_shared<ImDiffusionDetector>(config);
+    Stopwatch fit_timer;
+    detector->Fit(ApplyMinMax(train_set.train, stats));
+    std::printf("model: fitted in %.1fs\n", fit_timer.ElapsedSeconds());
+    if (!flags.model_path.empty()) {
+      detector->SaveModel(flags.model_path);
+      std::printf("model: checkpoint written to %s\n",
+                  flags.model_path.c_str());
+    }
+    registry.Publish("latency", std::move(detector), stats);
+  }
+  std::shared_ptr<const serve::ModelEntry> model = registry.Acquire("latency");
+  IMDIFF_CHECK(model != nullptr);
+
+  // One stream realization per tenant.
+  std::vector<serve::TenantStream> streams;
+  for (int64_t t = 0; t < flags.tenants; ++t) {
+    serve::TenantStream stream;
+    char name[32];
+    std::snprintf(name, sizeof(name), "tenant-%02" PRId64, t);
+    stream.tenant = name;
+    stream.samples = MakeMicroserviceLatencyDataset(
+                         flags.seed + 1 + static_cast<uint64_t>(t),
+                         /*num_services=*/6, /*train_length=*/1,
+                         /*test_length=*/flags.samples)
+                         .test;
+    streams.push_back(std::move(stream));
+  }
+
+  serve::StreamServer::Options options;
+  options.num_workers = flags.workers;
+  options.queue_capacity = flags.queue;
+  options.session.online.block = flags.block;
+  options.session.online.context = flags.context;
+  options.session.max_resident = flags.max_resident;
+  options.session.seed_base = flags.seed;
+  options.batch.max_batch_windows = flags.batch_windows;
+  options.batch.flush_window_seconds = flags.flush_ms / 1000.0;
+
+  std::printf(
+      "replay: %" PRId64 " tenants x %" PRId64
+      " samples (block=%" PRId64 " context=%" PRId64 " flush=%.1fms "
+      "workers=%d queue=%" PRId64 " max_resident=%" PRId64 ")\n",
+      flags.tenants, flags.samples, flags.block, flags.context, flags.flush_ms,
+      flags.workers, flags.queue, flags.max_resident);
+  const serve::ReplayStats served =
+      serve::ReplayThroughServer(model, streams, options);
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const int64_t cache_hits = metrics.GetCounter("serve.cache_hits")->value();
+  const int64_t cache_misses =
+      metrics.GetCounter("serve.cache_misses")->value();
+  const int64_t dropped =
+      metrics.GetCounter("serve.requests_dropped")->value();
+  std::printf(
+      "served: %.2fs, %.1f points/s, %" PRId64 " alerts, %" PRId64
+      " rejected submits, %" PRId64 " batches (%" PRId64
+      " windows scored, %" PRId64 " cache hits / %" PRId64 " misses)\n",
+      served.seconds, served.points_per_second, served.alerts, served.rejected,
+      metrics.GetCounter("serve.batches")->value(),
+      metrics.GetCounter("serve.batched_windows")->value(), cache_hits,
+      cache_misses);
+  Histogram* queue_wait = metrics.GetHistogram("serve.queue_wait_seconds");
+  Histogram* alert_latency =
+      metrics.GetHistogram("serve.alert_latency_seconds");
+  std::printf(
+      "latency: queue_wait p50=%.1fms p90=%.1fms p99=%.1fms | "
+      "ready->alert p50=%.1fms p90=%.1fms p99=%.1fms | drops=%" PRId64 "\n",
+      queue_wait->Percentile(0.5) * 1e3, queue_wait->Percentile(0.9) * 1e3,
+      queue_wait->Percentile(0.99) * 1e3, alert_latency->Percentile(0.5) * 1e3,
+      alert_latency->Percentile(0.9) * 1e3,
+      alert_latency->Percentile(0.99) * 1e3, dropped);
+  std::printf("sessions: %" PRId64 " created, %" PRId64 " evictions, %" PRId64
+              " rehydrations\n",
+              metrics.GetCounter("serve.sessions_created")->value(),
+              metrics.GetCounter("serve.sessions_evicted")->value(),
+              metrics.GetCounter("serve.sessions_rehydrated")->value());
+
+  int exit_code = 0;
+  if (flags.compare_serial) {
+    // Serial baseline: per-tenant fresh scoring, no batching, no cache.
+    Stopwatch serial_timer;
+    int64_t mismatched_tenants = 0;
+    for (const serve::TenantStream& stream : streams) {
+      const std::vector<float> serial = serve::ReplaySerial(
+          *model, options.session.online, options.session.seed_base, stream);
+      const std::vector<float>& batched = served.scores.at(stream.tenant);
+      if (serial != batched) {
+        ++mismatched_tenants;
+        IMDIFF_LOG(Error) << "score stream mismatch for " << stream.tenant;
+      }
+    }
+    const double serial_seconds = serial_timer.ElapsedSeconds();
+    const double ratio =
+        served.seconds > 0.0 ? serial_seconds / served.seconds : 0.0;
+    std::printf(
+        "serial: %.2fs (%.1f points/s) -> aggregate speedup %.2fx, "
+        "bitwise %s\n",
+        serial_seconds,
+        serial_seconds > 0.0 ? static_cast<double>(served.submitted) /
+                                   serial_seconds
+                             : 0.0,
+        ratio, mismatched_tenants == 0 ? "IDENTICAL" : "MISMATCH");
+    if (mismatched_tenants > 0) exit_code = 1;
+  }
+
+  if (!flags.metrics_out.empty()) {
+    if (WriteMetricsJson(flags.metrics_out)) {
+      IMDIFF_LOG(Info) << "metrics snapshot written to " << flags.metrics_out;
+    } else {
+      IMDIFF_LOG(Error) << "failed to write metrics snapshot to "
+                        << flags.metrics_out;
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

@@ -8,6 +8,7 @@
 #include "data/windowing.h"
 #include "metrics/classification.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/thread_pool.h"
@@ -215,6 +216,274 @@ DetectionResult ImDiffusionDetector::Run(const Tensor& test) {
   return RunWithTrace(test, nullptr);
 }
 
+std::vector<int> ImDiffusionDetector::VoteSteps() const {
+  // Vote steps along the reverse chain, expressed as forward index t;
+  // s = T - t is the reverse-step number (s == T is the fully denoised step).
+  const int num_steps = config_.schedule.num_steps;
+  const int vote_span = std::min(config_.vote_last_steps, num_steps);
+  std::vector<int> vote_ts;
+  for (int t = 0; t < vote_span; t += config_.vote_stride) vote_ts.push_back(t);
+  std::sort(vote_ts.begin(), vote_ts.end(), std::greater<int>());
+  return vote_ts;
+}
+
+int64_t ImDiffusionDetector::InferenceStride() const {
+  // Forecasting imputes only the second half-window; use stride W/2 so that
+  // (almost) every timestamp is predicted once. Other strategies cover every
+  // point with one window.
+  const int64_t window = config_.model.window;
+  return config_.mask_strategy == MaskStrategy::kForecasting
+             ? std::max<int64_t>(1, window / 2)
+             : window;
+}
+
+void ImDiffusionDetector::RunChain(
+    const Tensor& x0, const Tensor& mask, const Tensor& inv_mask,
+    const Tensor& ref_noise, const Tensor& chain_start,
+    const std::vector<int64_t>& policies, const std::vector<int>& vote_ts,
+    Rng* chunk_rng, std::vector<Rng>* per_window_rngs,
+    std::vector<Tensor>* step_diff, std::vector<Tensor>* step_val) const {
+  const int num_steps = config_.schedule.num_steps;
+  const size_t num_votes = vote_ts.size();
+  const int64_t bsz = x0.dim(0);
+  const int64_t per_window = x0.dim(1) * x0.dim(2);
+  Tensor cur = chain_start;  // x_T
+  size_t vote_idx = 0;
+  std::vector<float> z;
+  for (int t = num_steps - 1; t >= 0; --t) {
+    // One denoising step for this (chunk, policy): model forward plus
+    // the posterior update. The paper's per-step diagnostics (step-wise
+    // imputation quality) hang off this distribution.
+    IMDIFF_TRACE_SCOPE("diffusion.step_seconds");
+    Tensor x_masked = Mul(cur, inv_mask);
+    // Unconditional reference (§4.1): the unmasked values carried through the
+    // forward process with their ground-truth noise. The conditional ablation
+    // feeds the raw values at every step instead.
+    Tensor noise_ref =
+        Mul(config_.conditional ? x0 : diffusion_->QSampleWithNoise(x0, t, ref_noise),
+            mask);
+    Tensor eps_pred =
+        model_->Forward(x_masked, noise_ref, mask, t, policies).value();
+    // Step's fully-denoised estimate, used for scoring when score_on_x0.
+    Tensor x0_hat;
+    const bool is_vote = vote_idx < num_votes && t == vote_ts[vote_idx];
+    if (is_vote && config_.score_on_x0) {
+      x0_hat = diffusion_->PredictX0(cur, eps_pred, t);
+    }
+    if (!config_.stochastic_sampling) {
+      cur = diffusion_->PosteriorMean(cur, eps_pred, t);
+    } else if (chunk_rng != nullptr) {
+      cur = diffusion_->PStep(cur, eps_pred, t, *chunk_rng);
+    } else {
+      // Seeded path: posterior mean plus per-window sampling noise, each
+      // window drawing from its own generator so the chain is bitwise
+      // independent of which windows happen to share the chunk.
+      IMDIFF_CHECK(per_window_rngs != nullptr);
+      cur = diffusion_->PosteriorMean(cur, eps_pred, t);
+      if (t > 0) {
+        const float sigma =
+            std::sqrt(diffusion_->schedule().posterior_variance(t));
+        float* pc = cur.mutable_data();
+        z.resize(static_cast<size_t>(per_window));
+        for (int64_t b = 0; b < bsz; ++b) {
+          (*per_window_rngs)[static_cast<size_t>(b)].FillNormal(z);
+          float* pw = pc + b * per_window;
+          for (int64_t i = 0; i < per_window; ++i) {
+            pw[i] += sigma * z[static_cast<size_t>(i)];
+          }
+        }
+      }
+    }
+    // Record if this is a vote step (vote_ts is descending in t).
+    if (is_vote) {
+      // Imputed-region signed residual vs ground truth.
+      const float* pc = config_.score_on_x0 ? x0_hat.data() : cur.data();
+      const float* px = x0.data();
+      const float* pi = inv_mask.data();
+      float* ps = (*step_diff)[vote_idx].mutable_data();
+      const int64_t n = cur.numel();
+      for (int64_t i = 0; i < n; ++i) {
+        if (pi[i] != 0.0f) {
+          ps[i] += pc[i] - px[i];
+        }
+      }
+      if (step_val != nullptr) {
+        float* pv = (*step_val)[vote_idx].mutable_data();
+        for (int64_t i = 0; i < n; ++i) {
+          if (pi[i] != 0.0f) pv[i] += pc[i];
+        }
+      }
+      ++vote_idx;
+    }
+  }
+}
+
+void ImDiffusionDetector::ErrorRowsFromDiff(
+    const std::vector<Tensor>& step_diff, int64_t bsz, int64_t row_offset,
+    std::vector<std::vector<std::vector<float>>>* rows) const {
+  // Reduce over features -> per-(window, position) error: squared
+  // moving-average bias of the signed residual (robust to zero-mean noise)
+  // plus a weighted raw squared term (retains point spikes).
+  const int64_t k = config_.model.num_features;
+  const int64_t window = config_.model.window;
+  const size_t num_votes = step_diff.size();
+  const int64_t bias_half = std::max(1, config_.bias_window) / 2;
+  std::vector<float> bias(static_cast<size_t>(window));
+  std::vector<float> max_err(static_cast<size_t>(window));
+  for (size_t s = 0; s < num_votes; ++s) {
+    const float* ps = step_diff[s].data();
+    for (int64_t b = 0; b < bsz; ++b) {
+      auto& row = (*rows)[s][static_cast<size_t>(row_offset + b)];
+      row.assign(static_cast<size_t>(window), 0.0f);
+      std::fill(max_err.begin(), max_err.end(), 0.0f);
+      for (int64_t j = 0; j < k; ++j) {
+        const float* drow = ps + (b * k + j) * window;
+        for (int64_t l = 0; l < window; ++l) {
+          const int64_t lo = std::max<int64_t>(0, l - bias_half);
+          const int64_t hi = std::min<int64_t>(window - 1, l + bias_half);
+          float acc = 0.0f;
+          for (int64_t m = lo; m <= hi; ++m) acc += drow[m];
+          bias[static_cast<size_t>(l)] = acc / static_cast<float>(hi - lo + 1);
+        }
+        for (int64_t l = 0; l < window; ++l) {
+          const float d = drow[l];
+          const float bl = bias[static_cast<size_t>(l)];
+          const float e = bl * bl + config_.raw_error_weight * d * d;
+          row[static_cast<size_t>(l)] += e;
+          max_err[static_cast<size_t>(l)] =
+              std::max(max_err[static_cast<size_t>(l)], e);
+        }
+      }
+      // Feature aggregation: mean catches broad deviations, max keeps
+      // single-channel anomalies from being diluted by K.
+      for (int64_t l = 0; l < window; ++l) {
+        row[static_cast<size_t>(l)] =
+            0.5f * (row[static_cast<size_t>(l)] / static_cast<float>(k) +
+                    max_err[static_cast<size_t>(l)]);
+      }
+    }
+  }
+}
+
+std::vector<float> ImDiffusionDetector::SeriesFromWindows(
+    const std::vector<std::vector<float>>& window_rows,
+    const std::vector<int64_t>& starts, int64_t length) const {
+  // Scatter window errors back to series positions (overlap-averaged), with
+  // positions lacking coverage dropped from scoring (score 0).
+  const int64_t window = config_.model.window;
+  std::vector<float> series = OverlapAverage(window_rows, starts, length, window);
+  if (config_.mask_strategy == MaskStrategy::kForecasting) {
+    // Zero out the uncovered warm-up prefix.
+    for (int64_t l = 0; l < std::min<int64_t>(window / 2, length); ++l) {
+      series[static_cast<size_t>(l)] = 0.0f;
+    }
+  } else {
+    // The first masked sub-window of the series is imputed with one-sided
+    // context only; treat it as warm-up (forecasting baselines likewise
+    // skip their history prefix).
+    const int64_t warmup =
+        std::min<int64_t>(window / (2 * config_.num_masked_windows), length);
+    for (int64_t l = 0; l < warmup; ++l) {
+      series[static_cast<size_t>(l)] = 0.0f;
+    }
+  }
+  return series;
+}
+
+DetectionResult ImDiffusionDetector::ReduceSeries(
+    const std::vector<std::vector<std::vector<float>>>& step_window_errors,
+    const std::vector<int64_t>& starts, int64_t length,
+    double* mean_final_error,
+    std::vector<std::vector<float>>* step_series_out,
+    std::vector<std::vector<uint8_t>>* step_labels_out,
+    std::vector<int>* votes_out) const {
+  const size_t num_votes = step_window_errors.size();
+
+  // Centered moving average over the error series (width error_smoothing).
+  auto smooth = [&](std::vector<float> series) {
+    const int w = config_.error_smoothing;
+    if (w <= 1) return series;
+    std::vector<float> out(series.size(), 0.0f);
+    const int64_t n = static_cast<int64_t>(series.size());
+    const int64_t half = w / 2;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t lo = std::max<int64_t>(0, i - half);
+      const int64_t hi = std::min(n - 1, i + half);
+      float acc = 0.0f;
+      for (int64_t j = lo; j <= hi; ++j) acc += series[static_cast<size_t>(j)];
+      out[static_cast<size_t>(i)] = acc / static_cast<float>(hi - lo + 1);
+    }
+    return out;
+  };
+
+  std::vector<std::vector<float>> step_series(num_votes);
+  for (size_t s = 0; s < num_votes; ++s) {
+    step_series[s] = smooth(SeriesFromWindows(step_window_errors[s], starts, length));
+  }
+  // The final (fully denoised) step is the last entry (t == vote_ts.back(),
+  // which is the smallest t; when vote_stride > 1 the true final step t=0 is
+  // always included because vote_ts starts at 0).
+  const std::vector<float>& final_errors = step_series.back();
+  if (mean_final_error != nullptr) {
+    *mean_final_error =
+        std::accumulate(final_errors.begin(), final_errors.end(), 0.0) /
+        std::max<size_t>(1, final_errors.size());
+  }
+
+  // Eq. 12: tau_s = (Sum E_final / Sum E_s) tau_final.
+  const float tau_final = Quantile(final_errors, config_.tau_quantile);
+  const double sum_final =
+      std::accumulate(final_errors.begin(), final_errors.end(), 0.0);
+  std::vector<std::vector<uint8_t>> step_labels(num_votes);
+  std::vector<int> votes(static_cast<size_t>(length), 0);
+  std::vector<float> soft_votes(static_cast<size_t>(length), 0.0f);
+  for (size_t s = 0; s < num_votes; ++s) {
+    const double sum_s =
+        std::accumulate(step_series[s].begin(), step_series[s].end(), 0.0);
+    const float ratio =
+        sum_s > 0.0 ? static_cast<float>(sum_final / sum_s) : 1.0f;
+    const float tau_s = ratio * tau_final;
+    step_labels[s].resize(static_cast<size_t>(length));
+    for (int64_t l = 0; l < length; ++l) {
+      const float e = step_series[s][static_cast<size_t>(l)];
+      const bool hit = tau_s > 0.0f ? e >= tau_s : false;
+      step_labels[s][static_cast<size_t>(l)] = hit ? 1 : 0;
+      votes[static_cast<size_t>(l)] += hit ? 1 : 0;
+      // Soft vote: continuous threshold margin (gives the ensemble score a
+      // fine-grained ordering for threshold-free metrics).
+      if (tau_s > 0.0f) {
+        soft_votes[static_cast<size_t>(l)] += std::min(e / tau_s, 50.0f);
+      }
+    }
+  }
+
+  DetectionResult result;
+  result.labels.resize(static_cast<size_t>(length));
+  for (int64_t l = 0; l < length; ++l) {
+    result.labels[static_cast<size_t>(l)] =
+        votes[static_cast<size_t>(l)] > config_.vote_threshold ? 1 : 0;
+  }
+  if (config_.ensemble) {
+    result.scores.resize(static_cast<size_t>(length));
+    for (int64_t l = 0; l < length; ++l) {
+      result.scores[static_cast<size_t>(l)] =
+          soft_votes[static_cast<size_t>(l)] / static_cast<float>(num_votes);
+    }
+  } else {
+    result.scores = final_errors;
+    // Non-ensemble rule: threshold the final-step error directly.
+    for (int64_t l = 0; l < length; ++l) {
+      result.labels[static_cast<size_t>(l)] =
+          final_errors[static_cast<size_t>(l)] >= tau_final ? 1 : 0;
+    }
+  }
+
+  if (step_series_out != nullptr) *step_series_out = std::move(step_series);
+  if (step_labels_out != nullptr) *step_labels_out = std::move(step_labels);
+  if (votes_out != nullptr) *votes_out = std::move(votes);
+  return result;
+}
+
 DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
                                                   StepTrace* trace) {
   IMDIFF_TRACE_SCOPE("detector.run_seconds");
@@ -224,25 +493,14 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
   IMDIFF_CHECK_EQ(k, config_.model.num_features);
   const int64_t window = config_.model.window;
   const int64_t length = test.dim(0);
-  const int num_steps = config_.schedule.num_steps;
 
-  // Forecasting imputes only the second half-window; use stride W/2 so that
-  // (almost) every timestamp is predicted once. Other strategies cover every
-  // point with one window.
-  const int64_t stride = config_.mask_strategy == MaskStrategy::kForecasting
-                             ? std::max<int64_t>(1, window / 2)
-                             : window;
+  const int64_t stride = InferenceStride();
   const std::vector<int64_t> starts = WindowStarts(length, window, stride);
   Tensor windows = WindowsToBkl(WindowBatch(test, window, stride));
   const int64_t num_windows = windows.dim(0);
   const int64_t per_window = k * window;
 
-  // Vote steps along the reverse chain, expressed as forward index t;
-  // s = T - t is the reverse-step number (s == T is the fully denoised step).
-  const int vote_span = std::min(config_.vote_last_steps, num_steps);
-  std::vector<int> vote_ts;
-  for (int t = 0; t < vote_span; t += config_.vote_stride) vote_ts.push_back(t);
-  std::sort(vote_ts.begin(), vote_ts.end(), std::greater<int>());
+  const std::vector<int> vote_ts = VoteSteps();
   const size_t num_votes = vote_ts.size();
 
   const int num_policies = NumPolicies(config_.mask_strategy);
@@ -327,104 +585,22 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
           policy == 0 ? mask_pair.first : mask_pair.second;
       Tensor mask = TileMask(mask2d, bsz);
       Tensor inv_mask = Complement(mask);
-      // Ground-truth forward noise for the unmasked region, fixed for the
-      // whole chain: the reference at step t is the forward-noised unmasked
-      // values q(x_t | x_0) under this noise (§4.1). The conditional
-      // ablation feeds the raw values at every step instead.
-      const Tensor& ref_noise =
-          pre_ref_noise[ci][static_cast<size_t>(policy)];
-
       std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
-      Tensor cur = pre_chain_start[ci][static_cast<size_t>(policy)];  // x_T
-      size_t vote_idx = 0;
-      for (int t = num_steps - 1; t >= 0; --t) {
-        // One denoising step for this (chunk, policy): model forward plus
-        // the posterior update. The paper's per-step diagnostics (step-wise
-        // imputation quality) hang off this distribution.
-        IMDIFF_TRACE_SCOPE("diffusion.step_seconds");
-        Tensor x_masked = Mul(cur, inv_mask);
-        Tensor noise_ref =
-            Mul(config_.conditional
-                    ? x0
-                    : diffusion_->QSampleWithNoise(x0, t, ref_noise),
-                mask);
-        Tensor eps_pred =
-            model_->Forward(x_masked, noise_ref, mask, t, policies).value();
-        // Step's fully-denoised estimate, used for scoring when score_on_x0.
-        Tensor x0_hat;
-        const bool is_vote = vote_idx < num_votes && t == vote_ts[vote_idx];
-        if (is_vote && config_.score_on_x0) {
-          x0_hat = diffusion_->PredictX0(cur, eps_pred, t);
-        }
-        cur = config_.stochastic_sampling
-                  ? diffusion_->PStep(cur, eps_pred, t,
-                                      chain_rngs[ci][static_cast<size_t>(
-                                          policy)])
-                  : diffusion_->PosteriorMean(cur, eps_pred, t);
-        // Record if this is a vote step (vote_ts is descending in t).
-        if (is_vote) {
-          // Imputed-region signed residual vs ground truth.
-          const float* pc =
-              config_.score_on_x0 ? x0_hat.data() : cur.data();
-          const float* px = x0.data();
-          const float* pi = inv_mask.data();
-          float* ps = step_diff[vote_idx].mutable_data();
-          const int64_t n = cur.numel();
-          for (int64_t i = 0; i < n; ++i) {
-            if (pi[i] != 0.0f) {
-              ps[i] += pc[i] - px[i];
-            }
-          }
-          if (trace != nullptr) {
-            float* pv = step_val[vote_idx].mutable_data();
-            for (int64_t i = 0; i < n; ++i) {
-              if (pi[i] != 0.0f) pv[i] += pc[i];
-            }
-          }
-          ++vote_idx;
-        }
-      }
+      RunChain(x0, mask, inv_mask,
+               pre_ref_noise[ci][static_cast<size_t>(policy)],
+               pre_chain_start[ci][static_cast<size_t>(policy)], policies,
+               vote_ts,
+               config_.stochastic_sampling
+                   ? &chain_rngs[ci][static_cast<size_t>(policy)]
+                   : nullptr,
+               nullptr, &step_diff, trace != nullptr ? &step_val : nullptr);
     }
 
-    // Reduce over features -> per-(window, position) error: squared
-    // moving-average bias of the signed residual (robust to zero-mean noise)
-    // plus a weighted raw squared term (retains point spikes).
-    const int64_t bias_half = std::max(1, config_.bias_window) / 2;
-    std::vector<float> bias(static_cast<size_t>(window));
-    std::vector<float> max_err(static_cast<size_t>(window));
-    for (size_t s = 0; s < num_votes; ++s) {
-      const float* ps = step_diff[s].data();
-      for (int64_t b = 0; b < bsz; ++b) {
-        auto& row = step_window_errors[s][static_cast<size_t>(chunk + b)];
-        std::fill(row.begin(), row.end(), 0.0f);
-        std::fill(max_err.begin(), max_err.end(), 0.0f);
-        for (int64_t j = 0; j < k; ++j) {
-          const float* drow = ps + (b * k + j) * window;
-          for (int64_t l = 0; l < window; ++l) {
-            const int64_t lo = std::max<int64_t>(0, l - bias_half);
-            const int64_t hi = std::min<int64_t>(window - 1, l + bias_half);
-            float acc = 0.0f;
-            for (int64_t m = lo; m <= hi; ++m) acc += drow[m];
-            bias[static_cast<size_t>(l)] = acc / static_cast<float>(hi - lo + 1);
-          }
-          for (int64_t l = 0; l < window; ++l) {
-            const float d = drow[l];
-            const float bl = bias[static_cast<size_t>(l)];
-            const float e = bl * bl + config_.raw_error_weight * d * d;
-            row[static_cast<size_t>(l)] += e;
-            max_err[static_cast<size_t>(l)] =
-                std::max(max_err[static_cast<size_t>(l)], e);
-          }
-        }
-        // Feature aggregation: mean catches broad deviations, max keeps
-        // single-channel anomalies from being diluted by K.
-        for (int64_t l = 0; l < window; ++l) {
-          row[static_cast<size_t>(l)] =
-              0.5f * (row[static_cast<size_t>(l)] / static_cast<float>(k) +
-                      max_err[static_cast<size_t>(l)]);
-        }
-        if (trace != nullptr) {
-          const float* pv = step_val[s].data();
+    ErrorRowsFromDiff(step_diff, bsz, chunk, &step_window_errors);
+    if (trace != nullptr) {
+      for (size_t s = 0; s < num_votes; ++s) {
+        const float* pv = step_val[s].data();
+        for (int64_t b = 0; b < bsz; ++b) {
           auto& vrow = step_window_imputed[s][static_cast<size_t>(chunk + b)];
           for (int64_t l = 0; l < window; ++l) {
             vrow[static_cast<size_t>(l)] = pv[(b * k + 0) * window + l];
@@ -434,120 +610,201 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
     }
   });
 
-  // Scatter window errors back to series positions (overlap-averaged), with
-  // positions lacking coverage dropped from scoring (score 0).
-  auto to_series = [&](const std::vector<std::vector<float>>& wnd) {
-    std::vector<float> series =
-        OverlapAverage(wnd, starts, length, window);
-    if (config_.mask_strategy == MaskStrategy::kForecasting) {
-      // Zero out the uncovered warm-up prefix.
-      for (int64_t l = 0; l < std::min<int64_t>(window / 2, length); ++l) {
-        series[static_cast<size_t>(l)] = 0.0f;
-      }
-    } else {
-      // The first masked sub-window of the series is imputed with one-sided
-      // context only; treat it as warm-up (forecasting baselines likewise
-      // skip their history prefix).
-      const int64_t warmup =
-          std::min<int64_t>(window / (2 * config_.num_masked_windows), length);
-      for (int64_t l = 0; l < warmup; ++l) {
-        series[static_cast<size_t>(l)] = 0.0f;
-      }
-    }
-    return series;
-  };
-
-  // Centered moving average over the error series (width error_smoothing).
-  auto smooth = [&](std::vector<float> series) {
-    const int w = config_.error_smoothing;
-    if (w <= 1) return series;
-    std::vector<float> out(series.size(), 0.0f);
-    const int64_t n = static_cast<int64_t>(series.size());
-    const int64_t half = w / 2;
-    for (int64_t i = 0; i < n; ++i) {
-      const int64_t lo = std::max<int64_t>(0, i - half);
-      const int64_t hi = std::min(n - 1, i + half);
-      float acc = 0.0f;
-      for (int64_t j = lo; j <= hi; ++j) acc += series[static_cast<size_t>(j)];
-      out[static_cast<size_t>(i)] = acc / static_cast<float>(hi - lo + 1);
-    }
-    return out;
-  };
-
-  std::vector<std::vector<float>> step_series(num_votes);
-  for (size_t s = 0; s < num_votes; ++s) {
-    step_series[s] = smooth(to_series(step_window_errors[s]));
-  }
-  // The final (fully denoised) step is the last entry (t == vote_ts.back(),
-  // which is the smallest t; when vote_stride > 1 the true final step t=0 is
-  // always included because vote_ts starts at 0).
-  const std::vector<float>& final_errors = step_series.back();
-  last_mean_error_ =
-      std::accumulate(final_errors.begin(), final_errors.end(), 0.0) /
-      std::max<size_t>(1, final_errors.size());
-
-  // Eq. 12: τ_s = (ΣE_final / ΣE_s) τ_final.
-  const float tau_final =
-      Quantile(final_errors, config_.tau_quantile);
-  const double sum_final =
-      std::accumulate(final_errors.begin(), final_errors.end(), 0.0);
-  std::vector<std::vector<uint8_t>> step_labels(num_votes);
-  std::vector<int> votes(static_cast<size_t>(length), 0);
-  std::vector<float> soft_votes(static_cast<size_t>(length), 0.0f);
-  for (size_t s = 0; s < num_votes; ++s) {
-    const double sum_s =
-        std::accumulate(step_series[s].begin(), step_series[s].end(), 0.0);
-    const float ratio =
-        sum_s > 0.0 ? static_cast<float>(sum_final / sum_s) : 1.0f;
-    const float tau_s = ratio * tau_final;
-    step_labels[s].resize(static_cast<size_t>(length));
-    for (int64_t l = 0; l < length; ++l) {
-      const float e = step_series[s][static_cast<size_t>(l)];
-      const bool hit = tau_s > 0.0f ? e >= tau_s : false;
-      step_labels[s][static_cast<size_t>(l)] = hit ? 1 : 0;
-      votes[static_cast<size_t>(l)] += hit ? 1 : 0;
-      // Soft vote: continuous threshold margin (gives the ensemble score a
-      // fine-grained ordering for threshold-free metrics).
-      if (tau_s > 0.0f) {
-        soft_votes[static_cast<size_t>(l)] += std::min(e / tau_s, 50.0f);
-      }
-    }
-  }
-
-  DetectionResult result;
-  result.labels.resize(static_cast<size_t>(length));
-  for (int64_t l = 0; l < length; ++l) {
-    result.labels[static_cast<size_t>(l)] =
-        votes[static_cast<size_t>(l)] > config_.vote_threshold ? 1 : 0;
-  }
-  if (config_.ensemble) {
-    result.scores.resize(static_cast<size_t>(length));
-    for (int64_t l = 0; l < length; ++l) {
-      result.scores[static_cast<size_t>(l)] =
-          soft_votes[static_cast<size_t>(l)] /
-          static_cast<float>(num_votes);
-    }
-  } else {
-    result.scores = final_errors;
-    // Non-ensemble rule: threshold the final-step error directly.
-    for (int64_t l = 0; l < length; ++l) {
-      result.labels[static_cast<size_t>(l)] =
-          final_errors[static_cast<size_t>(l)] >= tau_final ? 1 : 0;
-    }
-  }
+  std::vector<std::vector<float>> step_series;
+  std::vector<std::vector<uint8_t>> step_labels;
+  std::vector<int> votes;
+  DetectionResult result = ReduceSeries(
+      step_window_errors, starts, length, &last_mean_error_,
+      trace != nullptr ? &step_series : nullptr,
+      trace != nullptr ? &step_labels : nullptr,
+      trace != nullptr ? &votes : nullptr);
 
   if (trace != nullptr) {
     trace->steps.clear();
+    const int num_steps = config_.schedule.num_steps;
     for (int t : vote_ts) trace->steps.push_back(num_steps - t);
-    trace->step_errors = step_series;
+    trace->step_errors = std::move(step_series);
     trace->step_labels = std::move(step_labels);
     trace->votes = std::move(votes);
     trace->step_imputed.assign(num_votes, {});
     for (size_t s = 0; s < num_votes; ++s) {
-      trace->step_imputed[s] = to_series(step_window_imputed[s]);
+      trace->step_imputed[s] = SeriesFromWindows(step_window_imputed[s], starts, length);
     }
   }
   return result;
+}
+
+ImDiffusionDetector::WindowPlan ImDiffusionDetector::PlanWindows(
+    const Tensor& series) const {
+  IMDIFF_CHECK(model_ != nullptr) << "Fit or LoadModel must be called first";
+  IMDIFF_CHECK_EQ(series.ndim(), 2u);
+  IMDIFF_CHECK_EQ(series.dim(1), config_.model.num_features);
+  WindowPlan plan;
+  const int64_t window = config_.model.window;
+  const int64_t stride = InferenceStride();
+  plan.length = series.dim(0);
+  plan.starts = WindowStarts(plan.length, window, stride);
+  plan.windows = WindowsToBkl(WindowBatch(series, window, stride));
+  return plan;
+}
+
+std::vector<ImDiffusionDetector::WindowScore>
+ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
+                                      const std::vector<uint64_t>& seeds) const {
+  IMDIFF_CHECK(model_ != nullptr) << "Fit or LoadModel must be called first";
+  IMDIFF_CHECK_EQ(windows.ndim(), 3u);
+  const int64_t num_windows = windows.dim(0);
+  const int64_t k = windows.dim(1);
+  const int64_t window = windows.dim(2);
+  IMDIFF_CHECK_EQ(k, config_.model.num_features);
+  IMDIFF_CHECK_EQ(window, config_.model.window);
+  IMDIFF_CHECK_EQ(static_cast<int64_t>(seeds.size()), num_windows);
+  IMDIFF_CHECK(config_.mask_strategy != MaskStrategy::kRandom)
+      << "seeded scoring requires a deterministic mask strategy";
+  std::vector<WindowScore> result(static_cast<size_t>(num_windows));
+  if (num_windows == 0) return result;
+
+  IMDIFF_TRACE_SCOPE("detector.batch_score_seconds");
+  const std::vector<int> vote_ts = VoteSteps();
+  const size_t num_votes = vote_ts.size();
+  const int num_policies = NumPolicies(config_.mask_strategy);
+  const int64_t per_window = k * window;
+  auto mask_pair = MakeMaskPair(config_.mask_strategy, k, window,
+                                config_.num_masked_windows, nullptr);
+
+  std::vector<std::vector<std::vector<float>>> rows(
+      num_votes,
+      std::vector<std::vector<float>>(static_cast<size_t>(num_windows)));
+  const int64_t num_chunks =
+      (num_windows + config_.infer_batch - 1) / config_.infer_batch;
+  Counter* const windows_scored =
+      MetricsRegistry::Global().GetCounter("detector.windows_scored");
+  ParallelFor(ComputePool(), static_cast<size_t>(num_chunks), [&](size_t ci) {
+    IMDIFF_TRACE_SCOPE("detector.window_score_seconds");
+    const int64_t chunk = static_cast<int64_t>(ci) * config_.infer_batch;
+    const int64_t bsz =
+        std::min<int64_t>(config_.infer_batch, num_windows - chunk);
+    windows_scored->Increment(bsz);
+    Tensor x0({bsz, k, window});
+    std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
+                x0.mutable_data());
+
+    // Every noise draw comes from a per-window generator seeded by the
+    // caller, consumed in a fixed per-window order (policy-0 reference,
+    // policy-0 chain start, policy-1 reference, policy-1 chain start, then
+    // forked per-policy sampling streams). A window's chain is therefore
+    // identical no matter which windows it shares the chunk with.
+    std::vector<Tensor> ref_noise;
+    std::vector<Tensor> chain_start;
+    for (int policy = 0; policy < num_policies; ++policy) {
+      ref_noise.emplace_back(Shape{bsz, k, window});
+      chain_start.emplace_back(Shape{bsz, k, window});
+    }
+    std::vector<std::vector<Rng>> window_rngs(
+        static_cast<size_t>(num_policies));
+    std::vector<float> scratch(static_cast<size_t>(per_window));
+    for (int64_t b = 0; b < bsz; ++b) {
+      Rng wrng(seeds[static_cast<size_t>(chunk + b)]);
+      for (int policy = 0; policy < num_policies; ++policy) {
+        wrng.FillNormal(scratch);
+        std::copy(scratch.begin(), scratch.end(),
+                  ref_noise[static_cast<size_t>(policy)].mutable_data() +
+                      b * per_window);
+        wrng.FillNormal(scratch);
+        std::copy(scratch.begin(), scratch.end(),
+                  chain_start[static_cast<size_t>(policy)].mutable_data() +
+                      b * per_window);
+      }
+      if (config_.stochastic_sampling) {
+        for (int policy = 0; policy < num_policies; ++policy) {
+          window_rngs[static_cast<size_t>(policy)].push_back(wrng.Fork());
+        }
+      }
+    }
+
+    std::vector<Tensor> step_diff;
+    step_diff.reserve(num_votes);
+    for (size_t s = 0; s < num_votes; ++s) {
+      step_diff.emplace_back(Shape{bsz, k, window});
+    }
+    for (int policy = 0; policy < num_policies; ++policy) {
+      const Tensor& mask2d = policy == 0 ? mask_pair.first : mask_pair.second;
+      Tensor mask = TileMask(mask2d, bsz);
+      Tensor inv_mask = Complement(mask);
+      std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
+      RunChain(x0, mask, inv_mask, ref_noise[static_cast<size_t>(policy)],
+               chain_start[static_cast<size_t>(policy)], policies, vote_ts,
+               nullptr,
+               config_.stochastic_sampling
+                   ? &window_rngs[static_cast<size_t>(policy)]
+                   : nullptr,
+               &step_diff, nullptr);
+    }
+    ErrorRowsFromDiff(step_diff, bsz, chunk, &rows);
+  });
+
+  for (int64_t w = 0; w < num_windows; ++w) {
+    result[static_cast<size_t>(w)].step_errors.resize(num_votes);
+    for (size_t s = 0; s < num_votes; ++s) {
+      result[static_cast<size_t>(w)].step_errors[s] =
+          std::move(rows[s][static_cast<size_t>(w)]);
+    }
+  }
+  return result;
+}
+
+DetectionResult ImDiffusionDetector::ReduceWindowScores(
+    const std::vector<WindowScore>& scores, const std::vector<int64_t>& starts,
+    int64_t length) const {
+  IMDIFF_CHECK_EQ(scores.size(), starts.size());
+  const size_t num_votes = VoteSteps().size();
+  std::vector<std::vector<std::vector<float>>> rows(
+      num_votes, std::vector<std::vector<float>>(scores.size()));
+  for (size_t w = 0; w < scores.size(); ++w) {
+    IMDIFF_CHECK_EQ(scores[w].step_errors.size(), num_votes)
+        << "window score from a different vote configuration";
+    for (size_t s = 0; s < num_votes; ++s) {
+      rows[s][w] = scores[w].step_errors[s];
+    }
+  }
+  return ReduceSeries(rows, starts, length, nullptr, nullptr, nullptr,
+                      nullptr);
+}
+
+DetectionResult ImDiffusionDetector::RunSeeded(const Tensor& test,
+                                               uint64_t seed) const {
+  WindowPlan plan = PlanWindows(test);
+  const int64_t n = plan.windows.dim(0);
+  std::vector<uint64_t> seeds(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    seeds[static_cast<size_t>(i)] = MixSeed(seed, static_cast<uint64_t>(i));
+  }
+  return ReduceWindowScores(ScoreWindowBatch(plan.windows, seeds), plan.starts,
+                            plan.length);
+}
+
+void ImDiffusionDetector::SaveModel(const std::string& path) const {
+  IMDIFF_CHECK(model_ != nullptr) << "nothing to save before Fit/LoadModel";
+  nn::SaveParameters(model_->Parameters(), path);
+}
+
+bool ImDiffusionDetector::LoadModel(const std::string& path,
+                                    int64_t num_features) {
+  IMDIFF_CHECK_GT(num_features, 0);
+  config_.model.num_features = num_features;
+  config_.model.num_diffusion_steps = config_.schedule.num_steps;
+  config_.model.num_policies = 2;
+  rng_ = std::make_unique<Rng>(config_.seed);
+  model_ = std::make_unique<ImTransformer>(config_.model, *rng_);
+  diffusion_ = std::make_unique<GaussianDiffusion>(config_.schedule);
+  std::vector<nn::Var> params = model_->Parameters();
+  if (!nn::LoadParameters(params, path)) {
+    // Never serve randomly initialized weights: leave the detector unfitted.
+    model_.reset();
+    diffusion_.reset();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace imdiff

@@ -103,6 +103,61 @@ class ImDiffusionDetector : public AnomalyDetector {
   };
   DetectionResult RunWithTrace(const Tensor& test, StepTrace* trace);
 
+  // ---- Seeded scoring (serving path, src/serve) ------------------------
+  //
+  // Run() consumes the detector's fit-time RNG stream, so its scores depend
+  // on call order — fine for batch evaluation, unusable for a server where
+  // many sessions share one fitted model. The seeded path below derives all
+  // inference noise from caller-provided per-window seeds instead: results
+  // are a pure function of (window content, seed, config), bitwise
+  // independent of batch composition, chunking, call order, and thread
+  // count. That is what lets the micro-batcher score windows from many
+  // tenants in one batched reverse-diffusion pass — and cache repeated
+  // windows — while staying bitwise identical to serial per-session replay.
+  // All seeded-path methods are const and safe to call concurrently.
+
+  // Per-window result of a seeded scoring pass: step_errors[s][l] is the
+  // vote-step-s imputation error at window position l.
+  struct WindowScore {
+    std::vector<std::vector<float>> step_errors;
+  };
+
+  // Windowing plan for one series under this detector's inference stride.
+  struct WindowPlan {
+    Tensor windows;               // [N, K, W] feature-major
+    std::vector<int64_t> starts;  // window start offsets in the series
+    int64_t length = 0;           // series length
+  };
+  WindowPlan PlanWindows(const Tensor& series) const;
+
+  // Scores N windows ([N, K, W]; possibly from different series/sessions) in
+  // shared reverse-diffusion chunks of `infer_batch`. seeds[i] drives all
+  // noise for window i. Requires a deterministic mask strategy (not kRandom).
+  std::vector<WindowScore> ScoreWindowBatch(
+      const Tensor& windows, const std::vector<uint64_t>& seeds) const;
+
+  // Per-series tail of Run(): scatters window scores back onto the series
+  // (overlap-averaged), applies the Eq. 12 rescaled thresholds and ensemble
+  // voting. `scores` must be in PlanWindows order for `starts`.
+  DetectionResult ReduceWindowScores(const std::vector<WindowScore>& scores,
+                                     const std::vector<int64_t>& starts,
+                                     int64_t length) const;
+
+  // Full seeded pass over one series: PlanWindows + ScoreWindowBatch (window
+  // i seeded with MixSeed(seed, i)) + ReduceWindowScores. A pure function of
+  // (test, seed, config); unlike Run() it does not touch the fit-time RNG.
+  DetectionResult RunSeeded(const Tensor& test, uint64_t seed) const;
+
+  // ---- Checkpointing (model registry, src/serve) -----------------------
+
+  // Writes the fitted denoiser weights (crash-safe, see nn/serialize).
+  void SaveModel(const std::string& path) const;
+  // Builds the denoiser for `num_features` channels from this detector's
+  // config and warm-loads weights saved by SaveModel. Returns false (leaving
+  // the detector unfitted) when the file is missing or mismatched.
+  bool LoadModel(const std::string& path, int64_t num_features);
+  bool fitted() const { return model_ != nullptr; }
+
   // Mean final-step imputed error over the last Run (Fig. 7 signal).
   double last_mean_error() const { return last_mean_error_; }
   const std::vector<float>& train_loss_history() const { return loss_history_; }
@@ -110,6 +165,42 @@ class ImDiffusionDetector : public AnomalyDetector {
   const ImTransformer* model() const { return model_.get(); }
 
  private:
+  // Vote steps expressed as forward index t, descending (see Run).
+  std::vector<int> VoteSteps() const;
+  int64_t InferenceStride() const;
+  // One (chunk, policy) reverse-diffusion chain: denoises from `chain_start`
+  // to t=0, accumulating the imputed-region signed residual (and optionally
+  // the imputed values) into step_diff/step_val at each vote step. Sampling
+  // noise comes from `chunk_rng` (Run path: one stream for the whole chunk)
+  // or `per_window_rngs` (seeded path: one stream per window, so results do
+  // not depend on which windows share a chunk); with neither, the posterior
+  // mean is used.
+  void RunChain(const Tensor& x0, const Tensor& mask, const Tensor& inv_mask,
+                const Tensor& ref_noise, const Tensor& chain_start,
+                const std::vector<int64_t>& policies,
+                const std::vector<int>& vote_ts, Rng* chunk_rng,
+                std::vector<Rng>* per_window_rngs,
+                std::vector<Tensor>* step_diff,
+                std::vector<Tensor>* step_val) const;
+  // Reduces a chunk's accumulated signed residuals to per-(window, position)
+  // errors (squared moving-average bias + weighted raw term, feature
+  // mean/max aggregation), writing rows[s][row_offset + b].
+  void ErrorRowsFromDiff(
+      const std::vector<Tensor>& step_diff, int64_t bsz, int64_t row_offset,
+      std::vector<std::vector<std::vector<float>>>* rows) const;
+  // Scatters per-window rows onto the series and zeroes the warm-up prefix.
+  std::vector<float> SeriesFromWindows(
+      const std::vector<std::vector<float>>& window_rows,
+      const std::vector<int64_t>& starts, int64_t length) const;
+  // Eq. 12 + ensemble voting over assembled per-step window errors.
+  DetectionResult ReduceSeries(
+      const std::vector<std::vector<std::vector<float>>>& step_window_errors,
+      const std::vector<int64_t>& starts, int64_t length,
+      double* mean_final_error,
+      std::vector<std::vector<float>>* step_series_out,
+      std::vector<std::vector<uint8_t>>* step_labels_out,
+      std::vector<int>* votes_out) const;
+
   ImDiffusionConfig config_;
   std::unique_ptr<ImTransformer> model_;
   std::unique_ptr<GaussianDiffusion> diffusion_;

@@ -10,7 +10,6 @@ namespace imdiff {
 OnlineDetector::OnlineDetector(AnomalyDetector* detector,
                                const Options& options)
     : detector_(detector), options_(options) {
-  IMDIFF_CHECK(detector_ != nullptr);
   IMDIFF_CHECK_GT(options_.block, 0);
   IMDIFF_CHECK_GE(options_.context, 0);
 }
@@ -22,8 +21,17 @@ void OnlineDetector::Fit(const Tensor& raw_train) {
   detector_->Fit(ApplyMinMax(raw_train, stats_));
 }
 
-OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
-  IMDIFF_CHECK_GT(num_features_, 0) << "Fit must be called before Append";
+void OnlineDetector::SetNormalization(const MinMaxStats& stats) {
+  IMDIFF_CHECK(!stats.min.empty());
+  IMDIFF_CHECK_EQ(stats.min.size(), stats.max.size());
+  num_features_ = static_cast<int64_t>(stats.min.size());
+  stats_ = stats;
+}
+
+bool OnlineDetector::AppendBuffered(const std::vector<float>& sample,
+                                    ReadyBlock* ready) {
+  IMDIFF_CHECK_GT(num_features_, 0)
+      << "Fit or SetNormalization must be called before Append";
   IMDIFF_CHECK_EQ(static_cast<int64_t>(sample.size()), num_features_);
   // Normalize the incoming sample with the training statistics.
   std::vector<float> normalized(sample.size());
@@ -44,15 +52,10 @@ OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
   ++total_samples_;
   ++pending_;
 
-  Alert alert;
-  if (pending_ < options_.block) return alert;
+  if (pending_ < options_.block) return false;
   pending_ = 0;
+  IMDIFF_CHECK(ready != nullptr);
 
-  // Block scoring latency is the paper's §6 timeliness signal: a block must
-  // score faster than it accumulates (30 s per sample in production).
-  IMDIFF_TRACE_SCOPE("online.block_score_seconds");
-
-  // Score the buffered context + block; emit only the block's tail.
   const int64_t buffered = static_cast<int64_t>(buffer_.size());
   Tensor series({buffered, num_features_});
   float* p = series.mutable_data();
@@ -60,7 +63,15 @@ OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
     std::copy(buffer_[static_cast<size_t>(i)].begin(),
               buffer_[static_cast<size_t>(i)].end(), p + i * num_features_);
   }
-  const DetectionResult result = detector_->Run(series);
+  ready->series = std::move(series);
+  ready->total_at_ready = total_samples_;
+  ready->block = options_.block;
+  return true;
+}
+
+OnlineDetector::Alert OnlineDetector::MakeAlert(const ReadyBlock& ready,
+                                                const DetectionResult& result) {
+  const int64_t buffered = ready.series.dim(0);
   // A windowed detector may legitimately return fewer scores than the block
   // size on a short first block (it cannot score positions before its first
   // full window), but never more than it was given, and labels must line up
@@ -72,10 +83,11 @@ OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
                result.labels.size() == result.scores.size())
       << "wrapped detector returned mismatched labels"
       << "(" << result.labels.size() << " vs " << result.scores.size() << ")";
+  Alert alert;
   const int64_t emit =
-      std::min({options_.block, buffered,
+      std::min({ready.block, buffered,
                 static_cast<int64_t>(result.scores.size())});
-  alert.start = total_samples_ - emit;
+  alert.start = ready.total_at_ready - emit;
   alert.scores.assign(result.scores.end() - emit, result.scores.end());
   if (!result.labels.empty()) {
     alert.labels.assign(result.labels.end() - emit, result.labels.end());
@@ -84,6 +96,44 @@ OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
   registry.GetCounter("online.blocks_scored")->Increment();
   registry.GetCounter("online.samples_emitted")->Increment(emit);
   return alert;
+}
+
+OnlineDetector::Alert OnlineDetector::Append(const std::vector<float>& sample) {
+  IMDIFF_CHECK(detector_ != nullptr)
+      << "Append needs a wrapped detector; deferred mode (null detector)"
+      << "uses AppendBuffered + MakeAlert";
+  ReadyBlock ready;
+  if (!AppendBuffered(sample, &ready)) return Alert{};
+
+  // Block scoring latency is the paper's §6 timeliness signal: a block must
+  // score faster than it accumulates (30 s per sample in production).
+  IMDIFF_TRACE_SCOPE("online.block_score_seconds");
+  const DetectionResult result = detector_->Run(ready.series);
+  return MakeAlert(ready, result);
+}
+
+OnlineDetector::State OnlineDetector::ExportState() const {
+  State state;
+  state.num_features = num_features_;
+  state.total_samples = total_samples_;
+  state.pending = pending_;
+  state.stats = stats_;
+  state.buffer.assign(buffer_.begin(), buffer_.end());
+  return state;
+}
+
+void OnlineDetector::ImportState(const State& state) {
+  num_features_ = state.num_features;
+  total_samples_ = state.total_samples;
+  pending_ = state.pending;
+  stats_ = state.stats;
+  buffer_.assign(state.buffer.begin(), state.buffer.end());
+}
+
+void OnlineDetector::Reset() {
+  buffer_.clear();
+  total_samples_ = 0;
+  pending_ = 0;
 }
 
 }  // namespace imdiff

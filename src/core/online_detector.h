@@ -2,6 +2,16 @@
 // §6 deployment mode: samples arrive one at a time (30 s latency samples in
 // production); once a full detection window has accumulated, the window is
 // scored and per-timestamp alerts are emitted with bounded delay.
+//
+// Two usage modes:
+//  - Standalone (Append): each full block is scored synchronously through the
+//    wrapped detector — the original single-stream mode.
+//  - Deferred (AppendBuffered + MakeAlert): the buffering and the scoring are
+//    split so an external scheduler (the serving layer's cross-session
+//    micro-batcher, src/serve) can score many sessions' blocks in one batched
+//    pass. ExportState/ImportState snapshot the streaming state losslessly so
+//    a session manager can LRU-evict idle sessions and rehydrate them later
+//    with bitwise-identical continuation.
 
 #ifndef IMDIFF_CORE_ONLINE_DETECTOR_H_
 #define IMDIFF_CORE_ONLINE_DETECTOR_H_
@@ -30,19 +40,36 @@ class OnlineDetector {
     int64_t context = 100;
   };
 
-  // `detector` must outlive this wrapper. Fit() must be called before
-  // streaming.
+  // `detector` must outlive this wrapper; it may be null when only the
+  // deferred path (AppendBuffered + MakeAlert) is used — the serving layer's
+  // sessions score through the shared registry model, not the wrapper.
+  // Fit() (or SetNormalization with a pre-fitted detector) must be called
+  // before streaming.
   OnlineDetector(AnomalyDetector* detector, const Options& options);
 
   // Fits the wrapped detector on raw (unnormalized) training history and
   // records its normalization statistics.
   void Fit(const Tensor& raw_train);
 
+  // Adopts normalization statistics without (re)fitting the wrapped
+  // detector. Serving mode: the detector is pre-fitted once, shared
+  // read-only across many sessions, and each session only needs the
+  // normalization of its training history.
+  void SetNormalization(const MinMaxStats& stats);
+
   // Emitted scores/labels for one block of timestamps.
   struct Alert {
     int64_t start = 0;                // global index of the block's first sample
     std::vector<float> scores;        // per-timestamp
     std::vector<uint8_t> labels;      // detector's built-in rule (may be empty)
+  };
+
+  // A full block ready for scoring: the normalized context+block series plus
+  // the bookkeeping MakeAlert needs to emit the scored tail.
+  struct ReadyBlock {
+    Tensor series;               // [buffered, K] normalized context + block
+    int64_t total_at_ready = 0;  // total_samples() when the block filled
+    int64_t block = 0;           // configured block size
   };
 
   // Appends one [K] sample. Returns an Alert when a block boundary was
@@ -53,8 +80,38 @@ class OnlineDetector {
   // score.
   Alert Append(const std::vector<float>& sample);
 
+  // Buffering half of Append: normalizes and buffers one sample; returns
+  // true when a block boundary was crossed and fills `ready`. The caller
+  // owns scoring (possibly batched across sessions) and converts the
+  // detector result into an Alert with MakeAlert.
+  bool AppendBuffered(const std::vector<float>& sample, ReadyBlock* ready);
+
+  // Emission half of Append: clamps the detector result to the block tail.
+  // Static so alerts can be emitted even after the originating session was
+  // evicted (the ReadyBlock carries everything needed).
+  static Alert MakeAlert(const ReadyBlock& ready, const DetectionResult& result);
+
+  // Lossless snapshot of the streaming state (normalization stats, rolling
+  // buffer, counters). The wrapped detector is NOT included: in serving it
+  // is shared read-only and owned by the model registry.
+  struct State {
+    int64_t num_features = 0;
+    int64_t total_samples = 0;
+    int64_t pending = 0;
+    MinMaxStats stats;
+    std::vector<std::vector<float>> buffer;
+  };
+  State ExportState() const;
+  void ImportState(const State& state);
+
+  // Drops buffered samples and counters, keeping normalization and the
+  // wrapped detector's fit.
+  void Reset();
+
   // Total samples streamed so far.
   int64_t total_samples() const { return total_samples_; }
+  const Options& options() const { return options_; }
+  const MinMaxStats& normalization() const { return stats_; }
 
  private:
   AnomalyDetector* detector_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <vector>
 
 namespace imdiff {
@@ -12,26 +14,46 @@ namespace {
 
 constexpr char kMagic[4] = {'I', 'M', 'D', 'F'};
 
+// Test-only crash injection point (see SetSaveFailurePointForTesting).
+int g_save_failure_tensor = -1;
+
 }  // namespace
 
+void SetSaveFailurePointForTesting(int tensor_index) {
+  g_save_failure_tensor = tensor_index;
+}
+
 void SaveParameters(const std::vector<Var>& params, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  IMDIFF_CHECK(out.good()) << "cannot open for writing:" << path;
-  out.write(kMagic, 4);
-  const uint32_t count = static_cast<uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const Var& p : params) {
-    const Tensor& t = p.value();
-    const uint32_t ndim = static_cast<uint32_t>(t.ndim());
-    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (size_t d = 0; d < t.ndim(); ++d) {
-      const int64_t dim = t.dim(d);
-      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  // Stage into a sibling temp file and commit with an atomic rename: a crash
+  // anywhere before the rename leaves `path` untouched.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    IMDIFF_CHECK(out.good()) << "cannot open for writing:" << tmp;
+    out.write(kMagic, 4);
+    const uint32_t count = static_cast<uint32_t>(params.size());
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    int written = 0;
+    for (const Var& p : params) {
+      if (g_save_failure_tensor >= 0 && written == g_save_failure_tensor) {
+        throw std::runtime_error("SaveParameters: injected mid-stream crash");
+      }
+      const Tensor& t = p.value();
+      const uint32_t ndim = static_cast<uint32_t>(t.ndim());
+      out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+      for (size_t d = 0; d < t.ndim(); ++d) {
+        const int64_t dim = t.dim(d);
+        out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+      }
+      out.write(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::streamsize>(sizeof(float) * t.numel()));
+      ++written;
     }
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(sizeof(float) * t.numel()));
+    out.flush();
+    IMDIFF_CHECK(out.good()) << "write failed:" << tmp;
   }
-  IMDIFF_CHECK(out.good()) << "write failed:" << path;
+  IMDIFF_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0)
+      << "cannot commit checkpoint:" << path;
 }
 
 bool LoadParameters(std::vector<Var>& params, const std::string& path) {

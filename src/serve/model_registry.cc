@@ -1,0 +1,56 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "utils/check.h"
+#include "utils/metrics.h"
+
+namespace imdiff {
+namespace serve {
+
+int64_t ModelRegistry::Publish(
+    const std::string& name,
+    std::shared_ptr<const ImDiffusionDetector> detector,
+    const MinMaxStats& stats) {
+  IMDIFF_CHECK(detector != nullptr);
+  IMDIFF_CHECK(detector->fitted()) << "cannot publish an unfitted model";
+  IMDIFF_CHECK_EQ(stats.min.size(), stats.max.size());
+  IMDIFF_CHECK(!stats.min.empty())
+      << "published models need normalization statistics";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->version = it == entries_.end() ? 1 : it->second->version + 1;
+  entry->detector = std::move(detector);
+  entry->stats = stats;
+  entries_[name] = entry;
+  MetricsRegistry::Global().GetCounter("serve.models_published")->Increment();
+  return entry->version;
+}
+
+int64_t ModelRegistry::PublishFromFile(const std::string& name,
+                                       const ImDiffusionConfig& config,
+                                       const std::string& path,
+                                       int64_t num_features,
+                                       const MinMaxStats& stats) {
+  auto detector = std::make_shared<ImDiffusionDetector>(config);
+  if (!detector->LoadModel(path, num_features)) return -1;
+  return Publish(name, std::move(detector), stats);
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::Acquire(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+int64_t ModelRegistry::latest_version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second->version;
+}
+
+}  // namespace serve
+}  // namespace imdiff

@@ -1,0 +1,67 @@
+// Named, versioned registry of fitted models for the serving layer.
+//
+// A ModelEntry is an immutable published version: one fitted ImDiffusion
+// detector shared read-only by every streaming session, plus the min-max
+// normalization statistics of its training history (sessions normalize
+// incoming raw samples with these). Publishing a new version under the same
+// name is a hot swap: the registry pointer is replaced atomically under the
+// registry mutex, entries already Acquire()d stay valid (shared_ptr), and
+// blocks in flight finish scoring against the version captured when their
+// block became ready. See DESIGN.md §11.
+
+#ifndef IMDIFF_SERVE_MODEL_REGISTRY_H_
+#define IMDIFF_SERVE_MODEL_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/imdiffusion.h"
+#include "data/dataset.h"
+
+namespace imdiff {
+namespace serve {
+
+// One published model version. Immutable after Publish; the detector is only
+// used through its const seeded-scoring interface.
+struct ModelEntry {
+  std::string name;
+  int64_t version = 0;
+  std::shared_ptr<const ImDiffusionDetector> detector;
+  MinMaxStats stats;  // train-split normalization for incoming raw samples
+};
+
+class ModelRegistry {
+ public:
+  // Publishes a fitted detector under `name`. Returns the new version
+  // (1-based, monotonically increasing per name). Thread-safe.
+  int64_t Publish(const std::string& name,
+                  std::shared_ptr<const ImDiffusionDetector> detector,
+                  const MinMaxStats& stats);
+
+  // Warm-loads the checkpoint at `path` (written by SaveModel) into a fresh
+  // detector built from `config`, then publishes it. Returns the new version,
+  // or -1 when the checkpoint is missing or mismatched (registry unchanged).
+  int64_t PublishFromFile(const std::string& name,
+                          const ImDiffusionConfig& config,
+                          const std::string& path, int64_t num_features,
+                          const MinMaxStats& stats);
+
+  // Latest published version, or nullptr when `name` is unknown. The entry
+  // is immutable and survives later Publish calls for as long as the caller
+  // holds the pointer.
+  std::shared_ptr<const ModelEntry> Acquire(const std::string& name) const;
+
+  // Latest version number for `name`; 0 when unknown.
+  int64_t latest_version(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ModelEntry>> entries_;
+};
+
+}  // namespace serve
+}  // namespace imdiff
+
+#endif  // IMDIFF_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,229 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "metrics/add.h"
+#include "metrics/classification.h"
+#include "metrics/range_auc.h"
+#include "serve/batcher.h"
+#include "utils/check.h"
+#include "utils/metrics.h"
+#include "utils/stopwatch.h"
+
+namespace imdiff {
+namespace serve {
+
+std::vector<float> ReplaySerial(const ModelEntry& model,
+                                const OnlineDetector::Options& online_options,
+                                uint64_t seed_base,
+                                const TenantStream& stream) {
+  IMDIFF_CHECK(model.detector != nullptr && model.detector->fitted());
+  OnlineDetector online(nullptr, online_options);
+  online.SetNormalization(model.stats);
+  const uint64_t session_seed = TenantSeed(seed_base, stream.tenant);
+  const int64_t length = stream.samples.dim(0);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> scores(static_cast<size_t>(length), 0.0f);
+  std::vector<float> sample(static_cast<size_t>(k));
+  for (int64_t l = 0; l < length; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    OnlineDetector::ReadyBlock ready;
+    if (!online.AppendBuffered(sample, &ready)) continue;
+    const DetectionResult result =
+        ScoreBlock(*model.detector, session_seed, ready);
+    const OnlineDetector::Alert alert =
+        OnlineDetector::MakeAlert(ready, result);
+    for (size_t i = 0; i < alert.scores.size(); ++i) {
+      const int64_t pos = alert.start + static_cast<int64_t>(i);
+      if (pos < length) scores[static_cast<size_t>(pos)] = alert.scores[i];
+    }
+  }
+  return scores;
+}
+
+ReplayStats ReplayThroughServer(std::shared_ptr<const ModelEntry> model,
+                                const std::vector<TenantStream>& streams,
+                                const StreamServer::Options& options,
+                                bool paced) {
+  IMDIFF_CHECK(!streams.empty());
+  const int64_t k = streams.front().samples.dim(1);
+  int64_t max_length = 0;
+  int64_t total_samples = 0;
+  ReplayStats stats;
+  for (const TenantStream& stream : streams) {
+    IMDIFF_CHECK_EQ(stream.samples.dim(1), k);
+    max_length = std::max(max_length, stream.samples.dim(0));
+    total_samples += stream.samples.dim(0);
+    stats.scores[stream.tenant] = std::vector<float>(
+        static_cast<size_t>(stream.samples.dim(0)), 0.0f);
+  }
+
+  std::mutex mu;
+  auto on_alert = [&](const StreamServer::ScoredBlock& scored) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats.alerts;
+    auto it = stats.scores.find(scored.tenant);
+    IMDIFF_CHECK(it != stats.scores.end());
+    std::vector<float>& out = it->second;
+    for (size_t i = 0; i < scored.alert.scores.size(); ++i) {
+      const int64_t pos =
+          scored.alert.start + static_cast<int64_t>(i);
+      if (pos < static_cast<int64_t>(out.size())) {
+        out[static_cast<size_t>(pos)] = scored.alert.scores[i];
+      }
+    }
+  };
+
+  StreamServer server(std::move(model), options, on_alert);
+  Stopwatch timer;
+  std::vector<float> sample(static_cast<size_t>(k));
+  // Round-robin interleaving: sample l of every tenant before sample l + 1
+  // of any — the arrival pattern that exercises cross-session batching.
+  for (int64_t l = 0; l < max_length; ++l) {
+    for (const TenantStream& stream : streams) {
+      if (l >= stream.samples.dim(0)) continue;
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      ++stats.submitted;
+      while (!server.Submit(stream.tenant, sample)) {
+        // The replay source is lossless: back off and retry so the score
+        // streams stay complete (a live ingest would shed the sample).
+        ++stats.rejected;
+        std::this_thread::yield();
+      }
+    }
+    // Block cadence: every tenant's block fills in the same round, the
+    // batcher scores them in one cross-tenant pass, and the scores are
+    // cached before the next overlapping block is planned.
+    if (paced && (l + 1) % options.session.online.block == 0) {
+      server.Drain();
+    }
+  }
+  server.Drain();
+  stats.seconds = timer.ElapsedSeconds();
+  stats.points_per_second =
+      stats.seconds > 0.0 ? static_cast<double>(total_samples) / stats.seconds
+                          : 0.0;
+  server.Shutdown();
+  return stats;
+}
+
+double ServedDetectionDelay(const std::vector<uint8_t>& labels,
+                            const std::vector<uint8_t>& predictions,
+                            int64_t block) {
+  IMDIFF_CHECK_EQ(labels.size(), predictions.size());
+  IMDIFF_CHECK_GT(block, 0);
+  const int64_t n = static_cast<int64_t>(labels.size());
+  const auto segments = FindSegments(labels);
+  if (segments.empty()) return 0.0;
+  double total = 0.0;
+  for (const AnomalySegment& seg : segments) {
+    int64_t delay = n - seg.start;  // penalty when never detected
+    for (int64_t t = seg.start; t < n; ++t) {
+      if (predictions[static_cast<size_t>(t)] != 0) {
+        // The alarm becomes observable when t's block is emitted, i.e. at
+        // the block's last index (a trailing partial block is clamped to
+        // the stream end — it would never be emitted, so the penalty above
+        // is the honest bound, matched by the clamp).
+        const int64_t emitted = std::min(n - 1, (t / block + 1) * block - 1);
+        delay = emitted - seg.start;
+        break;
+      }
+    }
+    total += static_cast<double>(delay);
+  }
+  return total / static_cast<double>(segments.size());
+}
+
+RunMetrics EvaluateServed(const MtsDataset& dataset, uint64_t seed,
+                          SpeedProfile profile,
+                          const StreamServer::Options& options) {
+  ImDiffusionConfig config = profile == SpeedProfile::kPaper
+                                 ? PaperImDiffusionConfig()
+                                 : FastImDiffusionConfig();
+  config.seed = seed;
+  auto detector = std::make_shared<ImDiffusionDetector>(config);
+
+  RunMetrics metrics;
+  const MinMaxStats stats = FitMinMax(dataset.train);
+  Stopwatch fit_timer;
+  detector->Fit(ApplyMinMax(dataset.train, stats));
+  metrics.fit_seconds = fit_timer.ElapsedSeconds();
+
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = dataset.name.empty() ? "production" : dataset.name;
+  entry->version = 1;
+  entry->detector = detector;
+  entry->stats = stats;
+
+  StreamServer::Options served = options;
+  served.session.seed_base = seed;
+  TenantStream stream;
+  stream.tenant = "production";
+  stream.samples = dataset.test;
+  const ReplayStats replay =
+      ReplayThroughServer(entry, {std::move(stream)}, served);
+  metrics.score_seconds = replay.seconds;
+  metrics.points_per_second = replay.points_per_second;
+
+  const std::vector<float>& scores = replay.scores.at("production");
+  BinaryMetrics best;
+  const float threshold =
+      BestF1Threshold(scores, dataset.test_labels, 64, &best);
+  metrics.precision = best.precision;
+  metrics.recall = best.recall;
+  metrics.f1 = best.f1;
+  metrics.r_auc_pr = RangeAucPr(scores, dataset.test_labels);
+  metrics.r_auc_roc = RangeAucRoc(scores, dataset.test_labels);
+  metrics.add = ServedDetectionDelay(dataset.test_labels,
+                                     ThresholdScores(scores, threshold),
+                                     served.session.online.block);
+  return metrics;
+}
+
+AggregateMetrics EvaluateServedManySeeds(const MtsDataset& dataset,
+                                         int num_seeds, SpeedProfile profile,
+                                         const StreamServer::Options& options) {
+  IMDIFF_CHECK_GE(num_seeds, 1);
+  std::vector<RunMetrics> runs;
+  runs.reserve(static_cast<size_t>(num_seeds));
+  // Serial over seeds: each run owns the server's worker threads, and the
+  // compute pool is already saturated by the batched scoring passes.
+  for (int s = 0; s < num_seeds; ++s) {
+    runs.push_back(EvaluateServed(
+        dataset, 1000 + 17 * static_cast<uint64_t>(s), profile, options));
+  }
+  AggregateMetrics agg;
+  agg.num_runs = num_seeds;
+  for (const RunMetrics& r : runs) {
+    agg.precision += r.precision;
+    agg.recall += r.recall;
+    agg.f1 += r.f1;
+    agg.r_auc_pr += r.r_auc_pr;
+    agg.add += r.add;
+    agg.points_per_second += r.points_per_second;
+  }
+  const double n = static_cast<double>(num_seeds);
+  agg.precision /= n;
+  agg.recall /= n;
+  agg.f1 /= n;
+  agg.r_auc_pr /= n;
+  agg.add /= n;
+  agg.points_per_second /= n;
+  double f1_var = 0.0;
+  double add_var = 0.0;
+  for (const RunMetrics& r : runs) {
+    f1_var += (r.f1 - agg.f1) * (r.f1 - agg.f1);
+    add_var += (r.add - agg.add) * (r.add - agg.add);
+  }
+  if (num_seeds > 1) {
+    agg.f1_std = std::sqrt(f1_var / (n - 1.0));
+    agg.add_std = std::sqrt(add_var / (n - 1.0));
+  }
+  return agg;
+}
+
+}  // namespace serve
+}  // namespace imdiff

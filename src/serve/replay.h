@@ -1,0 +1,91 @@
+// Traffic replay over the serving layer, plus the serving-path Table 7
+// evaluation.
+//
+// ReplayThroughServer pushes N tenants' raw streams through a StreamServer
+// (round-robin, the interleaving a real multi-tenant ingest produces) and
+// assembles each tenant's emitted score stream. ReplaySerial is the ground
+// truth and throughput baseline: one tenant scored block-by-block with fresh
+// windows — no cross-session batching, no window-score cache. The serving
+// path must match it bitwise (see serve/session_manager.h) while spending
+// roughly half the model forwards.
+
+#ifndef IMDIFF_SERVE_REPLAY_H_
+#define IMDIFF_SERVE_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "serve/server.h"
+
+namespace imdiff {
+namespace serve {
+
+// One tenant's raw (unnormalized) sample stream.
+struct TenantStream {
+  std::string tenant;
+  Tensor samples;  // [L, K]
+};
+
+// Scores one tenant serially: every ready block is scored fresh through
+// ScoreBlock. Returns the assembled per-position score stream (length L;
+// positions never emitted stay 0). Bitwise reference for the served path.
+std::vector<float> ReplaySerial(const ModelEntry& model,
+                                const OnlineDetector::Options& online,
+                                uint64_t seed_base, const TenantStream& stream);
+
+struct ReplayStats {
+  // Assembled per-tenant score streams (length L each).
+  std::map<std::string, std::vector<float>> scores;
+  int64_t submitted = 0;
+  int64_t rejected = 0;  // backpressure rejections (samples were retried)
+  int64_t alerts = 0;
+  double seconds = 0.0;            // submit of first sample → drain complete
+  double points_per_second = 0.0;  // total samples / seconds
+};
+
+// Replays the tenant streams round-robin through a StreamServer built from
+// `options`. Rejected submissions are retried until accepted so every sample
+// is eventually processed (`rejected` counts the shed attempts); the score
+// streams are therefore complete and comparable to ReplaySerial.
+// `paced` (the default) drains the server after every round of `block`
+// samples per tenant, modeling the production cadence where a block is
+// scored long before the next one fills (30 s per sample in the paper's
+// deployment). Pacing is what lets overlapping windows hit the score cache:
+// an unpaced firehose replay plans block n+1 before block n's scores are
+// written back, so every window scores fresh.
+ReplayStats ReplayThroughServer(std::shared_ptr<const ModelEntry> model,
+                                const std::vector<TenantStream>& streams,
+                                const StreamServer::Options& options,
+                                bool paced = true);
+
+// Table 7 through the serving path: fits ImDiffusion on the train split,
+// publishes it, streams the raw test split as one tenant through a
+// StreamServer, and computes the usual metrics on the emitted scores —
+// except that points/second is end-to-end serving throughput (queueing +
+// batching + scoring) and ADD counts a detection only from the moment its
+// block was emitted, so both reflect queued serving latency rather than raw
+// batch inference.
+RunMetrics EvaluateServed(const MtsDataset& dataset, uint64_t seed,
+                          SpeedProfile profile,
+                          const StreamServer::Options& options);
+
+// EvaluateManySeeds analogue for the served path (seeds run serially: the
+// server already owns the process's worker threads).
+AggregateMetrics EvaluateServedManySeeds(const MtsDataset& dataset,
+                                         int num_seeds, SpeedProfile profile,
+                                         const StreamServer::Options& options);
+
+// Emission-aware detection delay: like AverageDetectionDelay, but an alarm
+// at position t only counts once its block has been emitted (the last index
+// of t's block), matching what a consumer of the alert stream observes.
+double ServedDetectionDelay(const std::vector<uint8_t>& labels,
+                            const std::vector<uint8_t>& predictions,
+                            int64_t block);
+
+}  // namespace serve
+}  // namespace imdiff
+
+#endif  // IMDIFF_SERVE_REPLAY_H_

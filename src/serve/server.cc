@@ -1,0 +1,143 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "utils/check.h"
+#include "utils/metrics.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace serve {
+
+StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
+                           const Options& options, AlertCallback on_alert)
+    : options_(options),
+      sessions_(std::move(model), options.session),
+      batcher_(&sessions_, options.batch,
+               [this](const BlockRequest& request,
+                      const DetectionResult& result) {
+                 ScoredBlock scored;
+                 scored.tenant = request.tenant;
+                 scored.block_index = request.block_index;
+                 scored.alert = OnlineDetector::MakeAlert(request.ready, result);
+                 // Ready-to-alert latency: queueing at the batcher plus the
+                 // batched scoring pass — the end-to-end cost the serving
+                 // layer adds on top of raw inference.
+                 MetricsRegistry::Global()
+                     .GetHistogram("serve.alert_latency_seconds")
+                     ->Record(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  request.ready_time)
+                                  .count());
+                 if (on_alert_) on_alert_(scored);
+               }),
+      on_alert_(std::move(on_alert)) {
+  IMDIFF_CHECK_GT(options_.num_workers, 0);
+  IMDIFF_CHECK_GT(options_.queue_capacity, 0);
+  shards_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread(&StreamServer::WorkerLoop, this, shard.get());
+  }
+}
+
+StreamServer::~StreamServer() { Shutdown(); }
+
+size_t StreamServer::ShardOf(const std::string& tenant) const {
+  // Stable tenant → worker assignment keeps each tenant's samples FIFO.
+  return static_cast<size_t>(HashBytes(tenant.data(), tenant.size()) %
+                             static_cast<uint64_t>(shards_.size()));
+}
+
+bool StreamServer::Submit(const std::string& tenant,
+                          std::vector<float> sample) {
+  Shard& shard = *shards_[ShardOf(tenant)];
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    IMDIFF_CHECK(!shard.stop) << "Submit after Shutdown";
+    if (static_cast<int64_t>(shard.queue.size()) >= options_.queue_capacity) {
+      // Backpressure: shed load at ingest rather than blocking producers or
+      // growing the queue without bound.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      registry.GetCounter("serve.requests_dropped")->Increment();
+      return false;
+    }
+    Request request;
+    request.tenant = tenant;
+    request.sample = std::move(sample);
+    request.enqueue = std::chrono::steady_clock::now();
+    shard.queue.push_back(std::move(request));
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  registry.GetCounter("serve.requests_accepted")->Increment();
+  registry.GetGauge("serve.queue_depth")->Add(1.0);
+  shard.cv.notify_one();
+  return true;
+}
+
+void StreamServer::WorkerLoop(Shard* shard) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Gauge* const queue_depth = registry.GetGauge("serve.queue_depth");
+  Histogram* const queue_wait =
+      registry.GetHistogram("serve.queue_wait_seconds");
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock,
+                     [shard] { return shard->stop || !shard->queue.empty(); });
+      if (shard->queue.empty()) return;  // stop && drained
+      request = std::move(shard->queue.front());
+      shard->queue.pop_front();
+      shard->busy = true;
+    }
+    queue_depth->Add(-1.0);
+    queue_wait->Record(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - request.enqueue)
+                           .count());
+
+    BlockRequest block;
+    if (sessions_.Append(request.tenant, request.sample, &block)) {
+      batcher_.Submit(std::move(block));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->busy = false;
+    }
+    shard->cv_idle.notify_all();
+  }
+}
+
+void StreamServer::Drain() {
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->cv_idle.wait(
+        lock, [&shard] { return shard->queue.empty() && !shard->busy; });
+  }
+  batcher_.Flush();
+  // Flush completes every block the workers handed over, and the workers
+  // were idle before it started.
+  IMDIFF_CHECK_EQ(sessions_.pending_blocks(), 0);
+}
+
+void StreamServer::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  Drain();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  batcher_.Shutdown();
+}
+
+}  // namespace serve
+}  // namespace imdiff

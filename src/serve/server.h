@@ -1,0 +1,111 @@
+// Request front-end of the serving layer: bounded per-worker queues with
+// backpressure, worker threads that drive SessionManager and the
+// micro-batcher, and alert delivery.
+//
+// Tenants are sharded onto workers by a stable hash of the tenant name, so
+// each tenant's samples are processed FIFO by exactly one worker — the
+// ordering guarantee OnlineDetector's rolling buffer needs — while different
+// tenants proceed in parallel. A full shard queue rejects the sample
+// (Submit returns false, serve.requests_dropped counts it) instead of
+// blocking the producer: load-shedding at ingest is the backpressure policy
+// (DESIGN.md §11).
+
+#ifndef IMDIFF_SERVE_SERVER_H_
+#define IMDIFF_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/session_manager.h"
+
+namespace imdiff {
+namespace serve {
+
+class StreamServer {
+ public:
+  struct Options {
+    // Worker threads (= queue shards). Tenant order is preserved per shard.
+    int num_workers = 2;
+    // Per-shard queue capacity; a full queue rejects new samples.
+    int64_t queue_capacity = 1024;
+    SessionManager::Options session;
+    MicroBatcher::Options batch;
+  };
+
+  // A scored block for one tenant.
+  struct ScoredBlock {
+    std::string tenant;
+    int64_t block_index = 0;
+    OnlineDetector::Alert alert;
+  };
+  // Runs on a batcher/worker thread; must be thread-safe and non-blocking
+  // (it sits on the scoring path).
+  using AlertCallback = std::function<void(const ScoredBlock&)>;
+
+  StreamServer(std::shared_ptr<const ModelEntry> model, const Options& options,
+               AlertCallback on_alert);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  // Enqueues one raw sample for `tenant`. Returns false (and counts
+  // serve.requests_dropped) when the tenant's shard queue is full.
+  bool Submit(const std::string& tenant, std::vector<float> sample);
+
+  // Blocks until every enqueued sample has been processed and every ready
+  // block has been scored and delivered. Callers must not Submit
+  // concurrently with Drain.
+  void Drain();
+
+  // Drains, then stops workers and the batcher. Idempotent.
+  void Shutdown();
+
+  SessionManager& sessions() { return sessions_; }
+  MicroBatcher& batcher() { return batcher_; }
+  int64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Request {
+    std::string tenant;
+    std::vector<float> sample;
+    std::chrono::steady_clock::time_point enqueue{};
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::condition_variable cv_idle;
+    std::deque<Request> queue;
+    bool busy = false;  // worker is processing a popped request
+    bool stop = false;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard* shard);
+  size_t ShardOf(const std::string& tenant) const;
+
+  const Options options_;
+  SessionManager sessions_;
+  MicroBatcher batcher_;
+  AlertCallback on_alert_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> dropped_{0};
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace imdiff
+
+#endif  // IMDIFF_SERVE_SERVER_H_

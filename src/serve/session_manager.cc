@@ -1,0 +1,213 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "utils/check.h"
+#include "utils/metrics.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace serve {
+
+uint64_t TenantSeed(uint64_t seed_base, const std::string& tenant) {
+  return MixSeed(seed_base, HashBytes(tenant.data(), tenant.size()));
+}
+
+uint64_t WindowSeed(uint64_t session_seed, int64_t global_start) {
+  return MixSeed(session_seed, static_cast<uint64_t>(global_start));
+}
+
+BlockPlan PlanBlock(const ImDiffusionDetector& detector, uint64_t session_seed,
+                    const OnlineDetector::ReadyBlock& ready) {
+  BlockPlan plan;
+  plan.windows = detector.PlanWindows(ready.series);
+  const int64_t buffered = ready.series.dim(0);
+  const int64_t window = detector.config().model.window;
+  // First sample of the buffer in global stream coordinates.
+  const int64_t buffer_start = ready.total_at_ready - buffered;
+  plan.seeds.reserve(plan.windows.starts.size());
+  plan.cache_keys.reserve(plan.windows.starts.size());
+  for (size_t i = 0; i < plan.windows.starts.size(); ++i) {
+    if (buffered >= window) {
+      const int64_t global_start = buffer_start + plan.windows.starts[i];
+      plan.seeds.push_back(WindowSeed(session_seed, global_start));
+      plan.cache_keys.push_back(global_start);
+    } else {
+      // Front-padded short first block: the window content depends on the
+      // padding, not purely on stream position, so it must not enter the
+      // position-keyed cache. Seed it from a disjoint coordinate space.
+      plan.seeds.push_back(MixSeed(
+          session_seed,
+          (1ull << 63) ^ static_cast<uint64_t>(ready.total_at_ready + static_cast<int64_t>(i))));
+      plan.cache_keys.push_back(-1);
+    }
+  }
+  return plan;
+}
+
+SessionManager::SessionManager(std::shared_ptr<const ModelEntry> model,
+                               const Options& options)
+    : model_(std::move(model)), options_(options) {
+  IMDIFF_CHECK(model_ != nullptr);
+  IMDIFF_CHECK(model_->detector != nullptr && model_->detector->fitted());
+  IMDIFF_CHECK_GT(options_.max_resident, 0);
+}
+
+SessionManager::Session& SessionManager::GetOrCreateLocked(
+    const std::string& tenant) {
+  auto it = sessions_.find(tenant);
+  if (it != sessions_.end()) return it->second;
+
+  // Make room BEFORE inserting: the new session must never be an eviction
+  // candidate itself (it has no LRU tick yet, and the caller holds a
+  // reference into the map).
+  MaybeEvictLocked(/*incoming=*/1);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  auto inserted =
+      sessions_.emplace(tenant, Session(options_.online)).first;
+  Session& session = inserted->second;
+  session.seed = TenantSeed(options_.seed_base, tenant);
+  auto stashed = stash_.find(tenant);
+  if (stashed != stash_.end()) {
+    // Rehydrate an evicted session: the stashed state restores the rolling
+    // buffer, counters and normalization, so the continuation is bitwise
+    // identical to a never-evicted session (window seeds are derived from
+    // the restored global positions).
+    session.online.ImportState(stashed->second.state);
+    session.blocks = stashed->second.blocks;
+    stash_.erase(stashed);
+    registry.GetCounter("serve.sessions_rehydrated")->Increment();
+  } else {
+    session.online.SetNormalization(model_->stats);
+    registry.GetCounter("serve.sessions_created")->Increment();
+  }
+  return inserted->second;
+}
+
+void SessionManager::MaybeEvictLocked(int64_t incoming) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  while (static_cast<int64_t>(sessions_.size()) + incoming >
+         options_.max_resident) {
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.pending > 0) continue;  // block in flight at the batcher
+      if (victim == sessions_.end() || it->second.tick < victim->second.tick) {
+        victim = it;
+      }
+    }
+    // Every over-cap session has work in flight: over-commit rather than
+    // lose state; the next Append retries eviction.
+    if (victim == sessions_.end()) return;
+    Stash stash;
+    stash.state = victim->second.online.ExportState();
+    stash.blocks = victim->second.blocks;
+    stash_[victim->first] = std::move(stash);
+    sessions_.erase(victim);
+    registry.GetCounter("serve.sessions_evicted")->Increment();
+  }
+}
+
+bool SessionManager::Append(const std::string& tenant,
+                            const std::vector<float>& sample,
+                            BlockRequest* request) {
+  IMDIFF_CHECK(request != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  Session& session = GetOrCreateLocked(tenant);
+  session.tick = ++tick_;
+
+  OnlineDetector::ReadyBlock ready;
+  if (!session.online.AppendBuffered(sample, &ready)) return false;
+
+  request->tenant = tenant;
+  request->block_index = session.blocks++;
+  request->session_seed = session.seed;
+  request->model = model_;
+  request->plan = PlanBlock(*model_->detector, session.seed, ready);
+  request->ready = std::move(ready);
+  request->ready_time = std::chrono::steady_clock::now();
+
+  const size_t num_windows = request->plan.seeds.size();
+  request->scores.assign(num_windows, {});
+  request->hit.assign(num_windows, 0);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  int64_t hits = 0;
+  if (options_.cache_window_scores) {
+    for (size_t i = 0; i < num_windows; ++i) {
+      const int64_t key = request->plan.cache_keys[i];
+      if (key < 0) continue;
+      auto cached = session.cache.find(key);
+      if (cached == session.cache.end()) continue;
+      request->scores[i] = cached->second;
+      request->hit[i] = 1;
+      ++hits;
+    }
+  }
+  registry.GetCounter("serve.cache_hits")->Increment(hits);
+  registry.GetCounter("serve.cache_misses")
+      ->Increment(static_cast<int64_t>(num_windows) - hits);
+
+  ++session.pending;
+  ++pending_total_;
+  return true;
+}
+
+void SessionManager::CompleteBlock(const BlockRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_total_;
+  auto it = sessions_.find(request.tenant);
+  // pending > 0 pins the session, so it must still be resident.
+  IMDIFF_CHECK(it != sessions_.end())
+      << "session evicted with a block in flight:" << request.tenant;
+  Session& session = it->second;
+  IMDIFF_CHECK_GT(session.pending, 0);
+  --session.pending;
+  if (!options_.cache_window_scores) return;
+  // A hot swap between ready and completion invalidates the write-back: the
+  // scores belong to the old version, the cache to the new one.
+  if (request.model != model_) return;
+  for (size_t i = 0; i < request.plan.cache_keys.size(); ++i) {
+    const int64_t key = request.plan.cache_keys[i];
+    if (key < 0 || request.hit[i]) continue;
+    session.cache[key] = request.scores[i];
+  }
+  // Prune entries that can no longer reappear: a future block's buffer
+  // starts at or after total - context (the block samples are new).
+  const int64_t min_keep =
+      request.ready.total_at_ready -
+      (options_.online.context + options_.online.block);
+  session.cache.erase(session.cache.begin(),
+                      session.cache.lower_bound(min_keep));
+}
+
+void SessionManager::SwapModel(std::shared_ptr<const ModelEntry> model) {
+  IMDIFF_CHECK(model != nullptr);
+  IMDIFF_CHECK(model->detector != nullptr && model->detector->fitted());
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model);
+  for (auto& [tenant, session] : sessions_) session.cache.clear();
+  MetricsRegistry::Global().GetCounter("serve.model_swaps")->Increment();
+}
+
+std::shared_ptr<const ModelEntry> SessionManager::model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_;
+}
+
+int64_t SessionManager::resident_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t SessionManager::stashed_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(stash_.size());
+}
+
+int64_t SessionManager::pending_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_total_;
+}
+
+}  // namespace serve
+}  // namespace imdiff

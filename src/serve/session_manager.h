@@ -1,0 +1,152 @@
+// Multi-tenant streaming sessions over one shared fitted model.
+//
+// Each tenant owns an OnlineDetector (deferred mode: buffering only) whose
+// ready blocks are planned here — windowed, seeded, and checked against the
+// session's window-score cache — and scored externally by the cross-session
+// micro-batcher (serve/batcher.h). Determinism is the load-bearing property:
+// a window's score is a pure function of (window content, seed, model), with
+// the seed derived from (tenant, global stream position) via MixSeed. That
+// makes per-session score streams bitwise identical to a serial
+// single-session replay no matter how windows are batched across tenants,
+// and it makes cached scores bitwise interchangeable with recomputed ones.
+//
+// Eviction: sessions are LRU-evicted above `max_resident`; evicted streaming
+// state (normalization, rolling buffer, counters) is stashed losslessly and
+// rehydrated on the tenant's next sample, so an evicted tenant continues
+// bitwise identically without refitting normalization. Sessions with blocks
+// in flight (pending > 0) are never evicted — the batcher writes scores back
+// through CompleteBlock.
+
+#ifndef IMDIFF_SERVE_SESSION_MANAGER_H_
+#define IMDIFF_SERVE_SESSION_MANAGER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/imdiffusion.h"
+#include "core/online_detector.h"
+#include "serve/model_registry.h"
+
+namespace imdiff {
+namespace serve {
+
+// Deterministic, platform-independent per-tenant seed (FNV over the tenant
+// name mixed with the deployment's base seed).
+uint64_t TenantSeed(uint64_t seed_base, const std::string& tenant);
+
+// Seed for the window whose first sample is at global stream position
+// `global_start` of a session. Keying the seed by stream position (not by
+// block ordinal) is what lets overlapping blocks reuse window scores: the
+// same window content always gets the same noise.
+uint64_t WindowSeed(uint64_t session_seed, int64_t global_start);
+
+// Windowing + seeding plan for one ready block. Shared by the serving path
+// and the serial replay baseline so both score identical chains.
+struct BlockPlan {
+  ImDiffusionDetector::WindowPlan windows;
+  std::vector<uint64_t> seeds;      // per window
+  // Global stream position of each window's first sample, used as the
+  // window-score cache key; -1 marks a non-cacheable window (a front-padded
+  // first block shorter than the model window, whose content is not a pure
+  // slice of the stream).
+  std::vector<int64_t> cache_keys;
+};
+BlockPlan PlanBlock(const ImDiffusionDetector& detector, uint64_t session_seed,
+                    const OnlineDetector::ReadyBlock& ready);
+
+// One block handed to the micro-batcher. `scores` is pre-filled from the
+// session's cache where `hit[i]`; the batcher fills the misses, reduces, and
+// returns the request through SessionManager::CompleteBlock.
+struct BlockRequest {
+  std::string tenant;
+  int64_t block_index = 0;  // per-session ordinal, 0-based
+  uint64_t session_seed = 0;
+  OnlineDetector::ReadyBlock ready;
+  BlockPlan plan;
+  std::vector<ImDiffusionDetector::WindowScore> scores;
+  std::vector<uint8_t> hit;
+  std::chrono::steady_clock::time_point ready_time{};
+  // Model version captured when the block became ready; a concurrent hot
+  // swap does not retarget blocks already in flight.
+  std::shared_ptr<const ModelEntry> model;
+};
+
+class SessionManager {
+ public:
+  struct Options {
+    OnlineDetector::Options online;
+    // Resident-session cap; the least recently used idle session above the
+    // cap is evicted (state stashed for lossless rehydration).
+    int64_t max_resident = 64;
+    // Deployment seed; per-tenant seeds derive from it.
+    uint64_t seed_base = 1;
+    // Reuse window scores across overlapping blocks (bitwise-neutral; saves
+    // roughly half the model forwards when block == stride).
+    bool cache_window_scores = true;
+  };
+
+  SessionManager(std::shared_ptr<const ModelEntry> model,
+                 const Options& options);
+
+  // Appends one raw sample for `tenant`, creating or rehydrating the session
+  // on first touch. Returns true when a block became ready and fills
+  // `request` for the batcher; the session then counts as having a block in
+  // flight until CompleteBlock. Thread-safe.
+  bool Append(const std::string& tenant, const std::vector<float>& sample,
+              BlockRequest* request);
+
+  // Batcher write-back: stores freshly computed window scores in the
+  // session's cache and releases the in-flight hold.
+  void CompleteBlock(const BlockRequest& request);
+
+  // Hot swap: blocks becoming ready after this call score against `model`;
+  // blocks already in flight keep the version they captured. Session window
+  // caches are invalidated (scores from different versions must not mix).
+  void SwapModel(std::shared_ptr<const ModelEntry> model);
+  std::shared_ptr<const ModelEntry> model() const;
+
+  int64_t resident_sessions() const;
+  int64_t stashed_sessions() const;
+  int64_t pending_blocks() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Session {
+    explicit Session(const OnlineDetector::Options& online_options)
+        : online(nullptr, online_options) {}
+    OnlineDetector online;
+    uint64_t seed = 0;
+    int64_t blocks = 0;   // blocks emitted so far
+    uint64_t tick = 0;    // LRU stamp
+    int pending = 0;      // blocks in flight at the batcher
+    std::map<int64_t, ImDiffusionDetector::WindowScore> cache;
+  };
+  struct Stash {
+    OnlineDetector::State state;
+    int64_t blocks = 0;
+  };
+
+  Session& GetOrCreateLocked(const std::string& tenant);
+  // Evicts LRU idle sessions until `incoming` more fit under the resident
+  // cap (or every candidate has a block in flight — then over-commit).
+  void MaybeEvictLocked(int64_t incoming);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelEntry> model_;
+  const Options options_;
+  uint64_t tick_ = 0;
+  int64_t pending_total_ = 0;
+  std::map<std::string, Session> sessions_;
+  std::map<std::string, Stash> stash_;
+};
+
+}  // namespace serve
+}  // namespace imdiff
+
+#endif  // IMDIFF_SERVE_SESSION_MANAGER_H_

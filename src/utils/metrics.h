@@ -48,6 +48,15 @@ class Counter {
 class Gauge {
  public:
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  // Atomic increment/decrement (CAS loop), for gauges that track a level
+  // maintained by many threads — e.g. the serving layer's queue depth, where
+  // concurrent Set(value() + d) calls would lose updates.
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 

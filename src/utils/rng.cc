@@ -13,4 +13,22 @@ Rng Rng::Fork() {
   return Rng(child);
 }
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  // splitmix64 finalizer (Steele et al.) over the golden-ratio-weighted sum.
+  uint64_t z = a + 0x9E3779B97F4A7C15ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashBytes(const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 }  // namespace imdiff

@@ -51,6 +51,17 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// Deterministically combines two 64-bit values into a decorrelated seed
+// (splitmix64 finalizer over the sum). Used to derive independent noise
+// streams from structured coordinates — e.g. (session seed, stream position)
+// in the serving layer — so that a computation seeded this way is a pure
+// function of its coordinates, independent of call order or batching.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
+// FNV-1a over a byte string; platform-independent (unlike std::hash), so
+// tenant-derived seeds are reproducible everywhere.
+uint64_t HashBytes(const void* data, size_t size);
+
 }  // namespace imdiff
 
 #endif  // IMDIFF_UTILS_RNG_H_

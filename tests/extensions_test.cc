@@ -177,7 +177,8 @@ TEST(OnlineDetectorTest, RejectsAppendBeforeFit) {
   LstmAdConfig config;
   LstmAdDetector detector(config);
   OnlineDetector online(&detector, OnlineDetector::Options{});
-  EXPECT_DEATH(online.Append({1.0f, 2.0f}), "Fit must be called");
+  EXPECT_DEATH(online.Append({1.0f, 2.0f}),
+               "Fit or SetNormalization must be called");
 }
 
 TEST(OnlineDetectorTest, RejectsWrongSampleWidth) {

@@ -1,0 +1,541 @@
+// Serving-layer tests (src/serve): seeded-scoring batch invariance, the
+// cross-session micro-batcher, session eviction/rehydration, the model
+// registry (hot swap + crash-safe warm load), ingest backpressure, and the
+// multi-producer concurrency test that the TSan CI job runs.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online_detector.h"
+#include "data/benchmarks.h"
+#include "nn/serialize.h"
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/replay.h"
+#include "utils/metrics.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+using serve::BlockRequest;
+using serve::ModelEntry;
+using serve::ModelRegistry;
+using serve::SessionManager;
+using serve::StreamServer;
+using serve::TenantStream;
+
+// Tiny configuration (see imdiffusion_test.cc) with stochastic sampling ON:
+// the seeded path's per-window noise streams are exactly what makes batch
+// composition unobservable, so the serving tests must exercise them.
+ImDiffusionConfig ServeTinyConfig(uint64_t seed) {
+  ImDiffusionConfig config;
+  config.model.window = 40;
+  config.model.hidden = 16;
+  config.model.num_blocks = 1;
+  config.model.num_heads = 2;
+  config.model.ff_dim = 32;
+  config.model.step_embed_dim = 16;
+  config.model.side_dim = 8;
+  config.schedule.num_steps = 6;
+  config.schedule.beta_end = 0.7f;
+  config.num_masked_windows = 2;
+  config.epochs = 4;
+  config.batch_size = 4;
+  config.train_stride = 10;
+  config.vote_last_steps = 4;
+  config.vote_stride = 1;
+  config.stochastic_sampling = true;
+  config.seed = seed;
+  return config;
+}
+
+// One shared fitted model for the whole suite: fitting dominates test time
+// and every serving test only needs *a* fitted model, not a fresh one.
+std::shared_ptr<const ModelEntry> SharedModel() {
+  static const std::shared_ptr<const ModelEntry> entry = [] {
+    const MtsDataset history = MakeMicroserviceLatencyDataset(
+        /*seed=*/3, /*num_services=*/3, /*train_length=*/240,
+        /*test_length=*/1);
+    auto e = std::make_shared<ModelEntry>();
+    e->name = "latency";
+    e->version = 1;
+    e->stats = FitMinMax(history.train);
+    auto detector = std::make_shared<ImDiffusionDetector>(ServeTinyConfig(11));
+    detector->Fit(ApplyMinMax(history.train, e->stats));
+    e->detector = std::move(detector);
+    return e;
+  }();
+  return entry;
+}
+
+TenantStream MakeStream(const std::string& tenant, uint64_t seed,
+                        int64_t length) {
+  TenantStream stream;
+  stream.tenant = tenant;
+  stream.samples = MakeMicroserviceLatencyDataset(seed, /*num_services=*/3,
+                                                  /*train_length=*/1,
+                                                  /*test_length=*/length)
+                       .test;
+  return stream;
+}
+
+int64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// Replays `streams` through a StreamServer built from `options` and expects
+// every tenant's assembled score stream to be bitwise identical to the
+// serial single-session replay.
+void ExpectServedMatchesSerial(const std::vector<TenantStream>& streams,
+                               const StreamServer::Options& options) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const serve::ReplayStats served =
+      serve::ReplayThroughServer(model, streams, options);
+  for (const TenantStream& stream : streams) {
+    const std::vector<float> serial = serve::ReplaySerial(
+        *model, options.session.online, options.session.seed_base, stream);
+    EXPECT_EQ(serial, served.scores.at(stream.tenant)) << stream.tenant;
+  }
+}
+
+TEST(ServeSeedTest, TenantSeedsAreStableAndDistinct) {
+  const uint64_t a = serve::TenantSeed(7, "tenant-a");
+  EXPECT_EQ(a, serve::TenantSeed(7, "tenant-a"));
+  EXPECT_NE(a, serve::TenantSeed(7, "tenant-b"));
+  EXPECT_NE(a, serve::TenantSeed(8, "tenant-a"));
+  EXPECT_NE(serve::WindowSeed(a, 0), serve::WindowSeed(a, 40));
+}
+
+// The load-bearing property of the whole subsystem: a window's score only
+// depends on (content, seed, model), not on which other windows share the
+// ScoreWindowBatch call or in what order.
+TEST(ServeBatchTest, WindowScoreIsBatchCompositionInvariant) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const ImDiffusionDetector& detector = *model->detector;
+  const TenantStream stream = MakeStream("mix", 21, 140);
+  const Tensor series = ApplyMinMax(stream.samples, model->stats);
+  const ImDiffusionDetector::WindowPlan plan = detector.PlanWindows(series);
+  const int64_t n = plan.windows.dim(0);
+  const int64_t k = plan.windows.dim(1);
+  const int64_t w = plan.windows.dim(2);
+  ASSERT_GE(n, 3);
+  std::vector<uint64_t> seeds;
+  for (int64_t i = 0; i < n; ++i) seeds.push_back(MixSeed(123, i));
+
+  const std::vector<ImDiffusionDetector::WindowScore> together =
+      detector.ScoreWindowBatch(plan.windows, seeds);
+
+  // Each window scored alone matches its in-batch score bitwise.
+  for (int64_t i = 0; i < n; ++i) {
+    Tensor one({1, k, w});
+    std::copy_n(plan.windows.data() + i * k * w, k * w, one.mutable_data());
+    const std::vector<ImDiffusionDetector::WindowScore> alone =
+        detector.ScoreWindowBatch(one, {seeds[i]});
+    ASSERT_EQ(alone.size(), 1u);
+    EXPECT_EQ(alone[0].step_errors, together[i].step_errors) << "window " << i;
+  }
+
+  // Reversing the batch order permutes the results, nothing else.
+  Tensor reversed({n, k, w});
+  std::vector<uint64_t> reversed_seeds(seeds.rbegin(), seeds.rend());
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy_n(plan.windows.data() + (n - 1 - i) * k * w, k * w,
+                reversed.mutable_data() + i * k * w);
+  }
+  const std::vector<ImDiffusionDetector::WindowScore> backwards =
+      detector.ScoreWindowBatch(reversed, reversed_seeds);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(backwards[n - 1 - i].step_errors, together[i].step_errors);
+  }
+}
+
+// ScoreBlocks (one concatenated ScoreWindowBatch across tenants) must equal
+// per-block ScoreBlock for every request in the batch.
+TEST(ServeBatchTest, ScoreBlocksMatchesSerialScoreBlock) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  SessionManager::Options options;
+  options.online.block = 50;
+  options.online.context = 50;
+  options.seed_base = 7;
+  SessionManager sessions(model, options);
+
+  const std::vector<TenantStream> streams = {MakeStream("alpha", 31, 100),
+                                             MakeStream("beta", 32, 100),
+                                             MakeStream("gamma", 33, 100)};
+  std::vector<BlockRequest> requests;
+  const int64_t k = streams.front().samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+  for (int64_t l = 0; l < 100; ++l) {
+    for (const TenantStream& stream : streams) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      BlockRequest request;
+      if (sessions.Append(stream.tenant, sample, &request)) {
+        requests.push_back(std::move(request));
+      }
+    }
+  }
+  ASSERT_EQ(requests.size(), 6u);  // 2 blocks per tenant
+  EXPECT_EQ(sessions.pending_blocks(), 6);
+
+  std::vector<DetectionResult> serial;
+  for (const BlockRequest& request : requests) {
+    serial.push_back(serve::ScoreBlock(*model->detector, request.session_seed,
+                                       request.ready));
+  }
+  const std::vector<DetectionResult> batched = serve::ScoreBlocks(&requests);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].scores, batched[i].scores) << "request " << i;
+    EXPECT_EQ(serial[i].labels, batched[i].labels) << "request " << i;
+  }
+  for (const BlockRequest& request : requests) {
+    sessions.CompleteBlock(request);
+  }
+  EXPECT_EQ(sessions.pending_blocks(), 0);
+}
+
+// Window-score reuse across overlapping blocks (block and context multiples
+// of the model window, so consecutive blocks share window start positions)
+// must be bitwise invisible.
+TEST(ServeSessionTest, CacheReuseIsBitwise) {
+  StreamServer::Options options;
+  options.session.online.block = 40;   // == model window
+  options.session.online.context = 80; // two windows of history
+  options.session.seed_base = 5;
+  options.batch.flush_window_seconds = 0.002;
+  const int64_t hits_before = CounterValue("serve.cache_hits");
+  ExpectServedMatchesSerial({MakeStream("cache-a", 41, 200),
+                             MakeStream("cache-b", 42, 200),
+                             MakeStream("cache-c", 43, 200),
+                             MakeStream("cache-d", 44, 200)},
+                            options);
+  EXPECT_GT(CounterValue("serve.cache_hits"), hits_before);
+}
+
+// LRU eviction + rehydration under a resident cap far below the tenant
+// count: evicted sessions must continue bitwise identically.
+TEST(ServeSessionTest, EvictionRehydratesBitwise) {
+  StreamServer::Options options;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.max_resident = 2;
+  options.session.seed_base = 9;
+  options.batch.flush_window_seconds = 0.002;
+  const int64_t evicted_before = CounterValue("serve.sessions_evicted");
+  const int64_t rehydrated_before = CounterValue("serve.sessions_rehydrated");
+  ExpectServedMatchesSerial({MakeStream("evict-a", 51, 150),
+                             MakeStream("evict-b", 52, 150),
+                             MakeStream("evict-c", 53, 150),
+                             MakeStream("evict-d", 54, 150)},
+                            options);
+  EXPECT_GT(CounterValue("serve.sessions_evicted"), evicted_before);
+  EXPECT_GT(CounterValue("serve.sessions_rehydrated"), rehydrated_before);
+}
+
+TEST(ServeRegistryTest, PublishAcquireAndHotSwap) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Acquire("latency"), nullptr);
+  EXPECT_EQ(registry.latest_version("latency"), 0);
+
+  EXPECT_EQ(registry.Publish("latency", model->detector, model->stats), 1);
+  std::shared_ptr<const ModelEntry> v1 = registry.Acquire("latency");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1);
+
+  // Hot swap: a new version replaces the registry pointer; the entry already
+  // acquired stays valid and keeps its version.
+  EXPECT_EQ(registry.Publish("latency", model->detector, model->stats), 2);
+  EXPECT_EQ(registry.latest_version("latency"), 2);
+  EXPECT_EQ(registry.Acquire("latency")->version, 2);
+  EXPECT_EQ(v1->version, 1);
+  EXPECT_TRUE(v1->detector->fitted());
+}
+
+TEST(ServeRegistryTest, WarmLoadsCheckpointAndRejectsMissingFile) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const std::string path = ::testing::TempDir() + "serve_registry_ckpt.bin";
+  model->detector->SaveModel(path);
+
+  const ImDiffusionConfig config = ServeTinyConfig(11);
+  ModelRegistry registry;
+  EXPECT_EQ(registry.PublishFromFile("warm", config, path,
+                                     /*num_features=*/3, model->stats),
+            1);
+  std::shared_ptr<const ModelEntry> warm = registry.Acquire("warm");
+  ASSERT_NE(warm, nullptr);
+  ASSERT_TRUE(warm->detector->fitted());
+
+  // The warm-loaded detector is the same model: identical seeded scores.
+  const TenantStream stream = MakeStream("warm", 61, 120);
+  const Tensor series = ApplyMinMax(stream.samples, model->stats);
+  EXPECT_EQ(model->detector->RunSeeded(series, 99).scores,
+            warm->detector->RunSeeded(series, 99).scores);
+
+  EXPECT_EQ(registry.PublishFromFile("warm", config, path + ".missing",
+                                     /*num_features=*/3, model->stats),
+            -1);
+  EXPECT_EQ(registry.latest_version("warm"), 1);
+}
+
+// A crash injected mid-save must leave the previously committed checkpoint
+// intact and loadable (tmp + rename in nn/serialize).
+TEST(ServeCheckpointTest, CrashMidSaveKeepsOldCheckpoint) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const std::string path = ::testing::TempDir() + "serve_crash_ckpt.bin";
+  model->detector->SaveModel(path);
+
+  // A differently-seeded fit whose save "crashes" after one tensor.
+  const MtsDataset history = MakeMicroserviceLatencyDataset(
+      /*seed=*/3, /*num_services=*/3, /*train_length=*/240, /*test_length=*/1);
+  ImDiffusionConfig other_config = ServeTinyConfig(77);
+  other_config.epochs = 1;
+  ImDiffusionDetector other(other_config);
+  other.Fit(ApplyMinMax(history.train, model->stats));
+  nn::SetSaveFailurePointForTesting(1);
+  EXPECT_THROW(other.SaveModel(path), std::runtime_error);
+  nn::SetSaveFailurePointForTesting(-1);
+
+  // The old checkpoint survives byte-for-byte usable: it loads and scores
+  // exactly like the original model.
+  ImDiffusionDetector restored(ServeTinyConfig(11));
+  ASSERT_TRUE(restored.LoadModel(path, /*num_features=*/3));
+  const TenantStream stream = MakeStream("crash", 71, 120);
+  const Tensor series = ApplyMinMax(stream.samples, model->stats);
+  EXPECT_EQ(model->detector->RunSeeded(series, 5).scores,
+            restored.RunSeeded(series, 5).scores);
+}
+
+// Evict/rehydrate primitive: an exported mid-stream state imported into a
+// fresh wrapper continues bitwise identically.
+TEST(ServeStateTest, ExportImportContinuesBitwise) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  OnlineDetector::Options options;
+  options.block = 50;
+  options.context = 50;
+  const TenantStream stream = MakeStream("state", 81, 150);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+
+  // Reference: one uninterrupted pass, recording every ready block.
+  OnlineDetector reference(nullptr, options);
+  reference.SetNormalization(model->stats);
+  std::vector<OnlineDetector::ReadyBlock> expected;
+  for (int64_t l = 0; l < 150; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    OnlineDetector::ReadyBlock ready;
+    if (reference.AppendBuffered(sample, &ready)) {
+      expected.push_back(std::move(ready));
+    }
+  }
+  ASSERT_EQ(expected.size(), 3u);
+
+  // Interrupted pass: export mid-block, import into a fresh wrapper (no
+  // SetNormalization — the state carries it), continue.
+  OnlineDetector first(nullptr, options);
+  first.SetNormalization(model->stats);
+  for (int64_t l = 0; l < 70; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    OnlineDetector::ReadyBlock ready;
+    first.AppendBuffered(sample, &ready);
+  }
+  const OnlineDetector::State state = first.ExportState();
+
+  OnlineDetector resumed(nullptr, options);
+  resumed.ImportState(state);
+  EXPECT_EQ(resumed.total_samples(), 70);
+  std::vector<OnlineDetector::ReadyBlock> continued;
+  for (int64_t l = 70; l < 150; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    OnlineDetector::ReadyBlock ready;
+    if (resumed.AppendBuffered(sample, &ready)) {
+      continued.push_back(std::move(ready));
+    }
+  }
+  ASSERT_EQ(continued.size(), 2u);
+  for (size_t b = 0; b < continued.size(); ++b) {
+    const OnlineDetector::ReadyBlock& want = expected[b + 1];
+    const OnlineDetector::ReadyBlock& got = continued[b];
+    EXPECT_EQ(got.total_at_ready, want.total_at_ready);
+    ASSERT_EQ(got.series.dim(0), want.series.dim(0));
+    EXPECT_TRUE(std::equal(got.series.data(),
+                           got.series.data() + got.series.numel(),
+                           want.series.data()));
+  }
+}
+
+TEST(ServeStateTest, ResetKeepsNormalization) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  OnlineDetector::Options options;
+  options.block = 50;
+  options.context = 50;
+  const TenantStream stream = MakeStream("reset", 82, 50);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+
+  OnlineDetector online(nullptr, options);
+  online.SetNormalization(model->stats);
+  auto push_all = [&](std::vector<OnlineDetector::ReadyBlock>* out) {
+    for (int64_t l = 0; l < 50; ++l) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      OnlineDetector::ReadyBlock ready;
+      if (online.AppendBuffered(sample, &ready)) out->push_back(std::move(ready));
+    }
+  };
+  std::vector<OnlineDetector::ReadyBlock> before;
+  push_all(&before);
+  ASSERT_EQ(before.size(), 1u);
+
+  online.Reset();
+  EXPECT_EQ(online.total_samples(), 0);
+  // Normalization survives Reset: the re-streamed block is bitwise the same.
+  std::vector<OnlineDetector::ReadyBlock> after;
+  push_all(&after);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].total_at_ready, before[0].total_at_ready);
+  EXPECT_TRUE(std::equal(after[0].series.data(),
+                         after[0].series.data() + after[0].series.numel(),
+                         before[0].series.data()));
+}
+
+// Backpressure: a full shard queue rejects the sample instead of blocking
+// the producer, and the rejection is counted.
+TEST(ServeServerTest, BackpressureRejectsWhenQueueFull) {
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.session.online.block = 100000;  // buffer only, no scoring
+  const int64_t dropped_before = CounterValue("serve.requests_dropped");
+  StreamServer server(SharedModel(), options, [](const StreamServer::ScoredBlock&) {});
+  const std::vector<float> sample = {0.1f, 0.2f, 0.3f};
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  // Tight burst against a capacity-1 queue: the producer outruns the single
+  // worker, so some submissions must shed.
+  for (int i = 0; i < 2000; ++i) {
+    if (server.Submit("burst", sample)) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(server.accepted(), accepted);
+  EXPECT_EQ(server.dropped(), rejected);
+  EXPECT_EQ(CounterValue("serve.requests_dropped") - dropped_before, rejected);
+  server.Drain();
+  server.Shutdown();
+}
+
+// Satellite concurrency test (runs under TSan in CI, see the ServeConcurrency
+// regex in .github/workflows/ci.yml): several producer threads drive disjoint
+// tenants plus tenants shared across producers, with the micro-batcher
+// flushing concurrently and the resident cap forcing eviction churn. Every
+// per-session score stream must still be bitwise identical to the serial
+// single-threaded replay.
+TEST(ServeConcurrencyTest, ConcurrentProducersMatchSerialReplay) {
+  constexpr int kProducers = 4;
+  constexpr int64_t kLength = 150;
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+
+  std::vector<TenantStream> streams;
+  for (int p = 0; p < kProducers; ++p) {
+    streams.push_back(MakeStream("own-" + std::to_string(p),
+                                 100 + static_cast<uint64_t>(p), kLength));
+  }
+  streams.push_back(MakeStream("shared-x", 110, kLength));
+  streams.push_back(MakeStream("shared-y", 111, kLength));
+
+  StreamServer::Options options;
+  options.num_workers = 2;
+  options.queue_capacity = 64;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.max_resident = 4;  // below the tenant count: eviction churn
+  options.session.seed_base = 13;
+  options.batch.flush_window_seconds = 0.002;
+
+  std::mutex score_mu;
+  std::map<std::string, std::vector<float>> served;
+  for (const TenantStream& stream : streams) {
+    served[stream.tenant] = std::vector<float>(static_cast<size_t>(kLength), 0.0f);
+  }
+  StreamServer server(model, options,
+                      [&](const StreamServer::ScoredBlock& scored) {
+                        std::lock_guard<std::mutex> lock(score_mu);
+                        std::vector<float>& out = served.at(scored.tenant);
+                        for (size_t i = 0; i < scored.alert.scores.size(); ++i) {
+                          const int64_t pos =
+                              scored.alert.start + static_cast<int64_t>(i);
+                          if (pos < kLength) {
+                            out[static_cast<size_t>(pos)] =
+                                scored.alert.scores[i];
+                          }
+                        }
+                      });
+
+  const int64_t k = streams.front().samples.dim(1);
+  auto submit = [&](const TenantStream& stream, int64_t l) {
+    std::vector<float> sample(static_cast<size_t>(k));
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    while (!server.Submit(stream.tenant, sample)) std::this_thread::yield();
+  };
+
+  // Shared tenants: any producer may submit the next sample, but the
+  // (cursor, submit) pair happens under the tenant's mutex so the per-tenant
+  // arrival order — the one ordering the session layer requires — holds.
+  struct SharedFeed {
+    const TenantStream* stream;
+    std::mutex mu;
+    int64_t next = 0;
+  };
+  SharedFeed shared[2];
+  shared[0].stream = &streams[kProducers];
+  shared[1].stream = &streams[kProducers + 1];
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int64_t l = 0; l < kLength; ++l) {
+        submit(streams[static_cast<size_t>(p)], l);
+        for (SharedFeed& feed : shared) {
+          std::lock_guard<std::mutex> lock(feed.mu);
+          if (feed.next < kLength) {
+            submit(*feed.stream, feed.next);
+            ++feed.next;
+          }
+        }
+      }
+      // Finish whatever the shared feeds still owe.
+      for (SharedFeed& feed : shared) {
+        std::lock_guard<std::mutex> lock(feed.mu);
+        while (feed.next < kLength) {
+          submit(*feed.stream, feed.next);
+          ++feed.next;
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  server.Drain();
+  server.Shutdown();
+
+  for (const TenantStream& stream : streams) {
+    const std::vector<float> serial = serve::ReplaySerial(
+        *model, options.session.online, options.session.seed_base, stream);
+    EXPECT_EQ(serial, served.at(stream.tenant)) << stream.tenant;
+  }
+}
+
+}  // namespace
+}  // namespace imdiff

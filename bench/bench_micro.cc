@@ -1,17 +1,22 @@
 // google-benchmark micro-benchmarks for the substrate: tensor kernels,
 // attention, diffusion steps, and end-to-end ImTransformer inference.
 //
-// Snapshot mode: `bench_micro --metrics-out <path>` skips the benchmark
-// suite and instead runs a small end-to-end workload (ImDiffusion train +
-// inference, online block scoring, parallel kernels) that exercises every
-// instrumented phase, then dumps the metrics registry as JSON. This is the
-// machine-readable perf snapshot the BENCH_*.json trajectory builds on.
+// Snapshot modes (both skip the benchmark suite):
+//   bench_micro --metrics-out <path>   end-to-end workload (ImDiffusion train
+//       + inference, online block scoring, parallel kernels) exercising every
+//       instrumented phase, then dumps the metrics registry as JSON.
+//   bench_micro --kernels-out <path>   kernel-layer comparison — scalar vs
+//       SIMD vs arena-off rows with seconds/op, GFLOP/s, and allocations/op —
+//       written as BENCH_kernels.json-style machine-readable JSON.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "baselines/lstm_ad.h"
 #include "core/im_transformer.h"
@@ -21,6 +26,8 @@
 #include "data/synthetic.h"
 #include "diffusion/ddpm.h"
 #include "nn/attention.h"
+#include "tensor/arena.h"
+#include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "utils/metrics.h"
 #include "utils/rng.h"
@@ -28,6 +35,97 @@
 
 namespace imdiff {
 namespace {
+
+// Transformer-shaped GEMM: (batch * seq) x d_model x d_model, the shape the
+// attention projections and feed-forward layers feed MatMul.
+constexpr int64_t kTfM = 800, kTfK = 64, kTfN = 64;
+
+// Variant encoding shared by the kernel rows: how the kernel layer and the
+// allocator are configured for one measurement.
+enum KernelVariant { kScalar = 0, kSimd = 1, kSimdArenaOff = 2 };
+
+void ApplyVariant(int variant) {
+  simd::SetForceScalar(variant == kScalar);
+  Arena::Global().set_pooling_enabled(variant != kSimdArenaOff);
+}
+
+void ResetVariant() {
+  simd::SetForceScalar(false);
+  Arena::Global().set_pooling_enabled(true);
+}
+
+const char* VariantName(int variant) {
+  switch (variant) {
+    case kScalar:
+      return "scalar";
+    case kSimd:
+      return "simd";
+    default:
+      return "simd_arena_off";
+  }
+}
+
+// ---- Kernel-layer comparison rows -------------------------------------------
+//
+// Arg(0) is the KernelVariant. Compare the scalar and simd rows for the
+// vectorization speedup and the simd vs simd_arena_off rows for the
+// allocations/op drop the arena free lists buy.
+
+void BM_KernelMatMul(benchmark::State& state) {
+  ApplyVariant(static_cast<int>(state.range(0)));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({kTfM, kTfK}, rng);
+  Tensor b = Tensor::Randn({kTfK, kTfN}, rng);
+  MatMul(a, b);  // warm the free lists before counting
+  const Arena::Stats before = Arena::Global().stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  const Arena::Stats after = Arena::Global().stats();
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * kTfM * kTfK * kTfN *
+          1e-9,
+      benchmark::Counter::kIsRate);
+  state.counters["allocs/op"] =
+      static_cast<double>(after.misses - before.misses) /
+      static_cast<double>(state.iterations());
+  ResetVariant();
+}
+BENCHMARK(BM_KernelMatMul)->Arg(kScalar)->Arg(kSimd)->Arg(kSimdArenaOff);
+
+void BM_KernelSoftmax(benchmark::State& state) {
+  ApplyVariant(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  Tensor t = Tensor::Randn({512, 100}, rng);
+  SoftmaxLastDim(t);
+  const Arena::Stats before = Arena::Global().stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(t));
+  }
+  const Arena::Stats after = Arena::Global().stats();
+  state.counters["allocs/op"] =
+      static_cast<double>(after.misses - before.misses) /
+      static_cast<double>(state.iterations());
+  ResetVariant();
+}
+BENCHMARK(BM_KernelSoftmax)->Arg(kScalar)->Arg(kSimd)->Arg(kSimdArenaOff);
+
+void BM_KernelGelu(benchmark::State& state) {
+  ApplyVariant(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  Tensor t = Tensor::Randn({80000}, rng);
+  GeluForward(t);
+  const Arena::Stats before = Arena::Global().stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeluForward(t));
+  }
+  const Arena::Stats after = Arena::Global().stats();
+  state.counters["allocs/op"] =
+      static_cast<double>(after.misses - before.misses) /
+      static_cast<double>(state.iterations());
+  ResetVariant();
+}
+BENCHMARK(BM_KernelGelu)->Arg(kScalar)->Arg(kSimd)->Arg(kSimdArenaOff);
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -228,6 +326,202 @@ BENCHMARK(BM_ImDiffusionInference)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- Kernel comparison snapshot (--kernels-out) -----------------------------
+
+struct KernelRow {
+  std::string kernel;
+  std::string variant;
+  double seconds_per_op = 0.0;
+  double gflops = 0.0;  // 0 when flops aren't meaningful for the row
+  double allocs_per_op = 0.0;
+};
+
+// Runs fn repeatedly until ~100ms elapse (3 repetitions, best wall time per
+// op) and samples arena misses across the timed runs.
+template <typename Fn>
+KernelRow MeasureKernel(const std::string& kernel, int variant, double flops,
+                        Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  ApplyVariant(variant);
+  fn();  // warmup: populate free lists, fault pages
+  double best = 1e300;
+  int64_t total_iters = 0;
+  const Arena::Stats before = Arena::Global().stats();
+  for (int rep = 0; rep < 3; ++rep) {
+    int64_t iters = 1;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (int64_t i = 0; i < iters; ++i) fn();
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (elapsed >= 0.1 || iters >= (int64_t{1} << 30)) {
+        best = std::min(best, elapsed / static_cast<double>(iters));
+        total_iters += iters;
+        break;
+      }
+      iters *= 4;
+    }
+  }
+  const Arena::Stats after = Arena::Global().stats();
+  ResetVariant();
+  KernelRow row;
+  row.kernel = kernel;
+  row.variant = VariantName(variant);
+  row.seconds_per_op = best;
+  row.gflops = flops > 0.0 ? flops / best * 1e-9 : 0.0;
+  row.allocs_per_op = static_cast<double>(after.misses - before.misses) /
+                      static_cast<double>(total_iters);
+  return row;
+}
+
+void AppendRowJson(std::string& out, const KernelRow& row, bool last) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"kernel\": \"%s\", \"variant\": \"%s\", "
+                "\"seconds_per_op\": %.6e, \"gflops\": %.3f, "
+                "\"allocs_per_op\": %.3f}%s\n",
+                row.kernel.c_str(), row.variant.c_str(), row.seconds_per_op,
+                row.gflops, row.allocs_per_op, last ? "" : ",");
+  out += buf;
+}
+
+// Measures the kernel layer (scalar vs SIMD vs arena-off) plus one
+// reverse-diffusion inference row per arena mode, and writes machine-readable
+// JSON. The matmul row uses the transformer projection shape; its
+// scalar->simd speedup is the headline number (expected >= 2x on AVX2).
+int RunKernelBench(const std::string& path) {
+  std::vector<KernelRow> rows;
+
+  {
+    Rng rng(1);
+    Tensor a = Tensor::Randn({kTfM, kTfK}, rng);
+    Tensor b = Tensor::Randn({kTfK, kTfN}, rng);
+    const double flops = 2.0 * kTfM * kTfK * kTfN;
+    char name[64];
+    std::snprintf(name, sizeof(name), "matmul_%ldx%ldx%ld",
+                  static_cast<long>(kTfM), static_cast<long>(kTfK),
+                  static_cast<long>(kTfN));
+    for (int v : {kScalar, kSimd, kSimdArenaOff}) {
+      rows.push_back(MeasureKernel(name, v, flops,
+                                   [&] { benchmark::DoNotOptimize(MatMul(a, b)); }));
+    }
+  }
+  {
+    Rng rng(3);
+    Tensor t = Tensor::Randn({512, 100}, rng);
+    for (int v : {kScalar, kSimd}) {
+      rows.push_back(MeasureKernel("softmax_512x100", v, 0.0, [&] {
+        benchmark::DoNotOptimize(SoftmaxLastDim(t));
+      }));
+    }
+  }
+  {
+    Rng rng(5);
+    Tensor t = Tensor::Randn({80000}, rng);
+    for (int v : {kScalar, kSimd}) {
+      rows.push_back(MeasureKernel("gelu_80000", v, 0.0, [&] {
+        benchmark::DoNotOptimize(GeluForward(t));
+      }));
+    }
+  }
+  {
+    Rng rng(6);
+    Tensor x = Tensor::Randn({4, 128}, rng);
+    Tensor gamma = Tensor::Randn({128}, rng);
+    Tensor beta = Tensor::Randn({128}, rng);
+    for (int v : {kScalar, kSimd}) {
+      rows.push_back(MeasureKernel("layernorm_4x128", v, 0.0, [&] {
+        Tensor y, h, is;
+        LayerNormForward(x, gamma, beta, 1e-5f, &y, &h, &is);
+        benchmark::DoNotOptimize(y);
+      }));
+    }
+  }
+
+  // Reverse-diffusion inference: the allocations/op row the arena targets.
+  // One op = scoring the full test split (every window x every denoising
+  // step); compare allocs/op between the arena-off and arena-on variants.
+  {
+    ImDiffusionConfig config = FastImDiffusionConfig();
+    config.epochs = 2;
+    config.seed = 17;
+    SyntheticConfig signal;
+    signal.length = 900;
+    signal.dims = 4;
+    Rng rng(9);
+    Tensor series = GenerateCleanSeries(signal, rng);
+    Tensor train = Tensor::Uninitialized({600, 4});
+    Tensor test = Tensor::Uninitialized({300, 4});
+    std::copy_n(series.data(), 600 * 4, train.mutable_data());
+    std::copy_n(series.data() + 600 * 4, 300 * 4, test.mutable_data());
+    ImDiffusionDetector detector(config);
+    detector.Fit(train);
+    for (int v : {kSimdArenaOff, kSimd}) {
+      ApplyVariant(v);
+      detector.Run(test);  // warmup under this arena mode
+      const Arena::Stats before = Arena::Global().stats();
+      const auto t0 = std::chrono::steady_clock::now();
+      detector.Run(test);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const Arena::Stats after = Arena::Global().stats();
+      ResetVariant();
+      KernelRow row;
+      row.kernel = "reverse_diffusion_run_300x4";
+      row.variant = VariantName(v);
+      row.seconds_per_op = elapsed;
+      row.allocs_per_op = static_cast<double>(after.misses - before.misses);
+      rows.push_back(row);
+    }
+  }
+
+  double scalar_s = 0.0, simd_s = 0.0;
+  double rd_allocs_off = 0.0, rd_allocs_on = 0.0;
+  for (const KernelRow& r : rows) {
+    if (r.kernel.rfind("matmul_", 0) == 0 && r.variant == "scalar")
+      scalar_s = r.seconds_per_op;
+    if (r.kernel.rfind("matmul_", 0) == 0 && r.variant == "simd")
+      simd_s = r.seconds_per_op;
+    if (r.kernel.rfind("reverse_diffusion", 0) == 0) {
+      if (r.variant == "simd_arena_off") rd_allocs_off = r.allocs_per_op;
+      if (r.variant == "simd") rd_allocs_on = r.allocs_per_op;
+    }
+  }
+
+  std::string out = "{\n";
+  out += "  \"isa\": \"";
+  out += simd::IsaName();
+  out += "\",\n";
+  out += "  \"vector_width\": ";
+  out += std::to_string(simd::kVectorWidth);
+  out += ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AppendRowJson(out, rows[i], i + 1 == rows.size());
+  }
+  out += "  ],\n  \"summary\": {\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    \"matmul_simd_speedup\": %.2f,\n"
+                "    \"reverse_diffusion_allocs_arena_off\": %.0f,\n"
+                "    \"reverse_diffusion_allocs_arena_on\": %.0f\n",
+                simd_s > 0.0 ? scalar_s / simd_s : 0.0, rd_allocs_off,
+                rd_allocs_on);
+  out += buf;
+  out += "  }\n}\n";
+
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "failed to write kernel snapshot to %s\n",
+                 path.c_str());
+    return 1;
+  }
+  f << out;
+  std::printf("%s", out.c_str());
+  std::printf("kernel snapshot written to %s\n", path.c_str());
+  return 0;
+}
+
 // Exercises every instrumented phase once — training epochs, the reverse-
 // diffusion steps and window scoring of ImDiffusion inference, online block
 // scoring, and the thread-pool task path — then writes the registry snapshot.
@@ -279,19 +573,23 @@ int RunMetricsSnapshot(const std::string& path) {
 }  // namespace
 }  // namespace imdiff
 
-// Custom main instead of BENCHMARK_MAIN: --metrics-out must be stripped
-// before benchmark::Initialize, which rejects unknown flags.
+// Custom main instead of BENCHMARK_MAIN: --metrics-out / --kernels-out must be
+// stripped before benchmark::Initialize, which rejects unknown flags.
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string kernels_out;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--kernels-out") == 0 && i + 1 < argc) {
+      kernels_out = argv[++i];
     } else {
       argv[out_argc++] = argv[i];
     }
   }
   argc = out_argc;
+  if (!kernels_out.empty()) return imdiff::RunKernelBench(kernels_out);
   if (!metrics_out.empty()) return imdiff::RunMetricsSnapshot(metrics_out);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -23,7 +23,7 @@ Tensor WindowsToBkl(const Tensor& windows) {
 
 // Tiles a [K, L] mask to [B, K, L].
 Tensor TileMask(const Tensor& mask, int64_t batch) {
-  Tensor out({batch, mask.dim(0), mask.dim(1)});
+  Tensor out = Tensor::Uninitialized({batch, mask.dim(0), mask.dim(1)});
   const int64_t n = mask.numel();
   float* po = out.mutable_data();
   for (int64_t b = 0; b < batch; ++b) {
@@ -33,7 +33,7 @@ Tensor TileMask(const Tensor& mask, int64_t batch) {
 }
 
 Tensor Complement(const Tensor& mask) {
-  Tensor out(mask.shape());
+  Tensor out = Tensor::Uninitialized(mask.shape());
   const float* pm = mask.data();
   float* po = out.mutable_data();
   const int64_t n = mask.numel();
@@ -154,7 +154,7 @@ void ImDiffusionDetector::Fit(const Tensor& train) {
       IMDIFF_TRACE_SCOPE("train.step_seconds");
       const int64_t bsz =
           std::min<int64_t>(config_.batch_size, num_windows - start);
-      Tensor x0({bsz, k, window});
+      Tensor x0 = Tensor::Uninitialized({bsz, k, window});
       for (int64_t b = 0; b < bsz; ++b) {
         std::copy_n(windows.data() + order[static_cast<size_t>(start + b)] *
                                          per_window,
@@ -563,7 +563,7 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
     const int64_t bsz =
         std::min<int64_t>(config_.infer_batch, num_windows - chunk);
     windows_scored->Increment(bsz);
-    Tensor x0({bsz, k, window});
+    Tensor x0 = Tensor::Uninitialized({bsz, k, window});
     std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
                 x0.mutable_data());
 
@@ -685,7 +685,7 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
     const int64_t bsz =
         std::min<int64_t>(config_.infer_batch, num_windows - chunk);
     windows_scored->Increment(bsz);
-    Tensor x0({bsz, k, window});
+    Tensor x0 = Tensor::Uninitialized({bsz, k, window});
     std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
                 x0.mutable_data());
 

@@ -17,7 +17,7 @@ Tensor GaussianDiffusion::QSampleWithNoise(const Tensor& x0, int t,
   IMDIFF_CHECK(x0.shape() == eps.shape());
   const float a = schedule_.sqrt_alpha_bar(t);
   const float b = schedule_.sqrt_one_minus_alpha_bar(t);
-  Tensor out(x0.shape());
+  Tensor out = Tensor::Uninitialized(x0.shape());
   const float* px = x0.data();
   const float* pe = eps.data();
   float* po = out.mutable_data();
@@ -31,7 +31,7 @@ Tensor GaussianDiffusion::PosteriorMean(const Tensor& x_t,
   IMDIFF_CHECK(x_t.shape() == eps_pred.shape());
   const float inv_sqrt_alpha = 1.0f / std::sqrt(schedule_.alpha(t));
   const float coef = schedule_.beta(t) / schedule_.sqrt_one_minus_alpha_bar(t);
-  Tensor out(x_t.shape());
+  Tensor out = Tensor::Uninitialized(x_t.shape());
   const float* px = x_t.data();
   const float* pe = eps_pred.data();
   float* po = out.mutable_data();
@@ -59,7 +59,7 @@ Tensor GaussianDiffusion::PredictX0(const Tensor& x_t, const Tensor& eps_pred,
                                     int t) const {
   const float a = schedule_.sqrt_alpha_bar(t);
   const float b = schedule_.sqrt_one_minus_alpha_bar(t);
-  Tensor out(x_t.shape());
+  Tensor out = Tensor::Uninitialized(x_t.shape());
   const float* px = x_t.data();
   const float* pe = eps_pred.data();
   float* po = out.mutable_data();

@@ -4,12 +4,13 @@
 #include <unordered_set>
 #include <utility>
 
+#include "tensor/arena.h"
+#include "tensor/simd.h"
+
 namespace imdiff {
 namespace nn {
 
 namespace {
-
-constexpr float kGeluCoef = 0.7978845608028654f;  // sqrt(2/pi)
 
 // Creates an interior node. requires_grad is inherited from parents.
 Var MakeOp(Tensor value, std::vector<VarNodePtr> parents,
@@ -38,10 +39,7 @@ void VarNode::AccumulateGrad(const Tensor& g) {
     has_grad = true;
     return;
   }
-  float* pg = grad.mutable_data();
-  const float* ps = g.data();
-  const int64_t n = grad.numel();
-  for (int64_t i = 0; i < n; ++i) pg[i] += ps[i];
+  simd::AddInPlace(grad.mutable_data(), g.data(), grad.numel());
 }
 
 Var::Var(Tensor value, bool requires_grad) {
@@ -231,7 +229,7 @@ Var Conv1dV(const Var& x, const Var& w, const Var& bias, int pad) {
 Var DropoutV(const Var& x, float p, Rng& rng) {
   if (p <= 0.0f) return x;
   IMDIFF_CHECK_LT(p, 1.0f);
-  Tensor mask(x.shape());
+  Tensor mask = Tensor::Uninitialized(x.shape());
   const float keep_scale = 1.0f / (1.0f - p);
   float* pm = mask.mutable_data();
   const int64_t n = mask.numel();
@@ -292,20 +290,20 @@ Var SliceV(const Var& a, size_t axis, int64_t start, int64_t len) {
 Var GatherRowsV(const Var& table, const std::vector<int64_t>& indices) {
   IMDIFF_CHECK_EQ(table.ndim(), 2u);
   const int64_t d = table.dim(1);
-  Tensor out({static_cast<int64_t>(indices.size()), d});
+  Tensor out = Tensor::Uninitialized({static_cast<int64_t>(indices.size()), d});
   for (size_t i = 0; i < indices.size(); ++i) {
     IMDIFF_CHECK(indices[i] >= 0 && indices[i] < table.dim(0));
     std::copy_n(table.value().data() + indices[i] * d, d,
                 out.mutable_data() + static_cast<int64_t>(i) * d);
   }
   return MakeOp(std::move(out), {table.node()}, [indices, d](VarNode& n) {
+    // Scatter-add into the zero fill (rows may repeat).
     Tensor dt(n.parents[0]->value.shape());
     float* pd = dt.mutable_data();
     const float* pg = n.grad.data();
     for (size_t i = 0; i < indices.size(); ++i) {
-      float* dst = pd + indices[i] * d;
-      const float* src = pg + static_cast<int64_t>(i) * d;
-      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+      simd::AddInPlace(pd + indices[i] * d, pg + static_cast<int64_t>(i) * d,
+                       d);
     }
     n.parents[0]->AccumulateGrad(dt);
   });
@@ -324,7 +322,7 @@ Var UnaryOp(const Var& a, const std::function<float(float)>& f,
   return MakeOp(std::move(value), {a.node()},
                 [saved_y, dfdx = std::move(dfdx)](VarNode& n) {
                   const Tensor& x = n.parents[0]->value;
-                  Tensor dx(x.shape());
+                  Tensor dx = Tensor::Uninitialized(x.shape());
                   const float* px = x.data();
                   const float* py = saved_y.data();
                   const float* pg = n.grad.data();
@@ -346,28 +344,16 @@ Var ReluV(const Var& a) {
 }
 
 Var GeluV(const Var& a) {
-  return UnaryOp(
-      a,
-      [](float x) {
-        const float inner = kGeluCoef * (x + 0.044715f * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(inner));
-      },
-      [](float x, float) {
-        const float inner = kGeluCoef * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(inner);
-        const float dinner = kGeluCoef * (1.0f + 3.0f * 0.044715f * x * x);
-        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
-      });
+  // Fused vectorized forward/backward (tensor/tensor_ops.h).
+  return MakeOp(GeluForward(a.value()), {a.node()}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(GeluBackward(n.parents[0]->value, n.grad));
+  });
 }
 
 Var SiluV(const Var& a) {
-  return UnaryOp(
-      a,
-      [](float x) { return x / (1.0f + std::exp(-x)); },
-      [](float x, float) {
-        const float s = 1.0f / (1.0f + std::exp(-x));
-        return s * (1.0f + x * (1.0f - s));
-      });
+  return MakeOp(SiluForward(a.value()), {a.node()}, [](VarNode& n) {
+    n.parents[0]->AccumulateGrad(SiluBackward(n.parents[0]->value, n.grad));
+  });
 }
 
 Var TanhV(const Var& a) {
@@ -404,7 +390,7 @@ Var SoftmaxV(const Var& a) {
   return MakeOp(std::move(y), {a.node()}, [saved_y](VarNode& n) {
     const int64_t last = saved_y.dim(saved_y.ndim() - 1);
     const int64_t rows = saved_y.numel() / last;
-    Tensor dx(saved_y.shape());
+    Tensor dx = Tensor::Uninitialized(saved_y.shape());
     const float* py = saved_y.data();
     const float* pg = n.grad.data();
     float* pd = dx.mutable_data();
@@ -412,11 +398,10 @@ Var SoftmaxV(const Var& a) {
       const float* yrow = py + r * last;
       const float* grow = pg + r * last;
       float* drow = pd + r * last;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < last; ++j) dot += grow[j] * yrow[j];
-      for (int64_t j = 0; j < last; ++j) {
-        drow[j] = yrow[j] * (grow[j] - dot);
-      }
+      const float dot = simd::Dot(grow, yrow, last);
+      // drow = y * (g - dot)
+      simd::AddScalarInto(drow, grow, -dot, last);
+      simd::MulInto(drow, drow, yrow, last);
     }
     n.parents[0]->AccumulateGrad(dx);
   });
@@ -427,37 +412,9 @@ Var LayerNormV(const Var& x, const Var& gamma, const Var& beta, float eps) {
   IMDIFF_CHECK_EQ(gamma.value().numel(), last);
   IMDIFF_CHECK_EQ(beta.value().numel(), last);
   const int64_t rows = x.value().numel() / last;
-  Tensor y(x.shape());
-  Tensor xhat(x.shape());
-  Tensor inv_std({rows});
-  {
-    const float* px = x.value().data();
-    const float* pgam = gamma.value().data();
-    const float* pbet = beta.value().data();
-    float* py = y.mutable_data();
-    float* ph = xhat.mutable_data();
-    float* pis = inv_std.mutable_data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* row = px + r * last;
-      double mean = 0.0;
-      for (int64_t j = 0; j < last; ++j) mean += row[j];
-      mean /= last;
-      double var = 0.0;
-      for (int64_t j = 0; j < last; ++j) {
-        const double d = row[j] - mean;
-        var += d * d;
-      }
-      var /= last;
-      const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-      pis[r] = is;
-      float* hrow = ph + r * last;
-      float* yrow = py + r * last;
-      for (int64_t j = 0; j < last; ++j) {
-        hrow[j] = (row[j] - static_cast<float>(mean)) * is;
-        yrow[j] = hrow[j] * pgam[j] + pbet[j];
-      }
-    }
-  }
+  Tensor y, xhat, inv_std;
+  LayerNormForward(x.value(), gamma.value(), beta.value(), eps, &y, &xhat,
+                   &inv_std);
   return MakeOp(
       std::move(y), {x.node(), gamma.node(), beta.node()},
       [xhat, inv_std, last, rows](VarNode& n) {
@@ -468,6 +425,7 @@ Var LayerNormV(const Var& x, const Var& gamma, const Var& beta, float eps) {
         const float* ph = xhat.data();
         const float* pgam = pg_node->value.data();
         if (pg_node->requires_grad || pb_node->requires_grad) {
+          // Accumulates into the zero fill across rows.
           Tensor dgamma({last});
           Tensor dbeta({last});
           float* pdg = dgamma.mutable_data();
@@ -475,10 +433,8 @@ Var LayerNormV(const Var& x, const Var& gamma, const Var& beta, float eps) {
           for (int64_t r = 0; r < rows; ++r) {
             const float* grow = pg + r * last;
             const float* hrow = ph + r * last;
-            for (int64_t j = 0; j < last; ++j) {
-              pdg[j] += grow[j] * hrow[j];
-              pdb[j] += grow[j];
-            }
+            simd::FmaInto(pdg, grow, hrow, pdg, last);
+            simd::AddInPlace(pdb, grow, last);
           }
           if (pg_node->requires_grad)
             pg_node->AccumulateGrad(dgamma.Reshape(pg_node->value.shape()));
@@ -486,27 +442,23 @@ Var LayerNormV(const Var& x, const Var& gamma, const Var& beta, float eps) {
             pb_node->AccumulateGrad(dbeta.Reshape(pb_node->value.shape()));
         }
         if (px_node->requires_grad) {
-          Tensor dx(px_node->value.shape());
+          Tensor dx = Tensor::Uninitialized(px_node->value.shape());
           float* pd = dx.mutable_data();
           const float* pis = inv_std.data();
+          const float inv_n = 1.0f / static_cast<float>(last);
+          ArenaBuffer gi(static_cast<size_t>(last));  // grad * gamma, per row
           for (int64_t r = 0; r < rows; ++r) {
             const float* grow = pg + r * last;
             const float* hrow = ph + r * last;
             float* drow = pd + r * last;
-            // gi = grad * gamma
-            double sum_g = 0.0, sum_gh = 0.0;
-            for (int64_t j = 0; j < last; ++j) {
-              const double gi = static_cast<double>(grow[j]) * pgam[j];
-              sum_g += gi;
-              sum_gh += gi * hrow[j];
-            }
+            simd::MulInto(gi.data(), grow, pgam, last);
+            const float sum_g = simd::Sum(gi.data(), last);
+            const float sum_gh = simd::Dot(gi.data(), hrow, last);
             const float is = pis[r];
-            const float inv_n = 1.0f / static_cast<float>(last);
-            for (int64_t j = 0; j < last; ++j) {
-              const float gi = grow[j] * pgam[j];
-              drow[j] = is * (gi - inv_n * static_cast<float>(sum_g) -
-                              hrow[j] * inv_n * static_cast<float>(sum_gh));
-            }
+            // drow = is * (gi - inv_n*sum_g - hrow * inv_n*sum_gh)
+            simd::AddScalarInto(drow, gi.data(), -inv_n * sum_g, last);
+            simd::Axpy(-inv_n * sum_gh, hrow, drow, last);
+            simd::ScaleInPlace(drow, is, last);
           }
           px_node->AccumulateGrad(dx);
         }

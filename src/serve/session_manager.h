@@ -16,6 +16,12 @@
 // bitwise identically without refitting normalization. Sessions with blocks
 // in flight (pending > 0) are never evicted — the batcher writes scores back
 // through CompleteBlock.
+//
+// Memory: stashes and caches here hold plain std::vector copies plus
+// refcounted Tensor storages. Tensor buffers come from the process-lifetime
+// Arena (tensor/arena.h), which recycles a buffer only after its last
+// reference drops and has no reset/epoch operation — so holding Tensors
+// across evictions, rehydrations, and model swaps is safe by construction.
 
 #ifndef IMDIFF_SERVE_SESSION_MANAGER_H_
 #define IMDIFF_SERVE_SESSION_MANAGER_H_

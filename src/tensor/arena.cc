@@ -1,0 +1,124 @@
+#include "tensor/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "utils/metrics.h"
+
+namespace imdiff {
+namespace {
+
+constexpr size_t kAlignment = 64;
+
+float* SystemAlloc(size_t floats) {
+  return static_cast<float*>(::operator new(
+      floats * sizeof(float), std::align_val_t{kAlignment}));
+}
+
+void SystemFree(float* p) noexcept {
+  ::operator delete(p, std::align_val_t{kAlignment});
+}
+
+bool PoolingEnabledFromEnv() {
+  const char* e = std::getenv("IMDIFF_ARENA");
+  return !(e != nullptr && e[0] == '0' && e[1] == '\0');
+}
+
+}  // namespace
+
+Arena::Arena()
+    : hits_(MetricsRegistry::Global().GetCounter("arena.hits")),
+      misses_(MetricsRegistry::Global().GetCounter("arena.misses")),
+      live_bytes_(MetricsRegistry::Global().GetGauge("arena.live_bytes")),
+      pooled_bytes_(MetricsRegistry::Global().GetGauge("arena.pooled_bytes")) {
+  pooling_.store(PoolingEnabledFromEnv(), std::memory_order_relaxed);
+}
+
+Arena& Arena::Global() {
+  // Leaked singleton: Tensors (and thus Release calls) may outlive static
+  // destruction order, so the arena must never be destroyed.
+  static Arena* const arena = new Arena();
+  return *arena;
+}
+
+int Arena::BucketIndex(size_t n) {
+  if (n > BucketFloats(kNumBuckets - 1)) return -1;
+  int b = 0;
+  while (BucketFloats(b) < n) ++b;
+  return b;
+}
+
+float* Arena::Acquire(size_t n) {
+  if (n == 0) return nullptr;
+  const int b = BucketIndex(n);
+  if (b < 0) {
+    // Oversize: straight to the system allocator, exact size.
+    misses_->Increment();
+    live_bytes_->Add(static_cast<double>(n * sizeof(float)));
+    return SystemAlloc(n);
+  }
+  const size_t cap = BucketFloats(b);
+  if (pooling_.load(std::memory_order_relaxed)) {
+    Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    if (!bucket.free_list.empty()) {
+      float* p = bucket.free_list.back();
+      bucket.free_list.pop_back();
+      hits_->Increment();
+      const double bytes = static_cast<double>(cap * sizeof(float));
+      pooled_bytes_->Add(-bytes);
+      live_bytes_->Add(bytes);
+      return p;
+    }
+  }
+  misses_->Increment();
+  live_bytes_->Add(static_cast<double>(cap * sizeof(float)));
+  return SystemAlloc(cap);
+}
+
+void Arena::Release(float* p, size_t n) noexcept {
+  if (p == nullptr || n == 0) return;
+  const int b = BucketIndex(n);
+  if (b < 0) {
+    live_bytes_->Add(-static_cast<double>(n * sizeof(float)));
+    SystemFree(p);
+    return;
+  }
+  const double bytes = static_cast<double>(BucketFloats(b) * sizeof(float));
+  live_bytes_->Add(-bytes);
+  if (pooling_.load(std::memory_order_relaxed) &&
+      pooled_bytes_->value() + bytes <= static_cast<double>(kMaxPooledBytes)) {
+    Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    bucket.free_list.push_back(p);
+    pooled_bytes_->Add(bytes);
+    return;
+  }
+  SystemFree(p);
+}
+
+Arena::Stats Arena::stats() const {
+  Stats s;
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.live_bytes = static_cast<int64_t>(live_bytes_->value());
+  s.pooled_bytes = static_cast<int64_t>(pooled_bytes_->value());
+  return s;
+}
+
+void Arena::Trim() {
+  for (int b = 0; b < kNumBuckets; ++b) {
+    Bucket& bucket = buckets_[b];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    const double bytes =
+        static_cast<double>(BucketFloats(b) * sizeof(float));
+    for (float* p : bucket.free_list) {
+      SystemFree(p);
+      pooled_bytes_->Add(-bytes);
+    }
+    bucket.free_list.clear();
+  }
+}
+
+}  // namespace imdiff

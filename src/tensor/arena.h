@@ -1,0 +1,132 @@
+// Thread-safe size-bucketed arena for tensor storage.
+//
+// Every Tensor's backing buffer is acquired from the process-wide arena and
+// released back to a per-size-class free list when the last reference drops.
+// The reverse-diffusion hot path allocates and frees the same handful of
+// intermediate shapes hundreds of times per window, so after the first
+// denoising step nearly every acquisition is a free-list hit — no malloc, no
+// page zeroing.
+//
+// Lifetime rules (DESIGN.md §12):
+//  - The arena is process-lifetime and append-only in structure: buffers are
+//    recycled only after their owning Tensor storage is destroyed, so holding
+//    a Tensor anywhere (model registry, serving session stash, window-score
+//    cache) is always safe. There is no epoch/reset operation that could
+//    invalidate live buffers.
+//  - Trim() releases pooled (free-list) memory back to the system; it never
+//    touches live buffers.
+//  - Buffers are 64-byte aligned and sized up to the bucket boundary, so a
+//    recycled buffer is always large enough for any request mapping to its
+//    bucket. Contents are NOT zeroed on reuse; Tensor's zeroing constructor
+//    clears explicitly and Tensor::Uninitialized skips the clear.
+//
+// Observability: arena.hits / arena.misses counters and arena.live_bytes /
+// arena.pooled_bytes gauges in the global metrics registry (handles cached at
+// construction — the hot path never takes the registry lock).
+//
+// IMDIFF_ARENA=0 in the environment (or set_pooling_enabled(false)) disables
+// recycling: every acquisition is a fresh system allocation and every release
+// frees, which is the baseline the allocations/op bench rows compare against.
+
+#ifndef IMDIFF_TENSOR_ARENA_H_
+#define IMDIFF_TENSOR_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace imdiff {
+
+class Counter;
+class Gauge;
+
+class Arena {
+ public:
+  // Size classes are powers of two from 2^kMinShift to 2^kMaxShift floats
+  // (256 B to 64 MiB); larger requests bypass the free lists entirely.
+  static constexpr int kMinShift = 6;
+  static constexpr int kMaxShift = 24;
+  static constexpr int kNumBuckets = kMaxShift - kMinShift + 1;
+  // Pooled (idle free-list) memory above this bound is returned to the
+  // system instead of being cached.
+  static constexpr int64_t kMaxPooledBytes = int64_t{512} * 1024 * 1024;
+
+  static Arena& Global();
+
+  // 64-byte-aligned buffer with capacity for at least `n` floats; contents
+  // are unspecified. Returns nullptr when n == 0.
+  float* Acquire(size_t n);
+
+  // Returns a buffer obtained from Acquire(n). Safe from any thread.
+  void Release(float* p, size_t n) noexcept;
+
+  struct Stats {
+    int64_t hits = 0;          // acquisitions served from a free list
+    int64_t misses = 0;        // acquisitions that hit the system allocator
+    int64_t live_bytes = 0;    // bytes currently owned by live buffers
+    int64_t pooled_bytes = 0;  // bytes parked in free lists
+  };
+  Stats stats() const;
+
+  // Frees all pooled buffers (live buffers are untouched).
+  void Trim();
+
+  // Disables/enables free-list recycling (see header comment).
+  void set_pooling_enabled(bool enabled) {
+    pooling_.store(enabled, std::memory_order_relaxed);
+  }
+  bool pooling_enabled() const {
+    return pooling_.load(std::memory_order_relaxed);
+  }
+
+  // Bucket index for a request of n floats, or -1 for oversize requests.
+  static int BucketIndex(size_t n);
+  // Capacity in floats of bucket `b`.
+  static size_t BucketFloats(int b) { return size_t{1} << (kMinShift + b); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+ private:
+  Arena();
+  ~Arena() = default;  // process-lifetime; pooled buffers die with the process
+
+  struct Bucket {
+    std::mutex mu;
+    std::vector<float*> free_list;
+  };
+
+  Bucket buckets_[kNumBuckets];
+  std::atomic<bool> pooling_{true};
+
+  // Metrics handles (registry-owned, process lifetime).
+  Counter* hits_;
+  Counter* misses_;
+  Gauge* live_bytes_;
+  Gauge* pooled_bytes_;
+};
+
+// RAII scratch buffer for kernel-internal temporaries (e.g. packed GEMM
+// panels) that want arena recycling without a Tensor wrapper.
+class ArenaBuffer {
+ public:
+  explicit ArenaBuffer(size_t n) : n_(n), p_(Arena::Global().Acquire(n)) {}
+  ~ArenaBuffer() { Arena::Global().Release(p_, n_); }
+
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  float* data() { return p_; }
+  const float* data() const { return p_; }
+  size_t size() const { return n_; }
+
+ private:
+  size_t n_;
+  float* p_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_TENSOR_ARENA_H_

@@ -9,7 +9,7 @@
 namespace imdiff {
 namespace {
 
-// Training/inference loops allocate and free many multi-hundred-KB tensors.
+// Oversize tensors (above the arena's largest bucket) still reach malloc.
 // With glibc's default 128 KiB mmap threshold each of those becomes an
 // mmap/munmap pair (kernel page zeroing dominates). Raising the threshold
 // keeps the chunks on the heap for reuse.
@@ -49,23 +49,31 @@ std::string ShapeToString(const Shape& shape) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
-  Tensor t(shape);
-  std::fill(t.data_->begin(), t.data_->end(), value);
+  Tensor t = Uninitialized(shape);
+  float* p = t.mutable_data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = value;
   return t;
 }
 
 Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev) {
-  Tensor t(shape);
-  rng.FillNormal(*t.data_);
+  Tensor t = Uninitialized(shape);
+  float* p = t.mutable_data();
+  const int64_t n = t.numel();
+  rng.FillNormal(p, static_cast<size_t>(n));
   if (stddev != 1.0f) {
-    for (float& v : *t.data_) v *= stddev;
+    for (int64_t i = 0; i < n; ++i) p[i] *= stddev;
   }
   return t;
 }
 
 Tensor Tensor::Rand(const Shape& shape, Rng& rng, float lo, float hi) {
-  Tensor t(shape);
-  for (float& v : *t.data_) v = static_cast<float>(rng.Uniform(lo, hi));
+  Tensor t = Uninitialized(shape);
+  float* p = t.mutable_data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
   return t;
 }
 

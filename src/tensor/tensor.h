@@ -4,15 +4,24 @@
 // autograd bookkeeping are cheap. Tensors are logically written once after
 // construction; in-place mutation via mutable_data() is reserved for the code
 // that created the tensor.
+//
+// Backing buffers come from the process-wide size-bucketed Arena
+// (tensor/arena.h): when the last reference to a storage drops, its buffer
+// returns to a free list and the next same-bucket tensor reuses it without
+// touching the system allocator. Tensor(shape) zero-fills as before;
+// Tensor::Uninitialized(shape) skips the fill for outputs every element of
+// which is about to be written (the kernel layer's default).
 
 #ifndef IMDIFF_TENSOR_TENSOR_H_
 #define IMDIFF_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "utils/check.h"
 #include "utils/rng.h"
 
@@ -26,20 +35,49 @@ int64_t NumElements(const Shape& shape);
 // Human-readable "[a, b, c]" rendering.
 std::string ShapeToString(const Shape& shape);
 
+namespace detail {
+
+// Arena-backed float buffer; exactly one TensorStorage owns each acquisition.
+class TensorStorage {
+ public:
+  TensorStorage() : data_(nullptr), size_(0) {}
+  explicit TensorStorage(size_t n)
+      : data_(Arena::Global().Acquire(n)), size_(n) {}
+  ~TensorStorage() { Arena::Global().Release(data_, size_); }
+
+  TensorStorage(const TensorStorage&) = delete;
+  TensorStorage& operator=(const TensorStorage&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  float* data_;
+  size_t size_;
+};
+
+}  // namespace detail
+
 class Tensor {
  public:
   // An empty 0-element tensor.
-  Tensor() : shape_{0}, data_(std::make_shared<std::vector<float>>()) {}
+  Tensor() : shape_{0}, data_(std::make_shared<detail::TensorStorage>()) {}
 
-  // Uninitialized-to-zero tensor of the given shape.
-  explicit Tensor(Shape shape)
-      : shape_(std::move(shape)),
-        data_(std::make_shared<std::vector<float>>(NumElements(shape_), 0.0f)) {}
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape) : Tensor(std::move(shape), kUninitialized) {
+    if (numel() > 0) {
+      std::memset(data_->data(), 0, data_->size() * sizeof(float));
+    }
+  }
 
-  Tensor(Shape shape, std::vector<float> values)
-      : shape_(std::move(shape)),
-        data_(std::make_shared<std::vector<float>>(std::move(values))) {
-    IMDIFF_CHECK_EQ(NumElements(shape_), static_cast<int64_t>(data_->size()));
+  Tensor(Shape shape, const std::vector<float>& values)
+      : Tensor(std::move(shape), kUninitialized) {
+    IMDIFF_CHECK_EQ(numel(), static_cast<int64_t>(values.size()));
+    if (!values.empty()) {
+      std::memcpy(data_->data(), values.data(),
+                  values.size() * sizeof(float));
+    }
   }
 
   Tensor(const Tensor&) = default;
@@ -48,6 +86,13 @@ class Tensor {
   Tensor& operator=(Tensor&&) = default;
 
   // ---- Factories ------------------------------------------------------
+
+  // Allocation without the zero fill, for outputs that are fully written by
+  // the caller before any element is read. Reused arena buffers carry stale
+  // contents, so every element MUST be stored.
+  static Tensor Uninitialized(Shape shape) {
+    return Tensor(std::move(shape), kUninitialized);
+  }
 
   static Tensor Zeros(const Shape& shape) { return Tensor(shape); }
   static Tensor Full(const Shape& shape, float value);
@@ -70,29 +115,29 @@ class Tensor {
 
   const float* data() const { return data_->data(); }
   float* mutable_data() { return data_->data(); }
-  const std::vector<float>& vec() const { return *data_; }
 
   float flat(int64_t i) const {
     IMDIFF_CHECK(i >= 0 && i < numel()) << "index" << i;
-    return (*data_)[static_cast<size_t>(i)];
+    return data_->data()[static_cast<size_t>(i)];
   }
   void set_flat(int64_t i, float v) {
     IMDIFF_CHECK(i >= 0 && i < numel()) << "index" << i;
-    (*data_)[static_cast<size_t>(i)] = v;
+    data_->data()[static_cast<size_t>(i)] = v;
   }
 
   // 2D / 3D / 4D element accessors (debug-friendly; hot loops index data()).
   float at(int64_t i, int64_t j) const {
     IMDIFF_CHECK_EQ(ndim(), 2u);
-    return (*data_)[static_cast<size_t>(i * shape_[1] + j)];
+    return data_->data()[static_cast<size_t>(i * shape_[1] + j)];
   }
   float at(int64_t i, int64_t j, int64_t k) const {
     IMDIFF_CHECK_EQ(ndim(), 3u);
-    return (*data_)[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+    return data_->data()[static_cast<size_t>((i * shape_[1] + j) * shape_[2] +
+                                             k)];
   }
   float at(int64_t i, int64_t j, int64_t k, int64_t l) const {
     IMDIFF_CHECK_EQ(ndim(), 4u);
-    return (*data_)[static_cast<size_t>(
+    return data_->data()[static_cast<size_t>(
         ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
   }
 
@@ -103,13 +148,28 @@ class Tensor {
   Tensor Reshape(Shape new_shape) const;
 
   // Deep copy with distinct storage.
-  Tensor Clone() const { return Tensor(shape_, *data_); }
+  Tensor Clone() const {
+    Tensor out = Uninitialized(shape_);
+    if (numel() > 0) {
+      std::memcpy(out.mutable_data(), data(),
+                  static_cast<size_t>(numel()) * sizeof(float));
+    }
+    return out;
+  }
 
   std::string ToString(int64_t max_elements = 32) const;
 
  private:
+  struct UninitializedTag {};
+  static constexpr UninitializedTag kUninitialized{};
+
+  Tensor(Shape shape, UninitializedTag)
+      : shape_(std::move(shape)),
+        data_(std::make_shared<detail::TensorStorage>(
+            static_cast<size_t>(NumElements(shape_)))) {}
+
   Shape shape_;
-  std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<detail::TensorStorage> data_;
 };
 
 }  // namespace imdiff

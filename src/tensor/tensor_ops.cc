@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/arena.h"
+#include "tensor/simd.h"
 #include "utils/thread_pool.h"
 
 namespace imdiff {
@@ -20,6 +22,10 @@ size_t RowGrain(int64_t flops_per_row) {
       std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, flops_per_row)));
 }
 
+// Grain for flat elementwise kernels (~4 flops per element assumed; the
+// transcendental ones carry more, which only makes chunks cheaper to split).
+constexpr size_t kElementGrain = 4096;
+
 // Computes row-major strides for a shape.
 std::vector<int64_t> Strides(const Shape& shape) {
   std::vector<int64_t> strides(shape.size(), 1);
@@ -29,13 +35,143 @@ std::vector<int64_t> Strides(const Shape& shape) {
   return strides;
 }
 
-// Rows [row_begin, row_end) of the 2D matmul c[m,n] += a[m,k] * b[k,n], with
-// optional logical transposition of a and/or b. Pointers address contiguous
-// row-major blocks. Each call writes only its own c rows, so disjoint row
-// ranges may run concurrently with bitwise-identical results.
-void MatMulRows(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                int64_t n, bool ta, bool tb, int64_t row_begin,
-                int64_t row_end) {
+// ---- GEMM -------------------------------------------------------------------
+//
+// The vectorized path is a packed, register-tiled kernel: the b operand is
+// packed one NR-wide column panel at a time into [k, NR] layout (zero-padded
+// on the right edge), which collapses the transpose_b distinction, and a
+// transposed a is packed to contiguous rows once per worker range, collapsing
+// transpose_a. The microkernel then accumulates an MR x NR tile entirely in
+// registers over the full reduction dim and stores each output element exactly
+// once — so outputs may be allocated uninitialized.
+//
+// Determinism: packing is pure data movement, and each output row's FMA
+// sequence (p ascending within its column panel) depends only on (m, k, n),
+// never on how rows are grouped into tiles or split across workers. Results
+// are therefore bitwise identical for any thread count and any batch
+// composition, as required by the serving-path invariants.
+
+// Rows of the a operand the microkernel processes per call.
+constexpr int64_t kMR = 4;
+
+#if defined(IMDIFF_SIMD_ANY)
+
+// Columns per packed b panel: two vector registers wide.
+constexpr int64_t kNRVec = 2 * simd::kVectorWidth;
+
+// Packs columns [j0, j0+jr) of logical b (k x n) into panel[p * kNRVec + jj],
+// zero-padding jj in [jr, kNRVec). tb means b is stored as [n, k].
+void PackBPanel(const float* b, int64_t k, int64_t n, bool tb, int64_t j0,
+                int64_t jr, float* panel) {
+  if (!tb) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float* src = b + p * n + j0;
+      float* dst = panel + p * kNRVec;
+      int64_t jj = 0;
+      for (; jj < jr; ++jj) dst[jj] = src[jj];
+      for (; jj < kNRVec; ++jj) dst[jj] = 0.0f;
+    }
+  } else {
+    for (int64_t p = 0; p < k; ++p) {
+      float* dst = panel + p * kNRVec;
+      for (int64_t jj = 0; jj < jr; ++jj) dst[jj] = b[(j0 + jj) * k + p];
+      for (int64_t jj = jr; jj < kNRVec; ++jj) dst[jj] = 0.0f;
+    }
+  }
+}
+
+// MR x kNRVec register tile: c[r][j0 + jj] = sum_p a[r][p] * panel[p][jj].
+// `arows` holds MR contiguous rows of stride k; `jr` columns are stored.
+template <int MR>
+void MicroKernelVec(const float* arows, int64_t k, const float* panel, float* c,
+                    int64_t n, int64_t j0, int64_t jr) {
+  using simd::VecF;
+  constexpr int W = simd::kVectorWidth;
+  VecF acc0[MR], acc1[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc0[r] = simd::VZero();
+    acc1[r] = simd::VZero();
+  }
+  for (int64_t p = 0; p < k; ++p) {
+    const VecF b0 = simd::VLoad(panel + p * kNRVec);
+    const VecF b1 = simd::VLoad(panel + p * kNRVec + W);
+    for (int r = 0; r < MR; ++r) {
+      const VecF av = simd::VSet1(arows[r * k + p]);
+      acc0[r] = simd::VFma(av, b0, acc0[r]);
+      acc1[r] = simd::VFma(av, b1, acc1[r]);
+    }
+  }
+  if (jr == kNRVec) {
+    for (int r = 0; r < MR; ++r) {
+      simd::VStore(c + r * n + j0, acc0[r]);
+      simd::VStore(c + r * n + j0 + W, acc1[r]);
+    }
+  } else {
+    float tmp[2 * W];
+    for (int r = 0; r < MR; ++r) {
+      simd::VStore(tmp, acc0[r]);
+      simd::VStore(tmp + W, acc1[r]);
+      std::memcpy(c + r * n + j0, tmp, sizeof(float) * static_cast<size_t>(jr));
+    }
+  }
+}
+
+// Rows [row_begin, row_end) of c[m,n] = a * b with the packed kernel. Every
+// element of those rows is stored exactly once.
+void GemmRowsPacked(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n, bool ta, bool tb, int64_t row_begin,
+                    int64_t row_end) {
+  const int64_t rows = row_end - row_begin;
+  if (rows <= 0 || n <= 0) return;
+  // Transposed a ([k, m] physical) is packed to contiguous rows once per
+  // worker range; afterwards both layouts feed the microkernel identically.
+  ArenaBuffer apack(ta ? static_cast<size_t>(rows * k) : 0);
+  if (ta) {
+    for (int64_t r = 0; r < rows; ++r) {
+      float* dst = apack.data() + r * k;
+      const int64_t i = row_begin + r;
+      for (int64_t p = 0; p < k; ++p) dst[p] = a[p * m + i];
+    }
+  }
+  const float* abase = ta ? apack.data() : a + row_begin * k;
+  // One [k, kNRVec] panel, reused across all row tiles; for the model's
+  // reduction dims it stays resident in L1.
+  ArenaBuffer bpack(static_cast<size_t>(k) * kNRVec);
+  for (int64_t j0 = 0; j0 < n; j0 += kNRVec) {
+    const int64_t jr = std::min<int64_t>(kNRVec, n - j0);
+    PackBPanel(b, k, n, tb, j0, jr, bpack.data());
+    for (int64_t i0 = 0; i0 < rows; i0 += kMR) {
+      const int64_t mr = std::min<int64_t>(kMR, rows - i0);
+      const float* arows = abase + i0 * k;
+      float* crow = c + (row_begin + i0) * n;
+      switch (mr) {
+        case 1:
+          MicroKernelVec<1>(arows, k, bpack.data(), crow, n, j0, jr);
+          break;
+        case 2:
+          MicroKernelVec<2>(arows, k, bpack.data(), crow, n, j0, jr);
+          break;
+        case 3:
+          MicroKernelVec<3>(arows, k, bpack.data(), crow, n, j0, jr);
+          break;
+        default:
+          MicroKernelVec<4>(arows, k, bpack.data(), crow, n, j0, jr);
+          break;
+      }
+    }
+  }
+}
+
+#endif  // IMDIFF_SIMD_ANY
+
+// Scalar reference: rows [row_begin, row_end) of c += a * b with the four
+// transpose layouts handled directly. Kept as the pre-SIMD kernel so the
+// IMDIFF_FORCE_SCALAR path and the generic (-march-less) build measure and
+// behave exactly like the original implementation. Requires its c rows to be
+// zeroed (the caller memsets them; outputs are allocated uninitialized).
+void MatMulRowsScalar(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n, bool ta, bool tb, int64_t row_begin,
+                      int64_t row_end) {
   if (!ta && !tb) {
     // ikj ordering with 4-way unrolling over k: streams b rows and amortizes
     // the c-row traffic across four partial products.
@@ -109,15 +245,32 @@ void MatMulRows(const float* a, const float* b, float* c, int64_t m, int64_t k,
   }
 }
 
-// Full 2D matmul, parallelized over output rows on the compute pool. Nested
-// calls (e.g. from a batch-level parallel section) run inline.
+// Full 2D matmul into an uninitialized c, parallelized over output rows on the
+// compute pool. Nested calls (e.g. from a batch-level parallel section) run
+// inline.
 void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n, bool ta, bool tb) {
+#if defined(IMDIFF_SIMD_ANY)
+  if (simd::Enabled()) {
+    ParallelForRange(ComputePool(), static_cast<size_t>(m), RowGrain(2 * k * n),
+                     [&](size_t begin, size_t end) {
+                       GemmRowsPacked(a, b, c, m, k, n, ta, tb,
+                                      static_cast<int64_t>(begin),
+                                      static_cast<int64_t>(end));
+                     });
+    return;
+  }
+#endif
   ParallelForRange(ComputePool(), static_cast<size_t>(m), RowGrain(2 * k * n),
                    [&](size_t begin, size_t end) {
-                     MatMulRows(a, b, c, m, k, n, ta, tb,
-                                static_cast<int64_t>(begin),
-                                static_cast<int64_t>(end));
+                     // The scalar kernel accumulates, so zero exactly the rows
+                     // this worker owns (c arrives uninitialized).
+                     std::memset(c + static_cast<int64_t>(begin) * n, 0,
+                                 sizeof(float) * static_cast<size_t>(
+                                                     (end - begin) * n));
+                     MatMulRowsScalar(a, b, c, m, k, n, ta, tb,
+                                      static_cast<int64_t>(begin),
+                                      static_cast<int64_t>(end));
                    });
 }
 
@@ -133,7 +286,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   const int64_t n = transpose_b ? b.dim(0) : b.dim(1);
   IMDIFF_CHECK_EQ(k, kb) << "matmul inner dims" << ShapeToString(a.shape())
                          << ShapeToString(b.shape());
-  Tensor c({m, n});
+  Tensor c = Tensor::Uninitialized({m, n});
   MatMulKernel(a.data(), b.data(), c.mutable_data(), m, k, n, transpose_a,
                transpose_b);
   return c;
@@ -151,7 +304,7 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   const int64_t n = transpose_b ? b.dim(1) : b.dim(2);
   IMDIFF_CHECK_EQ(k, kb) << "bmm inner dims" << ShapeToString(a.shape())
                          << ShapeToString(b.shape());
-  Tensor c({batch, m, n});
+  Tensor c = Tensor::Uninitialized({batch, m, n});
   const int64_t a_step = a.dim(1) * a.dim(2);
   const int64_t b_step = b.dim(1) * b.dim(2);
   const int64_t c_step = m * n;
@@ -186,19 +339,12 @@ Shape BroadcastShape(const Shape& a, const Shape& b) {
 
 namespace {
 
+// General (shape-mismatched) broadcasting walk; the same-shape fast paths live
+// in Add/Sub/Mul/Div below on the vector kernels.
 template <typename Op>
 Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
-  if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.mutable_data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
-    return out;
-  }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const size_t nd = out_shape.size();
   // Effective strides for a and b in the output coordinate system: 0 where the
   // input dimension is broadcast.
@@ -242,15 +388,35 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Op op) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    simd::AddInto(out.mutable_data(), a.data(), b.data(), a.numel());
+    return out;
+  }
   return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    simd::SubInto(out.mutable_data(), a.data(), b.data(), a.numel());
+    return out;
+  }
   return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    simd::MulInto(out.mutable_data(), a.data(), b.data(), a.numel());
+    return out;
+  }
   return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    simd::DivInto(out.mutable_data(), a.data(), b.data(), a.numel());
+    return out;
+  }
   return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
 }
 
@@ -272,25 +438,19 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.mutable_data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
+  Tensor out = Tensor::Uninitialized(a.shape());
+  simd::ScaleInto(out.mutable_data(), a.data(), s, a.numel());
   return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.mutable_data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + s;
+  Tensor out = Tensor::Uninitialized(a.shape());
+  simd::AddScalarInto(out.mutable_data(), a.data(), s, a.numel());
   return out;
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.mutable_data();
   const int64_t n = a.numel();
@@ -298,12 +458,111 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
   return out;
 }
 
+namespace {
+
+// Parallel elementwise dispatch for the fused activation kernels. The simd
+// kernels are position-independent (scalar tails replicate the lane
+// arithmetic), so splitting the flat range at arbitrary points is bitwise
+// safe.
+template <typename Kernel>
+Tensor ElementwiseUnary(const Tensor& x, Kernel kernel) {
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* po = out.mutable_data();
+  ParallelForRange(ComputePool(), static_cast<size_t>(x.numel()),
+                   kElementGrain, [&](size_t begin, size_t end) {
+                     kernel(po + begin, px + begin,
+                            static_cast<int64_t>(end - begin));
+                   });
+  return out;
+}
+
+template <typename Kernel>
+Tensor ElementwiseUnaryGrad(const Tensor& x, const Tensor& grad,
+                            Kernel kernel) {
+  IMDIFF_CHECK(x.shape() == grad.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  const float* pg = grad.data();
+  float* po = out.mutable_data();
+  ParallelForRange(ComputePool(), static_cast<size_t>(x.numel()),
+                   kElementGrain, [&](size_t begin, size_t end) {
+                     kernel(po + begin, px + begin, pg + begin,
+                            static_cast<int64_t>(end - begin));
+                   });
+  return out;
+}
+
+}  // namespace
+
+Tensor GeluForward(const Tensor& x) {
+  return ElementwiseUnary(x, [](float* o, const float* p, int64_t n) {
+    simd::GeluInto(o, p, n);
+  });
+}
+
+Tensor GeluBackward(const Tensor& x, const Tensor& grad) {
+  return ElementwiseUnaryGrad(
+      x, grad, [](float* o, const float* p, const float* g, int64_t n) {
+        simd::GeluGradInto(o, p, g, n);
+      });
+}
+
+Tensor SiluForward(const Tensor& x) {
+  return ElementwiseUnary(x, [](float* o, const float* p, int64_t n) {
+    simd::SiluInto(o, p, n);
+  });
+}
+
+Tensor SiluBackward(const Tensor& x, const Tensor& grad) {
+  return ElementwiseUnaryGrad(
+      x, grad, [](float* o, const float* p, const float* g, int64_t n) {
+        simd::SiluGradInto(o, p, g, n);
+      });
+}
+
+void LayerNormForward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                      float eps, Tensor* y, Tensor* xhat, Tensor* inv_std) {
+  IMDIFF_CHECK_GE(x.ndim(), 1u);
+  const int64_t last = x.dim(x.ndim() - 1);
+  IMDIFF_CHECK_EQ(gamma.numel(), last);
+  IMDIFF_CHECK_EQ(beta.numel(), last);
+  const int64_t rows = last > 0 ? x.numel() / last : 0;
+  *y = Tensor::Uninitialized(x.shape());
+  *xhat = Tensor::Uninitialized(x.shape());
+  *inv_std = Tensor::Uninitialized({rows});
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  float* py = y->mutable_data();
+  float* ph = xhat->mutable_data();
+  float* ps = inv_std->mutable_data();
+  const float inv_n = 1.0f / static_cast<float>(last);
+  // Row-local: every value a row produces is a function of that row alone, so
+  // the row partition cannot affect results.
+  ParallelForRange(
+      ComputePool(), static_cast<size_t>(rows), RowGrain(8 * last),
+      [&](size_t begin, size_t end) {
+        for (int64_t r = static_cast<int64_t>(begin);
+             r < static_cast<int64_t>(end); ++r) {
+          const float* row = px + r * last;
+          const float mean = simd::Sum(row, last) * inv_n;
+          const float var = simd::SqDiffSum(row, mean, last) * inv_n;
+          const float is = 1.0f / std::sqrt(var + eps);
+          float* hrow = ph + r * last;
+          simd::ScaledDiffInto(hrow, row, mean, is, last);
+          simd::FmaInto(py + r * last, hrow, pg, pb, last);
+          ps[r] = is;
+        }
+      });
+}
+
 Tensor Permute(const Tensor& t, const std::vector<size_t>& perm) {
   IMDIFF_CHECK_EQ(perm.size(), t.ndim());
   const size_t nd = t.ndim();
   Shape out_shape(nd);
   for (size_t i = 0; i < nd; ++i) out_shape[i] = t.dim(perm[i]);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const auto in_strides = Strides(t.shape());
   // Stride of the output's i-th axis inside the input buffer.
   std::vector<int64_t> gather(nd);
@@ -341,7 +600,7 @@ Tensor Concat(const std::vector<Tensor>& parts, size_t axis) {
     }
     out_shape[axis] += p.dim(axis);
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   // outer: product of dims before axis; inner: product after.
   int64_t outer = 1, inner = 1;
   for (size_t d = 0; d < axis; ++d) outer *= out_shape[d];
@@ -367,7 +626,7 @@ Tensor Slice(const Tensor& t, size_t axis, int64_t start, int64_t len) {
   IMDIFF_CHECK_LE(start + len, t.dim(axis));
   Shape out_shape = t.shape();
   out_shape[axis] = len;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   int64_t outer = 1, inner = 1;
   for (size_t d = 0; d < axis; ++d) outer *= t.dim(d);
   for (size_t d = axis + 1; d < t.ndim(); ++d) inner *= t.dim(d);
@@ -384,6 +643,7 @@ Tensor Slice(const Tensor& t, size_t axis, int64_t start, int64_t len) {
 
 Tensor SliceBackward(const Tensor& grad, const Shape& full_shape, size_t axis,
                      int64_t start) {
+  // Needs the zero fill: only the [start, start+len) band is written.
   Tensor out(full_shape);
   int64_t outer = 1, inner = 1;
   for (size_t d = 0; d < axis; ++d) outer *= full_shape[d];
@@ -404,27 +664,23 @@ Tensor SoftmaxLastDim(const Tensor& t) {
   IMDIFF_CHECK_GE(t.ndim(), 1u);
   const int64_t last = t.dim(t.ndim() - 1);
   const int64_t rows = t.numel() / last;
-  Tensor out(t.shape());
+  Tensor out = Tensor::Uninitialized(t.shape());
   const float* pin = t.data();
   float* pout = out.mutable_data();
-  ParallelForRange(
-      ComputePool(), static_cast<size_t>(rows), RowGrain(4 * last),
-      [&](size_t begin, size_t end) {
-        for (int64_t r = static_cast<int64_t>(begin);
-             r < static_cast<int64_t>(end); ++r) {
-          const float* row = pin + r * last;
-          float* orow = pout + r * last;
-          float mx = row[0];
-          for (int64_t j = 1; j < last; ++j) mx = std::max(mx, row[j]);
-          float sum = 0.0f;
-          for (int64_t j = 0; j < last; ++j) {
-            orow[j] = std::exp(row[j] - mx);
-            sum += orow[j];
-          }
-          const float inv = 1.0f / sum;
-          for (int64_t j = 0; j < last; ++j) orow[j] *= inv;
-        }
-      });
+  // Fused max / exp+sum / scale passes on the vector kernels; row-local, so
+  // results are independent of the row partition and of where a row sits in
+  // the batch.
+  ParallelForRange(ComputePool(), static_cast<size_t>(rows), RowGrain(8 * last),
+                   [&](size_t begin, size_t end) {
+                     for (int64_t r = static_cast<int64_t>(begin);
+                          r < static_cast<int64_t>(end); ++r) {
+                       const float* row = pin + r * last;
+                       float* orow = pout + r * last;
+                       const float mx = simd::MaxReduce(row, last);
+                       const float sum = simd::ExpSumInto(orow, row, mx, last);
+                       simd::ScaleInPlace(orow, 1.0f / sum, last);
+                     }
+                   });
   return out;
 }
 
@@ -441,6 +697,8 @@ Tensor ReduceSumAxis(const Tensor& t, size_t axis, bool keepdim) {
     out_shape.erase(out_shape.begin() + static_cast<int64_t>(axis));
     if (out_shape.empty()) out_shape = {1};
   }
+  // Accumulates into the zero fill; element order matches the scalar original
+  // (vector adds are lane-independent), so results are unchanged.
   Tensor out(out_shape);
   const float* pin = t.data();
   float* pout = out.mutable_data();
@@ -448,7 +706,7 @@ Tensor ReduceSumAxis(const Tensor& t, size_t axis, bool keepdim) {
     for (int64_t r = 0; r < reduce; ++r) {
       const float* src = pin + (o * reduce + r) * inner;
       float* dst = pout + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      simd::AddInPlace(dst, src, inner);
     }
   }
   return out;
@@ -475,7 +733,7 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias, int pad) {
   IMDIFF_CHECK_EQ(w.dim(1), cin);
   const int64_t lout = length + 2 * pad - kernel + 1;
   IMDIFF_CHECK_GT(lout, 0);
-  Tensor y({batch, cout, lout});
+  Tensor y = Tensor::Uninitialized({batch, cout, lout});
   const float* px = x.data();
   const float* pw = w.data();
   float* py = y.mutable_data();
@@ -488,14 +746,14 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias, int pad) {
       ComputePool(), static_cast<size_t>(batch),
       [&](size_t idx) {
         const int64_t b = static_cast<int64_t>(idx);
-        if (has_bias) {
-          for (int64_t co = 0; co < cout; ++co) {
-            float* row = py + (b * cout + co) * lout;
-            for (int64_t l = 0; l < lout; ++l) row[l] = pb[co];
-          }
-        }
         for (int64_t co = 0; co < cout; ++co) {
           float* yrow = py + (b * cout + co) * lout;
+          if (has_bias) {
+            const float bv = pb[co];
+            for (int64_t l = 0; l < lout; ++l) yrow[l] = bv;
+          } else {
+            std::memset(yrow, 0, sizeof(float) * static_cast<size_t>(lout));
+          }
           for (int64_t ci = 0; ci < cin; ++ci) {
             const float* xrow = px + (b * cin + ci) * length;
             const float* wrow = pw + (co * cin + ci) * kernel;
@@ -505,9 +763,7 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias, int pad) {
               const int64_t in_off = kk - pad;
               const int64_t l_lo = std::max<int64_t>(0, -in_off);
               const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
-              for (int64_t l = l_lo; l < l_hi; ++l) {
-                yrow[l] += wv * xrow[l + in_off];
-              }
+              simd::Axpy(wv, xrow + l_lo + in_off, yrow + l_lo, l_hi - l_lo);
             }
           }
         }
@@ -525,13 +781,14 @@ void Conv1dBackward(const Tensor& x, const Tensor& w, int pad,
   const float* px = x.data();
   const float* pw = w.data();
   const float* pg = grad_out.data();
+  // Gradient buffers keep the zeroing constructor: they are scatter-accumulated.
   if (grad_bias != nullptr) {
     *grad_bias = Tensor({cout});
     float* pb = grad_bias->mutable_data();
     for (int64_t b = 0; b < batch; ++b)
       for (int64_t co = 0; co < cout; ++co) {
         const float* grow = pg + (b * cout + co) * lout;
-        for (int64_t l = 0; l < lout; ++l) pb[co] += grow[l];
+        pb[co] += simd::Sum(grow, lout);
       }
   }
   if (grad_w != nullptr) {
@@ -547,11 +804,8 @@ void Conv1dBackward(const Tensor& x, const Tensor& w, int pad,
             const int64_t in_off = kk - pad;
             const int64_t l_lo = std::max<int64_t>(0, -in_off);
             const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
-            float acc = 0.0f;
-            for (int64_t l = l_lo; l < l_hi; ++l) {
-              acc += grow[l] * xrow[l + in_off];
-            }
-            wrow[kk] += acc;
+            wrow[kk] +=
+                simd::Dot(grow + l_lo, xrow + l_lo + in_off, l_hi - l_lo);
           }
         }
       }
@@ -572,9 +826,7 @@ void Conv1dBackward(const Tensor& x, const Tensor& w, int pad,
             const int64_t in_off = kk - pad;
             const int64_t l_lo = std::max<int64_t>(0, -in_off);
             const int64_t l_hi = std::min<int64_t>(lout, length - in_off);
-            for (int64_t l = l_lo; l < l_hi; ++l) {
-              xrow[l + in_off] += wv * grow[l];
-            }
+            simd::Axpy(wv, grow + l_lo, xrow + l_lo + in_off, l_hi - l_lo);
           }
         }
       }

@@ -64,6 +64,28 @@ Tensor Slice(const Tensor& t, size_t axis, int64_t start, int64_t len);
 Tensor SliceBackward(const Tensor& grad, const Shape& full_shape, size_t axis,
                      int64_t start);
 
+// ---- Fused NN kernels --------------------------------------------------------
+//
+// Vectorized forward/backward primitives for the transformer blocks in
+// src/nn (attention.cc / layers.cc route here through the autograd ops).
+// All run the SIMD layer in tensor/simd.h with its scalar fallback.
+
+// tanh-approximated GELU, elementwise.
+Tensor GeluForward(const Tensor& x);
+// grad * gelu'(x), elementwise.
+Tensor GeluBackward(const Tensor& x, const Tensor& grad);
+// x * sigmoid(x), elementwise.
+Tensor SiluForward(const Tensor& x);
+// grad * silu'(x), elementwise.
+Tensor SiluBackward(const Tensor& x, const Tensor& grad);
+
+// Fused LayerNorm forward over the last dimension. Writes the normalized
+// output into *y, the pre-affine normalized rows into *xhat (saved for the
+// backward pass), and the per-row 1/std into *inv_std (shape {rows}). Every
+// output element is written.
+void LayerNormForward(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                      float eps, Tensor* y, Tensor* xhat, Tensor* inv_std);
+
 // ---- Reductions / softmax ----------------------------------------------------
 
 // Softmax along the last dimension.

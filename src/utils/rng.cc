@@ -3,8 +3,12 @@
 namespace imdiff {
 
 void Rng::FillNormal(std::vector<float>& out) {
+  FillNormal(out.data(), out.size());
+}
+
+void Rng::FillNormal(float* out, size_t n) {
   std::normal_distribution<float> dist(0.0f, 1.0f);
-  for (float& v : out) v = dist(engine_);
+  for (size_t i = 0; i < n; ++i) out[i] = dist(engine_);
 }
 
 Rng Rng::Fork() {

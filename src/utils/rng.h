@@ -40,6 +40,9 @@ class Rng {
 
   // Fills `out` with iid N(0,1) floats.
   void FillNormal(std::vector<float>& out);
+  // Same over a raw buffer (used by arena-backed tensor storage, which has no
+  // std::vector to hand out).
+  void FillNormal(float* out, size_t n);
 
   // Derives an independent child generator; the i-th child of a given seed is
   // stable across runs.

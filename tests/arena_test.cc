@@ -1,0 +1,187 @@
+// Arena allocator: bucket math, free-list reuse, accounting, Tensor
+// integration, and an interleaved multi-threaded stress test (the suite name
+// keeps these in the TSan CI shard).
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/arena.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+// Pins recycling on (or off) for one test and restores the prior state, so
+// the pooling-behavior assertions hold even when the whole suite runs with
+// IMDIFF_ARENA=0.
+class PoolingGuard {
+ public:
+  explicit PoolingGuard(bool enabled)
+      : prev_(Arena::Global().pooling_enabled()) {
+    Arena::Global().set_pooling_enabled(enabled);
+  }
+  ~PoolingGuard() { Arena::Global().set_pooling_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(ArenaTest, BucketRounding) {
+  EXPECT_EQ(Arena::BucketIndex(1), 0);
+  EXPECT_EQ(Arena::BucketIndex(64), 0);
+  EXPECT_EQ(Arena::BucketIndex(65), 1);
+  EXPECT_EQ(Arena::BucketIndex(128), 1);
+  EXPECT_EQ(Arena::BucketIndex(size_t{1} << 24), Arena::kNumBuckets - 1);
+  // Above the largest bucket: oversize.
+  EXPECT_EQ(Arena::BucketIndex((size_t{1} << 24) + 1), -1);
+  for (int b = 0; b < Arena::kNumBuckets; ++b) {
+    EXPECT_EQ(Arena::BucketIndex(Arena::BucketFloats(b)), b);
+  }
+}
+
+TEST(ArenaTest, FreeListReuseIsAHit) {
+  PoolingGuard pooling(true);
+  Arena& arena = Arena::Global();
+  // Drain any pooled buffer of this class so the first Acquire is a miss.
+  arena.Trim();
+  const Arena::Stats before = arena.stats();
+  float* p = arena.Acquire(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u) << "not 64-byte aligned";
+  arena.Release(p, 100);
+  // Same bucket (rounds to 128 floats) — must come back from the free list.
+  float* q = arena.Acquire(120);
+  EXPECT_EQ(q, p);
+  arena.Release(q, 120);
+  const Arena::Stats after = arena.stats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+}
+
+TEST(ArenaTest, LiveAndPooledByteAccounting) {
+  PoolingGuard pooling(true);
+  Arena& arena = Arena::Global();
+  arena.Trim();
+  const Arena::Stats base = arena.stats();
+  constexpr size_t kFloats = 1000;  // bucket capacity 1024 floats
+  const int64_t bucket_bytes = static_cast<int64_t>(
+      Arena::BucketFloats(Arena::BucketIndex(kFloats)) * sizeof(float));
+  float* p = arena.Acquire(kFloats);
+  EXPECT_EQ(arena.stats().live_bytes, base.live_bytes + bucket_bytes);
+  arena.Release(p, kFloats);
+  EXPECT_EQ(arena.stats().live_bytes, base.live_bytes);
+  EXPECT_EQ(arena.stats().pooled_bytes, base.pooled_bytes + bucket_bytes);
+  arena.Trim();
+  EXPECT_EQ(arena.stats().pooled_bytes, 0);
+}
+
+TEST(ArenaTest, OversizeBypassesFreeLists) {
+  Arena& arena = Arena::Global();
+  const size_t n = (size_t{1} << 24) + 1;
+  const Arena::Stats before = arena.stats();
+  float* p = arena.Acquire(n);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[n - 1] = 2.0f;
+  arena.Release(p, n);
+  const Arena::Stats after = arena.stats();
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.pooled_bytes, before.pooled_bytes);  // never pooled
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(ArenaTest, ZeroSizedAcquire) {
+  EXPECT_EQ(Arena::Global().Acquire(0), nullptr);
+  Arena::Global().Release(nullptr, 0);  // must be a no-op
+}
+
+TEST(ArenaTest, TensorZeroCtorClearsRecycledBuffer) {
+  // Dirty a buffer through one tensor, drop it, and check the zeroing
+  // constructor really clears the recycled storage.
+  {
+    Tensor t = Tensor::Uninitialized({32});
+    std::memset(t.mutable_data(), 0xAB, 32 * sizeof(float));
+  }
+  Tensor z({32});
+  for (int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z.flat(i), 0.0f);
+}
+
+TEST(ArenaTest, TensorRoundTripReusesStorage) {
+  PoolingGuard pooling(true);
+  Arena::Global().Trim();
+  const Arena::Stats before = Arena::Global().stats();
+  for (int iter = 0; iter < 10; ++iter) {
+    Tensor t = Tensor::Uninitialized({257});  // bucket 512
+    t.set_flat(0, static_cast<float>(iter));
+  }
+  const Arena::Stats after = Arena::Global().stats();
+  // First iteration misses; the other nine reuse the same pooled buffer.
+  EXPECT_GE(after.hits, before.hits + 9);
+}
+
+TEST(ArenaTest, PoolingDisabledStillWorks) {
+  PoolingGuard pooling(false);
+  Arena& arena = Arena::Global();
+  const Arena::Stats before = arena.stats();
+  float* p = arena.Acquire(64);
+  ASSERT_NE(p, nullptr);
+  arena.Release(p, 64);
+  const Arena::Stats after = arena.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.pooled_bytes, before.pooled_bytes);
+}
+
+// Interleaved alloc/free across 8 threads; run under -DIMDIFF_SANITIZE=thread
+// and =address in CI. Each thread hammers a mix of bucket sizes and writes a
+// thread-unique pattern to detect any buffer handed to two owners at once.
+TEST(ArenaStressTest, InterleavedAllocFreeAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 2000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([tid, &failures] {
+      Rng rng(static_cast<uint64_t>(tid) * 7919 + 1);
+      const float pattern = static_cast<float>(tid + 1);
+      // Up to 8 outstanding buffers per thread, freed in random order.
+      std::vector<std::pair<float*, size_t>> held;
+      for (int it = 0; it < kItersPerThread; ++it) {
+        if (held.size() < 8 && (held.empty() || rng.Bernoulli(0.6))) {
+          const size_t n =
+              static_cast<size_t>(rng.UniformInt(1, 4096));
+          float* p = Arena::Global().Acquire(n);
+          if (p == nullptr) {
+            failures.fetch_add(1);
+            continue;
+          }
+          p[0] = pattern;
+          p[n - 1] = pattern;
+          held.emplace_back(p, n);
+        } else {
+          const size_t pick = static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(held.size()) - 1));
+          auto [p, n] = held[pick];
+          // If another thread got this buffer while we held it, the pattern
+          // is torn.
+          if (p[0] != pattern || p[n - 1] != pattern) failures.fetch_add(1);
+          Arena::Global().Release(p, n);
+          held[pick] = held.back();
+          held.pop_back();
+        }
+      }
+      for (auto [p, n] : held) Arena::Global().Release(p, n);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace imdiff

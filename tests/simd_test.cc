@@ -1,0 +1,248 @@
+// Scalar-vs-SIMD parity for the kernel layer (tensor/simd.h and the packed
+// GEMM in tensor/tensor_ops.cc).
+//
+// Each test computes a result with the vectorized path enabled, flips
+// simd::SetForceScalar(true), recomputes, and compares within float tolerance.
+// On builds without a vector ISA the two paths coincide and the comparisons
+// are trivially exact — the suite still exercises the kernels' odd-shape
+// handling.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/simd.h"
+#include "tensor/tensor_ops.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+class SimdParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { simd::SetForceScalar(false); }
+  // Restore the default dispatch for whatever test runs next.
+  void TearDown() override { simd::SetForceScalar(false); }
+};
+
+Tensor RandomTensor(const Shape& shape, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Randn(shape, rng, scale);
+}
+
+void ExpectNear(const Tensor& a, const Tensor& b, float tol) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float ref = b.flat(i);
+    const float scale = std::max(1.0f, std::fabs(ref));
+    ASSERT_NEAR(a.flat(i), ref, tol * scale) << "at flat index " << i;
+  }
+}
+
+// ---- GEMM: all four transpose layouts over odd shapes ----------------------
+
+TEST_F(SimdParityTest, MatMulAllTransposesOddShapes) {
+  const int64_t dims[] = {1, 3, 7, 17, 64, 65};
+  uint64_t seed = 1;
+  for (int64_t m : dims) {
+    for (int64_t k : dims) {
+      for (int64_t n : dims) {
+        for (int ta = 0; ta < 2; ++ta) {
+          for (int tb = 0; tb < 2; ++tb) {
+            const Tensor a =
+                RandomTensor(ta ? Shape{k, m} : Shape{m, k}, seed++);
+            const Tensor b =
+                RandomTensor(tb ? Shape{n, k} : Shape{k, n}, seed++);
+            simd::SetForceScalar(false);
+            const Tensor fast = MatMul(a, b, ta != 0, tb != 0);
+            simd::SetForceScalar(true);
+            const Tensor ref = MatMul(a, b, ta != 0, tb != 0);
+            // k float products per output element; loose per-element bound.
+            const float tol =
+                1e-5f * std::sqrt(static_cast<float>(std::max<int64_t>(1, k)));
+            ExpectNear(fast, ref, tol);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdParityTest, BatchedMatMulMatchesScalar) {
+  const Tensor a = RandomTensor({3, 17, 65}, 7);
+  const Tensor b = RandomTensor({3, 65, 7}, 8);
+  simd::SetForceScalar(false);
+  const Tensor fast = BatchedMatMul(a, b);
+  simd::SetForceScalar(true);
+  const Tensor ref = BatchedMatMul(a, b);
+  ExpectNear(fast, ref, 1e-4f);
+}
+
+TEST_F(SimdParityTest, MatMulZeroInnerDimIsZero) {
+  // k == 0: the packed kernel must still store (zeros) into the
+  // uninitialized output.
+  const Tensor a = Tensor::Uninitialized({5, 0});
+  const Tensor b = Tensor::Uninitialized({0, 9});
+  const Tensor c = MatMul(a, b);
+  for (int64_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c.flat(i), 0.0f);
+}
+
+// ---- Elementwise / reduction kernels ----------------------------------------
+
+TEST_F(SimdParityTest, DotAndAxpyOddLengths) {
+  for (int64_t n : {1, 3, 7, 17, 64, 65}) {
+    const Tensor x = RandomTensor({n}, 100 + static_cast<uint64_t>(n));
+    const Tensor yv = RandomTensor({n}, 200 + static_cast<uint64_t>(n));
+    simd::SetForceScalar(false);
+    const float dot_fast = simd::Dot(x.data(), yv.data(), n);
+    std::vector<float> acc_fast(yv.data(), yv.data() + n);
+    simd::Axpy(0.37f, x.data(), acc_fast.data(), n);
+    simd::SetForceScalar(true);
+    const float dot_ref = simd::Dot(x.data(), yv.data(), n);
+    std::vector<float> acc_ref(yv.data(), yv.data() + n);
+    simd::Axpy(0.37f, x.data(), acc_ref.data(), n);
+    EXPECT_NEAR(dot_fast, dot_ref, 1e-4f * static_cast<float>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      // Same Madd arithmetic in tail and scalar path: bitwise equal.
+      EXPECT_EQ(acc_fast[static_cast<size_t>(i)],
+                acc_ref[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST_F(SimdParityTest, ExpMatchesScalarTailExactly) {
+  // The vector body and scalar tail share one polynomial, so exp is a pure
+  // function of the input value: compute the same values at different
+  // alignments and require bitwise equality.
+  const int64_t n = 67;
+  const Tensor x = RandomTensor({n}, 42, 3.0f);
+  std::vector<float> a(static_cast<size_t>(n)), b(static_cast<size_t>(n) + 3);
+  simd::ExpInto(a.data(), x.data(), n);
+  // Recompute shifted: element i lands at a different lane offset.
+  std::vector<float> shifted(static_cast<size_t>(n) + 3);
+  std::copy_n(x.data(), n, shifted.data() + 3);
+  shifted[0] = shifted[1] = shifted[2] = 0.0f;
+  simd::ExpInto(b.data(), shifted.data(), n + 3);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a[static_cast<size_t>(i)], b[static_cast<size_t>(i) + 3])
+        << "exp not position-independent at " << i;
+  }
+}
+
+TEST_F(SimdParityTest, ExpAccuracyAgainstLibm) {
+  for (float v : {-87.0f, -10.0f, -1.0f, -1e-3f, 0.0f, 1e-3f, 0.5f, 1.0f,
+                  10.0f, 88.0f}) {
+    const float got = simd::ExpScalar(v);
+    const float want = std::exp(v);
+    EXPECT_NEAR(got, want, 4e-7f * std::max(1.0f, want)) << "exp(" << v << ")";
+  }
+}
+
+TEST_F(SimdParityTest, SoftmaxParityAndRowSums) {
+  for (int64_t last : {1, 3, 7, 17, 64, 65}) {
+    const Tensor x = RandomTensor({5, last}, 300 + static_cast<uint64_t>(last),
+                                  2.0f);
+    simd::SetForceScalar(false);
+    const Tensor fast = SoftmaxLastDim(x);
+    simd::SetForceScalar(true);
+    const Tensor ref = SoftmaxLastDim(x);
+    ExpectNear(fast, ref, 1e-5f);
+    for (int64_t r = 0; r < 5; ++r) {
+      float sum = 0.0f;
+      for (int64_t j = 0; j < last; ++j) sum += fast.at(r, j);
+      EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST_F(SimdParityTest, GeluSiluTanhParity) {
+  const int64_t n = 131;
+  const Tensor x = RandomTensor({n}, 9, 2.5f);
+  simd::SetForceScalar(false);
+  const Tensor gelu_fast = GeluForward(x);
+  const Tensor silu_fast = SiluForward(x);
+  std::vector<float> tanh_fast(static_cast<size_t>(n));
+  simd::TanhInto(tanh_fast.data(), x.data(), n);
+  simd::SetForceScalar(true);
+  const Tensor gelu_ref = GeluForward(x);
+  const Tensor silu_ref = SiluForward(x);
+  std::vector<float> tanh_ref(static_cast<size_t>(n));
+  simd::TanhInto(tanh_ref.data(), x.data(), n);
+  ExpectNear(gelu_fast, gelu_ref, 1e-5f);
+  ExpectNear(silu_fast, silu_ref, 1e-5f);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(tanh_fast[static_cast<size_t>(i)],
+                tanh_ref[static_cast<size_t>(i)], 1e-5f);
+    // Reference values against libm.
+    EXPECT_NEAR(tanh_fast[static_cast<size_t>(i)], std::tanh(x.flat(i)),
+                2e-6f);
+  }
+}
+
+TEST_F(SimdParityTest, GeluGradSiluGradParity) {
+  const int64_t n = 67;
+  const Tensor x = RandomTensor({n}, 10, 2.0f);
+  const Tensor g = RandomTensor({n}, 11);
+  simd::SetForceScalar(false);
+  const Tensor dg_fast = GeluBackward(x, g);
+  const Tensor ds_fast = SiluBackward(x, g);
+  simd::SetForceScalar(true);
+  const Tensor dg_ref = GeluBackward(x, g);
+  const Tensor ds_ref = SiluBackward(x, g);
+  ExpectNear(dg_fast, dg_ref, 1e-5f);
+  ExpectNear(ds_fast, ds_ref, 1e-5f);
+}
+
+TEST_F(SimdParityTest, LayerNormParity) {
+  for (int64_t last : {1, 3, 7, 17, 64, 65}) {
+    const Tensor x =
+        RandomTensor({4, last}, 500 + static_cast<uint64_t>(last), 3.0f);
+    const Tensor gamma = RandomTensor({last}, 600 + static_cast<uint64_t>(last));
+    const Tensor beta = RandomTensor({last}, 700 + static_cast<uint64_t>(last));
+    Tensor y_fast, h_fast, is_fast, y_ref, h_ref, is_ref;
+    simd::SetForceScalar(false);
+    LayerNormForward(x, gamma, beta, 1e-5f, &y_fast, &h_fast, &is_fast);
+    simd::SetForceScalar(true);
+    LayerNormForward(x, gamma, beta, 1e-5f, &y_ref, &h_ref, &is_ref);
+    ExpectNear(y_fast, y_ref, 1e-4f);
+    ExpectNear(h_fast, h_ref, 1e-4f);
+    ExpectNear(is_fast, is_ref, 1e-4f);
+  }
+}
+
+TEST_F(SimdParityTest, ElementwiseBinaryParity) {
+  const int64_t n = 65;
+  const Tensor a = RandomTensor({n}, 20);
+  Tensor b = RandomTensor({n}, 21);
+  // Keep divisors away from zero.
+  for (int64_t i = 0; i < n; ++i)
+    b.set_flat(i, b.flat(i) + (b.flat(i) >= 0.0f ? 1.0f : -1.0f));
+  simd::SetForceScalar(false);
+  const Tensor add_f = Add(a, b), sub_f = Sub(a, b), mul_f = Mul(a, b),
+               div_f = Div(a, b);
+  simd::SetForceScalar(true);
+  const Tensor add_r = Add(a, b), sub_r = Sub(a, b), mul_r = Mul(a, b),
+               div_r = Div(a, b);
+  // Lane arithmetic for + - * / is IEEE-identical to scalar: bitwise equal.
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(add_f.flat(i), add_r.flat(i));
+    EXPECT_EQ(sub_f.flat(i), sub_r.flat(i));
+    EXPECT_EQ(mul_f.flat(i), mul_r.flat(i));
+    EXPECT_EQ(div_f.flat(i), div_r.flat(i));
+  }
+}
+
+TEST_F(SimdParityTest, Conv1dParity) {
+  const Tensor x = RandomTensor({2, 3, 31}, 30);
+  const Tensor w = RandomTensor({5, 3, 3}, 31);
+  const Tensor bias = RandomTensor({5}, 32);
+  simd::SetForceScalar(false);
+  const Tensor fast = Conv1d(x, w, bias, 1);
+  simd::SetForceScalar(true);
+  const Tensor ref = Conv1d(x, w, bias, 1);
+  ExpectNear(fast, ref, 1e-5f);
+}
+
+}  // namespace
+}  // namespace imdiff

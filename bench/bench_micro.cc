@@ -589,6 +589,14 @@ int main(int argc, char** argv) {
     }
   }
   argc = out_argc;
+  // Validate output paths up front: a kernel sweep takes minutes, and an
+  // unwritable path should not eat the run.
+  for (const std::string& path : {metrics_out, kernels_out}) {
+    if (!path.empty() && !imdiff::ProbeWritable(path)) {
+      std::fprintf(stderr, "output path is not writable: %s\n", path.c_str());
+      return 1;
+    }
+  }
   if (!kernels_out.empty()) return imdiff::RunKernelBench(kernels_out);
   if (!metrics_out.empty()) return imdiff::RunMetricsSnapshot(metrics_out);
   ::benchmark::Initialize(&argc, argv);

@@ -13,10 +13,19 @@
 //   [--flush-ms F] [--batch-windows W] [--queue Q] [--workers N]
 //   [--max-resident S] [--train L] [--epochs E] [--model PATH]
 //   [--no-compare-serial] [--seed S] [--metrics-out PATH]
+//   [--faults SPEC] [--fault-seed S] [--deadline-ms D] [--scores-out PATH]
 //
 // --model PATH warm-loads the checkpoint when it exists (skipping training)
 // and writes it after training otherwise, so repeated runs exercise the
 // registry's warm-load path.
+//
+// Chaos mode (DESIGN.md §13): --faults takes an IMDIFF_FAULTS spec
+// ("arena.alloc:0.02,session.rehydrate:0.3,..."), --fault-seed pins the
+// injection sequence, and --deadline-ms arms the degradation ladder. The
+// serial bitwise comparison is skipped (with a printed reason) when faults
+// degraded blocks or dropped session state — the chaos CI instead diffs
+// --scores-out dumps (hex-exact score streams + fault counters) between two
+// identical runs to prove fault handling is deterministic.
 
 #include <cinttypes>
 #include <cstdio>
@@ -29,6 +38,7 @@
 #include "core/imdiffusion.h"
 #include "data/benchmarks.h"
 #include "serve/replay.h"
+#include "utils/fault.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
 #include "utils/stopwatch.h"
@@ -54,6 +64,10 @@ struct ReplayFlags {
   bool compare_serial = true;
   uint64_t seed = 42;
   std::string metrics_out;
+  std::string faults;       // IMDIFF_FAULTS-style spec; empty = no injection
+  uint64_t fault_seed = 0;  // base seed for fault triggers and backoff jitter
+  double deadline_ms = 0.0;
+  std::string scores_out;
 };
 
 ReplayFlags ParseFlags(int argc, char** argv) {
@@ -93,6 +107,14 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       flags.metrics_out = next("--metrics-out");
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      flags.faults = next("--faults");
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      flags.fault_seed = static_cast<uint64_t>(std::atoll(next("--fault-seed")));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      flags.deadline_ms = std::atof(next("--deadline-ms"));
+    } else if (std::strcmp(argv[i], "--scores-out") == 0) {
+      flags.scores_out = next("--scores-out");
     } else {
       IMDIFF_CHECK(false) << "unknown flag" << argv[i];
     }
@@ -109,6 +131,21 @@ bool FileExists(const std::string& path) {
 int Main(int argc, char** argv) {
   const ReplayFlags flags = ParseFlags(argc, argv);
 
+  // Fail fast on unwritable output paths — a long replay must not end with
+  // its results unrecordable.
+  IMDIFF_CHECK(flags.metrics_out.empty() || ProbeWritable(flags.metrics_out))
+      << "--metrics-out path is not writable:" << flags.metrics_out;
+  IMDIFF_CHECK(flags.scores_out.empty() || ProbeWritable(flags.scores_out))
+      << "--scores-out path is not writable:" << flags.scores_out;
+
+  // Arm fault injection before any faultable work (the warm-load below is an
+  // injection point). The spec mirrors IMDIFF_FAULTS and overrides it.
+  if (!flags.faults.empty()) {
+    FaultRegistry::Global().Configure(flags.faults, flags.fault_seed);
+    std::printf("faults: armed \"%s\" (seed %" PRIu64 ")\n",
+                flags.faults.c_str(), flags.fault_seed);
+  }
+
   // Shared fitted model: one training history (all tenants run the same
   // service fleet), published once, shared read-only by every session.
   const MtsDataset train_set = MakeMicroserviceLatencyDataset(
@@ -122,22 +159,34 @@ int Main(int argc, char** argv) {
   serve::ModelRegistry registry;
   const int64_t k = train_set.num_features();
   const bool warm = !flags.model_path.empty() && FileExists(flags.model_path);
+  bool published = false;
   if (warm) {
     const int64_t version = registry.PublishFromFile(
         "latency", config, flags.model_path, k, stats);
-    IMDIFF_CHECK_GT(version, 0)
-        << "checkpoint exists but failed to load:" << flags.model_path;
-    std::printf("model: warm-loaded %s (version %" PRId64 ")\n",
-                flags.model_path.c_str(), version);
-  } else {
+    if (version > 0) {
+      published = true;
+      std::printf("model: warm-loaded %s (version %" PRId64 ")\n",
+                  flags.model_path.c_str(), version);
+    } else {
+      // Load failed past every retry and there is no previous version to
+      // fall back to — degrade to training a fresh model instead of dying.
+      IMDIFF_LOG(Warning) << "checkpoint load failed; training from scratch: "
+                          << flags.model_path;
+    }
+  }
+  if (!published) {
     auto detector = std::make_shared<ImDiffusionDetector>(config);
     Stopwatch fit_timer;
     detector->Fit(ApplyMinMax(train_set.train, stats));
     std::printf("model: fitted in %.1fs\n", fit_timer.ElapsedSeconds());
     if (!flags.model_path.empty()) {
-      detector->SaveModel(flags.model_path);
-      std::printf("model: checkpoint written to %s\n",
-                  flags.model_path.c_str());
+      if (serve::SaveModelWithRetry(*detector, flags.model_path)) {
+        std::printf("model: checkpoint written to %s\n",
+                    flags.model_path.c_str());
+      } else {
+        IMDIFF_LOG(Warning) << "checkpoint save failed; continuing with the "
+                               "in-memory model";
+      }
     }
     registry.Publish("latency", std::move(detector), stats);
   }
@@ -168,6 +217,7 @@ int Main(int argc, char** argv) {
   options.session.seed_base = flags.seed;
   options.batch.max_batch_windows = flags.batch_windows;
   options.batch.flush_window_seconds = flags.flush_ms / 1000.0;
+  options.deadline_seconds = flags.deadline_ms / 1000.0;
 
   std::printf(
       "replay: %" PRId64 " tenants x %" PRId64
@@ -208,8 +258,36 @@ int Main(int argc, char** argv) {
               metrics.GetCounter("serve.sessions_evicted")->value(),
               metrics.GetCounter("serve.sessions_rehydrated")->value());
 
+  const int64_t degraded = metrics.GetCounter("serve.degraded_blocks")->value();
+  const int64_t rehydrate_failures =
+      metrics.GetCounter("serve.rehydrate_failures")->value();
+  const int64_t arena_fallbacks = metrics.GetCounter("arena.fallback")->value();
+  if (!flags.faults.empty() || flags.deadline_ms > 0.0) {
+    std::printf("degradation: %" PRId64 " degraded blocks (%" PRId64
+                " degraded alerts), %" PRId64 " arena fallbacks, %" PRId64
+                " forced flushes, %" PRId64 " rehydrate failures\n",
+                degraded, served.degraded_alerts, arena_fallbacks,
+                metrics.GetCounter("serve.flush_timeouts")->value(),
+                rehydrate_failures);
+    std::printf("registry: %" PRId64 " load retries, %" PRId64
+                " load fallbacks, %" PRId64 " save retries, %" PRId64
+                " save failures\n",
+                metrics.GetCounter("registry.load_retries")->value(),
+                metrics.GetCounter("registry.load_fallbacks")->value(),
+                metrics.GetCounter("registry.save_retries")->value(),
+                metrics.GetCounter("registry.save_failures")->value());
+  }
+
   int exit_code = 0;
-  if (flags.compare_serial) {
+  if (flags.compare_serial && (degraded > 0 || rehydrate_failures > 0)) {
+    // Degraded blocks score a truncated chain and a dropped stash resets a
+    // tenant's stream positions — either makes the full-quality serial
+    // baseline the wrong reference. Determinism is checked differently in
+    // chaos runs: two identical runs must produce identical --scores-out.
+    std::printf("serial: comparison skipped (%" PRId64 " degraded blocks, "
+                "%" PRId64 " rehydrate failures)\n",
+                degraded, rehydrate_failures);
+  } else if (flags.compare_serial) {
     // Serial baseline: per-tenant fresh scoring, no batching, no cache.
     Stopwatch serial_timer;
     int64_t mismatched_tenants = 0;
@@ -234,6 +312,33 @@ int Main(int argc, char** argv) {
                              : 0.0,
         ratio, mismatched_tenants == 0 ? "IDENTICAL" : "MISMATCH");
     if (mismatched_tenants > 0) exit_code = 1;
+  }
+
+  if (!flags.scores_out.empty()) {
+    // Hex-exact dump for cross-run bitwise comparison: one line per tenant
+    // ("tenant score score ..."), then the fault-visible counters. Two runs
+    // with identical flags (including --faults/--fault-seed) must produce
+    // byte-identical files.
+    std::ofstream out(flags.scores_out);
+    for (const auto& [tenant, scores] : served.scores) {
+      out << tenant;
+      char buf[40];
+      for (float s : scores) {
+        std::snprintf(buf, sizeof(buf), " %a", static_cast<double>(s));
+        out << buf;
+      }
+      out << "\n";
+    }
+    out << "serve.degraded_blocks " << degraded << "\n";
+    out << "arena.fallback " << arena_fallbacks << "\n";
+    out.flush();
+    if (out.good()) {
+      IMDIFF_LOG(Info) << "score dump written to " << flags.scores_out;
+    } else {
+      IMDIFF_LOG(Error) << "failed to write score dump to "
+                        << flags.scores_out;
+      exit_code = 1;
+    }
   }
 
   if (!flags.metrics_out.empty()) {

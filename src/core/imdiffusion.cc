@@ -227,6 +227,18 @@ std::vector<int> ImDiffusionDetector::VoteSteps() const {
   return vote_ts;
 }
 
+int ImDiffusionDetector::ChainStartForDegradeLevel(int degrade_level) const {
+  // Truncating the reverse process degrades accuracy smoothly (the imputation
+  // starts from a noisier estimate) while keeping every ensemble vote: all
+  // vote steps lie in [0, vote_span), so any start >= vote_span - 1 executes
+  // the complete voting tail.
+  const int num_steps = config_.schedule.num_steps;
+  const int vote_span = std::min(config_.vote_last_steps, num_steps);
+  if (degrade_level <= 0) return num_steps - 1;
+  if (degrade_level == 1) return vote_span - 1 + (num_steps - vote_span) / 2;
+  return vote_span - 1;
+}
+
 int64_t ImDiffusionDetector::InferenceStride() const {
   // Forecasting imputes only the second half-window; use stride W/2 so that
   // (almost) every timestamp is predicted once. Other strategies cover every
@@ -241,16 +253,18 @@ void ImDiffusionDetector::RunChain(
     const Tensor& x0, const Tensor& mask, const Tensor& inv_mask,
     const Tensor& ref_noise, const Tensor& chain_start,
     const std::vector<int64_t>& policies, const std::vector<int>& vote_ts,
-    Rng* chunk_rng, std::vector<Rng>* per_window_rngs,
+    int chain_begin, Rng* chunk_rng, std::vector<Rng>* per_window_rngs,
     std::vector<Tensor>* step_diff, std::vector<Tensor>* step_val) const {
-  const int num_steps = config_.schedule.num_steps;
+  IMDIFF_CHECK_LT(chain_begin, config_.schedule.num_steps);
+  IMDIFF_CHECK(vote_ts.empty() || chain_begin >= vote_ts.front())
+      << "truncated chain would skip vote steps";
   const size_t num_votes = vote_ts.size();
   const int64_t bsz = x0.dim(0);
   const int64_t per_window = x0.dim(1) * x0.dim(2);
-  Tensor cur = chain_start;  // x_T
+  Tensor cur = chain_start;  // x_{chain_begin} (pure noise, see header)
   size_t vote_idx = 0;
   std::vector<float> z;
-  for (int t = num_steps - 1; t >= 0; --t) {
+  for (int t = chain_begin; t >= 0; --t) {
     // One denoising step for this (chunk, policy): model forward plus
     // the posterior update. The paper's per-step diagnostics (step-wise
     // imputation quality) hang off this distribution.
@@ -589,7 +603,7 @@ DetectionResult ImDiffusionDetector::RunWithTrace(const Tensor& test,
       RunChain(x0, mask, inv_mask,
                pre_ref_noise[ci][static_cast<size_t>(policy)],
                pre_chain_start[ci][static_cast<size_t>(policy)], policies,
-               vote_ts,
+               vote_ts, config_.schedule.num_steps - 1,
                config_.stochastic_sampling
                    ? &chain_rngs[ci][static_cast<size_t>(policy)]
                    : nullptr,
@@ -650,7 +664,8 @@ ImDiffusionDetector::WindowPlan ImDiffusionDetector::PlanWindows(
 
 std::vector<ImDiffusionDetector::WindowScore>
 ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
-                                      const std::vector<uint64_t>& seeds) const {
+                                      const std::vector<uint64_t>& seeds,
+                                      int degrade_level) const {
   IMDIFF_CHECK(model_ != nullptr) << "Fit or LoadModel must be called first";
   IMDIFF_CHECK_EQ(windows.ndim(), 3u);
   const int64_t num_windows = windows.dim(0);
@@ -667,6 +682,7 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
   IMDIFF_TRACE_SCOPE("detector.batch_score_seconds");
   const std::vector<int> vote_ts = VoteSteps();
   const size_t num_votes = vote_ts.size();
+  const int chain_begin = ChainStartForDegradeLevel(degrade_level);
   const int num_policies = NumPolicies(config_.mask_strategy);
   const int64_t per_window = k * window;
   auto mask_pair = MakeMaskPair(config_.mask_strategy, k, window,
@@ -734,7 +750,7 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
       std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
       RunChain(x0, mask, inv_mask, ref_noise[static_cast<size_t>(policy)],
                chain_start[static_cast<size_t>(policy)], policies, vote_ts,
-               nullptr,
+               chain_begin, nullptr,
                config_.stochastic_sampling
                    ? &window_rngs[static_cast<size_t>(policy)]
                    : nullptr,
@@ -772,15 +788,17 @@ DetectionResult ImDiffusionDetector::ReduceWindowScores(
 }
 
 DetectionResult ImDiffusionDetector::RunSeeded(const Tensor& test,
-                                               uint64_t seed) const {
+                                               uint64_t seed,
+                                               int degrade_level) const {
   WindowPlan plan = PlanWindows(test);
   const int64_t n = plan.windows.dim(0);
   std::vector<uint64_t> seeds(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     seeds[static_cast<size_t>(i)] = MixSeed(seed, static_cast<uint64_t>(i));
   }
-  return ReduceWindowScores(ScoreWindowBatch(plan.windows, seeds), plan.starts,
-                            plan.length);
+  return ReduceWindowScores(
+      ScoreWindowBatch(plan.windows, seeds, degrade_level), plan.starts,
+      plan.length);
 }
 
 void ImDiffusionDetector::SaveModel(const std::string& path) const {

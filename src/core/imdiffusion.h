@@ -133,8 +133,22 @@ class ImDiffusionDetector : public AnomalyDetector {
   // Scores N windows ([N, K, W]; possibly from different series/sessions) in
   // shared reverse-diffusion chunks of `infer_batch`. seeds[i] drives all
   // noise for window i. Requires a deterministic mask strategy (not kRandom).
-  std::vector<WindowScore> ScoreWindowBatch(
-      const Tensor& windows, const std::vector<uint64_t>& seeds) const;
+  //
+  // `degrade_level` > 0 trades accuracy for latency by truncating the reverse
+  // chain (the serving layer's deadline-degradation knob, DESIGN.md §13): the
+  // chain starts at ChainStartForDegradeLevel(degrade_level) instead of T-1,
+  // treating the pure-noise start as an over-noised x_t. Every vote step is
+  // always executed, so WindowScores from any level have identical shapes.
+  // Scores remain a pure function of (content, seed, degrade_level).
+  std::vector<WindowScore> ScoreWindowBatch(const Tensor& windows,
+                                            const std::vector<uint64_t>& seeds,
+                                            int degrade_level = 0) const;
+
+  // First forward-index step t of the (possibly truncated) reverse chain for
+  // a degradation level: level 0 = the full chain (T-1); level 1 = halfway
+  // between the full chain and the vote span; level >= 2 = the vote span
+  // only (the cheapest chain that still produces every ensemble vote).
+  int ChainStartForDegradeLevel(int degrade_level) const;
 
   // Per-series tail of Run(): scatters window scores back onto the series
   // (overlap-averaged), applies the Eq. 12 rescaled thresholds and ensemble
@@ -145,8 +159,10 @@ class ImDiffusionDetector : public AnomalyDetector {
 
   // Full seeded pass over one series: PlanWindows + ScoreWindowBatch (window
   // i seeded with MixSeed(seed, i)) + ReduceWindowScores. A pure function of
-  // (test, seed, config); unlike Run() it does not touch the fit-time RNG.
-  DetectionResult RunSeeded(const Tensor& test, uint64_t seed) const;
+  // (test, seed, degrade_level, config); unlike Run() it does not touch the
+  // fit-time RNG.
+  DetectionResult RunSeeded(const Tensor& test, uint64_t seed,
+                            int degrade_level = 0) const;
 
   // ---- Checkpointing (model registry, src/serve) -----------------------
 
@@ -169,17 +185,20 @@ class ImDiffusionDetector : public AnomalyDetector {
   std::vector<int> VoteSteps() const;
   int64_t InferenceStride() const;
   // One (chunk, policy) reverse-diffusion chain: denoises from `chain_start`
-  // to t=0, accumulating the imputed-region signed residual (and optionally
-  // the imputed values) into step_diff/step_val at each vote step. Sampling
-  // noise comes from `chunk_rng` (Run path: one stream for the whole chunk)
-  // or `per_window_rngs` (seeded path: one stream per window, so results do
-  // not depend on which windows share a chunk); with neither, the posterior
-  // mean is used.
+  // (treated as x_{chain_begin}) down to t=0, accumulating the imputed-region
+  // signed residual (and optionally the imputed values) into
+  // step_diff/step_val at each vote step. `chain_begin` is T-1 for the full
+  // chain or ChainStartForDegradeLevel(level) for a truncated one (it must be
+  // >= the largest vote step so every vote executes). Sampling noise comes
+  // from `chunk_rng` (Run path: one stream for the whole chunk) or
+  // `per_window_rngs` (seeded path: one stream per window, so results do not
+  // depend on which windows share a chunk); with neither, the posterior mean
+  // is used.
   void RunChain(const Tensor& x0, const Tensor& mask, const Tensor& inv_mask,
                 const Tensor& ref_noise, const Tensor& chain_start,
                 const std::vector<int64_t>& policies,
-                const std::vector<int>& vote_ts, Rng* chunk_rng,
-                std::vector<Rng>* per_window_rngs,
+                const std::vector<int>& vote_ts, int chain_begin,
+                Rng* chunk_rng, std::vector<Rng>* per_window_rngs,
                 std::vector<Tensor>* step_diff,
                 std::vector<Tensor>* step_val) const;
   // Reduces a chunk's accumulated signed residuals to per-(window, position)

@@ -8,20 +8,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "utils/fault.h"
+
 namespace imdiff {
 namespace nn {
 namespace {
 
 constexpr char kMagic[4] = {'I', 'M', 'D', 'F'};
 
-// Test-only crash injection point (see SetSaveFailurePointForTesting).
-int g_save_failure_tensor = -1;
-
 }  // namespace
-
-void SetSaveFailurePointForTesting(int tensor_index) {
-  g_save_failure_tensor = tensor_index;
-}
 
 void SaveParameters(const std::vector<Var>& params, const std::string& path) {
   // Stage into a sibling temp file and commit with an atomic rename: a crash
@@ -33,10 +28,10 @@ void SaveParameters(const std::vector<Var>& params, const std::string& path) {
     out.write(kMagic, 4);
     const uint32_t count = static_cast<uint32_t>(params.size());
     out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-    int written = 0;
     for (const Var& p : params) {
-      if (g_save_failure_tensor >= 0 && written == g_save_failure_tensor) {
-        throw std::runtime_error("SaveParameters: injected mid-stream crash");
+      if (IMDIFF_FAULT("serialize.save_io")) {
+        throw std::runtime_error(
+            "SaveParameters: injected mid-stream I/O fault");
       }
       const Tensor& t = p.value();
       const uint32_t ndim = static_cast<uint32_t>(t.ndim());
@@ -47,7 +42,6 @@ void SaveParameters(const std::vector<Var>& params, const std::string& path) {
       }
       out.write(reinterpret_cast<const char*>(t.data()),
                 static_cast<std::streamsize>(sizeof(float) * t.numel()));
-      ++written;
     }
     out.flush();
     IMDIFF_CHECK(out.good()) << "write failed:" << tmp;

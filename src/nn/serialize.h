@@ -15,19 +15,19 @@
 namespace imdiff {
 namespace nn {
 
-// Writes all parameter values to `path`. Aborts on IO failure.
+// Writes all parameter values to `path`. Aborts on real IO failure.
 // Crash-safe: the payload is written to `path + ".tmp"` and moved into place
 // with std::rename only after a successful flush, so a crash (or injected
 // failure) mid-save can never leave a truncated/corrupt file at `path` — any
 // previously committed checkpoint survives intact. The serving-layer model
 // registry relies on this to warm-load checkpoints unconditionally.
+//
+// Fault injection: the "serialize.save_io" point (utils/fault.h) is checked
+// once per tensor; when it fires, the save throws std::runtime_error before
+// the rename commit, simulating a mid-stream I/O crash. This is the one
+// recoverable (thrown, not aborted) failure in the save path — the registry's
+// retrying saver catches it; real stream errors still IMDIFF_CHECK-abort.
 void SaveParameters(const std::vector<Var>& params, const std::string& path);
-
-// Test-only failure injection: makes the next SaveParameters call throw
-// std::runtime_error after `tensor_index` tensors have been written to the
-// temporary file (simulating a crash mid-stream, before the rename commit).
-// Pass a negative value to disable. Not thread-safe; tests only.
-void SetSaveFailurePointForTesting(int tensor_index);
 
 // Loads values into `params` in order. Returns false (without aborting) when
 // the file is missing or malformed, so callers can fall back to training.

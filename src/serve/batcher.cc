@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "utils/check.h"
+#include "utils/fault.h"
 #include "utils/metrics.h"
 
 namespace imdiff {
@@ -12,10 +13,12 @@ namespace serve {
 
 DetectionResult ScoreBlock(const ImDiffusionDetector& detector,
                            uint64_t session_seed,
-                           const OnlineDetector::ReadyBlock& ready) {
+                           const OnlineDetector::ReadyBlock& ready,
+                           int degrade_level) {
   const BlockPlan plan = PlanBlock(detector, session_seed, ready);
   return detector.ReduceWindowScores(
-      detector.ScoreWindowBatch(plan.windows.windows, plan.seeds),
+      detector.ScoreWindowBatch(plan.windows.windows, plan.seeds,
+                                degrade_level),
       plan.windows.starts, plan.windows.length);
 }
 
@@ -25,16 +28,20 @@ std::vector<DetectionResult> ScoreBlocks(std::vector<BlockRequest>* requests) {
   if (requests->empty()) return results;
   IMDIFF_TRACE_SCOPE("serve.batch_score_seconds");
 
-  // Group by captured model version: a hot swap between Submit and flush
-  // must not retarget an in-flight block.
-  std::map<const ModelEntry*, std::vector<size_t>> groups;
+  // Group by (captured model version, degrade level): a hot swap between
+  // Submit and flush must not retarget an in-flight block, and one batched
+  // reverse chain runs at one truncation depth.
+  std::map<std::pair<const ModelEntry*, int>, std::vector<size_t>> groups;
   for (size_t r = 0; r < requests->size(); ++r) {
     IMDIFF_CHECK((*requests)[r].model != nullptr);
-    groups[(*requests)[r].model.get()].push_back(r);
+    groups[{(*requests)[r].model.get(), (*requests)[r].degrade_level}]
+        .push_back(r);
   }
 
   MetricsRegistry& registry = MetricsRegistry::Global();
-  for (const auto& [entry, members] : groups) {
+  for (const auto& [key, members] : groups) {
+    const ModelEntry* entry = key.first;
+    const int degrade_level = key.second;
     const ImDiffusionDetector& detector = *entry->detector;
     const int64_t k = detector.config().model.num_features;
     const int64_t window = detector.config().model.window;
@@ -63,7 +70,7 @@ std::vector<DetectionResult> ScoreBlocks(std::vector<BlockRequest>* requests) {
                     per_window, dst + static_cast<int64_t>(m) * per_window);
       }
       std::vector<ImDiffusionDetector::WindowScore> fresh =
-          detector.ScoreWindowBatch(batch, seeds);
+          detector.ScoreWindowBatch(batch, seeds, degrade_level);
       for (size_t m = 0; m < origin.size(); ++m) {
         (*requests)[origin[m].first].scores[origin[m].second] =
             std::move(fresh[m]);
@@ -107,6 +114,19 @@ void MicroBatcher::Submit(BlockRequest request) {
     pending_.push_back(std::move(request));
   }
   cv_.notify_all();
+  // Injected flush-timer misbehavior (batcher.flush_timeout): force an
+  // immediate flush on the submitting thread, as if the window expired right
+  // now. Bitwise-neutral for scores (batch composition is unobservable in
+  // the output); checked here rather than in the flusher loop so that with a
+  // single ingest worker the forced batch boundaries — and hence downstream
+  // per-point fault call counts — are reproducible across chaos runs.
+  if (IMDIFF_FAULT("batcher.flush_timeout")) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!pending_.empty()) {
+      MetricsRegistry::Global().GetCounter("serve.flush_timeouts")->Increment();
+      ScoreBatchLocked(lock);
+    }
+  }
 }
 
 void MicroBatcher::ScoreBatchLocked(std::unique_lock<std::mutex>& lock) {

@@ -1,12 +1,33 @@
 #include "serve/model_registry.h"
 
+#include <chrono>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "utils/check.h"
+#include "utils/logging.h"
 #include "utils/metrics.h"
+#include "utils/rng.h"
 
 namespace imdiff {
 namespace serve {
+namespace {
+
+void SleepSeconds(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+// Jitter seed for a checkpoint path: deterministic per (fault seed, path), so
+// replayed chaos runs sleep the same schedule.
+uint64_t BackoffSeed(const std::string& path) {
+  return MixSeed(FaultRegistry::Global().seed(),
+                 HashBytes(path.data(), path.size()));
+}
+
+}  // namespace
 
 int64_t ModelRegistry::Publish(
     const std::string& name,
@@ -33,10 +54,61 @@ int64_t ModelRegistry::PublishFromFile(const std::string& name,
                                        const ImDiffusionConfig& config,
                                        const std::string& path,
                                        int64_t num_features,
-                                       const MinMaxStats& stats) {
-  auto detector = std::make_shared<ImDiffusionDetector>(config);
-  if (!detector->LoadModel(path, num_features)) return -1;
-  return Publish(name, std::move(detector), stats);
+                                       const MinMaxStats& stats,
+                                       const BackoffPolicy& backoff) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const std::vector<double> delays = BackoffSchedule(backoff, BackoffSeed(path));
+  for (int attempt = 0; attempt < backoff.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics.GetCounter("registry.load_retries")->Increment();
+      SleepSeconds(delays[static_cast<size_t>(attempt - 1)]);
+    }
+    if (IMDIFF_FAULT("registry.load_io")) {
+      IMDIFF_LOG(Warning) << "injected checkpoint load fault (attempt "
+                          << attempt + 1 << "): " << path;
+      continue;
+    }
+    auto detector = std::make_shared<ImDiffusionDetector>(config);
+    if (detector->LoadModel(path, num_features)) {
+      return Publish(name, std::move(detector), stats);
+    }
+  }
+  // Every attempt failed: keep serving whatever was published before.
+  auto previous = Acquire(name);
+  if (previous != nullptr) {
+    metrics.GetCounter("registry.load_fallbacks")->Increment();
+    IMDIFF_LOG(Warning) << "checkpoint load failed after "
+                        << backoff.max_attempts
+                        << " attempts; still serving version "
+                        << previous->version << " of " << name;
+    return previous->version;
+  }
+  return -1;
+}
+
+bool SaveModelWithRetry(const ImDiffusionDetector& detector,
+                        const std::string& path,
+                        const BackoffPolicy& backoff) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const std::vector<double> delays = BackoffSchedule(backoff, BackoffSeed(path));
+  for (int attempt = 0; attempt < backoff.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics.GetCounter("registry.save_retries")->Increment();
+      SleepSeconds(delays[static_cast<size_t>(attempt - 1)]);
+    }
+    try {
+      if (IMDIFF_FAULT("registry.save_io")) {
+        throw std::runtime_error("injected registry.save_io fault");
+      }
+      detector.SaveModel(path);
+      return true;
+    } catch (const std::exception& e) {
+      IMDIFF_LOG(Warning) << "checkpoint save attempt " << attempt + 1
+                          << " failed: " << e.what();
+    }
+  }
+  metrics.GetCounter("registry.save_failures")->Increment();
+  return false;
 }
 
 std::shared_ptr<const ModelEntry> ModelRegistry::Acquire(

@@ -19,6 +19,7 @@
 
 #include "core/imdiffusion.h"
 #include "data/dataset.h"
+#include "utils/fault.h"
 
 namespace imdiff {
 namespace serve {
@@ -41,12 +42,21 @@ class ModelRegistry {
                   const MinMaxStats& stats);
 
   // Warm-loads the checkpoint at `path` (written by SaveModel) into a fresh
-  // detector built from `config`, then publishes it. Returns the new version,
-  // or -1 when the checkpoint is missing or mismatched (registry unchanged).
+  // detector built from `config`, then publishes it.
+  //
+  // Resilience (DESIGN.md §13): each failed load attempt — a real
+  // missing/mismatched file or an injected "registry.load_io" fault — is
+  // retried up to backoff.max_attempts times with seeded exponential backoff
+  // (registry.load_retries counts retries). When every attempt fails, the
+  // previously published version under `name`, if any, keeps serving: the
+  // call returns its version and counts registry.load_fallbacks. Returns -1
+  // only when there is no previous version to fall back to (registry
+  // unchanged).
   int64_t PublishFromFile(const std::string& name,
                           const ImDiffusionConfig& config,
                           const std::string& path, int64_t num_features,
-                          const MinMaxStats& stats);
+                          const MinMaxStats& stats,
+                          const BackoffPolicy& backoff = BackoffPolicy());
 
   // Latest published version, or nullptr when `name` is unknown. The entry
   // is immutable and survives later Publish calls for as long as the caller
@@ -60,6 +70,17 @@ class ModelRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ModelEntry>> entries_;
 };
+
+// Writes the detector's checkpoint with bounded retry + seeded backoff.
+// Injected save faults ("registry.save_io" before the write, and the
+// per-tensor "serialize.save_io" mid-stream crash) throw and are retried
+// (registry.save_retries); real stream errors abort as before. Returns false
+// after exhausting attempts (registry.save_failures) — callers keep serving
+// the in-memory model and may retry later; the previously committed
+// checkpoint at `path` is never corrupted (SaveParameters commits by rename).
+bool SaveModelWithRetry(const ImDiffusionDetector& detector,
+                        const std::string& path,
+                        const BackoffPolicy& backoff = BackoffPolicy());
 
 }  // namespace serve
 }  // namespace imdiff

@@ -19,7 +19,8 @@ namespace serve {
 std::vector<float> ReplaySerial(const ModelEntry& model,
                                 const OnlineDetector::Options& online_options,
                                 uint64_t seed_base,
-                                const TenantStream& stream) {
+                                const TenantStream& stream,
+                                int degrade_level) {
   IMDIFF_CHECK(model.detector != nullptr && model.detector->fitted());
   OnlineDetector online(nullptr, online_options);
   online.SetNormalization(model.stats);
@@ -33,7 +34,7 @@ std::vector<float> ReplaySerial(const ModelEntry& model,
     OnlineDetector::ReadyBlock ready;
     if (!online.AppendBuffered(sample, &ready)) continue;
     const DetectionResult result =
-        ScoreBlock(*model.detector, session_seed, ready);
+        ScoreBlock(*model.detector, session_seed, ready, degrade_level);
     const OnlineDetector::Alert alert =
         OnlineDetector::MakeAlert(ready, result);
     for (size_t i = 0; i < alert.scores.size(); ++i) {
@@ -65,6 +66,7 @@ ReplayStats ReplayThroughServer(std::shared_ptr<const ModelEntry> model,
   auto on_alert = [&](const StreamServer::ScoredBlock& scored) {
     std::lock_guard<std::mutex> lock(mu);
     ++stats.alerts;
+    if (scored.degrade_level > 0) ++stats.degraded_alerts;
     auto it = stats.scores.find(scored.tenant);
     IMDIFF_CHECK(it != stats.scores.end());
     std::vector<float>& out = it->second;

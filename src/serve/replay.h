@@ -32,9 +32,12 @@ struct TenantStream {
 // Scores one tenant serially: every ready block is scored fresh through
 // ScoreBlock. Returns the assembled per-position score stream (length L;
 // positions never emitted stay 0). Bitwise reference for the served path.
+// `degrade_level` scores every block at that ladder rung — the reference for
+// a run whose deadline policy degraded uniformly.
 std::vector<float> ReplaySerial(const ModelEntry& model,
                                 const OnlineDetector::Options& online,
-                                uint64_t seed_base, const TenantStream& stream);
+                                uint64_t seed_base, const TenantStream& stream,
+                                int degrade_level = 0);
 
 struct ReplayStats {
   // Assembled per-tenant score streams (length L each).
@@ -42,6 +45,7 @@ struct ReplayStats {
   int64_t submitted = 0;
   int64_t rejected = 0;  // backpressure rejections (samples were retried)
   int64_t alerts = 0;
+  int64_t degraded_alerts = 0;  // alerts scored at degrade_level > 0
   double seconds = 0.0;            // submit of first sample → drain complete
   double points_per_second = 0.0;  // total samples / seconds
 };

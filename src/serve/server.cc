@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "utils/check.h"
+#include "utils/fault.h"
 #include "utils/metrics.h"
 #include "utils/rng.h"
 
@@ -12,6 +13,11 @@ namespace serve {
 StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
                            const Options& options, AlertCallback on_alert)
     : options_(options),
+      batch_score_(MetricsRegistry::Global().GetHistogram(
+          "serve.batch_score_seconds")),
+      degraded_blocks_(
+          MetricsRegistry::Global().GetCounter("serve.degraded_blocks")),
+      deadline_fault_(FaultRegistry::Global().GetPoint("serve.deadline")),
       sessions_(std::move(model), options.session),
       batcher_(&sessions_, options.batch,
                [this](const BlockRequest& request,
@@ -19,6 +25,7 @@ StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
                  ScoredBlock scored;
                  scored.tenant = request.tenant;
                  scored.block_index = request.block_index;
+                 scored.degrade_level = request.degrade_level;
                  scored.alert = OnlineDetector::MakeAlert(request.ready, result);
                  // Ready-to-alert latency: queueing at the batcher plus the
                  // batched scoring pass — the end-to-end cost the serving
@@ -95,12 +102,16 @@ void StreamServer::WorkerLoop(Shard* shard) {
       shard->busy = true;
     }
     queue_depth->Add(-1.0);
-    queue_wait->Record(std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - request.enqueue)
-                           .count());
+    const double wait_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      request.enqueue)
+            .count();
+    queue_wait->Record(wait_seconds);
 
     BlockRequest block;
     if (sessions_.Append(request.tenant, request.sample, &block)) {
+      block.degrade_level = ChooseDegradeLevel(wait_seconds, block);
+      if (block.degrade_level > 0) degraded_blocks_->Increment();
       batcher_.Submit(std::move(block));
     }
 
@@ -110,6 +121,30 @@ void StreamServer::WorkerLoop(Shard* shard) {
     }
     shard->cv_idle.notify_all();
   }
+}
+
+int StreamServer::ChooseDegradeLevel(double queue_wait_seconds,
+                                     const BlockRequest& block) const {
+  // Chaos override: an armed "serve.deadline" point decides from (fault
+  // seed, session seed, block index) alone — no wall clock — so two runs of
+  // the same stream degrade exactly the same blocks.
+  if (FaultRegistry::Global().armed() && deadline_fault_->armed()) {
+    return deadline_fault_->FireKeyed(
+               MixSeed(block.session_seed,
+                       static_cast<uint64_t>(block.block_index)))
+               ? 2
+               : 0;
+  }
+  if (options_.deadline_seconds <= 0.0) return 0;
+  const double remaining = options_.deadline_seconds - queue_wait_seconds;
+  // Budget already gone: score the cheapest chain rather than shed — a
+  // degraded score still beats a missing one for anomaly detection.
+  if (remaining <= 0.0) return 2;
+  // Predict the batched scoring cost from observed history; with no history
+  // yet, optimistically assume it fits.
+  const double predicted =
+      batch_score_->count() > 0 ? batch_score_->Percentile(0.9) : 0.0;
+  return predicted > remaining ? 1 : 0;
 }
 
 void StreamServer::Drain() {

@@ -29,6 +29,11 @@
 #include "serve/session_manager.h"
 
 namespace imdiff {
+
+class Counter;     // utils/metrics.h
+class Histogram;   // utils/metrics.h
+class FaultPoint;  // utils/fault.h
+
 namespace serve {
 
 class StreamServer {
@@ -38,6 +43,13 @@ class StreamServer {
     int num_workers = 2;
     // Per-shard queue capacity; a full queue rejects new samples.
     int64_t queue_capacity = 1024;
+    // Per-block latency budget for the degradation ladder (DESIGN.md §13):
+    // when queue wait plus the predicted batched-scoring time (p90 of
+    // serve.batch_score_seconds) exceeds this, the block is scored with a
+    // truncated reverse chain instead of being shed. <= 0 disables the
+    // policy (always full quality); shedding at ingest (full shard queue)
+    // remains the last resort either way.
+    double deadline_seconds = 0.0;
     SessionManager::Options session;
     MicroBatcher::Options batch;
   };
@@ -47,6 +59,8 @@ class StreamServer {
     std::string tenant;
     int64_t block_index = 0;
     OnlineDetector::Alert alert;
+    // Degradation level the block was scored at (0 = full reverse chain).
+    int degrade_level = 0;
   };
   // Runs on a batcher/worker thread; must be thread-safe and non-blocking
   // (it sits on the scoring path).
@@ -94,8 +108,20 @@ class StreamServer {
 
   void WorkerLoop(Shard* shard);
   size_t ShardOf(const std::string& tenant) const;
+  // Degradation ladder decision for one ready block. Wall-clock based when
+  // the deadline policy is on; when the "serve.deadline" fault point is
+  // armed, the decision instead derives deterministically from the fault
+  // seed and the block's (session seed, block index) — chaos runs need
+  // reproducible degradation placement.
+  int ChooseDegradeLevel(double queue_wait_seconds,
+                         const BlockRequest& block) const;
 
   const Options options_;
+  // Registry handles resolved once at construction (registry lookups take a
+  // lock; the worker loop is the ingest hot path).
+  Histogram* batch_score_ = nullptr;      // serve.batch_score_seconds
+  Counter* degraded_blocks_ = nullptr;    // serve.degraded_blocks
+  FaultPoint* deadline_fault_ = nullptr;  // "serve.deadline" injection point
   SessionManager sessions_;
   MicroBatcher batcher_;
   AlertCallback on_alert_;

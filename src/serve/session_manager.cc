@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "utils/check.h"
+#include "utils/fault.h"
 #include "utils/metrics.h"
 #include "utils/rng.h"
 
@@ -69,6 +70,16 @@ SessionManager::Session& SessionManager::GetOrCreateLocked(
   Session& session = inserted->second;
   session.seed = TenantSeed(options_.seed_base, tenant);
   auto stashed = stash_.find(tenant);
+  if (stashed != stash_.end() && IMDIFF_FAULT("session.rehydrate")) {
+    // Injected rehydrate failure (a corrupt or lost stash in a real
+    // deployment): drop the stash and rebuild the session from the live
+    // stream instead of crashing. The tenant restarts with fresh counters —
+    // stream positions (and thus window seeds) reset, which is degradation,
+    // not data loss: every subsequent sample still gets scored.
+    stash_.erase(stashed);
+    stashed = stash_.end();
+    registry.GetCounter("serve.rehydrate_failures")->Increment();
+  }
   if (stashed != stash_.end()) {
     // Rehydrate an evicted session: the stashed state restores the rolling
     // buffer, counters and normalization, so the continuation is bitwise
@@ -166,6 +177,9 @@ void SessionManager::CompleteBlock(const BlockRequest& request) {
   // A hot swap between ready and completion invalidates the write-back: the
   // scores belong to the old version, the cache to the new one.
   if (request.model != model_) return;
+  // Degraded (truncated-chain) scores must not contaminate the cache: cached
+  // entries are reused as full-quality scores by later overlapping blocks.
+  if (request.degrade_level != 0) return;
   for (size_t i = 0; i < request.plan.cache_keys.size(); ++i) {
     const int64_t key = request.plan.cache_keys[i];
     if (key < 0 || request.hit[i]) continue;

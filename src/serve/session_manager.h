@@ -80,6 +80,11 @@ struct BlockRequest {
   // Model version captured when the block became ready; a concurrent hot
   // swap does not retarget blocks already in flight.
   std::shared_ptr<const ModelEntry> model;
+  // Degradation level chosen by the server's deadline policy (DESIGN.md §13):
+  // 0 scores the full reverse chain; > 0 truncates it (see
+  // ImDiffusionDetector::ChainStartForDegradeLevel). Degraded fresh scores
+  // are delivered but never written back to the window-score cache.
+  int degrade_level = 0;
 };
 
 class SessionManager {

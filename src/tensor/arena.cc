@@ -4,6 +4,7 @@
 #include <cstring>
 #include <new>
 
+#include "utils/fault.h"
 #include "utils/metrics.h"
 
 namespace imdiff {
@@ -30,8 +31,11 @@ bool PoolingEnabledFromEnv() {
 Arena::Arena()
     : hits_(MetricsRegistry::Global().GetCounter("arena.hits")),
       misses_(MetricsRegistry::Global().GetCounter("arena.misses")),
+      fallbacks_(MetricsRegistry::Global().GetCounter("arena.fallback")),
       live_bytes_(MetricsRegistry::Global().GetGauge("arena.live_bytes")),
-      pooled_bytes_(MetricsRegistry::Global().GetGauge("arena.pooled_bytes")) {
+      pooled_bytes_(MetricsRegistry::Global().GetGauge("arena.pooled_bytes")),
+      faults_(&FaultRegistry::Global()),
+      fault_alloc_(FaultRegistry::Global().GetPoint("arena.alloc")) {
   pooling_.store(PoolingEnabledFromEnv(), std::memory_order_relaxed);
 }
 
@@ -59,6 +63,16 @@ float* Arena::Acquire(size_t n) {
     return SystemAlloc(n);
   }
   const size_t cap = BucketFloats(b);
+  // Injected allocator fault: pretend the free lists are unusable and fall
+  // back to a plain system allocation. The buffer is still bucket-capacity
+  // sized, so it recycles into the free list safely on Release — the fault
+  // degrades throughput (arena.fallback counts it), never correctness.
+  if (faults_->armed() && fault_alloc_->Fire()) {
+    fallbacks_->Increment();
+    misses_->Increment();
+    live_bytes_->Add(static_cast<double>(cap * sizeof(float)));
+    return SystemAlloc(cap);
+  }
   if (pooling_.load(std::memory_order_relaxed)) {
     Bucket& bucket = buckets_[b];
     std::lock_guard<std::mutex> lock(bucket.mu);

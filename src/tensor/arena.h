@@ -40,6 +40,8 @@
 namespace imdiff {
 
 class Counter;
+class FaultPoint;
+class FaultRegistry;
 class Gauge;
 
 class Arena {
@@ -104,8 +106,16 @@ class Arena {
   // Metrics handles (registry-owned, process lifetime).
   Counter* hits_;
   Counter* misses_;
+  Counter* fallbacks_;
   Gauge* live_bytes_;
   Gauge* pooled_bytes_;
+  // Fault-injection handles, cached like the metrics handles so the hot path
+  // never resolves registry entries. When the "arena.alloc" point fires, the
+  // acquisition skips the free lists and takes a plain system allocation
+  // (bucket capacity, so the buffer recycles safely), counted by
+  // arena.fallback — the degradation path for allocator faults.
+  FaultRegistry* faults_;
+  FaultPoint* fault_alloc_;
 };
 
 // RAII scratch buffer for kernel-internal temporaries (e.g. packed GEMM

@@ -1,0 +1,209 @@
+#include "utils/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "utils/check.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+// Hash → uniform double in [0, 1), same construction std::generate_canonical
+// effectively uses: the top 53 bits scaled by 2^-53.
+double UnitFromHash(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+struct ParsedEntry {
+  std::string name;
+  double probability = 0.0;
+  int64_t fire_on_call = 0;
+  int64_t max_fires = -1;
+};
+
+// Grammar (see fault.h): "name:P", "name:PxM", "name:#N", comma-separated.
+std::vector<ParsedEntry> ParseSpec(const std::string& spec) {
+  std::vector<ParsedEntry> entries;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const size_t colon = item.find(':');
+    IMDIFF_CHECK(colon != std::string::npos && colon > 0)
+        << "fault spec entry needs name:trigger, got:" << item;
+    ParsedEntry entry;
+    entry.name = item.substr(0, colon);
+    const std::string trigger = item.substr(colon + 1);
+    IMDIFF_CHECK(!trigger.empty()) << "empty fault trigger in:" << item;
+    if (trigger[0] == '#') {
+      char* parse_end = nullptr;
+      entry.fire_on_call = std::strtoll(trigger.c_str() + 1, &parse_end, 10);
+      IMDIFF_CHECK(parse_end != nullptr && *parse_end == '\0' &&
+                   entry.fire_on_call > 0)
+          << "fault count trigger must be #N with N >= 1, got:" << item;
+      entry.max_fires = 1;
+    } else {
+      char* parse_end = nullptr;
+      entry.probability = std::strtod(trigger.c_str(), &parse_end);
+      IMDIFF_CHECK(parse_end != nullptr && parse_end != trigger.c_str())
+          << "fault probability must be a number, got:" << item;
+      if (*parse_end == 'x') {
+        char* cap_end = nullptr;
+        entry.max_fires = std::strtoll(parse_end + 1, &cap_end, 10);
+        IMDIFF_CHECK(cap_end != nullptr && *cap_end == '\0' &&
+                     entry.max_fires > 0)
+            << "fault fire cap must be xM with M >= 1, got:" << item;
+      } else {
+        IMDIFF_CHECK(*parse_end == '\0') << "trailing garbage in:" << item;
+      }
+      IMDIFF_CHECK(entry.probability >= 0.0 && entry.probability <= 1.0)
+          << "fault probability out of [0,1]:" << item;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+bool FaultPoint::Fire() {
+  const int64_t index = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int64_t on = fire_on_call_.load(std::memory_order_relaxed);
+  bool fire;
+  if (on > 0) {
+    fire = index == on;
+  } else {
+    const double p = probability_.load(std::memory_order_relaxed);
+    if (p <= 0.0) return false;
+    fire = UnitFromHash(MixSeed(seed_.load(std::memory_order_relaxed),
+                                static_cast<uint64_t>(index))) < p;
+  }
+  if (!fire) return false;
+  const int64_t cap = max_fires_.load(std::memory_order_relaxed);
+  const int64_t already = fired_.fetch_add(1, std::memory_order_relaxed);
+  if (cap >= 0 && already >= cap) {
+    fired_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool FaultPoint::FireKeyed(uint64_t key) {
+  const double p = probability_.load(std::memory_order_relaxed);
+  if (p <= 0.0) return false;
+  const bool fire =
+      UnitFromHash(MixSeed(seed_.load(std::memory_order_relaxed), key)) < p;
+  if (fire) fired_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void FaultPoint::Arm(double probability, int64_t fire_on_call,
+                     int64_t max_fires, uint64_t seed) {
+  probability_.store(probability, std::memory_order_relaxed);
+  fire_on_call_.store(fire_on_call, std::memory_order_relaxed);
+  max_fires_.store(max_fires, std::memory_order_relaxed);
+  seed_.store(seed, std::memory_order_relaxed);
+  calls_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+}
+
+void FaultPoint::Disarm() { Arm(0.0, 0, -1, 0); }
+
+FaultRegistry& FaultRegistry::Global() {
+  // Leaked singleton: see header.
+  static FaultRegistry* const registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  const char* seed_env = std::getenv("IMDIFF_FAULTS_SEED");
+  if (seed_env != nullptr && *seed_env != '\0') {
+    seed_ = std::strtoull(seed_env, nullptr, 10);
+  }
+  const char* spec_env = std::getenv("IMDIFF_FAULTS");
+  if (spec_env != nullptr && *spec_env != '\0') {
+    Configure(spec_env, seed_);
+  }
+}
+
+FaultPoint* FaultRegistry::GetPointLocked(const std::string& name) {
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(name,
+                      std::unique_ptr<FaultPoint>(new FaultPoint()))
+             .first;
+  }
+  return it->second.get();
+}
+
+FaultPoint* FaultRegistry::GetPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetPointLocked(name);
+}
+
+void FaultRegistry::Configure(const std::string& spec, uint64_t seed) {
+  const std::vector<ParsedEntry> entries = ParseSpec(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) point->Disarm();
+  for (const ParsedEntry& entry : entries) {
+    // Per-point seed mixed with the point name so two points under the same
+    // global seed draw decorrelated schedules.
+    GetPointLocked(entry.name)
+        ->Arm(entry.probability, entry.fire_on_call, entry.max_fires,
+              MixSeed(seed,
+                      HashBytes(entry.name.data(), entry.name.size())));
+  }
+  spec_ = spec;
+  seed_ = seed;
+  armed_.store(!entries.empty(), std::memory_order_relaxed);
+}
+
+std::string FaultRegistry::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_;
+}
+
+uint64_t FaultRegistry::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+std::map<std::string, int64_t> FaultRegistry::FireCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> counts;
+  for (const auto& [name, point] : points_) counts[name] = point->fired();
+  return counts;
+}
+
+FaultScope::FaultScope(const std::string& spec, uint64_t seed)
+    : prev_spec_(FaultRegistry::Global().spec()),
+      prev_seed_(FaultRegistry::Global().seed()) {
+  FaultRegistry::Global().Configure(spec, seed);
+}
+
+FaultScope::~FaultScope() {
+  FaultRegistry::Global().Configure(prev_spec_, prev_seed_);
+}
+
+std::vector<double> BackoffSchedule(const BackoffPolicy& policy,
+                                    uint64_t seed) {
+  IMDIFF_CHECK_GE(policy.max_attempts, 1);
+  IMDIFF_CHECK_GE(policy.jitter, 0.0);
+  IMDIFF_CHECK_LE(policy.jitter, 1.0);
+  std::vector<double> delays;
+  delays.reserve(static_cast<size_t>(policy.max_attempts - 1));
+  Rng rng(seed);
+  double base = policy.base_seconds;
+  for (int i = 0; i + 1 < policy.max_attempts; ++i) {
+    delays.push_back(base * (1.0 - policy.jitter * rng.Uniform()));
+    base *= policy.multiplier;
+  }
+  return delays;
+}
+
+}  // namespace imdiff

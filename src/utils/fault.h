@@ -1,0 +1,180 @@
+// Deterministic process-wide fault injection (DESIGN.md §13).
+//
+// Production code declares named injection points with IMDIFF_FAULT("name");
+// the call returns true when the registry decides that call should fail, and
+// the caller exercises its degradation path (fall back to a plain allocation,
+// retry a load, rebuild a session, ...). With no configuration every point
+// is disarmed and the check is a single relaxed atomic load.
+//
+// Configuration is a comma-separated spec, from the IMDIFF_FAULTS environment
+// variable (seeded by IMDIFF_FAULTS_SEED) or FaultRegistry::Configure:
+//
+//   IMDIFF_FAULTS="arena.alloc:0.01,registry.load_io:0.05,serialize.save_io:#2"
+//
+//   point:P      fire with probability P in [0, 1] per call
+//   point:PxM    ... but at most M times total
+//   point:#N     fire exactly on the N-th call (1-based), once
+//
+// Determinism is the design center: a probability trigger hashes (seed, call
+// index), so for a fixed spec + seed the k-th call to a point always makes
+// the same decision — two runs with identical traffic inject identical
+// faults. FireKeyed(key) goes further: the decision is a pure function of
+// (seed, key), independent of call order and thread interleaving, which is
+// what lets the serving layer make deadline decisions reproducible (keyed by
+// session/block) in the CI chaos job.
+//
+// Tests use FaultScope, which swaps in a spec and restores the previous
+// configuration on scope exit. Configure resets every point's call/fire
+// counters so each configuration replays its schedule from the start.
+
+#ifndef IMDIFF_UTILS_FAULT_H_
+#define IMDIFF_UTILS_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace imdiff {
+
+// One named injection point. Handles are process-lifetime (owned by the
+// FaultRegistry) and safe to cache, mirroring the metrics registry.
+class FaultPoint {
+ public:
+  // Sequence trigger: consumes one call index and decides from
+  // hash(seed, index) — deterministic per (spec, seed, call count).
+  bool Fire();
+
+  // Keyed trigger: pure function of (seed, key); does not consume a call
+  // index and ignores count triggers and fire caps, so the decision is
+  // independent of call order and thread interleaving.
+  bool FireKeyed(uint64_t key);
+
+  // True when the current configuration can make this point fire.
+  bool armed() const {
+    return probability_.load(std::memory_order_relaxed) > 0.0 ||
+           fire_on_call_.load(std::memory_order_relaxed) > 0;
+  }
+
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  int64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+ private:
+  friend class FaultRegistry;
+  FaultPoint() = default;
+
+  void Arm(double probability, int64_t fire_on_call, int64_t max_fires,
+           uint64_t seed);
+  void Disarm();
+
+  std::atomic<double> probability_{0.0};
+  std::atomic<int64_t> fire_on_call_{0};  // > 0: fire exactly on this call
+  std::atomic<int64_t> max_fires_{-1};    // < 0: unlimited
+  std::atomic<uint64_t> seed_{0};
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> fired_{0};
+};
+
+class FaultRegistry {
+ public:
+  // Leaked singleton (like Arena/MetricsRegistry: injection points may be
+  // consulted during static destruction). The first call reads IMDIFF_FAULTS
+  // and IMDIFF_FAULTS_SEED from the environment.
+  static FaultRegistry& Global();
+
+  // Stable handle for `name`, created on first use. Thread-safe.
+  FaultPoint* GetPoint(const std::string& name);
+
+  // Replaces the active configuration with `spec` (grammar above; empty
+  // disarms everything) under `seed`. Every point's call/fire counters are
+  // reset so the new schedule replays deterministically from call 1. Aborts
+  // with a parse error on a malformed spec. Thread-safe, but not atomic with
+  // respect to concurrent Fire() calls — configure before traffic.
+  void Configure(const std::string& spec, uint64_t seed);
+
+  // Fast path gate: false means no point anywhere is armed.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Active configuration (for FaultScope save/restore).
+  std::string spec() const;
+  uint64_t seed() const;
+
+  // Fired counts per point name (points that never fired included as 0).
+  std::map<std::string, int64_t> FireCounts() const;
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+ private:
+  FaultRegistry();
+  ~FaultRegistry() = default;
+
+  FaultPoint* GetPointLocked(const std::string& name);
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+  std::string spec_;
+  uint64_t seed_ = 1;
+};
+
+// RAII configuration swap for tests: installs `spec` on construction and
+// restores the previous spec/seed (resetting counters) on destruction.
+class FaultScope {
+ public:
+  explicit FaultScope(const std::string& spec, uint64_t seed = 1);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::string prev_spec_;
+  uint64_t prev_seed_;
+};
+
+// Bounded retry with seeded exponential backoff + jitter (model-registry
+// checkpoint I/O, DESIGN.md §13). max_attempts counts tries, not retries.
+struct BackoffPolicy {
+  int max_attempts = 4;
+  double base_seconds = 0.005;
+  double multiplier = 2.0;
+  // Fraction of each delay that is randomized: delay_i lands in
+  // [base·mult^i·(1-jitter), base·mult^i].
+  double jitter = 0.5;
+};
+
+// The max_attempts-1 delays (seconds) slept before retries 1..max_attempts-1.
+// A pure function of (policy, seed): retry schedules are reproducible, so an
+// injected-fault run is bit-identical in its retry behavior too.
+std::vector<double> BackoffSchedule(const BackoffPolicy& policy, uint64_t seed);
+
+}  // namespace imdiff
+
+// True when the named injection point decides this call should fail. `name`
+// must be a string literal; the registry handle is resolved once per call
+// site. Disarmed cost: one relaxed atomic load.
+#define IMDIFF_FAULT(name)                                             \
+  (::imdiff::FaultRegistry::Global().armed() && ([]() -> bool {        \
+     static ::imdiff::FaultPoint* const imdiff_fault_point =           \
+         ::imdiff::FaultRegistry::Global().GetPoint(name);             \
+     return imdiff_fault_point->Fire();                                \
+   }()))
+
+// Keyed variant: the decision is a pure function of (fault seed, key),
+// independent of call order (see FaultPoint::FireKeyed).
+#define IMDIFF_FAULT_KEYED(name, key)                                  \
+  (::imdiff::FaultRegistry::Global().armed() &&                        \
+   ([](uint64_t imdiff_fault_key) -> bool {                            \
+     static ::imdiff::FaultPoint* const imdiff_fault_point =           \
+         ::imdiff::FaultRegistry::Global().GetPoint(name);             \
+     return imdiff_fault_point->FireKeyed(imdiff_fault_key);           \
+   }(key)))
+
+#endif  // IMDIFF_UTILS_FAULT_H_

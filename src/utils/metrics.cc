@@ -233,4 +233,17 @@ bool WriteMetricsJson(const std::string& path) {
   return out.good();
 }
 
+bool ProbeWritable(const std::string& path) {
+  const bool existed = [&] {
+    std::ifstream probe(path);
+    return probe.good();
+  }();
+  {
+    std::ofstream out(path, std::ios::app);
+    if (!out.good()) return false;
+  }
+  if (!existed) std::remove(path.c_str());
+  return true;
+}
+
 }  // namespace imdiff

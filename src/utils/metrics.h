@@ -145,6 +145,13 @@ std::string MetricsToJson();
 // Writes MetricsToJson() to `path`. Returns false on IO failure.
 bool WriteMetricsJson(const std::string& path);
 
+// Checks at startup that `path` will be writable at shutdown: opens it in
+// append mode (preserving existing content) and, when the probe itself
+// created the file, removes it again. Lets tools with --metrics-out /
+// --kernels-out style flags fail fast instead of losing a whole run to a
+// bad path.
+bool ProbeWritable(const std::string& path);
+
 // Times a scope and records the elapsed seconds into `histogram` on
 // destruction. A null histogram (or metrics disabled at construction)
 // records nothing and skips the clock reads.

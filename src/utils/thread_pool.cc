@@ -5,8 +5,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 #include <utility>
 
+#include "utils/fault.h"
 #include "utils/metrics.h"
 
 namespace imdiff {
@@ -98,6 +100,12 @@ void ThreadPool::WorkerLoop() {
       start = std::chrono::steady_clock::now();
       GetPoolMetrics().queue_wait_seconds->Record(
           std::chrono::duration<double>(start - task.enqueue).count());
+    }
+    // Injected scheduling jitter: a fired "pool.slow_task" point stalls this
+    // task, modeling a straggler worker (page fault, CPU steal). Purely a
+    // latency fault — task results and ordering guarantees are unchanged.
+    if (IMDIFF_FAULT("pool.slow_task")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     std::exception_ptr error;
     try {

@@ -1,0 +1,184 @@
+// Fault-injection framework tests (utils/fault.h): spec grammar and trigger
+// semantics, schedule determinism under a fixed seed, keyed (order-free)
+// triggers, FaultScope save/restore, the seeded backoff schedule, and the
+// arena's allocation-fault fallback path.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/arena.h"
+#include "utils/fault.h"
+#include "utils/metrics.h"
+
+namespace imdiff {
+namespace {
+
+FaultPoint* Point(const char* name) {
+  return FaultRegistry::Global().GetPoint(name);
+}
+
+TEST(FaultSpecTest, CountTriggerFiresExactlyOnThatCall) {
+  FaultScope scope("test.count:#3", 42);
+  FaultPoint* point = Point("test.count");
+  std::vector<int> fired_calls;
+  for (int call = 1; call <= 10; ++call) {
+    if (point->Fire()) fired_calls.push_back(call);
+  }
+  EXPECT_EQ(fired_calls, std::vector<int>{3});
+  EXPECT_EQ(point->calls(), 10);
+  EXPECT_EQ(point->fired(), 1);
+}
+
+TEST(FaultSpecTest, ProbabilityEndpointsAreExact) {
+  {
+    FaultScope scope("test.p1:1", 7);
+    FaultPoint* point = Point("test.p1");
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(point->Fire());
+  }
+  // Unconfigured points are disarmed and never fire.
+  FaultPoint* never = Point("test.never");
+  EXPECT_FALSE(never->armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(never->Fire());
+}
+
+TEST(FaultSpecTest, ProbabilityRateIsRoughlyHonored) {
+  FaultScope scope("test.rate:0.2", 11);
+  FaultPoint* point = Point("test.rate");
+  constexpr int kCalls = 5000;
+  int fired = 0;
+  for (int i = 0; i < kCalls; ++i) fired += point->Fire() ? 1 : 0;
+  // Binomial(5000, 0.2): mean 1000, sd ~28. A +-6 sd band keeps the test
+  // deterministic-in-practice while catching a broken hash->uniform mapping.
+  EXPECT_GT(fired, 830);
+  EXPECT_LT(fired, 1170);
+  EXPECT_EQ(point->fired(), fired);
+}
+
+TEST(FaultSpecTest, FireCapBoundsTotalFires) {
+  FaultScope scope("test.cap:0.5x3", 13);
+  FaultPoint* point = Point("test.cap");
+  for (int i = 0; i < 200; ++i) point->Fire();
+  EXPECT_EQ(point->fired(), 3);
+}
+
+TEST(FaultSpecTest, SameSeedReplaysIdenticalSchedule) {
+  auto schedule = [](uint64_t seed) {
+    FaultScope scope("test.replay:0.3", seed);
+    FaultPoint* point = Point("test.replay");
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(point->Fire());
+    return fires;
+  };
+  EXPECT_EQ(schedule(5), schedule(5));
+  EXPECT_NE(schedule(5), schedule(6));
+}
+
+TEST(FaultSpecTest, ConfigureResetsCountersAndReplaysFromCallOne) {
+  FaultScope scope("test.reset:#1", 9);
+  FaultPoint* point = Point("test.reset");
+  EXPECT_TRUE(point->Fire());
+  EXPECT_FALSE(point->Fire());  // #N fires once
+  FaultRegistry::Global().Configure("test.reset:#1", 9);
+  EXPECT_EQ(point->calls(), 0);
+  EXPECT_TRUE(point->Fire());  // the schedule replays from the start
+}
+
+TEST(FaultSpecTest, MultiPointSpecArmsEveryPoint) {
+  FaultScope scope("test.multi_a:1,test.multi_b:#2,test.multi_c:0.5x1", 3);
+  EXPECT_TRUE(Point("test.multi_a")->armed());
+  EXPECT_TRUE(Point("test.multi_b")->armed());
+  EXPECT_TRUE(Point("test.multi_c")->armed());
+  EXPECT_TRUE(FaultRegistry::Global().armed());
+}
+
+TEST(FaultKeyedTest, DecisionIsPureInSeedAndKey) {
+  FaultScope scope("test.keyed:0.5", 17);
+  FaultPoint* point = Point("test.keyed");
+  std::map<uint64_t, bool> first_pass;
+  int fired = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    first_pass[key] = point->FireKeyed(key);
+    fired += first_pass[key] ? 1 : 0;
+  }
+  EXPECT_GT(fired, 60);  // roughly half of 200
+  EXPECT_LT(fired, 140);
+  // Reversed order, and with sequence calls interleaved: same decisions.
+  point->Fire();
+  point->Fire();
+  for (uint64_t key = 200; key-- > 0;) {
+    EXPECT_EQ(point->FireKeyed(key), first_pass[key]) << "key " << key;
+  }
+}
+
+TEST(FaultScopeTest, RestoresPreviousConfiguration) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  FaultScope outer("test.outer:1", 3);
+  EXPECT_TRUE(Point("test.outer")->armed());
+  {
+    FaultScope inner("test.inner:#1", 4);
+    EXPECT_TRUE(Point("test.inner")->armed());
+    EXPECT_FALSE(Point("test.outer")->armed());  // Configure replaces, not adds
+    EXPECT_EQ(registry.spec(), "test.inner:#1");
+    EXPECT_EQ(registry.seed(), 4u);
+  }
+  EXPECT_EQ(registry.spec(), "test.outer:1");
+  EXPECT_EQ(registry.seed(), 3u);
+  EXPECT_TRUE(Point("test.outer")->armed());
+  EXPECT_FALSE(Point("test.inner")->armed());
+}
+
+TEST(FaultMacroTest, MacroTracksActiveConfiguration) {
+  FaultScope quiet("", 1);
+  EXPECT_FALSE(IMDIFF_FAULT("test.macro"));
+  {
+    FaultScope armed("test.macro:1", 1);
+    EXPECT_TRUE(IMDIFF_FAULT("test.macro"));
+  }
+  EXPECT_FALSE(IMDIFF_FAULT("test.macro"));
+}
+
+TEST(FaultRegistryTest, FireCountsReportPerPointTotals) {
+  FaultScope scope("test.fc_a:1,test.fc_b:#5", 2);
+  for (int i = 0; i < 3; ++i) Point("test.fc_a")->Fire();
+  Point("test.fc_b")->Fire();  // call 1 of 5: no fire
+  const std::map<std::string, int64_t> counts =
+      FaultRegistry::Global().FireCounts();
+  EXPECT_EQ(counts.at("test.fc_a"), 3);
+  EXPECT_EQ(counts.at("test.fc_b"), 0);
+}
+
+TEST(BackoffTest, ScheduleIsDeterministicAndBounded) {
+  BackoffPolicy policy;  // 4 attempts, 5 ms base, x2, 50% jitter
+  const std::vector<double> a = BackoffSchedule(policy, 77);
+  EXPECT_EQ(a, BackoffSchedule(policy, 77));
+  EXPECT_NE(a, BackoffSchedule(policy, 78));
+  ASSERT_EQ(a.size(), 3u);  // max_attempts - 1 delays
+  double base = policy.base_seconds;
+  for (double delay : a) {
+    EXPECT_GE(delay, base * (1.0 - policy.jitter) - 1e-12);
+    EXPECT_LE(delay, base + 1e-12);
+    base *= policy.multiplier;
+  }
+}
+
+TEST(FaultArenaTest, AllocFaultFallsBackToUsableSystemAllocation) {
+  Counter* fallbacks = MetricsRegistry::Global().GetCounter("arena.fallback");
+  const int64_t before = fallbacks->value();
+  FaultScope scope("arena.alloc:1", 21);
+  constexpr size_t kFloats = 300;  // bucket capacity 512: fallback must size up
+  float* buffer = Arena::Global().Acquire(kFloats);
+  ASSERT_NE(buffer, nullptr);
+  EXPECT_GT(fallbacks->value(), before);
+  // The degraded allocation is fully usable memory.
+  std::fill_n(buffer, kFloats, 1.5f);
+  EXPECT_EQ(buffer[kFloats - 1], 1.5f);
+  Arena::Global().Release(buffer, kFloats);
+}
+
+}  // namespace
+}  // namespace imdiff

@@ -21,6 +21,7 @@
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/replay.h"
+#include "utils/fault.h"
 #include "utils/metrics.h"
 #include "utils/rng.h"
 
@@ -91,6 +92,13 @@ TenantStream MakeStream(const std::string& tenant, uint64_t seed,
 
 int64_t CounterValue(const char* name) {
   return MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// Near-instant backoff for retry tests: same schedule shape, no real sleeps.
+BackoffPolicy FastBackoff() {
+  BackoffPolicy policy;
+  policy.base_seconds = 1e-4;
+  return policy;
 }
 
 // Replays `streams` through a StreamServer built from `options` and expects
@@ -282,10 +290,61 @@ TEST(ServeRegistryTest, WarmLoadsCheckpointAndRejectsMissingFile) {
   EXPECT_EQ(model->detector->RunSeeded(series, 99).scores,
             warm->detector->RunSeeded(series, 99).scores);
 
+  // A missing file exhausts every retry; with a previous version published
+  // the registry keeps serving it and reports that version.
+  const int64_t fallbacks_before = CounterValue("registry.load_fallbacks");
   EXPECT_EQ(registry.PublishFromFile("warm", config, path + ".missing",
-                                     /*num_features=*/3, model->stats),
-            -1);
+                                     /*num_features=*/3, model->stats,
+                                     FastBackoff()),
+            1);
   EXPECT_EQ(registry.latest_version("warm"), 1);
+  EXPECT_EQ(CounterValue("registry.load_fallbacks") - fallbacks_before, 1);
+  // With nothing to fall back to the publish fails outright.
+  EXPECT_EQ(registry.PublishFromFile("fresh", config, path + ".missing",
+                                     /*num_features=*/3, model->stats,
+                                     FastBackoff()),
+            -1);
+  EXPECT_EQ(registry.latest_version("fresh"), 0);
+}
+
+// Injected load faults: a transient fault is retried away; a persistent one
+// exhausts the budget and falls back to the previously published version.
+TEST(ServeRegistryTest, LoadFaultRetriesThenFallsBackToPrevious) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const std::string path = ::testing::TempDir() + "serve_retry_ckpt.bin";
+  model->detector->SaveModel(path);
+  const ImDiffusionConfig config = ServeTinyConfig(11);
+  ModelRegistry registry;
+
+  {
+    // First attempt fails, retry loads: the publish succeeds at version 1.
+    FaultScope faults("registry.load_io:#1", 3);
+    const int64_t retries_before = CounterValue("registry.load_retries");
+    EXPECT_EQ(registry.PublishFromFile("fb", config, path,
+                                       /*num_features=*/3, model->stats,
+                                       FastBackoff()),
+              1);
+    EXPECT_EQ(CounterValue("registry.load_retries") - retries_before, 1);
+  }
+  {
+    // Every attempt fails: the previous version keeps serving.
+    FaultScope faults("registry.load_io:1", 3);
+    const int64_t retries_before = CounterValue("registry.load_retries");
+    const int64_t fallbacks_before = CounterValue("registry.load_fallbacks");
+    const BackoffPolicy backoff = FastBackoff();
+    EXPECT_EQ(registry.PublishFromFile("fb", config, path,
+                                       /*num_features=*/3, model->stats,
+                                       backoff),
+              1);
+    EXPECT_EQ(registry.latest_version("fb"), 1);  // nothing new published
+    EXPECT_EQ(CounterValue("registry.load_retries") - retries_before,
+              backoff.max_attempts - 1);
+    EXPECT_EQ(CounterValue("registry.load_fallbacks") - fallbacks_before, 1);
+  }
+  // Faults cleared: the same call now loads and publishes version 2.
+  EXPECT_EQ(registry.PublishFromFile("fb", config, path,
+                                     /*num_features=*/3, model->stats),
+            2);
 }
 
 // A crash injected mid-save must leave the previously committed checkpoint
@@ -302,9 +361,10 @@ TEST(ServeCheckpointTest, CrashMidSaveKeepsOldCheckpoint) {
   other_config.epochs = 1;
   ImDiffusionDetector other(other_config);
   other.Fit(ApplyMinMax(history.train, model->stats));
-  nn::SetSaveFailurePointForTesting(1);
-  EXPECT_THROW(other.SaveModel(path), std::runtime_error);
-  nn::SetSaveFailurePointForTesting(-1);
+  {
+    FaultScope faults("serialize.save_io:#1", 3);
+    EXPECT_THROW(other.SaveModel(path), std::runtime_error);
+  }
 
   // The old checkpoint survives byte-for-byte usable: it loads and scores
   // exactly like the original model.
@@ -314,6 +374,43 @@ TEST(ServeCheckpointTest, CrashMidSaveKeepsOldCheckpoint) {
   const Tensor series = ApplyMinMax(stream.samples, model->stats);
   EXPECT_EQ(model->detector->RunSeeded(series, 5).scores,
             restored.RunSeeded(series, 5).scores);
+}
+
+// SaveModelWithRetry turns the same injected mid-stream crash into a
+// successful save on the second attempt, and the checkpoint round-trips.
+TEST(ServeCheckpointTest, SaveRetriesAfterInjectedMidStreamCrash) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const std::string path = ::testing::TempDir() + "serve_save_retry_ckpt.bin";
+  const int64_t retries_before = CounterValue("registry.save_retries");
+  {
+    FaultScope faults("serialize.save_io:#1", 3);
+    EXPECT_TRUE(serve::SaveModelWithRetry(*model->detector, path,
+                                          FastBackoff()));
+  }
+  EXPECT_EQ(CounterValue("registry.save_retries") - retries_before, 1);
+  ImDiffusionDetector restored(ServeTinyConfig(11));
+  ASSERT_TRUE(restored.LoadModel(path, /*num_features=*/3));
+  const TenantStream stream = MakeStream("save-retry", 72, 120);
+  const Tensor series = ApplyMinMax(stream.samples, model->stats);
+  EXPECT_EQ(model->detector->RunSeeded(series, 6).scores,
+            restored.RunSeeded(series, 6).scores);
+}
+
+// Persistent save faults exhaust the retry budget and report failure without
+// corrupting the previously committed checkpoint.
+TEST(ServeCheckpointTest, SaveFailureAfterRetriesKeepsOldCheckpoint) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const std::string path = ::testing::TempDir() + "serve_save_fail_ckpt.bin";
+  model->detector->SaveModel(path);
+  const int64_t failures_before = CounterValue("registry.save_failures");
+  {
+    FaultScope faults("registry.save_io:1", 3);
+    EXPECT_FALSE(serve::SaveModelWithRetry(*model->detector, path,
+                                           FastBackoff()));
+  }
+  EXPECT_EQ(CounterValue("registry.save_failures") - failures_before, 1);
+  ImDiffusionDetector restored(ServeTinyConfig(11));
+  ASSERT_TRUE(restored.LoadModel(path, /*num_features=*/3));
 }
 
 // Evict/rehydrate primitive: an exported mid-stream state imported into a
@@ -535,6 +632,132 @@ TEST(ServeConcurrencyTest, ConcurrentProducersMatchSerialReplay) {
         *model, options.session.online, options.session.seed_base, stream);
     EXPECT_EQ(serial, served.at(stream.tenant)) << stream.tenant;
   }
+}
+
+// The degradation ladder's core contract: a degraded score is a pure
+// function of (content, seed, degrade level) — deterministic across calls —
+// and each ladder rung actually changes the chain (distinct outputs).
+TEST(ServeDegradeTest, DegradedScoresAreDeterministicPerLevel) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const ImDiffusionDetector& detector = *model->detector;
+  // Ladder rungs are strictly shorter chains (tiny config: 6 steps, vote 4).
+  EXPECT_GT(detector.ChainStartForDegradeLevel(0),
+            detector.ChainStartForDegradeLevel(1));
+  EXPECT_GT(detector.ChainStartForDegradeLevel(1),
+            detector.ChainStartForDegradeLevel(2));
+  EXPECT_EQ(detector.ChainStartForDegradeLevel(2),
+            detector.ChainStartForDegradeLevel(7));  // ladder bottoms out
+
+  const TenantStream stream = MakeStream("degrade", 91, 140);
+  const Tensor series = ApplyMinMax(stream.samples, model->stats);
+  const ImDiffusionDetector::WindowPlan plan = detector.PlanWindows(series);
+  std::vector<uint64_t> seeds;
+  for (int64_t i = 0; i < plan.windows.dim(0); ++i) {
+    seeds.push_back(MixSeed(55, static_cast<uint64_t>(i)));
+  }
+
+  auto score = [&](int level) {
+    return detector.ScoreWindowBatch(plan.windows, seeds, level);
+  };
+  for (int level : {0, 1, 2}) {
+    const auto a = score(level);
+    const auto b = score(level);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].step_errors, b[i].step_errors)
+          << "level " << level << " window " << i;
+    }
+  }
+  // Distinct rungs score distinct chains (stochastic sampling draws differ).
+  EXPECT_NE(score(0)[0].step_errors, score(1)[0].step_errors);
+  EXPECT_NE(score(1)[0].step_errors, score(2)[0].step_errors);
+
+  // End-to-end RunSeeded carries the level with the same determinism.
+  EXPECT_EQ(detector.RunSeeded(series, 9, /*degrade_level=*/1).scores,
+            detector.RunSeeded(series, 9, /*degrade_level=*/1).scores);
+  EXPECT_NE(detector.RunSeeded(series, 9, /*degrade_level=*/1).scores,
+            detector.RunSeeded(series, 9).scores);
+}
+
+// Served deadline degradation under the keyed chaos trigger: every block
+// degrades (probability 1), the result is tagged, bitwise-reproducible
+// across runs, and equal to a serial replay pinned at the same ladder rung.
+TEST(ServeDegradeTest, DeadlineDegradationIsDeterministicAndTagged) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  FaultScope faults("serve.deadline:1", 99);
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 23;
+  options.batch.flush_window_seconds = 0.002;
+  const std::vector<TenantStream> streams = {MakeStream("ddl-a", 121, 150),
+                                             MakeStream("ddl-b", 122, 150)};
+
+  const int64_t degraded_before = CounterValue("serve.degraded_blocks");
+  const serve::ReplayStats first =
+      serve::ReplayThroughServer(model, streams, options);
+  const int64_t degraded_first =
+      CounterValue("serve.degraded_blocks") - degraded_before;
+  EXPECT_EQ(degraded_first, first.alerts);  // every block degraded
+  EXPECT_EQ(first.degraded_alerts, first.alerts);
+
+  const serve::ReplayStats second =
+      serve::ReplayThroughServer(model, streams, options);
+  EXPECT_EQ(first.scores, second.scores);  // bitwise-reproducible chaos
+  EXPECT_EQ(CounterValue("serve.degraded_blocks") - degraded_before,
+            2 * degraded_first);
+
+  // The ladder bottom (level 2) scored serially is the exact reference.
+  for (const TenantStream& stream : streams) {
+    EXPECT_EQ(serve::ReplaySerial(*model, options.session.online,
+                                  options.session.seed_base, stream,
+                                  /*degrade_level=*/2),
+              first.scores.at(stream.tenant))
+        << stream.tenant;
+  }
+}
+
+// A failed session rehydrate (corrupt/lost stash) rebuilds the session from
+// the live stream: the replay completes, later blocks still score, and the
+// failure is counted — no crash, no wedged tenant.
+TEST(ServeFaultTest, RehydrateFailureRebuildsSessionFromStream) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  FaultScope faults("session.rehydrate:#1", 7);
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.max_resident = 1;  // every tenant switch evicts
+  options.session.seed_base = 29;
+  options.batch.flush_window_seconds = 0.002;
+  const int64_t failures_before = CounterValue("serve.rehydrate_failures");
+  const serve::ReplayStats served = serve::ReplayThroughServer(
+      model, {MakeStream("rehy-a", 131, 150), MakeStream("rehy-b", 132, 150)},
+      options);
+  EXPECT_EQ(CounterValue("serve.rehydrate_failures") - failures_before, 1);
+  EXPECT_GT(served.alerts, 0);  // the rebuilt session kept emitting blocks
+}
+
+// Bitwise-neutral faults (arena fallback, forced flushes, slow pool tasks)
+// perturb timing and batch composition but must not perturb a single score:
+// the served streams still match the fault-free serial replay exactly.
+TEST(ServeFaultTest, BitwiseNeutralFaultsKeepServedMatchingSerial) {
+  FaultScope faults(
+      "arena.alloc:0.05,batcher.flush_timeout:0.5,pool.slow_task:0.01", 5);
+  StreamServer::Options options;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 31;
+  options.batch.flush_window_seconds = 0.002;
+  const int64_t fallbacks_before = CounterValue("arena.fallback");
+  const int64_t flushes_before = CounterValue("serve.flush_timeouts");
+  ExpectServedMatchesSerial({MakeStream("neutral-a", 141, 150),
+                             MakeStream("neutral-b", 142, 150)},
+                            options);
+  // The faults actually exercised their degradation paths.
+  EXPECT_GT(CounterValue("arena.fallback"), fallbacks_before);
+  EXPECT_GT(CounterValue("serve.flush_timeouts"), flushes_before);
 }
 
 }  // namespace

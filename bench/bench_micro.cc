@@ -25,6 +25,7 @@
 #include "core/online_detector.h"
 #include "data/synthetic.h"
 #include "diffusion/ddpm.h"
+#include "graph/graph.h"
 #include "nn/attention.h"
 #include "tensor/arena.h"
 #include "tensor/simd.h"
@@ -474,10 +475,80 @@ int RunKernelBench(const std::string& path) {
       row.allocs_per_op = static_cast<double>(after.misses - before.misses);
       rows.push_back(row);
     }
+
+    // Per-block steady-state scoring: the captured graph executor (src/graph)
+    // vs the autograd layer stack. One op = one seeded ScoreWindowBatch over
+    // a chunk of `infer_batch` windows. Unlike the other rows, allocs_per_op
+    // here counts *all* arena free-list requests (hits + misses): a warm
+    // captured graph runs entirely inside its static plan, so its row must
+    // read exactly zero.
+    {
+      const ImDiffusionDetector::WindowPlan plan = detector.PlanWindows(series);
+      const Tensor& all = plan.windows;
+      const int64_t nb = std::min<int64_t>(config.infer_batch, all.dim(0));
+      Tensor chunk =
+          Tensor::Uninitialized({nb, all.dim(1), all.dim(2)});
+      std::copy_n(all.data(), nb * all.dim(1) * all.dim(2),
+                  chunk.mutable_data());
+      std::vector<uint64_t> seeds(static_cast<size_t>(nb));
+      for (int64_t i = 0; i < nb; ++i) {
+        seeds[static_cast<size_t>(i)] = MixSeed(42, static_cast<uint64_t>(i));
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "block_score_%ldw",
+                    static_cast<long>(nb));
+      const struct {
+        const char* variant;
+        bool graph;
+      } modes[] = {{"stack", false}, {"graph", true}};
+      for (const auto& mode : modes) {
+        graph::SetGraphEnabled(mode.graph);
+        ApplyVariant(kSimd);
+        // Warmup: the first graph call captures and validates; the second is
+        // the steady state being measured.
+        detector.ScoreWindowBatch(chunk, seeds, 0);
+        detector.ScoreWindowBatch(chunk, seeds, 0);
+        const Arena::Stats before = Arena::Global().stats();
+        double best = 1e300;
+        int64_t total_iters = 0;
+        for (int rep = 0; rep < 3; ++rep) {
+          int64_t iters = 1;
+          for (;;) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int64_t i = 0; i < iters; ++i) {
+              benchmark::DoNotOptimize(
+                  detector.ScoreWindowBatch(chunk, seeds, 0));
+            }
+            const double elapsed = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() - t0)
+                                       .count();
+            if (elapsed >= 0.1 || iters >= (int64_t{1} << 20)) {
+              best = std::min(best, elapsed / static_cast<double>(iters));
+              total_iters += iters;
+              break;
+            }
+            iters *= 4;
+          }
+        }
+        const Arena::Stats after = Arena::Global().stats();
+        ResetVariant();
+        graph::SetGraphEnabled(true);
+        KernelRow row;
+        row.kernel = name;
+        row.variant = mode.variant;
+        row.seconds_per_op = best;
+        row.allocs_per_op =
+            static_cast<double>((after.hits - before.hits) +
+                                (after.misses - before.misses)) /
+            static_cast<double>(total_iters);
+        rows.push_back(row);
+      }
+    }
   }
 
   double scalar_s = 0.0, simd_s = 0.0;
   double rd_allocs_off = 0.0, rd_allocs_on = 0.0;
+  double bs_stack_s = 0.0, bs_graph_s = 0.0, bs_graph_arena = 0.0;
   for (const KernelRow& r : rows) {
     if (r.kernel.rfind("matmul_", 0) == 0 && r.variant == "scalar")
       scalar_s = r.seconds_per_op;
@@ -486,6 +557,13 @@ int RunKernelBench(const std::string& path) {
     if (r.kernel.rfind("reverse_diffusion", 0) == 0) {
       if (r.variant == "simd_arena_off") rd_allocs_off = r.allocs_per_op;
       if (r.variant == "simd") rd_allocs_on = r.allocs_per_op;
+    }
+    if (r.kernel.rfind("block_score", 0) == 0) {
+      if (r.variant == "stack") bs_stack_s = r.seconds_per_op;
+      if (r.variant == "graph") {
+        bs_graph_s = r.seconds_per_op;
+        bs_graph_arena = r.allocs_per_op;
+      }
     }
   }
 
@@ -500,13 +578,16 @@ int RunKernelBench(const std::string& path) {
     AppendRowJson(out, rows[i], i + 1 == rows.size());
   }
   out += "  ],\n  \"summary\": {\n";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "    \"matmul_simd_speedup\": %.2f,\n"
                 "    \"reverse_diffusion_allocs_arena_off\": %.0f,\n"
-                "    \"reverse_diffusion_allocs_arena_on\": %.0f\n",
+                "    \"reverse_diffusion_allocs_arena_on\": %.0f,\n"
+                "    \"block_score_graph_speedup\": %.2f,\n"
+                "    \"block_score_graph_arena_ops\": %.0f\n",
                 simd_s > 0.0 ? scalar_s / simd_s : 0.0, rd_allocs_off,
-                rd_allocs_on);
+                rd_allocs_on, bs_graph_s > 0.0 ? bs_stack_s / bs_graph_s : 0.0,
+                bs_graph_arena);
   out += buf;
   out += "  }\n}\n";
 

@@ -14,6 +14,7 @@
 //   [--max-resident S] [--train L] [--epochs E] [--model PATH]
 //   [--no-compare-serial] [--seed S] [--metrics-out PATH]
 //   [--faults SPEC] [--fault-seed S] [--deadline-ms D] [--scores-out PATH]
+//   [--force-degrade L]
 //
 // --model PATH warm-loads the checkpoint when it exists (skipping training)
 // and writes it after training otherwise, so repeated runs exercise the
@@ -26,6 +27,11 @@
 // degraded blocks or dropped session state — the chaos CI instead diffs
 // --scores-out dumps (hex-exact score streams + fault counters) between two
 // identical runs to prove fault handling is deterministic.
+//
+// --force-degrade L pins every block to degradation level L (bypassing the
+// deadline policy), so two runs that differ only in execution backend — e.g.
+// IMDIFF_GRAPH=0 vs 1 — produce comparable --scores-out dumps at a fixed
+// level instead of coupling level choice to wall-clock speed.
 
 #include <cinttypes>
 #include <cstdio>
@@ -67,6 +73,7 @@ struct ReplayFlags {
   std::string faults;       // IMDIFF_FAULTS-style spec; empty = no injection
   uint64_t fault_seed = 0;  // base seed for fault triggers and backoff jitter
   double deadline_ms = 0.0;
+  int force_degrade = -1;  // >= 0 pins every block's degradation level
   std::string scores_out;
 };
 
@@ -113,6 +120,8 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.fault_seed = static_cast<uint64_t>(std::atoll(next("--fault-seed")));
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       flags.deadline_ms = std::atof(next("--deadline-ms"));
+    } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
+      flags.force_degrade = std::atoi(next("--force-degrade"));
     } else if (std::strcmp(argv[i], "--scores-out") == 0) {
       flags.scores_out = next("--scores-out");
     } else {
@@ -218,6 +227,7 @@ int Main(int argc, char** argv) {
   options.batch.max_batch_windows = flags.batch_windows;
   options.batch.flush_window_seconds = flags.flush_ms / 1000.0;
   options.deadline_seconds = flags.deadline_ms / 1000.0;
+  options.force_degrade_level = flags.force_degrade;
 
   std::printf(
       "replay: %" PRId64 " tenants x %" PRId64

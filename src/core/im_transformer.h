@@ -57,7 +57,6 @@ class ImTransformer : public nn::Module {
   std::vector<nn::Var> Parameters() const override;
   const ImTransformerConfig& config() const { return config_; }
 
- private:
   struct ResidualBlock {
     std::unique_ptr<nn::Linear> step_proj;    // D_step -> D
     std::unique_ptr<nn::TransformerEncoderLayer> temporal;
@@ -66,6 +65,19 @@ class ImTransformer : public nn::Module {
     std::unique_ptr<nn::Linear> gate_proj;    // D -> 2D (filter/gate)
     std::unique_ptr<nn::Linear> out_proj;     // D -> 2D (residual/skip)
   };
+
+  // Read-only access for the inference graph capturer (src/graph), which
+  // lowers the frozen network onto flat kernels without touching autograd.
+  const nn::Linear& input_proj() const { return *input_proj_; }
+  const nn::Mlp& step_mlp() const { return *step_mlp_; }
+  const nn::Embedding& policy_embed() const { return *policy_embed_; }
+  const nn::Embedding& feature_embed() const { return *feature_embed_; }
+  const Tensor& time_embed() const { return time_embed_; }
+  const std::vector<ResidualBlock>& residual_blocks() const { return blocks_; }
+  const nn::Linear& head1() const { return *head1_; }
+  const nn::Linear& head2() const { return *head2_; }
+
+ private:
 
   ImTransformerConfig config_;
   std::unique_ptr<nn::Linear> input_proj_;    // 3 -> D (x, ref, mask channels)

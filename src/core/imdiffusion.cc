@@ -122,6 +122,11 @@ void ImDiffusionDetector::Fit(const Tensor& train) {
   rng_ = std::make_unique<Rng>(config_.seed);
   model_ = std::make_unique<ImTransformer>(config_.model, *rng_);
   diffusion_ = std::make_unique<GaussianDiffusion>(config_.schedule);
+  {
+    // Captured graphs hold raw pointers into the previous model's weights.
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    graph_cache_.reset();
+  }
   loss_history_.clear();
 
   const int64_t window = config_.model.window;
@@ -685,8 +690,33 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
   const int chain_begin = ChainStartForDegradeLevel(degrade_level);
   const int num_policies = NumPolicies(config_.mask_strategy);
   const int64_t per_window = k * window;
-  auto mask_pair = MakeMaskPair(config_.mask_strategy, k, window,
-                                config_.num_masked_windows, nullptr);
+
+  // The complementary masks are only needed to capture a new graph or to run
+  // the legacy stack; steady-state graph scoring touches neither, so they are
+  // built lazily (once) to keep warm calls off the arena entirely.
+  std::mutex mask_mu;
+  std::unique_ptr<std::pair<Tensor, Tensor>> lazy_masks;
+  auto masks = [&]() -> const std::pair<Tensor, Tensor>& {
+    std::lock_guard<std::mutex> lock(mask_mu);
+    if (lazy_masks == nullptr) {
+      lazy_masks = std::make_unique<std::pair<Tensor, Tensor>>(
+          MakeMaskPair(config_.mask_strategy, k, window,
+                       config_.num_masked_windows, nullptr));
+    }
+    return *lazy_masks;
+  };
+
+  // Grab (or lazily create) this detector's captured-graph pool. The local
+  // shared_ptr keeps it alive even if Fit/LoadModel swaps the model — and
+  // thus the cache — out from under a concurrent scoring call.
+  std::shared_ptr<graph::GraphCache> gcache;
+  if (graph::GraphEnabled()) {
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    if (graph_cache_ == nullptr) {
+      graph_cache_ = std::make_shared<graph::GraphCache>();
+    }
+    gcache = graph_cache_;
+  }
 
   std::vector<std::vector<std::vector<float>>> rows(
       num_votes,
@@ -695,12 +725,12 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
       (num_windows + config_.infer_batch - 1) / config_.infer_batch;
   Counter* const windows_scored =
       MetricsRegistry::Global().GetCounter("detector.windows_scored");
-  ParallelFor(ComputePool(), static_cast<size_t>(num_chunks), [&](size_t ci) {
-    IMDIFF_TRACE_SCOPE("detector.window_score_seconds");
-    const int64_t chunk = static_cast<int64_t>(ci) * config_.infer_batch;
-    const int64_t bsz =
-        std::min<int64_t>(config_.infer_batch, num_windows - chunk);
-    windows_scored->Increment(bsz);
+
+  // Legacy (autograd layer stack) chunk body; also the reference a freshly
+  // captured graph is validated against on its first execution per kernel
+  // mode (DESIGN.md §12).
+  auto legacy_chunk = [&](int64_t chunk, int64_t bsz,
+                          std::vector<Tensor>* step_diff) {
     Tensor x0 = Tensor::Uninitialized({bsz, k, window});
     std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
                 x0.mutable_data());
@@ -738,13 +768,12 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
       }
     }
 
-    std::vector<Tensor> step_diff;
-    step_diff.reserve(num_votes);
+    step_diff->reserve(num_votes);
     for (size_t s = 0; s < num_votes; ++s) {
-      step_diff.emplace_back(Shape{bsz, k, window});
+      step_diff->emplace_back(Shape{bsz, k, window});
     }
     for (int policy = 0; policy < num_policies; ++policy) {
-      const Tensor& mask2d = policy == 0 ? mask_pair.first : mask_pair.second;
+      const Tensor& mask2d = policy == 0 ? masks().first : masks().second;
       Tensor mask = TileMask(mask2d, bsz);
       Tensor inv_mask = Complement(mask);
       std::vector<int64_t> policies(static_cast<size_t>(bsz), policy);
@@ -754,8 +783,72 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
                config_.stochastic_sampling
                    ? &window_rngs[static_cast<size_t>(policy)]
                    : nullptr,
-               &step_diff, nullptr);
+               step_diff, nullptr);
     }
+  };
+
+  ParallelFor(ComputePool(), static_cast<size_t>(num_chunks), [&](size_t ci) {
+    IMDIFF_TRACE_SCOPE("detector.window_score_seconds");
+    const int64_t chunk = static_cast<int64_t>(ci) * config_.infer_batch;
+    const int64_t bsz =
+        std::min<int64_t>(config_.infer_batch, num_windows - chunk);
+    windows_scored->Increment(bsz);
+
+    if (gcache != nullptr && !gcache->disabled()) {
+      std::unique_ptr<graph::GraphContext> ctx =
+          gcache->Acquire(bsz, degrade_level, [&]() {
+            const std::pair<Tensor, Tensor>& mp = masks();
+            graph::DenoiserSpec spec;
+            spec.model = model_.get();
+            spec.schedule = &diffusion_->schedule();
+            for (int policy = 0; policy < num_policies; ++policy) {
+              spec.policy_masks.push_back(policy == 0 ? mp.first : mp.second);
+            }
+            spec.vote_ts = vote_ts;
+            spec.chain_begin = chain_begin;
+            spec.bsz = bsz;
+            spec.conditional = config_.conditional;
+            spec.stochastic_sampling = config_.stochastic_sampling;
+            spec.score_on_x0 = config_.score_on_x0;
+            return std::make_unique<graph::GraphContext>(spec);
+          });
+      if (ctx != nullptr) {
+        ctx->ScoreChunk(windows.data() + chunk * per_window,
+                        seeds.data() + chunk);
+        if (ctx->validated_for_current_mode()) {
+          ErrorRowsFromDiff(ctx->step_diff(), bsz, chunk, &rows);
+          gcache->Release(bsz, degrade_level, std::move(ctx));
+          return;
+        }
+        // First execution of this capture in the current kernel mode:
+        // validate against the legacy stack before trusting it. A mismatch
+        // means the lowering is wrong for this build — score with the legacy
+        // result and permanently disable the cache.
+        std::vector<Tensor> ref_diff;
+        legacy_chunk(chunk, bsz, &ref_diff);
+        bool match = ref_diff.size() == ctx->step_diff().size();
+        for (size_t s = 0; match && s < ref_diff.size(); ++s) {
+          match = std::memcmp(ref_diff[s].data(), ctx->step_diff()[s].data(),
+                              static_cast<size_t>(ref_diff[s].numel()) *
+                                  sizeof(float)) == 0;
+        }
+        if (match) {
+          ctx->mark_validated_for_current_mode();
+          ErrorRowsFromDiff(ctx->step_diff(), bsz, chunk, &rows);
+          gcache->Release(bsz, degrade_level, std::move(ctx));
+        } else {
+          MetricsRegistry::Global()
+              .GetCounter("graph.validation_failures")
+              ->Increment();
+          gcache->Disable();
+          ErrorRowsFromDiff(ref_diff, bsz, chunk, &rows);
+        }
+        return;
+      }
+    }
+
+    std::vector<Tensor> step_diff;
+    legacy_chunk(chunk, bsz, &step_diff);
     ErrorRowsFromDiff(step_diff, bsz, chunk, &rows);
   });
 
@@ -815,6 +908,11 @@ bool ImDiffusionDetector::LoadModel(const std::string& path,
   rng_ = std::make_unique<Rng>(config_.seed);
   model_ = std::make_unique<ImTransformer>(config_.model, *rng_);
   diffusion_ = std::make_unique<GaussianDiffusion>(config_.schedule);
+  {
+    // Drop captures of the replaced model (raw weight pointers go stale).
+    std::lock_guard<std::mutex> lock(graph_mu_);
+    graph_cache_.reset();
+  }
   std::vector<nn::Var> params = model_->Parameters();
   if (!nn::LoadParameters(params, path)) {
     // Never serve randomly initialized weights: leave the detector unfitted.

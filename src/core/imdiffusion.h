@@ -12,6 +12,7 @@
 #define IMDIFF_CORE_IMDIFFUSION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/im_transformer.h"
 #include "core/masking.h"
 #include "diffusion/ddpm.h"
+#include "graph/graph.h"
 #include "utils/rng.h"
 
 namespace imdiff {
@@ -226,6 +228,15 @@ class ImDiffusionDetector : public AnomalyDetector {
   std::unique_ptr<Rng> rng_;
   std::vector<float> loss_history_;
   double last_mean_error_ = 0.0;
+
+  // Captured-graph pool for the seeded scoring path (src/graph). Created
+  // lazily on the first graph-enabled ScoreWindowBatch and dropped wholesale
+  // whenever model_ is replaced (Fit / LoadModel), so a stale capture — which
+  // holds raw pointers into the old model's weights — can never execute.
+  // shared_ptr because in-flight scoring calls must keep the cache they
+  // acquired alive across a concurrent invalidation.
+  mutable std::mutex graph_mu_;
+  mutable std::shared_ptr<graph::GraphCache> graph_cache_;
 };
 
 }  // namespace imdiff

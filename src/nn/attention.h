@@ -23,6 +23,14 @@ class MultiHeadSelfAttention : public Module {
   Var Forward(const Var& x) const;
   std::vector<Var> Parameters() const override;
 
+  // Read-only access for the inference graph capturer (src/graph).
+  int64_t num_heads() const { return num_heads_; }
+  int64_t d_head() const { return d_head_; }
+  const Linear& wq() const { return wq_; }
+  const Linear& wk() const { return wk_; }
+  const Linear& wv() const { return wv_; }
+  const Linear& wo() const { return wo_; }
+
  private:
   int64_t d_model_;
   int64_t num_heads_;
@@ -44,6 +52,12 @@ class TransformerEncoderLayer : public Module {
   // x: [B, L, D] -> [B, L, D].
   Var Forward(const Var& x) const;
   std::vector<Var> Parameters() const override;
+
+  // Read-only submodule access for the inference graph capturer (src/graph).
+  const MultiHeadSelfAttention& attn() const { return attn_; }
+  const LayerNorm& norm1() const { return norm1_; }
+  const LayerNorm& norm2() const { return norm2_; }
+  const Mlp& ff() const { return ff_; }
 
  private:
   MultiHeadSelfAttention attn_;

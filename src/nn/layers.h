@@ -35,6 +35,12 @@ class Linear : public Module {
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
 
+  // Read-only weight access for the inference graph capturer (src/graph),
+  // which lowers the frozen layer onto flat kernels.
+  const Tensor& weight() const { return w_.value(); }
+  bool has_bias() const { return b_.defined(); }
+  const Tensor& bias() const { return b_.value(); }
+
  private:
   int64_t in_;
   int64_t out_;
@@ -65,6 +71,10 @@ class LayerNorm : public Module {
   Var Forward(const Var& x) const;
   std::vector<Var> Parameters() const override;
 
+  // Read-only parameter access for the inference graph capturer (src/graph).
+  const Tensor& gamma() const { return gamma_.value(); }
+  const Tensor& beta() const { return beta_.value(); }
+
  private:
   Var gamma_;  // [dim], init 1
   Var beta_;   // [dim], init 0
@@ -78,6 +88,9 @@ class Embedding : public Module {
   // Returns [indices.size(), dim].
   Var Forward(const std::vector<int64_t>& indices) const;
   std::vector<Var> Parameters() const override;
+
+  // Read-only table access for the inference graph capturer (src/graph).
+  const Tensor& table() const { return table_.value(); }
 
  private:
   Var table_;
@@ -93,6 +106,11 @@ class Mlp : public Module {
 
   Var Forward(const Var& x) const;
   std::vector<Var> Parameters() const override;
+
+  // Read-only submodule access for the inference graph capturer (src/graph).
+  const Linear& fc1() const { return fc1_; }
+  const Linear& fc2() const { return fc2_; }
+  Activation activation() const { return act_; }
 
  private:
   Linear fc1_;

@@ -125,6 +125,7 @@ void StreamServer::WorkerLoop(Shard* shard) {
 
 int StreamServer::ChooseDegradeLevel(double queue_wait_seconds,
                                      const BlockRequest& block) const {
+  if (options_.force_degrade_level >= 0) return options_.force_degrade_level;
   // Chaos override: an armed "serve.deadline" point decides from (fault
   // seed, session seed, block index) alone — no wall clock — so two runs of
   // the same stream degrade exactly the same blocks.
@@ -145,6 +146,13 @@ int StreamServer::ChooseDegradeLevel(double queue_wait_seconds,
   const double predicted =
       batch_score_->count() > 0 ? batch_score_->Percentile(0.9) : 0.0;
   return predicted > remaining ? 1 : 0;
+}
+
+void StreamServer::SwapModel(std::shared_ptr<const ModelEntry> model) {
+  sessions_.SwapModel(std::move(model));
+  // The degradation ladder's cost predictor (p90 of this histogram) is only
+  // meaningful for the model that produced the samples; start fresh.
+  batch_score_->Reset();
 }
 
 void StreamServer::Drain() {

@@ -50,6 +50,12 @@ class StreamServer {
     // policy (always full quality); shedding at ingest (full shard queue)
     // remains the last resort either way.
     double deadline_seconds = 0.0;
+    // >= 0 pins every block to that degradation level, bypassing both the
+    // deadline policy and the chaos override. Replay/verification knob: two
+    // runs that differ only in execution backend (e.g. IMDIFF_GRAPH=0 vs 1)
+    // can be compared bitwise at a fixed level without coupling the level
+    // choice to wall-clock cost estimates.
+    int force_degrade_level = -1;
     SessionManager::Options session;
     MicroBatcher::Options batch;
   };
@@ -84,6 +90,15 @@ class StreamServer {
 
   // Drains, then stops workers and the batcher. Idempotent.
   void Shutdown();
+
+  // Hot swap (registry publish): forwards to SessionManager::SwapModel and
+  // resets the p90 cost estimate the degradation ladder reads
+  // (serve.batch_score_seconds). Without the reset the histogram carries the
+  // old model's timings across the publish, so a swap to a heavier model
+  // under-degrades (and a fallback to a lighter one over-degrades) until the
+  // window refills; an empty histogram instead takes the "no history yet"
+  // optimistic branch and re-seeds from the new model's first batches.
+  void SwapModel(std::shared_ptr<const ModelEntry> model);
 
   SessionManager& sessions() { return sessions_; }
   MicroBatcher& batcher() { return batcher_; }

@@ -1,0 +1,98 @@
+// Exported GEMM kernels for the inference graph executor (src/graph).
+//
+// These are the exact kernels compiled behind MatMul/BatchedMatMul in
+// tensor_ops.cc — not reimplementations. The executor calls them directly so
+// captured graphs produce bit-identical floats to the layer stack: a given
+// output element's FMA sequence depends only on (m, k, n) and the element's
+// inputs, never on row grouping, thread partition, or whether the b operand
+// was packed per-call or prepacked at capture (packing is pure data
+// movement). What the executor adds is memory control: caller-provided
+// scratch and capture-time weight prepacking, so steady-state scoring issues
+// zero arena free-list requests.
+
+#ifndef IMDIFF_TENSOR_GEMM_H_
+#define IMDIFF_TENSOR_GEMM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/simd.h"
+
+namespace imdiff {
+namespace gemm {
+
+// Minimum flops a ParallelForRange chunk should carry before the kernels
+// split work across the compute pool; below this, task overhead dominates.
+constexpr int64_t kGrainFlops = 16384;
+
+// Rows [begin, end) of a grain computed so that each parallel chunk holds at
+// least kGrainFlops worth of per-row work.
+inline size_t RowGrain(int64_t flops_per_row) {
+  const int64_t f = flops_per_row < 1 ? 1 : flops_per_row;
+  const int64_t g = kGrainFlops / f;
+  return static_cast<size_t>(g < 1 ? 1 : g);
+}
+
+// Grain for flat elementwise kernels (~4 flops per element assumed).
+constexpr size_t kElementGrain = 4096;
+
+// Rows of the a operand the vector microkernel processes per call.
+constexpr int64_t kMR = 4;
+
+// Scalar reference kernel: rows [row_begin, row_end) of c += a * b with the
+// four transpose layouts handled directly. Accumulates — the caller must
+// zero exactly the c rows it passes. This is the generic-build and
+// IMDIFF_FORCE_SCALAR code path.
+void MatMulRowsScalar(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n, bool ta, bool tb,
+                      int64_t row_begin, int64_t row_end);
+
+#if defined(IMDIFF_SIMD_ANY)
+
+// Columns per packed b panel: two vector registers wide.
+constexpr int64_t kNRVec = 2 * simd::kVectorWidth;
+
+// Floats of scratch one [k, kNRVec] b panel needs.
+inline size_t PanelFloats(int64_t k) {
+  return static_cast<size_t>(k) * static_cast<size_t>(kNRVec);
+}
+
+// Packed vector kernel for rows [row_begin, row_end) of c = a * b, with the
+// panel scratch supplied by the caller instead of drawn from the arena:
+// `bpack` must hold PanelFloats(k) floats; `apack` must hold
+// (row_end - row_begin) * k floats when `ta` is set (may be null otherwise).
+// Every element of the covered rows is stored exactly once (c may arrive
+// uninitialized). Bitwise identical to the arena-scratch path inside MatMul.
+void GemmRowsPackedScratch(const float* a, const float* b, float* c, int64_t m,
+                           int64_t k, int64_t n, bool ta, bool tb,
+                           int64_t row_begin, int64_t row_end, float* bpack,
+                           float* apack);
+
+// Capture-time full pack of a logical [k, n] b operand (tb: stored [n, k])
+// into ceil(n / kNRVec) consecutive zero-padded [k, kNRVec] panels —
+// PackedBFloats(k, n) floats. Pure data movement: feeding the packed panels
+// to GemmRowsPrepacked reproduces the per-panel packing bitwise.
+inline size_t PackedBFloats(int64_t k, int64_t n) {
+  return static_cast<size_t>((n + kNRVec - 1) / kNRVec) * PanelFloats(k);
+}
+void PackBFull(const float* b, int64_t k, int64_t n, bool tb, float* packed);
+
+// Rows [row_begin, row_end) of c = a * packed_b with b prepacked by
+// PackBFull. `a` must be the non-transposed [m, k] layout (the executor's
+// activations always are). Zero scratch, zero packing work per call.
+void GemmRowsPrepacked(const float* a, const float* packed_b, float* c,
+                       int64_t m, int64_t k, int64_t n, int64_t row_begin,
+                       int64_t row_end);
+
+#endif  // IMDIFF_SIMD_ANY
+
+// Full 2D matmul into caller memory with the exact dispatch and compute-pool
+// partitioning of MatMul (tensor_ops.cc): packed vector kernel when
+// simd::Enabled(), scalar reference otherwise. c may arrive uninitialized.
+void MatMulInto(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n, bool ta, bool tb);
+
+}  // namespace gemm
+}  // namespace imdiff
+
+#endif  // IMDIFF_TENSOR_GEMM_H_

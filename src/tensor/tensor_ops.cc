@@ -5,26 +5,17 @@
 #include <cstring>
 
 #include "tensor/arena.h"
+#include "tensor/gemm.h"
 #include "tensor/simd.h"
 #include "utils/thread_pool.h"
 
 namespace imdiff {
 namespace {
 
-// Minimum flops a ParallelForRange chunk should carry before the kernels
-// split work across the compute pool; below this, task overhead dominates.
-constexpr int64_t kGrainFlops = 16384;
-
-// Rows [begin, end) of a grain computed so that each parallel chunk holds at
-// least kGrainFlops worth of per-row work.
-size_t RowGrain(int64_t flops_per_row) {
-  return static_cast<size_t>(
-      std::max<int64_t>(1, kGrainFlops / std::max<int64_t>(1, flops_per_row)));
-}
-
-// Grain for flat elementwise kernels (~4 flops per element assumed; the
-// transcendental ones carry more, which only makes chunks cheaper to split).
-constexpr size_t kElementGrain = 4096;
+// Work-partitioning grains are shared with the inference graph executor
+// through tensor/gemm.h so both paths split identically.
+using gemm::kElementGrain;
+using gemm::RowGrain;
 
 // Computes row-major strides for a shape.
 std::vector<int64_t> Strides(const Shape& shape) {
@@ -51,13 +42,12 @@ std::vector<int64_t> Strides(const Shape& shape) {
 // are therefore bitwise identical for any thread count and any batch
 // composition, as required by the serving-path invariants.
 
-// Rows of the a operand the microkernel processes per call.
-constexpr int64_t kMR = 4;
+// Tile constants are shared with the graph executor through tensor/gemm.h.
+using gemm::kMR;
 
 #if defined(IMDIFF_SIMD_ANY)
 
-// Columns per packed b panel: two vector registers wide.
-constexpr int64_t kNRVec = 2 * simd::kVectorWidth;
+using gemm::kNRVec;
 
 // Packs columns [j0, j0+jr) of logical b (k x n) into panel[p * kNRVec + jj],
 // zero-padding jj in [jr, kNRVec). tb means b is stored as [n, k].
@@ -116,49 +106,90 @@ void MicroKernelVec(const float* arows, int64_t k, const float* panel, float* c,
   }
 }
 
-// Rows [row_begin, row_end) of c[m,n] = a * b with the packed kernel. Every
-// element of those rows is stored exactly once.
-void GemmRowsPacked(const float* a, const float* b, float* c, int64_t m,
-                    int64_t k, int64_t n, bool ta, bool tb, int64_t row_begin,
-                    int64_t row_end) {
+// Dispatches the MR-tall microkernel over rows [0, rows) against one packed
+// panel covering columns [j0, j0+jr).
+void MicroKernelRows(const float* abase, int64_t k, const float* panel,
+                     float* c, int64_t n, int64_t j0, int64_t jr,
+                     int64_t row_begin, int64_t rows) {
+  for (int64_t i0 = 0; i0 < rows; i0 += kMR) {
+    const int64_t mr = std::min<int64_t>(kMR, rows - i0);
+    const float* arows = abase + i0 * k;
+    float* crow = c + (row_begin + i0) * n;
+    switch (mr) {
+      case 1:
+        MicroKernelVec<1>(arows, k, panel, crow, n, j0, jr);
+        break;
+      case 2:
+        MicroKernelVec<2>(arows, k, panel, crow, n, j0, jr);
+        break;
+      case 3:
+        MicroKernelVec<3>(arows, k, panel, crow, n, j0, jr);
+        break;
+      default:
+        MicroKernelVec<4>(arows, k, panel, crow, n, j0, jr);
+        break;
+    }
+  }
+}
+
+#endif  // IMDIFF_SIMD_ANY
+
+}  // namespace
+
+namespace gemm {
+
+#if defined(IMDIFF_SIMD_ANY)
+
+// Rows [row_begin, row_end) of c[m,n] = a * b with the packed kernel and
+// caller-provided scratch. Every element of those rows is stored exactly
+// once.
+void GemmRowsPackedScratch(const float* a, const float* b, float* c, int64_t m,
+                           int64_t k, int64_t n, bool ta, bool tb,
+                           int64_t row_begin, int64_t row_end, float* bpack,
+                           float* apack) {
   const int64_t rows = row_end - row_begin;
   if (rows <= 0 || n <= 0) return;
   // Transposed a ([k, m] physical) is packed to contiguous rows once per
   // worker range; afterwards both layouts feed the microkernel identically.
-  ArenaBuffer apack(ta ? static_cast<size_t>(rows * k) : 0);
   if (ta) {
     for (int64_t r = 0; r < rows; ++r) {
-      float* dst = apack.data() + r * k;
+      float* dst = apack + r * k;
       const int64_t i = row_begin + r;
       for (int64_t p = 0; p < k; ++p) dst[p] = a[p * m + i];
     }
   }
-  const float* abase = ta ? apack.data() : a + row_begin * k;
-  // One [k, kNRVec] panel, reused across all row tiles; for the model's
-  // reduction dims it stays resident in L1.
-  ArenaBuffer bpack(static_cast<size_t>(k) * kNRVec);
+  const float* abase = ta ? apack : a + row_begin * k;
+  // One [k, kNRVec] panel at a time, reused across all row tiles; for the
+  // model's reduction dims it stays resident in L1.
   for (int64_t j0 = 0; j0 < n; j0 += kNRVec) {
     const int64_t jr = std::min<int64_t>(kNRVec, n - j0);
-    PackBPanel(b, k, n, tb, j0, jr, bpack.data());
-    for (int64_t i0 = 0; i0 < rows; i0 += kMR) {
-      const int64_t mr = std::min<int64_t>(kMR, rows - i0);
-      const float* arows = abase + i0 * k;
-      float* crow = c + (row_begin + i0) * n;
-      switch (mr) {
-        case 1:
-          MicroKernelVec<1>(arows, k, bpack.data(), crow, n, j0, jr);
-          break;
-        case 2:
-          MicroKernelVec<2>(arows, k, bpack.data(), crow, n, j0, jr);
-          break;
-        case 3:
-          MicroKernelVec<3>(arows, k, bpack.data(), crow, n, j0, jr);
-          break;
-        default:
-          MicroKernelVec<4>(arows, k, bpack.data(), crow, n, j0, jr);
-          break;
-      }
-    }
+    PackBPanel(b, k, n, tb, j0, jr, bpack);
+    MicroKernelRows(abase, k, bpack, c, n, j0, jr, row_begin, rows);
+  }
+}
+
+void PackBFull(const float* b, int64_t k, int64_t n, bool tb, float* packed) {
+  for (int64_t j0 = 0; j0 < n; j0 += kNRVec) {
+    const int64_t jr = std::min<int64_t>(kNRVec, n - j0);
+    PackBPanel(b, k, n, tb, j0, jr,
+               packed + (j0 / kNRVec) * (k * kNRVec));
+  }
+}
+
+void GemmRowsPrepacked(const float* a, const float* packed_b, float* c,
+                       int64_t m, int64_t k, int64_t n, int64_t row_begin,
+                       int64_t row_end) {
+  (void)m;
+  const int64_t rows = row_end - row_begin;
+  if (rows <= 0 || n <= 0) return;
+  const float* abase = a + row_begin * k;
+  // Identical panel/tile iteration to GemmRowsPackedScratch — only the
+  // per-call PackBPanel is gone, so the FMA stream (and the result) is
+  // bitwise the same.
+  for (int64_t j0 = 0; j0 < n; j0 += kNRVec) {
+    const int64_t jr = std::min<int64_t>(kNRVec, n - j0);
+    const float* panel = packed_b + (j0 / kNRVec) * (k * kNRVec);
+    MicroKernelRows(abase, k, panel, c, n, j0, jr, row_begin, rows);
   }
 }
 
@@ -248,15 +279,20 @@ void MatMulRowsScalar(const float* a, const float* b, float* c, int64_t m,
 // Full 2D matmul into an uninitialized c, parallelized over output rows on the
 // compute pool. Nested calls (e.g. from a batch-level parallel section) run
 // inline.
-void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
-                  int64_t k, int64_t n, bool ta, bool tb) {
+void MatMulInto(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n, bool ta, bool tb) {
 #if defined(IMDIFF_SIMD_ANY)
   if (simd::Enabled()) {
     ParallelForRange(ComputePool(), static_cast<size_t>(m), RowGrain(2 * k * n),
                      [&](size_t begin, size_t end) {
-                       GemmRowsPacked(a, b, c, m, k, n, ta, tb,
-                                      static_cast<int64_t>(begin),
-                                      static_cast<int64_t>(end));
+                       const int64_t rows = static_cast<int64_t>(end - begin);
+                       ArenaBuffer apack(ta ? static_cast<size_t>(rows * k)
+                                            : 0);
+                       ArenaBuffer bpack(PanelFloats(k));
+                       GemmRowsPackedScratch(a, b, c, m, k, n, ta, tb,
+                                             static_cast<int64_t>(begin),
+                                             static_cast<int64_t>(end),
+                                             bpack.data(), apack.data());
                      });
     return;
   }
@@ -274,7 +310,7 @@ void MatMulKernel(const float* a, const float* b, float* c, int64_t m,
                    });
 }
 
-}  // namespace
+}  // namespace gemm
 
 Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
               bool transpose_b) {
@@ -287,8 +323,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   IMDIFF_CHECK_EQ(k, kb) << "matmul inner dims" << ShapeToString(a.shape())
                          << ShapeToString(b.shape());
   Tensor c = Tensor::Uninitialized({m, n});
-  MatMulKernel(a.data(), b.data(), c.mutable_data(), m, k, n, transpose_a,
-               transpose_b);
+  gemm::MatMulInto(a.data(), b.data(), c.mutable_data(), m, k, n, transpose_a,
+                   transpose_b);
   return c;
 }
 
@@ -308,7 +344,7 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   const int64_t a_step = a.dim(1) * a.dim(2);
   const int64_t b_step = b.dim(1) * b.dim(2);
   const int64_t c_step = m * n;
-  // Batch-level parallelism; the per-batch MatMulKernel detects it is running
+  // Batch-level parallelism; the per-batch matmul detects it is running
   // on a pool worker and computes its rows inline.
   const float* pa = a.data();
   const float* pb = b.data();
@@ -317,10 +353,10 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool transpose_a,
       ComputePool(), static_cast<size_t>(batch),
       [&](size_t idx) {
         const int64_t i = static_cast<int64_t>(idx);
-        MatMulKernel(pa + i * a_step, pb + i * b_step, pc + i * c_step, m, k, n,
-                     transpose_a, transpose_b);
+        gemm::MatMulInto(pa + i * a_step, pb + i * b_step, pc + i * c_step, m,
+                         k, n, transpose_a, transpose_b);
       },
-      RowGrain(2 * m * k * n));
+      gemm::RowGrain(2 * m * k * n));
   return c;
 }
 

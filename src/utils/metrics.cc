@@ -111,17 +111,21 @@ double Histogram::mean() const {
 double Histogram::Percentile(double q) const {
   const int64_t n = count();
   if (n <= 0) return 0.0;
-  if (q < 0.0) q = 0.0;
+  // q=0 means "the smallest observation" exactly, not the (coarser) bound of
+  // whichever bucket that observation landed in.
+  if (q <= 0.0) return min();
   if (q > 1.0) q = 1.0;
-  const int64_t rank =
-      static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
+  // Rank is at least 1 so an empty bucket 0 can never satisfy the scan.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(n))));
   int64_t cumulative = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
     cumulative += bucket_count(b);
     if (cumulative >= rank) {
       // Cap the unbounded tail bucket (and coarse upper buckets) at the
-      // observed maximum for a finite, tighter estimate.
-      return std::min(BucketBound(b), max());
+      // observed maximum, and clamp from below by the observed minimum so a
+      // coarse-bucket estimate never undercuts the smallest recorded sample.
+      return std::max(min(), std::min(BucketBound(b), max()));
     }
   }
   return max();

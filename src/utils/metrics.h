@@ -87,8 +87,10 @@ class Histogram {
   int64_t bucket_count(int b) const {
     return buckets_[b].load(std::memory_order_relaxed);
   }
-  // Upper bucket bound containing the q-quantile observation (q in [0, 1]);
-  // 0 when empty. Bucket resolution (factor 2) bounds the error.
+  // Upper bucket bound containing the q-quantile observation (q in [0, 1]),
+  // clamped into [min(), max()] so estimates never leave the observed range
+  // (q=0 returns min()); 0 when empty. Bucket resolution (factor 2) bounds
+  // the error.
   double Percentile(double q) const;
 
   void Reset();

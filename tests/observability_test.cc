@@ -50,6 +50,27 @@ TEST(MetricsTest, HistogramStatsAndPercentiles) {
   EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 0.100);
 }
 
+// Regression: q=0 used to yield rank 0, so the loop exited on bucket 0 even
+// when it was empty and returned min(BucketBound(0), max()) = 1µs instead of
+// the observed minimum. Every estimate must also be clamped from below by
+// min() so coarse buckets can never undercut the smallest recorded sample.
+TEST(MetricsTest, PercentileZeroReturnsObservedMinimum) {
+  Histogram hist;
+  hist.Record(0.004);  // lands in a bucket whose lower bound is well above 1µs
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.004);
+  EXPECT_DOUBLE_EQ(hist.Percentile(-3.0), 0.004);  // clamped into [0, 1]
+  // Never below the observed min, even for mid-range quantiles whose bucket
+  // bound sits under it.
+  for (double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(hist.Percentile(q), 0.004) << "q=" << q;
+    EXPECT_LE(hist.Percentile(q), 0.004) << "q=" << q;
+  }
+  hist.Record(3.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.004);
+  EXPECT_GE(hist.Percentile(0.5), 0.004);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 3.0);
+}
+
 TEST(MetricsTest, RegistryReturnsStableHandles) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   Counter* a = registry.GetCounter("test.registry.counter");

@@ -270,6 +270,114 @@ TEST(ServeRegistryTest, PublishAcquireAndHotSwap) {
   EXPECT_TRUE(v1->detector->fitted());
 }
 
+// Regression: the degradation ladder's p90 cost estimate
+// (serve.batch_score_seconds) must be re-seeded on model hot-swap. Before
+// StreamServer::SwapModel reset it, the histogram carried the old model's
+// timings across a registry publish, so a swap kept degrading (or kept
+// full-quality) based on stale history until the window refilled.
+TEST(ServeRegistryTest, SwapModelResetsDegradeCostEstimate) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  Histogram* batch_score =
+      MetricsRegistry::Global().GetHistogram("serve.batch_score_seconds");
+  batch_score->Reset();
+  // Stale history from a (pretend) heavier model: p90 of 10s against a 5s
+  // deadline predicts an overshoot, so every ready block degrades to level 1.
+  batch_score->Record(10.0);
+  batch_score->Record(10.0);
+
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.deadline_seconds = 5.0;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 17;
+  options.batch.flush_window_seconds = 0.002;
+
+  std::mutex mu;
+  std::vector<int> levels;
+  StreamServer server(model, options,
+                      [&](const StreamServer::ScoredBlock& scored) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        levels.push_back(scored.degrade_level);
+                      });
+  const TenantStream stream = MakeStream("swap", 151, 100);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+  auto feed = [&](int64_t begin, int64_t end) {
+    for (int64_t l = begin; l < end; ++l) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      while (!server.Submit("swap", sample)) std::this_thread::yield();
+    }
+    server.Drain();
+  };
+
+  feed(0, 50);  // first block: stale estimate says the deadline is blown
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(levels.size(), 1u);
+    EXPECT_EQ(levels[0], 1);
+  }
+
+  // Hot swap. The estimate resets with it, so the next block takes the
+  // "no history yet" optimistic branch and scores at full quality; the real
+  // (millisecond-scale) timings recorded since re-seed the predictor.
+  server.SwapModel(model);
+  EXPECT_EQ(batch_score->count(), 0);
+  feed(50, 100);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[1], 0);
+  }
+  server.Shutdown();
+  batch_score->Reset();
+}
+
+// force_degrade_level pins every block regardless of the deadline policy's
+// cost estimate — the knob backend-comparison replays rely on to decouple
+// level choice from wall-clock speed.
+TEST(ServeRegistryTest, ForcedDegradeLevelOverridesDeadlinePolicy) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  Histogram* batch_score =
+      MetricsRegistry::Global().GetHistogram("serve.batch_score_seconds");
+  batch_score->Reset();
+  // Stale estimate that would otherwise force level 1 (as in the test above).
+  batch_score->Record(10.0);
+
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.deadline_seconds = 5.0;
+  options.force_degrade_level = 2;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 17;
+  options.batch.flush_window_seconds = 0.002;
+
+  std::mutex mu;
+  std::vector<int> levels;
+  StreamServer server(model, options,
+                      [&](const StreamServer::ScoredBlock& scored) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        levels.push_back(scored.degrade_level);
+                      });
+  const TenantStream stream = MakeStream("forced", 153, 100);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+  for (int64_t l = 0; l < 100; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    while (!server.Submit("forced", sample)) std::this_thread::yield();
+  }
+  server.Drain();
+  server.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(levels.size(), 2u);
+    EXPECT_EQ(levels[0], 2);
+    EXPECT_EQ(levels[1], 2);
+  }
+  batch_score->Reset();
+}
+
 TEST(ServeRegistryTest, WarmLoadsCheckpointAndRejectsMissingFile) {
   std::shared_ptr<const ModelEntry> model = SharedModel();
   const std::string path = ::testing::TempDir() + "serve_registry_ckpt.bin";

@@ -11,10 +11,24 @@
 //
 // Usage: serve_replay [--tenants N] [--samples L] [--block B] [--context C]
 //   [--flush-ms F] [--batch-windows W] [--queue Q] [--workers N]
-//   [--max-resident S] [--train L] [--epochs E] [--model PATH]
-//   [--no-compare-serial] [--seed S] [--metrics-out PATH]
+//   [--max-resident S] [--max-stashed S] [--train L] [--epochs E]
+//   [--model PATH] [--no-compare-serial] [--seed S] [--metrics-out PATH]
 //   [--faults SPEC] [--fault-seed S] [--deadline-ms D] [--scores-out PATH]
 //   [--force-degrade L]
+//   [--zipf EXP] [--total-samples N] [--missing R] [--gaps R] [--drift R]
+//   [--shifts R] [--season A] [--burst-min N] [--burst-tail T]
+//   [--drain-every N]
+//
+// --zipf EXP switches to load-generator mode (DESIGN.md §15): --tenants
+// tenants (10k+ works) drawing Zipf(EXP)-distributed traffic in heavy-tailed
+// bursts until --total-samples is spent, each tenant streaming an "ugly"
+// series (--missing element dropouts, --gaps outage gaps, --drift slow drift,
+// --shifts regime jumps, --season load envelope; data/ugly_stream.h). The
+// report adds per-tenant latency percentile spreads, the cache hit rate,
+// session/stash churn, and peak RSS. Two runs with identical flags produce
+// bitwise-identical --scores-out dumps when --workers 1 and flushes land only
+// at drain points (large --flush-ms and --batch-windows) — eviction order is
+// deterministic exactly when block completion is.
 //
 // --model PATH warm-loads the checkpoint when it exists (skipping training)
 // and writes it after training otherwise, so repeated runs exercise the
@@ -75,6 +89,18 @@ struct ReplayFlags {
   double deadline_ms = 0.0;
   int force_degrade = -1;  // >= 0 pins every block's degradation level
   std::string scores_out;
+  int64_t max_stashed = 1024;
+  // Load-generator mode (> 0 enables): Zipf tenant popularity exponent.
+  double zipf = 0.0;
+  int64_t total_samples = 0;  // 0: defaults to tenants * samples
+  double missing = 0.0;
+  double gaps = 0.0;
+  double drift = 0.0;
+  double shifts = 0.0;
+  double season = 0.0;
+  int64_t burst_min = 4;
+  double burst_tail = 1.2;
+  int64_t drain_every = 4096;
 };
 
 ReplayFlags ParseFlags(int argc, char** argv) {
@@ -124,6 +150,28 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.force_degrade = std::atoi(next("--force-degrade"));
     } else if (std::strcmp(argv[i], "--scores-out") == 0) {
       flags.scores_out = next("--scores-out");
+    } else if (std::strcmp(argv[i], "--max-stashed") == 0) {
+      flags.max_stashed = std::atoll(next("--max-stashed"));
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      flags.zipf = std::atof(next("--zipf"));
+    } else if (std::strcmp(argv[i], "--total-samples") == 0) {
+      flags.total_samples = std::atoll(next("--total-samples"));
+    } else if (std::strcmp(argv[i], "--missing") == 0) {
+      flags.missing = std::atof(next("--missing"));
+    } else if (std::strcmp(argv[i], "--gaps") == 0) {
+      flags.gaps = std::atof(next("--gaps"));
+    } else if (std::strcmp(argv[i], "--drift") == 0) {
+      flags.drift = std::atof(next("--drift"));
+    } else if (std::strcmp(argv[i], "--shifts") == 0) {
+      flags.shifts = std::atof(next("--shifts"));
+    } else if (std::strcmp(argv[i], "--season") == 0) {
+      flags.season = std::atof(next("--season"));
+    } else if (std::strcmp(argv[i], "--burst-min") == 0) {
+      flags.burst_min = std::atoll(next("--burst-min"));
+    } else if (std::strcmp(argv[i], "--burst-tail") == 0) {
+      flags.burst_tail = std::atof(next("--burst-tail"));
+    } else if (std::strcmp(argv[i], "--drain-every") == 0) {
+      flags.drain_every = std::atoll(next("--drain-every"));
     } else {
       IMDIFF_CHECK(false) << "unknown flag" << argv[i];
     }
@@ -135,6 +183,107 @@ ReplayFlags ParseFlags(int argc, char** argv) {
 
 bool FileExists(const std::string& path) {
   return std::ifstream(path).good();
+}
+
+// Load-generator mode: Zipf tenants, heavy-tailed bursts, ugly streams.
+int RunZipfLoad(const ReplayFlags& flags,
+                std::shared_ptr<const serve::ModelEntry> model,
+                const serve::StreamServer::Options& options) {
+  serve::LoadConfig load;
+  load.num_tenants = flags.tenants;
+  load.total_samples = flags.total_samples > 0
+                           ? flags.total_samples
+                           : flags.tenants * flags.samples;
+  load.seed = flags.seed;
+  load.zipf_exponent = flags.zipf;
+  load.burst_min = flags.burst_min;
+  load.burst_tail = flags.burst_tail;
+  load.drain_every = flags.drain_every;
+  load.stream.missing_rate = flags.missing;
+  load.stream.gap_rate = flags.gaps;
+  load.stream.drift_rate = static_cast<float>(flags.drift);
+  load.stream.shift_rate = flags.shifts;
+  load.stream.season_amplitude = static_cast<float>(flags.season);
+  load.collect_scores = !flags.scores_out.empty();
+
+  std::printf("load: %" PRId64 " tenants, %" PRId64
+              " samples, zipf=%.2f bursts=[%" PRId64
+              ", tail %.2f] missing=%.3f gaps=%.3f drift=%.4f shifts=%.4f "
+              "(max_resident=%" PRId64 " max_stashed=%" PRId64
+              " drain_every=%" PRId64 " workers=%d)\n",
+              load.num_tenants, load.total_samples, load.zipf_exponent,
+              load.burst_min, load.burst_tail, flags.missing, flags.gaps,
+              flags.drift, flags.shifts, flags.max_resident, flags.max_stashed,
+              load.drain_every, flags.workers);
+  const serve::LoadStats stats = serve::ReplayLoad(std::move(model), load, options);
+
+  std::printf("load: %" PRId64 " active tenants, %.2fs, %.1f points/s, %" PRId64
+              " alerts (%" PRId64 " degraded), %" PRId64 " rejected submits, "
+              "%" PRId64 " values carry-forward filled\n",
+              stats.tenants, stats.seconds, stats.points_per_second,
+              stats.alerts, stats.degraded_alerts, stats.rejected,
+              stats.missing_filled);
+  std::printf("tenant latency: p50 across tenants p50=%.1fms p90=%.1fms "
+              "p99=%.1fms max=%.1fms | p99 across tenants p50=%.1fms "
+              "p90=%.1fms p99=%.1fms max=%.1fms\n",
+              stats.tenant_p50.p50 * 1e3, stats.tenant_p50.p90 * 1e3,
+              stats.tenant_p50.p99 * 1e3, stats.tenant_p50.max * 1e3,
+              stats.tenant_p99.p50 * 1e3, stats.tenant_p99.p90 * 1e3,
+              stats.tenant_p99.p99 * 1e3, stats.tenant_p99.max * 1e3);
+  std::printf("cache: %" PRId64 " hits / %" PRId64
+              " misses (hit rate %.1f%%)\n",
+              stats.cache_hits, stats.cache_misses,
+              stats.cache_hit_rate * 100.0);
+  std::printf("churn: %" PRId64 " sessions evicted, %" PRId64
+              " rehydrated, %" PRId64 " rehydrate failures, %" PRId64
+              " stashes dropped | peak rss %" PRId64 " KB\n",
+              stats.sessions_evicted, stats.sessions_rehydrated,
+              stats.rehydrate_failures, stats.stash_evictions,
+              stats.peak_rss_kb);
+  MetricsRegistry::Global()
+      .GetGauge("process.peak_rss_kb")
+      ->Set(static_cast<double>(stats.peak_rss_kb));
+
+  int exit_code = 0;
+  if (!flags.scores_out.empty()) {
+    // Same hex-exact format as classic mode: one "tenant score..." line per
+    // tenant plus the counters whose drift would explain a mismatch. Two
+    // same-flag runs must produce byte-identical files (--workers 1 with
+    // drain-point-only flushes).
+    std::ofstream out(flags.scores_out);
+    for (const auto& [tenant, scores] : stats.scores) {
+      out << tenant;
+      char buf[40];
+      for (float s : scores) {
+        std::snprintf(buf, sizeof(buf), " %a", static_cast<double>(s));
+        out << buf;
+      }
+      out << "\n";
+    }
+    out << "serve.degraded_blocks "
+        << MetricsRegistry::Global().GetCounter("serve.degraded_blocks")->value()
+        << "\n";
+    out << "serve.stash_evictions " << stats.stash_evictions << "\n";
+    out << "serve.sessions_evicted " << stats.sessions_evicted << "\n";
+    out.flush();
+    if (out.good()) {
+      IMDIFF_LOG(Info) << "score dump written to " << flags.scores_out;
+    } else {
+      IMDIFF_LOG(Error) << "failed to write score dump to "
+                        << flags.scores_out;
+      exit_code = 1;
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    if (WriteMetricsJson(flags.metrics_out)) {
+      IMDIFF_LOG(Info) << "metrics snapshot written to " << flags.metrics_out;
+    } else {
+      IMDIFF_LOG(Error) << "failed to write metrics snapshot to "
+                        << flags.metrics_out;
+      exit_code = 1;
+    }
+  }
+  return exit_code;
 }
 
 int Main(int argc, char** argv) {
@@ -202,19 +351,22 @@ int Main(int argc, char** argv) {
   std::shared_ptr<const serve::ModelEntry> model = registry.Acquire("latency");
   IMDIFF_CHECK(model != nullptr);
 
-  // One stream realization per tenant.
+  // One stream realization per tenant (classic mode only: load-generator
+  // streams are scheduled and generated inside ReplayLoad).
   std::vector<serve::TenantStream> streams;
-  for (int64_t t = 0; t < flags.tenants; ++t) {
-    serve::TenantStream stream;
-    char name[32];
-    std::snprintf(name, sizeof(name), "tenant-%02" PRId64, t);
-    stream.tenant = name;
-    stream.samples = MakeMicroserviceLatencyDataset(
-                         flags.seed + 1 + static_cast<uint64_t>(t),
-                         /*num_services=*/6, /*train_length=*/1,
-                         /*test_length=*/flags.samples)
-                         .test;
-    streams.push_back(std::move(stream));
+  if (flags.zipf <= 0.0) {
+    for (int64_t t = 0; t < flags.tenants; ++t) {
+      serve::TenantStream stream;
+      char name[32];
+      std::snprintf(name, sizeof(name), "tenant-%02" PRId64, t);
+      stream.tenant = name;
+      stream.samples = MakeMicroserviceLatencyDataset(
+                           flags.seed + 1 + static_cast<uint64_t>(t),
+                           /*num_services=*/6, /*train_length=*/1,
+                           /*test_length=*/flags.samples)
+                           .test;
+      streams.push_back(std::move(stream));
+    }
   }
 
   serve::StreamServer::Options options;
@@ -223,11 +375,14 @@ int Main(int argc, char** argv) {
   options.session.online.block = flags.block;
   options.session.online.context = flags.context;
   options.session.max_resident = flags.max_resident;
+  options.session.max_stashed = flags.max_stashed;
   options.session.seed_base = flags.seed;
   options.batch.max_batch_windows = flags.batch_windows;
   options.batch.flush_window_seconds = flags.flush_ms / 1000.0;
   options.deadline_seconds = flags.deadline_ms / 1000.0;
   options.force_degrade_level = flags.force_degrade;
+
+  if (flags.zipf > 0.0) return RunZipfLoad(flags, std::move(model), options);
 
   std::printf(
       "replay: %" PRId64 " tenants x %" PRId64

@@ -894,6 +894,63 @@ DetectionResult ImDiffusionDetector::RunSeeded(const Tensor& test,
       plan.length);
 }
 
+Tensor ImDiffusionDetector::ImputeWindow(const Tensor& window,
+                                         const Tensor& observed_mask,
+                                         uint64_t seed) const {
+  IMDIFF_CHECK(model_ != nullptr) << "Fit or LoadModel must be called first";
+  IMDIFF_CHECK_EQ(window.ndim(), 2u);
+  const int64_t k = window.dim(0);
+  const int64_t w = window.dim(1);
+  IMDIFF_CHECK_EQ(k, config_.model.num_features);
+  IMDIFF_CHECK_EQ(w, config_.model.window);
+  IMDIFF_CHECK_EQ(observed_mask.ndim(), 2u);
+  IMDIFF_CHECK_EQ(observed_mask.dim(0), k);
+  IMDIFF_CHECK_EQ(observed_mask.dim(1), w);
+  const int64_t per_window = k * w;
+
+  Tensor x0 = Tensor::Uninitialized({1, k, w});
+  std::copy_n(window.data(), per_window, x0.mutable_data());
+  Tensor mask = TileMask(observed_mask, 1);
+  Tensor inv_mask = Complement(mask);
+
+  // Fixed per-seed draw order: reference noise, chain start, then the forked
+  // sampling stream — one chain, conditioned on the caller's genuine
+  // missingness pattern instead of a synthetic grating policy mask.
+  Rng wrng(seed);
+  Tensor ref_noise(Shape{1, k, w});
+  Tensor chain_start(Shape{1, k, w});
+  std::vector<float> scratch(static_cast<size_t>(per_window));
+  wrng.FillNormal(scratch);
+  std::copy(scratch.begin(), scratch.end(), ref_noise.mutable_data());
+  wrng.FillNormal(scratch);
+  std::copy(scratch.begin(), scratch.end(), chain_start.mutable_data());
+  std::vector<Rng> window_rngs;
+  window_rngs.push_back(wrng.Fork());
+
+  // Run the full reverse chain with the final step (t = 0) as the only vote,
+  // capturing the fully denoised estimate over the missing region.
+  const std::vector<int> vote_ts = {0};
+  const int chain_begin = config_.schedule.num_steps - 1;
+  std::vector<Tensor> step_diff;
+  step_diff.emplace_back(Shape{1, k, w});
+  std::vector<Tensor> step_val;
+  step_val.emplace_back(Shape{1, k, w});
+  const std::vector<int64_t> policies = {0};
+  RunChain(x0, mask, inv_mask, ref_noise, chain_start, policies, vote_ts,
+           chain_begin, nullptr,
+           config_.stochastic_sampling ? &window_rngs : nullptr, &step_diff,
+           &step_val);
+
+  Tensor out = window.Clone();
+  float* po = out.mutable_data();
+  const float* pv = step_val[0].data();
+  const float* pi = inv_mask.data();
+  for (int64_t i = 0; i < per_window; ++i) {
+    if (pi[i] != 0.0f) po[i] = pv[i];
+  }
+  return out;
+}
+
 void ImDiffusionDetector::SaveModel(const std::string& path) const {
   IMDIFF_CHECK(model_ != nullptr) << "nothing to save before Fit/LoadModel";
   nn::SaveParameters(model_->Parameters(), path);

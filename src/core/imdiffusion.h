@@ -166,6 +166,20 @@ class ImDiffusionDetector : public AnomalyDetector {
   DetectionResult RunSeeded(const Tensor& test, uint64_t seed,
                             int degrade_level = 0) const;
 
+  // Imputes the genuinely missing entries of one [K, W] window with the
+  // seeded reverse chain: `observed_mask` ([K, W], 1 = observed, e.g. from
+  // MaskFromObserved) plays the role the synthetic grating mask plays at
+  // scoring time, so the observed region conditions the chain and the
+  // missing region is denoised from pure noise. Returns a [K, W] tensor
+  // equal to `window` at observed entries and to the chain's final denoised
+  // estimate at missing ones. A pure function of (window, mask, seed,
+  // config) — same bitwise-determinism contract as ScoreWindowBatch — and
+  // safe to call concurrently. This is the entry point that lets streams
+  // with real missing data (data/ugly_stream.h) exercise the paper's
+  // imputation machinery directly instead of being zero- or stale-filled.
+  Tensor ImputeWindow(const Tensor& window, const Tensor& observed_mask,
+                      uint64_t seed) const;
+
   // ---- Checkpointing (model registry, src/serve) -----------------------
 
   // Writes the fitted denoiser weights (crash-safe, see nn/serialize).

@@ -63,6 +63,22 @@ std::pair<Tensor, Tensor> MakeMaskPair(MaskStrategy strategy,
   return {Tensor(), Tensor()};
 }
 
+Tensor MaskFromObserved(const std::vector<uint8_t>& observed,
+                        int64_t num_features, int64_t window) {
+  IMDIFF_CHECK_EQ(static_cast<int64_t>(observed.size()),
+                  num_features * window);
+  Tensor mask({num_features, window});
+  float* p = mask.mutable_data();
+  for (int64_t l = 0; l < window; ++l) {
+    for (int64_t k = 0; k < num_features; ++k) {
+      // observed is time-major (stream layout), the mask feature-major.
+      p[k * window + l] =
+          observed[static_cast<size_t>(l * num_features + k)] ? 1.0f : 0.0f;
+    }
+  }
+  return mask;
+}
+
 int NumPolicies(MaskStrategy strategy) {
   switch (strategy) {
     case MaskStrategy::kGrating:

@@ -8,7 +8,9 @@
 #ifndef IMDIFF_CORE_MASKING_H_
 #define IMDIFF_CORE_MASKING_H_
 
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "tensor/tensor.h"
 #include "utils/rng.h"
@@ -40,6 +42,16 @@ std::pair<Tensor, Tensor> MakeMaskPair(MaskStrategy strategy,
 // Number of distinct mask policies a strategy uses at inference (2 for
 // grating/random, 1 for forecasting/reconstruction).
 int NumPolicies(MaskStrategy strategy);
+
+// Converts genuinely-missing-data flags into this module's mask convention:
+// `observed` holds window*num_features time-major flags (index t*K + k, the
+// layout of streamed [L, K] samples), the result is a [K, window]
+// feature-major tensor with 1 = observed — the shape the denoiser and
+// ImDiffusionDetector::ImputeWindow consume. This is the bridge that routes
+// real missingness (sensor dropouts, outage gaps; see data/ugly_stream.h)
+// through the same machinery the synthetic grating masks use.
+Tensor MaskFromObserved(const std::vector<uint8_t>& observed,
+                        int64_t num_features, int64_t window);
 
 }  // namespace imdiff
 

@@ -30,19 +30,42 @@ void OnlineDetector::SetNormalization(const MinMaxStats& stats) {
 
 bool OnlineDetector::AppendBuffered(const std::vector<float>& sample,
                                     ReadyBlock* ready) {
+  return AppendBuffered(sample, {}, ready);
+}
+
+bool OnlineDetector::AppendBuffered(const std::vector<float>& sample,
+                                    const std::vector<uint8_t>& observed,
+                                    ReadyBlock* ready) {
   IMDIFF_CHECK_GT(num_features_, 0)
       << "Fit or SetNormalization must be called before Append";
   IMDIFF_CHECK_EQ(static_cast<int64_t>(sample.size()), num_features_);
-  // Normalize the incoming sample with the training statistics.
+  IMDIFF_CHECK(observed.empty() ||
+               static_cast<int64_t>(observed.size()) == num_features_);
+  // Normalize the incoming sample with the training statistics; missing
+  // features get the carry-forward fill instead (see header).
   std::vector<float> normalized(sample.size());
+  if (fill_.empty()) fill_.assign(static_cast<size_t>(num_features_), 0.5f);
+  int64_t filled = 0;
   for (int64_t j = 0; j < num_features_; ++j) {
+    if (!observed.empty() && observed[static_cast<size_t>(j)] == 0) {
+      normalized[static_cast<size_t>(j)] = fill_[static_cast<size_t>(j)];
+      ++filled;
+      continue;
+    }
     const float range = stats_.max[static_cast<size_t>(j)] -
                         stats_.min[static_cast<size_t>(j)];
     const float inv = range > 1e-9f ? 1.0f / range : 0.0f;
-    normalized[static_cast<size_t>(j)] = std::clamp(
+    const float value = std::clamp(
         (sample[static_cast<size_t>(j)] - stats_.min[static_cast<size_t>(j)]) *
             inv,
         -1.0f, 2.0f);
+    normalized[static_cast<size_t>(j)] = value;
+    fill_[static_cast<size_t>(j)] = value;
+  }
+  if (filled > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("online.missing_filled")
+        ->Increment(filled);
   }
   buffer_.push_back(std::move(normalized));
   const int64_t max_buffer = options_.context + options_.block;
@@ -119,6 +142,7 @@ OnlineDetector::State OnlineDetector::ExportState() const {
   state.pending = pending_;
   state.stats = stats_;
   state.buffer.assign(buffer_.begin(), buffer_.end());
+  state.fill = fill_;
   return state;
 }
 
@@ -128,12 +152,14 @@ void OnlineDetector::ImportState(const State& state) {
   pending_ = state.pending;
   stats_ = state.stats;
   buffer_.assign(state.buffer.begin(), state.buffer.end());
+  fill_ = state.fill;
 }
 
 void OnlineDetector::Reset() {
   buffer_.clear();
   total_samples_ = 0;
   pending_ = 0;
+  fill_.clear();
 }
 
 }  // namespace imdiff

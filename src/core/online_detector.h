@@ -86,6 +86,19 @@ class OnlineDetector {
   // detector result into an Alert with MakeAlert.
   bool AppendBuffered(const std::vector<float>& sample, ReadyBlock* ready);
 
+  // Missing-aware variant: observed[j] == 0 marks feature j of this sample
+  // as missing (sensor dropout / outage gap, see data/ugly_stream.h). The
+  // raw value at a missing feature is never read; the buffered series gets
+  // the feature's last observed normalized value instead (0.5 — the training
+  // mid-range — before any observation). The fill is a pure function of the
+  // stream's observed history, so block series, window seeds, and the
+  // serving layer's position-keyed window-score cache all stay bitwise
+  // deterministic, and stash/rehydrate (the fill state travels in State)
+  // preserves that determinism across evictions. `online.missing_filled`
+  // counts filled elements. An empty `observed` means fully observed.
+  bool AppendBuffered(const std::vector<float>& sample,
+                      const std::vector<uint8_t>& observed, ReadyBlock* ready);
+
   // Emission half of Append: clamps the detector result to the block tail.
   // Static so alerts can be emitted even after the originating session was
   // evicted (the ReadyBlock carries everything needed).
@@ -100,6 +113,9 @@ class OnlineDetector {
     int64_t pending = 0;
     MinMaxStats stats;
     std::vector<std::vector<float>> buffer;
+    // Carry-forward fill values for missing features (normalized); empty
+    // when the stream never saw a missing element.
+    std::vector<float> fill;
   };
   State ExportState() const;
   void ImportState(const State& state);
@@ -122,6 +138,9 @@ class OnlineDetector {
   // Normalized rolling buffer: up to context_ + block samples.
   std::deque<std::vector<float>> buffer_;
   int64_t pending_ = 0;  // samples accumulated toward the current block
+  // Last observed normalized value per feature, used to fill missing
+  // elements. Lazily sized on the first missing-aware append.
+  std::vector<float> fill_;
 };
 
 }  // namespace imdiff

@@ -1,0 +1,162 @@
+#include "data/ugly_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace imdiff {
+
+namespace {
+constexpr float kTwoPi = 6.283185307179586f;
+
+// Per-channel std of the current series, for sizing shift offsets.
+std::vector<float> ChannelScale(const Tensor& series) {
+  const int64_t length = series.dim(0);
+  const int64_t k = series.dim(1);
+  std::vector<float> out(static_cast<size_t>(k), 1.0f);
+  const float* p = series.data();
+  for (int64_t j = 0; j < k; ++j) {
+    double mean = 0.0;
+    for (int64_t t = 0; t < length; ++t) mean += p[t * k + j];
+    mean /= static_cast<double>(length);
+    double var = 0.0;
+    for (int64_t t = 0; t < length; ++t) {
+      const double d = p[t * k + j] - mean;
+      var += d * d;
+    }
+    out[static_cast<size_t>(j)] =
+        static_cast<float>(std::sqrt(var / static_cast<double>(length)) + 1e-6);
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t SampleHeavyTail(Rng& rng, int64_t min_value, double tail,
+                        int64_t max_value) {
+  IMDIFF_CHECK_GE(min_value, 1);
+  IMDIFF_CHECK_GE(max_value, min_value);
+  IMDIFF_CHECK_GT(tail, 0.0);
+  // Inverse-CDF Pareto: U in (0, 1] to keep the pow finite.
+  const double u = 1.0 - rng.Uniform(0.0, 1.0);
+  const double len =
+      std::ceil(static_cast<double>(min_value) * std::pow(u, -1.0 / tail));
+  return std::clamp(static_cast<int64_t>(len), min_value, max_value);
+}
+
+UglyStream MakeUglyStream(uint64_t seed, const UglyStreamConfig& config) {
+  IMDIFF_CHECK_GT(config.length, 0);
+  IMDIFF_CHECK_GT(config.dims, 0);
+  IMDIFF_CHECK_GE(config.missing_rate, 0.0);
+  IMDIFF_CHECK_LT(config.missing_rate, 1.0);
+  IMDIFF_CHECK_GE(config.gap_rate, 0.0);
+  const int64_t length = config.length;
+  const int64_t k = config.dims;
+  Rng rng(MixSeed(seed, 0x75676c79u));  // "ugly"
+
+  SyntheticConfig base = config.base;
+  base.length = length;
+  base.dims = k;
+
+  UglyStream stream;
+  stream.samples = GenerateCleanSeries(base, rng);
+  float* p = stream.samples.mutable_data();
+
+  // Seasonal load envelope: one phase per stream, all channels breathe
+  // together (a shared load driver), with a small per-channel depth spread.
+  if (config.season_amplitude != 0.0f) {
+    const float phase = static_cast<float>(rng.Uniform(0.0, kTwoPi));
+    std::vector<float> depth(static_cast<size_t>(k));
+    for (int64_t j = 0; j < k; ++j) {
+      depth[static_cast<size_t>(j)] =
+          config.season_amplitude * static_cast<float>(rng.Uniform(0.7, 1.3));
+    }
+    for (int64_t t = 0; t < length; ++t) {
+      const float s =
+          std::sin(kTwoPi * static_cast<float>(t) / config.season_period +
+                   phase);
+      for (int64_t j = 0; j < k; ++j) {
+        p[t * k + j] *= 1.0f + depth[static_cast<size_t>(j)] * s;
+      }
+    }
+  }
+
+  // Slow concept drift: an integrated ramp with jittered increments, applied
+  // with a per-channel gain so channels drift coherently but not identically.
+  if (config.drift_rate != 0.0f) {
+    std::vector<float> gain(static_cast<size_t>(k));
+    for (int64_t j = 0; j < k; ++j) {
+      gain[static_cast<size_t>(j)] = static_cast<float>(rng.Uniform(0.5, 1.5));
+    }
+    float drift = 0.0f;
+    for (int64_t t = 0; t < length; ++t) {
+      drift += config.drift_rate *
+               (0.5f + static_cast<float>(rng.Uniform(0.0, 1.0)));
+      for (int64_t j = 0; j < k; ++j) {
+        p[t * k + j] += gain[static_cast<size_t>(j)] * drift;
+      }
+    }
+  }
+
+  // Abrupt regime shifts: at each shift point every channel jumps to a fresh
+  // persistent offset (replacing the previous regime's offsets).
+  if (config.shift_rate > 0.0) {
+    const std::vector<float> scale = ChannelScale(stream.samples);
+    std::vector<float> offset(static_cast<size_t>(k), 0.0f);
+    for (int64_t t = 0; t < length; ++t) {
+      if (rng.Bernoulli(config.shift_rate)) {
+        ++stream.shifts;
+        for (int64_t j = 0; j < k; ++j) {
+          offset[static_cast<size_t>(j)] = static_cast<float>(
+              rng.Normal(0.0, config.shift_scale *
+                                  scale[static_cast<size_t>(j)]));
+        }
+      }
+      for (int64_t j = 0; j < k; ++j) {
+        p[t * k + j] += offset[static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  // Labeled anomalies go in after the benign distortions, so their magnitude
+  // is sized against the distorted series the detector actually sees.
+  if (config.anomaly_rate > 0.0) {
+    InjectionConfig inject;
+    inject.anomaly_rate = config.anomaly_rate;
+    stream.events = InjectAnomalies(stream.samples, inject, rng);
+    stream.labels = LabelsFromEvents(stream.events, length);
+  }
+
+  // Missing data, last: the mask is over the final values. All-channel
+  // outage gaps first (heavy-tailed lengths), then element dropouts on what
+  // is still observed.
+  stream.observed.assign(static_cast<size_t>(length * k), 1);
+  if (config.gap_rate > 0.0) {
+    for (int64_t t = 0; t < length; ++t) {
+      if (!rng.Bernoulli(config.gap_rate)) continue;
+      const int64_t len = SampleHeavyTail(rng, config.gap_min_length,
+                                          config.gap_tail,
+                                          config.gap_max_length);
+      ++stream.gaps;
+      for (int64_t u = 0; u < len && t + u < length; ++u) {
+        for (int64_t j = 0; j < k; ++j) {
+          stream.observed[static_cast<size_t>((t + u) * k + j)] = 0;
+        }
+      }
+      t += len;  // gaps do not overlap
+    }
+  }
+  if (config.missing_rate > 0.0) {
+    for (int64_t i = 0; i < length * k; ++i) {
+      if (stream.observed[static_cast<size_t>(i)] == 0) continue;
+      if (rng.Bernoulli(config.missing_rate)) {
+        stream.observed[static_cast<size_t>(i)] = 0;
+      }
+    }
+  }
+  for (uint8_t o : stream.observed) stream.missing += o ? 0 : 1;
+  return stream;
+}
+
+}  // namespace imdiff

@@ -1,0 +1,100 @@
+// "Ugly stream" generation: production-shaped traffic layered on top of the
+// clean synthetic simulators (data/synthetic.h).
+//
+// The six benchmark simulators replay the paper's datasets — fully observed,
+// regularly sampled, stationary within a regime. Real multi-tenant telemetry
+// is none of those things: samples go missing (element dropouts and whole
+// outage gaps), the underlying system drifts slowly and occasionally jumps to
+// a new operating point, daily/weekly load envelopes modulate every channel,
+// and most tenants send short bursts rather than steady streams. This module
+// composes those distortions over a GenerateCleanSeries realization, emitting
+// the per-element observed mask alongside the values so the detector's
+// imputation machinery — not silent zero-filling — handles the missing data.
+//
+// Everything is a pure function of (seed, config): the same inputs reproduce
+// the same samples, mask, and labels bitwise, which is what lets the serving
+// load harness (bench/serve_replay) compare whole multi-thousand-tenant runs
+// byte for byte.
+
+#ifndef IMDIFF_DATA_UGLY_STREAM_H_
+#define IMDIFF_DATA_UGLY_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "tensor/tensor.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+
+struct UglyStreamConfig {
+  int64_t length = 800;
+  int64_t dims = 6;
+  // Base clean-signal generator; its length/dims are overridden by the
+  // fields above.
+  SyntheticConfig base;
+
+  // --- Missing data ---------------------------------------------------
+  // Per-element iid dropout probability (a sensor missing one reading).
+  double missing_rate = 0.0;
+  // Per-step probability that an all-channel outage gap starts (an agent
+  // restart or network partition: every channel goes dark together).
+  double gap_rate = 0.0;
+  int64_t gap_min_length = 2;
+  int64_t gap_max_length = 64;
+  // Pareto tail index of gap lengths; smaller = heavier tail (rare long
+  // outages among many short blips).
+  double gap_tail = 1.4;
+
+  // --- Drift ----------------------------------------------------------
+  // Slope of the slow additive concept drift, per step (applied to every
+  // channel with a per-channel gain). 0 disables.
+  float drift_rate = 0.0f;
+  // Per-step probability of an abrupt regime shift: every channel jumps to
+  // a fresh persistent offset (a deploy or config change).
+  double shift_rate = 0.0;
+  // Scale of the per-channel shift offsets, in units of the channel's std.
+  float shift_scale = 1.0f;
+
+  // --- Seasonal load envelope ------------------------------------------
+  // Multiplicative sinusoidal envelope 1 + A·sin(2πt/period + phase), with a
+  // per-stream phase so tenants peak at different times. 0 disables.
+  float season_amplitude = 0.0f;
+  float season_period = 400.0f;
+
+  // --- Anomalies --------------------------------------------------------
+  // Labeled anomaly fraction (InjectAnomalies); 0 emits a clean stream.
+  double anomaly_rate = 0.0;
+};
+
+struct UglyStream {
+  // [L, K] raw values. Ground truth is kept even at unobserved entries —
+  // consumers must route `observed` through the detector's masking machinery
+  // instead of reading masked values, and tests exploit this: corrupting the
+  // masked entries must not change any downstream score.
+  Tensor samples;
+  // L*K row-major flags, 1 = observed. Empty never occurs (always L*K).
+  std::vector<uint8_t> observed;
+  // Per-timestamp anomaly labels (empty when anomaly_rate == 0).
+  std::vector<uint8_t> labels;
+  std::vector<AnomalyEvent> events;
+
+  int64_t missing = 0;  // unobserved elements
+  int64_t gaps = 0;     // all-channel outage runs
+  int64_t shifts = 0;   // abrupt regime shifts applied
+};
+
+// Generates one stream. Pure function of (seed, config).
+UglyStream MakeUglyStream(uint64_t seed, const UglyStreamConfig& config);
+
+// Heavy-tailed (Pareto) integer draw: ceil(min · U^(-1/tail)) clamped to
+// [min, max]. Shared by the gap-length sampler above and the load
+// generator's burst sizes (serve/replay.h) — both want "mostly short, rarely
+// very long".
+int64_t SampleHeavyTail(Rng& rng, int64_t min_value, double tail,
+                        int64_t max_value);
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_DATA_UGLY_STREAM_H_

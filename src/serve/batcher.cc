@@ -134,12 +134,15 @@ void MicroBatcher::ScoreBatchLocked(std::unique_lock<std::mutex>& lock) {
   pending_.clear();
   pending_windows_ = 0;
   ++scoring_;
+  inflight_blocks_.fetch_add(static_cast<int64_t>(batch.size()),
+                             std::memory_order_relaxed);
   lock.unlock();
 
   std::vector<DetectionResult> results = ScoreBlocks(&batch);
   for (size_t i = 0; i < batch.size(); ++i) {
     sessions_->CompleteBlock(batch[i]);
     if (on_scored_) on_scored_(batch[i], results[i]);
+    inflight_blocks_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   lock.lock();
@@ -189,7 +192,8 @@ void MicroBatcher::Shutdown() {
 
 int64_t MicroBatcher::pending_blocks() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(pending_.size()) + (scoring_ > 0 ? 1 : 0);
+  return static_cast<int64_t>(pending_.size()) +
+         inflight_blocks_.load(std::memory_order_relaxed);
 }
 
 }  // namespace serve

@@ -13,6 +13,7 @@
 #ifndef IMDIFF_SERVE_BATCHER_H_
 #define IMDIFF_SERVE_BATCHER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -80,6 +81,10 @@ class MicroBatcher {
   // by the destructor.
   void Shutdown();
 
+  // Blocks queued plus blocks inside in-flight scoring batches that have not
+  // been completed yet — the honest backpressure/drain signal. (An in-flight
+  // batch used to count as one block regardless of size, so drain progress
+  // and load reporting undercounted by up to the batch size under load.)
   int64_t pending_blocks() const;
 
  private:
@@ -99,6 +104,9 @@ class MicroBatcher {
   int64_t pending_windows_ = 0;  // cache misses in pending_
   std::chrono::steady_clock::time_point oldest_{};
   int scoring_ = 0;  // batches being scored right now
+  // Blocks inside in-flight batches, not yet completed. Atomic so each
+  // block's completion can decrement it without re-taking mu_ mid-batch.
+  std::atomic<int64_t> inflight_blocks_{0};
   bool stop_ = false;
   std::thread flusher_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "serve/batcher.h"
 #include "utils/check.h"
 #include "utils/metrics.h"
+#include "utils/rng.h"
 #include "utils/stopwatch.h"
 
 namespace imdiff {
@@ -27,12 +29,20 @@ std::vector<float> ReplaySerial(const ModelEntry& model,
   const uint64_t session_seed = TenantSeed(seed_base, stream.tenant);
   const int64_t length = stream.samples.dim(0);
   const int64_t k = stream.samples.dim(1);
+  if (!stream.observed.empty()) {
+    IMDIFF_CHECK_EQ(static_cast<int64_t>(stream.observed.size()), length * k);
+  }
   std::vector<float> scores(static_cast<size_t>(length), 0.0f);
   std::vector<float> sample(static_cast<size_t>(k));
+  std::vector<uint8_t> observed;
   for (int64_t l = 0; l < length; ++l) {
     std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    if (!stream.observed.empty()) {
+      observed.assign(stream.observed.begin() + l * k,
+                      stream.observed.begin() + (l + 1) * k);
+    }
     OnlineDetector::ReadyBlock ready;
-    if (!online.AppendBuffered(sample, &ready)) continue;
+    if (!online.AppendBuffered(sample, observed, &ready)) continue;
     const DetectionResult result =
         ScoreBlock(*model.detector, session_seed, ready, degrade_level);
     const OnlineDetector::Alert alert =
@@ -84,12 +94,18 @@ ReplayStats ReplayThroughServer(std::shared_ptr<const ModelEntry> model,
   std::vector<float> sample(static_cast<size_t>(k));
   // Round-robin interleaving: sample l of every tenant before sample l + 1
   // of any — the arrival pattern that exercises cross-session batching.
+  std::vector<uint8_t> observed;
   for (int64_t l = 0; l < max_length; ++l) {
     for (const TenantStream& stream : streams) {
       if (l >= stream.samples.dim(0)) continue;
       std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      observed.clear();
+      if (!stream.observed.empty()) {
+        observed.assign(stream.observed.begin() + l * k,
+                        stream.observed.begin() + (l + 1) * k);
+      }
       ++stats.submitted;
-      while (!server.Submit(stream.tenant, sample)) {
+      while (!server.Submit(stream.tenant, sample, observed)) {
         // The replay source is lossless: back off and retry so the score
         // streams stay complete (a live ingest would shed the sample).
         ++stats.rejected;
@@ -109,6 +125,214 @@ ReplayStats ReplayThroughServer(std::shared_ptr<const ModelEntry> model,
       stats.seconds > 0.0 ? static_cast<double>(total_samples) / stats.seconds
                           : 0.0;
   server.Shutdown();
+  return stats;
+}
+
+namespace {
+
+// Nearest-rank percentile of an ascending-sorted vector; 0 when empty.
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto idx = static_cast<size_t>(q * (n - 1.0) + 0.5);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+LoadStats::Spread SpreadOf(std::vector<double> values) {
+  LoadStats::Spread spread;
+  if (values.empty()) return spread;
+  std::sort(values.begin(), values.end());
+  spread.p50 = SortedPercentile(values, 0.5);
+  spread.p90 = SortedPercentile(values, 0.9);
+  spread.p99 = SortedPercentile(values, 0.99);
+  spread.max = values.back();
+  return spread;
+}
+
+}  // namespace
+
+LoadStats ReplayLoad(std::shared_ptr<const ModelEntry> model,
+                     const LoadConfig& config,
+                     const StreamServer::Options& options) {
+  IMDIFF_CHECK(model != nullptr && model->detector != nullptr);
+  IMDIFF_CHECK_GT(config.num_tenants, 0);
+  IMDIFF_CHECK_GT(config.total_samples, 0);
+  IMDIFF_CHECK_GT(config.zipf_exponent, 0.0);
+  IMDIFF_CHECK_GT(config.burst_min, 0);
+  const int64_t k = model->detector->config().model.num_features;
+
+  // Zipf CDF over tenant ranks: rank r with weight 1 / (r + 1)^s. Tenant 0
+  // is the head; the tail ranks share the remaining mass.
+  std::vector<double> cdf(static_cast<size_t>(config.num_tenants));
+  double mass = 0.0;
+  for (int64_t r = 0; r < config.num_tenants; ++r) {
+    mass += std::pow(static_cast<double>(r + 1), -config.zipf_exponent);
+    cdf[static_cast<size_t>(r)] = mass;
+  }
+  for (double& c : cdf) c /= mass;
+
+  // Deterministic schedule: (tenant, burst length) pairs drawn until the
+  // sample budget is spent. The schedule — not wall-clock arrival — defines
+  // the run, so two same-seed runs replay identical traffic.
+  Rng sched_rng(MixSeed(config.seed, 0x7a697066ull));  // "zipf"
+  struct Burst {
+    int64_t tenant;
+    int64_t length;
+  };
+  std::vector<Burst> schedule;
+  std::vector<int64_t> per_tenant(static_cast<size_t>(config.num_tenants), 0);
+  int64_t remaining = config.total_samples;
+  while (remaining > 0) {
+    const double u = sched_rng.Uniform(0.0, 1.0);
+    const int64_t tenant = static_cast<int64_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const int64_t length =
+        SampleHeavyTail(sched_rng, std::min(config.burst_min, remaining),
+                        config.burst_tail, remaining);
+    schedule.push_back({tenant, length});
+    per_tenant[static_cast<size_t>(tenant)] += length;
+    remaining -= length;
+  }
+
+  // Generate each active tenant's ugly stream at exactly its scheduled
+  // length. Tenant seeds derive from (config seed, tenant rank), so the
+  // stream content is independent of the schedule draw order.
+  LoadStats stats;
+  std::map<int64_t, UglyStream> streams;
+  const bool any_missing =
+      config.stream.missing_rate > 0.0 || config.stream.gap_rate > 0.0;
+  for (int64_t t = 0; t < config.num_tenants; ++t) {
+    const int64_t length = per_tenant[static_cast<size_t>(t)];
+    if (length == 0) continue;
+    UglyStreamConfig sc = config.stream;
+    sc.length = length;
+    sc.dims = k;
+    streams.emplace(t, MakeUglyStream(
+                           MixSeed(config.seed, static_cast<uint64_t>(t) + 1),
+                           sc));
+    ++stats.tenants;
+  }
+
+  auto tenant_name = [](int64_t t) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "tenant-%06lld",
+                  static_cast<long long>(t));
+    return std::string(buffer);
+  };
+
+  // Counter baselines: report this run's churn, not the process's.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* const hits = registry.GetCounter("serve.cache_hits");
+  Counter* const misses = registry.GetCounter("serve.cache_misses");
+  Counter* const evicted = registry.GetCounter("serve.sessions_evicted");
+  Counter* const rehydrated = registry.GetCounter("serve.sessions_rehydrated");
+  Counter* const rehydrate_failures =
+      registry.GetCounter("serve.rehydrate_failures");
+  Counter* const stash_evictions =
+      registry.GetCounter("serve.stash_evictions");
+  Counter* const missing_filled = registry.GetCounter("online.missing_filled");
+  const int64_t hits0 = hits->value();
+  const int64_t misses0 = misses->value();
+  const int64_t evicted0 = evicted->value();
+  const int64_t rehydrated0 = rehydrated->value();
+  const int64_t rehydrate_failures0 = rehydrate_failures->value();
+  const int64_t stash_evictions0 = stash_evictions->value();
+  const int64_t missing_filled0 = missing_filled->value();
+
+  std::mutex mu;
+  std::map<std::string, std::vector<double>> latencies;
+  if (config.collect_scores) {
+    for (const auto& [t, stream] : streams) {
+      stats.scores[tenant_name(t)] =
+          std::vector<float>(static_cast<size_t>(stream.samples.dim(0)), 0.0f);
+    }
+  }
+  auto on_alert = [&](const StreamServer::ScoredBlock& scored) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++stats.alerts;
+    if (scored.degrade_level > 0) ++stats.degraded_alerts;
+    latencies[scored.tenant].push_back(scored.latency_seconds);
+    if (config.collect_scores) {
+      auto it = stats.scores.find(scored.tenant);
+      IMDIFF_CHECK(it != stats.scores.end());
+      std::vector<float>& out = it->second;
+      for (size_t i = 0; i < scored.alert.scores.size(); ++i) {
+        const int64_t pos = scored.alert.start + static_cast<int64_t>(i);
+        if (pos < static_cast<int64_t>(out.size())) {
+          out[static_cast<size_t>(pos)] = scored.alert.scores[i];
+        }
+      }
+    }
+  };
+
+  StreamServer server(std::move(model), options, on_alert);
+  Stopwatch timer;
+  std::vector<int64_t> cursor(static_cast<size_t>(config.num_tenants), 0);
+  std::vector<float> sample(static_cast<size_t>(k));
+  std::vector<uint8_t> observed;
+  int64_t accepted = 0;
+  for (const Burst& burst : schedule) {
+    const UglyStream& stream = streams.at(burst.tenant);
+    const std::string name = tenant_name(burst.tenant);
+    int64_t& pos = cursor[static_cast<size_t>(burst.tenant)];
+    for (int64_t j = 0; j < burst.length; ++j, ++pos) {
+      std::copy_n(stream.samples.data() + pos * k, k, sample.begin());
+      observed.clear();
+      if (any_missing) {
+        observed.assign(stream.observed.begin() + pos * k,
+                        stream.observed.begin() + (pos + 1) * k);
+      }
+      ++stats.submitted;
+      while (!server.Submit(name, sample, observed)) {
+        ++stats.rejected;
+        std::this_thread::yield();
+      }
+      ++accepted;
+      // Drain on an accepted-sample cadence: a deterministic point in the
+      // submission sequence, so eviction/stash decisions — which depend on
+      // which sessions have blocks in flight — replay identically.
+      if (config.drain_every > 0 && accepted % config.drain_every == 0) {
+        server.Drain();
+      }
+    }
+  }
+  server.Drain();
+  stats.seconds = timer.ElapsedSeconds();
+  stats.points_per_second =
+      stats.seconds > 0.0
+          ? static_cast<double>(config.total_samples) / stats.seconds
+          : 0.0;
+  server.Shutdown();
+
+  // Reduce each tenant's latencies to p50/p99, then summarize the spread of
+  // those values across tenants.
+  std::vector<double> p50s;
+  std::vector<double> p99s;
+  p50s.reserve(latencies.size());
+  p99s.reserve(latencies.size());
+  for (auto& [tenant, values] : latencies) {
+    std::sort(values.begin(), values.end());
+    p50s.push_back(SortedPercentile(values, 0.5));
+    p99s.push_back(SortedPercentile(values, 0.99));
+  }
+  stats.tenant_p50 = SpreadOf(std::move(p50s));
+  stats.tenant_p99 = SpreadOf(std::move(p99s));
+
+  stats.cache_hits = hits->value() - hits0;
+  stats.cache_misses = misses->value() - misses0;
+  const int64_t lookups = stats.cache_hits + stats.cache_misses;
+  stats.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  stats.sessions_evicted = evicted->value() - evicted0;
+  stats.sessions_rehydrated = rehydrated->value() - rehydrated0;
+  stats.rehydrate_failures =
+      rehydrate_failures->value() - rehydrate_failures0;
+  stats.stash_evictions = stash_evictions->value() - stash_evictions0;
+  stats.missing_filled = missing_filled->value() - missing_filled0;
+  stats.peak_rss_kb = ProcessPeakRssKb();
   return stats;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "data/ugly_stream.h"
 #include "eval/runner.h"
 #include "serve/server.h"
 
@@ -27,6 +28,10 @@ namespace serve {
 struct TenantStream {
   std::string tenant;
   Tensor samples;  // [L, K]
+  // Per-entry observation flags, [L * K] row-major (1 = observed); empty =
+  // fully observed. Missing entries route through the carry-forward fill
+  // (core/online_detector.h) — their values in `samples` are never read.
+  std::vector<uint8_t> observed;
 };
 
 // Scores one tenant serially: every ready block is scored fresh through
@@ -88,6 +93,84 @@ AggregateMetrics EvaluateServedManySeeds(const MtsDataset& dataset,
 double ServedDetectionDelay(const std::vector<uint8_t>& labels,
                             const std::vector<uint8_t>& predictions,
                             int64_t block);
+
+// ---------------------------------------------------------------------------
+// Zipf-scale load generation (DESIGN.md §15).
+//
+// ReplayLoad drives a StreamServer with the ugly-traffic workload: tenant
+// popularity is Zipf-distributed, traffic arrives as heavy-tailed bursts
+// (one tenant streams a Pareto-length run of samples, then another), and
+// every tenant's stream comes from data/ugly_stream.h — missing entries,
+// sampling gaps, drift, regime shifts, seasonal envelopes. The schedule
+// (which tenant, how many samples, in what order) is a pure function of
+// `seed`, so two runs with the same config submit the identical sample
+// sequence and — with a single worker and drain-point-only flushes — produce
+// bitwise-identical score streams.
+
+struct LoadConfig {
+  int64_t num_tenants = 1000;
+  // Total samples across all tenants; the schedule stops when spent.
+  int64_t total_samples = 100000;
+  uint64_t seed = 1;
+  // Zipf popularity exponent: tenant rank r is drawn with probability
+  // proportional to 1 / (r + 1)^zipf_exponent.
+  double zipf_exponent = 1.1;
+  // Burst sizes are Pareto(min = burst_min, tail = burst_tail): mostly short
+  // runs, occasionally a tenant that floods.
+  int64_t burst_min = 4;
+  double burst_tail = 1.2;
+  // Drain the server after this many accepted samples (0 = only at the
+  // end). Draining at deterministic points in the submission sequence —
+  // never on a wall-clock cadence — is what keeps eviction order, and hence
+  // the whole run, reproducible.
+  int64_t drain_every = 4096;
+  // Per-tenant stream recipe; `length` and `dims` are overridden per tenant
+  // (scheduled sample count / the model's feature count).
+  UglyStreamConfig stream;
+  // Keep every tenant's emitted score stream in LoadStats::scores (the
+  // bitwise-reproducibility artifact). Costs O(total_samples) floats.
+  bool collect_scores = false;
+};
+
+struct LoadStats {
+  int64_t tenants = 0;  // tenants that received traffic
+  int64_t submitted = 0;
+  int64_t rejected = 0;  // backpressure rejections (samples were retried)
+  int64_t alerts = 0;
+  int64_t degraded_alerts = 0;
+  double seconds = 0.0;
+  double points_per_second = 0.0;
+  // Cross-tenant spread of per-tenant latency percentiles: each tenant's
+  // ready-to-alert latencies are reduced to that tenant's p50/p99, and the
+  // spread summarizes those values across tenants — tenant_p99.p50 is the
+  // median tenant's p99, tenant_p99.max the worst tenant's p99. This is the
+  // per-tenant view a global histogram hides: a Zipf head tenant can be slow
+  // in every percentile while the global p99 still looks healthy.
+  struct Spread {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+  };
+  Spread tenant_p50;
+  Spread tenant_p99;
+  // Serving-layer churn over the run (counter deltas).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;  // hits / (hits + misses), 0 when no lookups
+  int64_t sessions_evicted = 0;
+  int64_t sessions_rehydrated = 0;
+  int64_t rehydrate_failures = 0;
+  int64_t stash_evictions = 0;
+  int64_t missing_filled = 0;  // feature values filled by carry-forward
+  int64_t peak_rss_kb = -1;    // ProcessPeakRssKb() after the run
+  // Per-tenant score streams (only when LoadConfig::collect_scores).
+  std::map<std::string, std::vector<float>> scores;
+};
+
+LoadStats ReplayLoad(std::shared_ptr<const ModelEntry> model,
+                     const LoadConfig& config,
+                     const StreamServer::Options& options);
 
 }  // namespace serve
 }  // namespace imdiff

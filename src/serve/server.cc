@@ -30,12 +30,13 @@ StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
                  // Ready-to-alert latency: queueing at the batcher plus the
                  // batched scoring pass — the end-to-end cost the serving
                  // layer adds on top of raw inference.
+                 scored.latency_seconds =
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - request.ready_time)
+                         .count();
                  MetricsRegistry::Global()
                      .GetHistogram("serve.alert_latency_seconds")
-                     ->Record(std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() -
-                                  request.ready_time)
-                                  .count());
+                     ->Record(scored.latency_seconds);
                  if (on_alert_) on_alert_(scored);
                }),
       on_alert_(std::move(on_alert)) {
@@ -60,6 +61,11 @@ size_t StreamServer::ShardOf(const std::string& tenant) const {
 
 bool StreamServer::Submit(const std::string& tenant,
                           std::vector<float> sample) {
+  return Submit(tenant, std::move(sample), {});
+}
+
+bool StreamServer::Submit(const std::string& tenant, std::vector<float> sample,
+                          std::vector<uint8_t> observed) {
   Shard& shard = *shards_[ShardOf(tenant)];
   MetricsRegistry& registry = MetricsRegistry::Global();
   {
@@ -75,6 +81,7 @@ bool StreamServer::Submit(const std::string& tenant,
     Request request;
     request.tenant = tenant;
     request.sample = std::move(sample);
+    request.observed = std::move(observed);
     request.enqueue = std::chrono::steady_clock::now();
     shard.queue.push_back(std::move(request));
   }
@@ -109,7 +116,8 @@ void StreamServer::WorkerLoop(Shard* shard) {
     queue_wait->Record(wait_seconds);
 
     BlockRequest block;
-    if (sessions_.Append(request.tenant, request.sample, &block)) {
+    if (sessions_.Append(request.tenant, request.sample, request.observed,
+                         &block)) {
       block.degrade_level = ChooseDegradeLevel(wait_seconds, block);
       if (block.degrade_level > 0) degraded_blocks_->Increment();
       batcher_.Submit(std::move(block));

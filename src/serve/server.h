@@ -67,6 +67,10 @@ class StreamServer {
     OnlineDetector::Alert alert;
     // Degradation level the block was scored at (0 = full reverse chain).
     int degrade_level = 0;
+    // Ready-to-alert latency (batcher queueing + batched scoring) — the same
+    // quantity serve.alert_latency_seconds records, surfaced per block so a
+    // load generator can aggregate latency per tenant.
+    double latency_seconds = 0.0;
   };
   // Runs on a batcher/worker thread; must be thread-safe and non-blocking
   // (it sits on the scoring path).
@@ -82,6 +86,13 @@ class StreamServer {
   // Enqueues one raw sample for `tenant`. Returns false (and counts
   // serve.requests_dropped) when the tenant's shard queue is full.
   bool Submit(const std::string& tenant, std::vector<float> sample);
+
+  // Missing-aware variant: `observed` flags one entry per feature (empty =
+  // fully observed) and rides to SessionManager::Append, which routes it
+  // into the session's carry-forward fill (core/online_detector.h). The
+  // value of a feature flagged missing is never read.
+  bool Submit(const std::string& tenant, std::vector<float> sample,
+              std::vector<uint8_t> observed);
 
   // Blocks until every enqueued sample has been processed and every ready
   // block has been scored and delivered. Callers must not Submit
@@ -109,6 +120,7 @@ class StreamServer {
   struct Request {
     std::string tenant;
     std::vector<float> sample;
+    std::vector<uint8_t> observed;  // empty = fully observed
     std::chrono::steady_clock::time_point enqueue{};
   };
   struct Shard {

@@ -53,6 +53,7 @@ SessionManager::SessionManager(std::shared_ptr<const ModelEntry> model,
   IMDIFF_CHECK(model_ != nullptr);
   IMDIFF_CHECK(model_->detector != nullptr && model_->detector->fitted());
   IMDIFF_CHECK_GT(options_.max_resident, 0);
+  IMDIFF_CHECK_GE(options_.max_stashed, 0);
 }
 
 SessionManager::Session& SessionManager::GetOrCreateLocked(
@@ -79,6 +80,8 @@ SessionManager::Session& SessionManager::GetOrCreateLocked(
     stash_.erase(stashed);
     stashed = stash_.end();
     registry.GetCounter("serve.rehydrate_failures")->Increment();
+    registry.GetGauge("serve.stash_size")
+        ->Set(static_cast<double>(stash_.size()));
   }
   if (stashed != stash_.end()) {
     // Rehydrate an evicted session: the stashed state restores the rolling
@@ -89,6 +92,8 @@ SessionManager::Session& SessionManager::GetOrCreateLocked(
     session.blocks = stashed->second.blocks;
     stash_.erase(stashed);
     registry.GetCounter("serve.sessions_rehydrated")->Increment();
+    registry.GetGauge("serve.stash_size")
+        ->Set(static_cast<double>(stash_.size()));
   } else {
     session.online.SetNormalization(model_->stats);
     registry.GetCounter("serve.sessions_created")->Increment();
@@ -113,14 +118,37 @@ void SessionManager::MaybeEvictLocked(int64_t incoming) {
     Stash stash;
     stash.state = victim->second.online.ExportState();
     stash.blocks = victim->second.blocks;
+    stash.tick = ++tick_;
     stash_[victim->first] = std::move(stash);
     sessions_.erase(victim);
     registry.GetCounter("serve.sessions_evicted")->Increment();
+    registry.GetGauge("serve.stash_size")
+        ->Set(static_cast<double>(stash_.size()));
+    // Cap the stash: without a bound, Zipf-scale tenant churn turns it into
+    // an unbounded leak (every distinct tenant leaves a stash behind). Drop
+    // the least recently evicted stash — the tenant least likely to return.
+    while (static_cast<int64_t>(stash_.size()) > options_.max_stashed) {
+      auto drop = stash_.begin();
+      for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+        if (it->second.tick < drop->second.tick) drop = it;
+      }
+      stash_.erase(drop);
+      registry.GetCounter("serve.stash_evictions")->Increment();
+      registry.GetGauge("serve.stash_size")
+          ->Set(static_cast<double>(stash_.size()));
+    }
   }
 }
 
 bool SessionManager::Append(const std::string& tenant,
                             const std::vector<float>& sample,
+                            BlockRequest* request) {
+  return Append(tenant, sample, {}, request);
+}
+
+bool SessionManager::Append(const std::string& tenant,
+                            const std::vector<float>& sample,
+                            const std::vector<uint8_t>& observed,
                             BlockRequest* request) {
   IMDIFF_CHECK(request != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
@@ -128,7 +156,7 @@ bool SessionManager::Append(const std::string& tenant,
   session.tick = ++tick_;
 
   OnlineDetector::ReadyBlock ready;
-  if (!session.online.AppendBuffered(sample, &ready)) return false;
+  if (!session.online.AppendBuffered(sample, observed, &ready)) return false;
 
   request->tenant = tenant;
   request->block_index = session.blocks++;
@@ -185,13 +213,18 @@ void SessionManager::CompleteBlock(const BlockRequest& request) {
     if (key < 0 || request.hit[i]) continue;
     session.cache[key] = request.scores[i];
   }
-  // Prune entries that can no longer reappear: a future block's buffer
-  // starts at or after total - context (the block samples are new).
-  const int64_t min_keep =
-      request.ready.total_at_ready -
-      (options_.online.context + options_.online.block);
-  session.cache.erase(session.cache.begin(),
-                      session.cache.lower_bound(min_keep));
+  // Prune entries that can no longer reappear. The next block becomes ready
+  // at total + block with context + block samples buffered, so its buffer —
+  // and every later one's — starts at total - context; keys below that are
+  // dead. (The earlier bound of total - (context + block) was off by the
+  // block size: it kept a dead span of `block` positions per session, which
+  // at Zipf-tenant counts is real memory for entries no lookup can reach.)
+  if (options_.prune_window_cache) {
+    const int64_t min_keep =
+        request.ready.total_at_ready - options_.online.context;
+    session.cache.erase(session.cache.begin(),
+                        session.cache.lower_bound(min_keep));
+  }
 }
 
 void SessionManager::SwapModel(std::shared_ptr<const ModelEntry> model) {
@@ -221,6 +254,15 @@ int64_t SessionManager::stashed_sessions() const {
 int64_t SessionManager::pending_blocks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_total_;
+}
+
+int64_t SessionManager::cached_window_scores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [tenant, session] : sessions_) {
+    total += static_cast<int64_t>(session.cache.size());
+  }
+  return total;
 }
 
 }  // namespace serve

@@ -99,6 +99,18 @@ class SessionManager {
     // Reuse window scores across overlapping blocks (bitwise-neutral; saves
     // roughly half the model forwards when block == stride).
     bool cache_window_scores = true;
+    // Stashed-state cap: above it the least recently evicted stash is
+    // dropped (serve.stash_evictions counts the drops). A dropped tenant's
+    // next sample starts a fresh session — stream positions and window
+    // seeds reset, so scores continue but no longer match a never-evicted
+    // replay. Under Zipf-scale tenant churn the stash is the only unbounded
+    // state in the serving layer; this cap is what bounds resident memory.
+    int64_t max_stashed = 1024;
+    // Prune window-score cache entries no future block can reuse (a future
+    // block's buffer never starts before total - context). Disabling keeps
+    // every entry — the reference for the cache-prune property test, which
+    // asserts the pruned run hits exactly as often as the unbounded one.
+    bool prune_window_cache = true;
   };
 
   SessionManager(std::shared_ptr<const ModelEntry> model,
@@ -110,6 +122,12 @@ class SessionManager {
   // flight until CompleteBlock. Thread-safe.
   bool Append(const std::string& tenant, const std::vector<float>& sample,
               BlockRequest* request);
+
+  // Missing-aware variant: `observed` flags are forwarded to the session's
+  // OnlineDetector (carry-forward fill; see core/online_detector.h). Empty
+  // means fully observed.
+  bool Append(const std::string& tenant, const std::vector<float>& sample,
+              const std::vector<uint8_t>& observed, BlockRequest* request);
 
   // Batcher write-back: stores freshly computed window scores in the
   // session's cache and releases the in-flight hold.
@@ -124,6 +142,8 @@ class SessionManager {
   int64_t resident_sessions() const;
   int64_t stashed_sessions() const;
   int64_t pending_blocks() const;
+  // Window-score cache entries across every resident session.
+  int64_t cached_window_scores() const;
 
   const Options& options() const { return options_; }
 
@@ -141,6 +161,7 @@ class SessionManager {
   struct Stash {
     OnlineDetector::State state;
     int64_t blocks = 0;
+    uint64_t tick = 0;  // eviction-order stamp for the stash cap's LRU drop
   };
 
   Session& GetOrCreateLocked(const std::string& tenant);

@@ -1,5 +1,9 @@
 #include "utils/metrics.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -248,6 +252,20 @@ bool ProbeWritable(const std::string& path) {
   }
   if (!existed) std::remove(path.c_str());
   return true;
+}
+
+int64_t ProcessPeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<int64_t>(usage.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return -1;
+#endif
 }
 
 }  // namespace imdiff

@@ -154,6 +154,11 @@ bool WriteMetricsJson(const std::string& path);
 // bad path.
 bool ProbeWritable(const std::string& path);
 
+// Peak resident set size of this process in kilobytes (getrusage ru_maxrss),
+// or -1 where the platform does not expose it. Monotone over the process
+// lifetime — load tests read it to assert bounded memory, not current usage.
+int64_t ProcessPeakRssKb();
+
 // Times a scope and records the elapsed seconds into `histogram` on
 // destruction. A null histogram (or metrics disabled at construction)
 // records nothing and skips the clock reads.

@@ -4,6 +4,7 @@
 // multi-producer concurrency test that the TSan CI job runs.
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -740,6 +741,285 @@ TEST(ServeConcurrencyTest, ConcurrentProducersMatchSerialReplay) {
         *model, options.session.online, options.session.seed_base, stream);
     EXPECT_EQ(serial, served.at(stream.tenant)) << stream.tenant;
   }
+}
+
+// Regression (stash leak): every distinct tenant used to leave a stash
+// behind forever — at Zipf-scale tenant churn the stash was the serving
+// layer's only unbounded state. The cap drops the least recently evicted
+// stash and counts the drop; a dropped tenant restarts fresh.
+TEST(ServeSessionTest, StashCapDropsLeastRecentlyEvicted) {
+  SessionManager::Options options;
+  options.online.block = 100000;  // buffer only: sessions stay idle/evictable
+  options.max_resident = 2;
+  options.max_stashed = 3;
+  options.seed_base = 77;
+  SessionManager sessions(SharedModel(), options);
+
+  const std::vector<float> sample = {0.1f, 0.2f, 0.3f};
+  const int64_t drops_before = CounterValue("serve.stash_evictions");
+  BlockRequest request;
+  for (int t = 0; t < 10; ++t) {
+    sessions.Append("stash-" + std::to_string(t), sample, &request);
+    EXPECT_LE(sessions.resident_sessions(), 2);
+    EXPECT_LE(sessions.stashed_sessions(), 3);
+  }
+  // 10 tenants through a 2-resident cap: 8 evictions into a 3-stash cap
+  // leaves 5 drops, oldest-evicted first.
+  EXPECT_EQ(sessions.resident_sessions(), 2);
+  EXPECT_EQ(sessions.stashed_sessions(), 3);
+  EXPECT_EQ(CounterValue("serve.stash_evictions") - drops_before, 5);
+  const double stash_gauge =
+      MetricsRegistry::Global().GetGauge("serve.stash_size")->value();
+  EXPECT_EQ(stash_gauge, 3.0);
+
+  // A dropped tenant is not wedged: its next sample starts a fresh session.
+  const int64_t created_before = CounterValue("serve.sessions_created");
+  sessions.Append("stash-0", sample, &request);
+  EXPECT_EQ(CounterValue("serve.sessions_created") - created_before, 1);
+}
+
+// Regression: pending_blocks() used to count a whole in-flight batch as one
+// block, so drain progress and load reporting undercounted by up to the
+// batch size. With the first completion callback gated, the count must equal
+// the real number of uncompleted blocks.
+TEST(ServeBatcherTest, PendingBlocksCountsEveryInFlightBlock) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  SessionManager::Options session_options;
+  session_options.online.block = 50;
+  session_options.online.context = 50;
+  session_options.seed_base = 83;
+  SessionManager sessions(model, session_options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool in_callback = false;
+  bool release = false;
+  int completed = 0;
+  serve::MicroBatcher::Options batch_options;
+  batch_options.max_batch_windows = 1 << 30;  // flusher never fires on size
+  batch_options.flush_window_seconds = 3600.0;  // ... or on time
+  serve::MicroBatcher batcher(
+      &sessions, batch_options,
+      [&](const BlockRequest&, const DetectionResult&) {
+        std::unique_lock<std::mutex> lock(mu);
+        ++completed;
+        if (completed == 1) {
+          in_callback = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release; });
+        }
+      });
+
+  // Three tenants, one ready block each, all submitted before any flush.
+  const std::vector<TenantStream> streams = {MakeStream("pb-a", 171, 50),
+                                             MakeStream("pb-b", 172, 50),
+                                             MakeStream("pb-c", 173, 50)};
+  const int64_t k = streams.front().samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+  for (const TenantStream& stream : streams) {
+    for (int64_t l = 0; l < 50; ++l) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      BlockRequest request;
+      if (sessions.Append(stream.tenant, sample, &request)) {
+        batcher.Submit(std::move(request));
+      }
+    }
+  }
+  EXPECT_EQ(batcher.pending_blocks(), 3);
+
+  std::thread flusher([&] { batcher.Flush(); });
+  {
+    // The first block's callback is parked mid-delivery: its alert is not
+    // out yet, and blocks 2 and 3 have not even been scored. All three are
+    // still pending work. The old implementation collapsed the whole
+    // scoring batch to 1 here.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return in_callback; });
+  }
+  EXPECT_EQ(batcher.pending_blocks(), 3);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  flusher.join();
+  EXPECT_EQ(batcher.pending_blocks(), 0);
+  EXPECT_EQ(completed, 3);
+  batcher.Shutdown();
+}
+
+// Property test for the window-score cache prune bound: replaying the same
+// overlapping blocks with pruning on and off must hit the cache identically
+// (every pruned entry was unreachable), while the pruned cache stays at the
+// reachable-window bound. The seed bound total - (context + block) kept a
+// dead block-span per session — the size assertion fails against it.
+TEST(ServeSessionTest, CachePruneKeepsEveryReachableEntry) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  const TenantStream stream = MakeStream("prune", 181, 400);
+  const int64_t k = stream.samples.dim(1);
+
+  SessionManager::Options base;
+  base.online.block = 40;   // == model window: consecutive blocks overlap
+  base.online.context = 80;
+  base.seed_base = 19;
+
+  // With block == context == multiples of the window (40), a completed block
+  // at stream position `total` leaves reachable keys {total-80, total-40}.
+  const int64_t max_reachable = base.online.context / 40;
+
+  auto run = [&](bool prune, std::vector<int64_t>* hits_per_block,
+                 std::vector<float>* all_scores, int64_t* max_cached) {
+    SessionManager::Options options = base;
+    options.prune_window_cache = prune;
+    SessionManager sessions(model, options);
+    std::vector<float> sample(static_cast<size_t>(k));
+    *max_cached = 0;
+    for (int64_t l = 0; l < 400; ++l) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      BlockRequest request;
+      if (!sessions.Append("prune", sample, &request)) continue;
+      int64_t hits = 0;
+      for (uint8_t h : request.hit) hits += h;
+      hits_per_block->push_back(hits);
+      std::vector<BlockRequest> batch;
+      batch.push_back(std::move(request));
+      const std::vector<DetectionResult> results = serve::ScoreBlocks(&batch);
+      for (float s : results[0].scores) all_scores->push_back(s);
+      sessions.CompleteBlock(batch[0]);
+      *max_cached = std::max(*max_cached, sessions.cached_window_scores());
+    }
+  };
+
+  std::vector<int64_t> pruned_hits, unbounded_hits;
+  std::vector<float> pruned_scores, unbounded_scores;
+  int64_t pruned_max = 0, unbounded_max = 0;
+  run(true, &pruned_hits, &pruned_scores, &pruned_max);
+  run(false, &unbounded_hits, &unbounded_scores, &unbounded_max);
+
+  ASSERT_GT(pruned_hits.size(), 3u);
+  EXPECT_EQ(pruned_hits, unbounded_hits);      // no reachable entry was pruned
+  EXPECT_EQ(pruned_scores, unbounded_scores);  // and scores are bitwise equal
+  int64_t total_hits = 0;
+  for (int64_t h : pruned_hits) total_hits += h;
+  EXPECT_GT(total_hits, 0);  // overlap actually exercised the cache
+  EXPECT_LE(pruned_max, max_reachable);  // fails at the old off-by-block bound
+  EXPECT_GT(unbounded_max, max_reachable);  // unbounded cache really grows
+}
+
+// Pin: a session evicted under model A and rehydrated after a hot swap to
+// model B keeps A's normalization statistics. The rehydrated stream must
+// continue bitwise as if never evicted — re-normalizing mid-stream with B's
+// stats would silently shift every subsequent window.
+TEST(ServeSessionTest, RehydrateAfterHotSwapKeepsOldNormalization) {
+  std::shared_ptr<const ModelEntry> model_a = SharedModel();
+  // Same detector, different training-history statistics: the swapped-in
+  // model normalizes identical raw samples differently.
+  auto model_b = std::make_shared<ModelEntry>(*model_a);
+  model_b->version = 2;
+  for (float& m : model_b->stats.max) m *= 2.0f;
+
+  const TenantStream stream = MakeStream("swap-rehy", 191, 100);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+
+  SessionManager::Options options;
+  options.online.block = 50;
+  options.online.context = 50;
+  options.max_resident = 1;
+  options.seed_base = 37;
+  SessionManager sessions(model_a, options);
+
+  auto feed = [&](const std::string& tenant, int64_t begin, int64_t end,
+                  OnlineDetector::ReadyBlock* out) {
+    for (int64_t l = begin; l < end; ++l) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      BlockRequest request;
+      if (sessions.Append(tenant, sample, &request)) {
+        *out = std::move(request.ready);
+        sessions.CompleteBlock(request);
+      }
+    }
+  };
+
+  OnlineDetector::ReadyBlock unused;
+  feed("victim", 0, 30, &unused);      // mid-block, idle: evictable
+  feed("intruder", 0, 1, &unused);     // max_resident=1: evicts "victim"
+  EXPECT_EQ(sessions.stashed_sessions(), 1);
+  sessions.SwapModel(model_b);
+  OnlineDetector::ReadyBlock rehydrated;
+  feed("victim", 30, 60, &rehydrated);  // rehydrates under model B
+  ASSERT_GT(rehydrated.series.numel(), 0);
+
+  // Reference: the same stream through A's normalization, never evicted.
+  OnlineDetector reference(nullptr, options.online);
+  reference.SetNormalization(model_a->stats);
+  OnlineDetector::ReadyBlock expected;
+  for (int64_t l = 0; l < 60; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    OnlineDetector::ReadyBlock ready;
+    if (reference.AppendBuffered(sample, &ready)) expected = std::move(ready);
+  }
+  ASSERT_EQ(rehydrated.series.numel(), expected.series.numel());
+  EXPECT_TRUE(std::equal(rehydrated.series.data(),
+                         rehydrated.series.data() + rehydrated.series.numel(),
+                         expected.series.data()));
+
+  // Sanity that the pin means something: B's stats normalize differently.
+  OnlineDetector other(nullptr, options.online);
+  other.SetNormalization(model_b->stats);
+  OnlineDetector::ReadyBlock with_b;
+  for (int64_t l = 0; l < 60; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    OnlineDetector::ReadyBlock ready;
+    if (other.AppendBuffered(sample, &ready)) with_b = std::move(ready);
+  }
+  EXPECT_FALSE(std::equal(rehydrated.series.data(),
+                          rehydrated.series.data() + rehydrated.series.numel(),
+                          with_b.series.data()));
+}
+
+// The Zipf load generator end to end (small scale): the run completes, the
+// schedule touches many tenants, churn shows up in the stats, and two
+// same-seed runs produce bitwise-identical score streams.
+TEST(ServeLoadTest, ZipfLoadIsDeterministicWithChurn) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  serve::LoadConfig load;
+  load.num_tenants = 60;
+  load.total_samples = 6000;
+  load.seed = 5;
+  load.zipf_exponent = 1.1;
+  load.drain_every = 512;
+  load.stream.missing_rate = 0.05;
+  load.stream.gap_rate = 0.002;
+  load.stream.drift_rate = 0.001f;
+  load.stream.shift_rate = 0.002;
+  load.collect_scores = true;
+
+  StreamServer::Options options;
+  options.num_workers = 1;  // determinism: single ingest order
+  options.session.online.block = 40;
+  options.session.online.context = 80;
+  options.session.max_resident = 8;
+  options.session.max_stashed = 16;
+  options.session.seed_base = 5;
+  options.batch.max_batch_windows = 1 << 30;  // flush only at drain points
+  options.batch.flush_window_seconds = 3600.0;
+
+  const serve::LoadStats first = serve::ReplayLoad(model, load, options);
+  EXPECT_GT(first.tenants, 10);
+  EXPECT_GT(first.alerts, 0);
+  EXPECT_GT(first.missing_filled, 0);
+  EXPECT_GT(first.sessions_evicted, 0);
+  EXPECT_GT(first.stash_evictions, 0);
+  EXPECT_GT(first.cache_hits + first.cache_misses, 0);
+  EXPECT_GT(first.tenant_p99.max, 0.0);
+
+  const serve::LoadStats second = serve::ReplayLoad(model, load, options);
+  EXPECT_EQ(first.scores, second.scores);
+  EXPECT_EQ(first.alerts, second.alerts);
+  EXPECT_EQ(first.cache_hits, second.cache_hits);
+  EXPECT_EQ(first.sessions_evicted, second.sessions_evicted);
+  EXPECT_EQ(first.stash_evictions, second.stash_evictions);
 }
 
 // The degradation ladder's core contract: a degraded score is a pure

@@ -18,6 +18,21 @@
 //   [--zipf EXP] [--total-samples N] [--missing R] [--gaps R] [--drift R]
 //   [--shifts R] [--season A] [--burst-min N] [--burst-tail T]
 //   [--drain-every N]
+//   [--shards N] [--socket-dir D] [--worker-bin PATH] [--worker-threads T]
+//   [--fail-on-shed] [--reshard-every N] [--reshard-tenants M]
+//
+// --shards N (requires --zipf) switches to multi-process sharded serving
+// (DESIGN.md §16): N imdiff_worker processes are spawned on unix-domain
+// sockets under --socket-dir, tenants are placed on them by consistent
+// hashing, and the identical deterministic workload is driven through a
+// ShardRouter. The --scores-out dump's tenant lines are bitwise identical to
+// the single-process run's, and the whole file is identical across shard
+// counts and across identically-seeded runs. --reshard-every R moves
+// --reshard-tenants tenants to the next shard after every R-th drain barrier
+// (live resharding); --faults router.shard_down:#K kills a live shard
+// mid-run and must lose nothing. --fail-on-shed exits nonzero when any
+// submission was shed or any re-delivered block mismatched its first
+// delivery bitwise.
 //
 // --zipf EXP switches to load-generator mode (DESIGN.md §15): --tenants
 // tenants (10k+ works) drawing Zipf(EXP)-distributed traffic in heavy-tailed
@@ -47,6 +62,10 @@
 // IMDIFF_GRAPH=0 vs 1 — produce comparable --scores-out dumps at a fixed
 // level instead of coupling level choice to wall-clock speed.
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -57,7 +76,10 @@
 
 #include "core/imdiffusion.h"
 #include "data/benchmarks.h"
+#include "net/socket.h"
 #include "serve/replay.h"
+#include "serve/router.h"
+#include "serve/worker.h"
 #include "utils/fault.h"
 #include "utils/logging.h"
 #include "utils/metrics.h"
@@ -101,6 +123,14 @@ struct ReplayFlags {
   int64_t burst_min = 4;
   double burst_tail = 1.2;
   int64_t drain_every = 4096;
+  // Sharded mode (> 0 enables; requires --zipf): number of worker processes.
+  int64_t shards = 0;
+  std::string socket_dir;   // empty: /tmp/imdiff-shards-<pid>
+  std::string worker_bin;   // empty: imdiff_worker next to this binary
+  int worker_threads = 0;   // ingest threads per worker; 0: --workers
+  bool fail_on_shed = false;
+  int64_t reshard_every = 0;  // move tenants after every Nth drain barrier
+  int64_t reshard_tenants = 1;
 };
 
 ReplayFlags ParseFlags(int argc, char** argv) {
@@ -172,6 +202,20 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.burst_tail = std::atof(next("--burst-tail"));
     } else if (std::strcmp(argv[i], "--drain-every") == 0) {
       flags.drain_every = std::atoll(next("--drain-every"));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      flags.shards = std::atoll(next("--shards"));
+    } else if (std::strcmp(argv[i], "--socket-dir") == 0) {
+      flags.socket_dir = next("--socket-dir");
+    } else if (std::strcmp(argv[i], "--worker-bin") == 0) {
+      flags.worker_bin = next("--worker-bin");
+    } else if (std::strcmp(argv[i], "--worker-threads") == 0) {
+      flags.worker_threads = std::atoi(next("--worker-threads"));
+    } else if (std::strcmp(argv[i], "--fail-on-shed") == 0) {
+      flags.fail_on_shed = true;
+    } else if (std::strcmp(argv[i], "--reshard-every") == 0) {
+      flags.reshard_every = std::atoll(next("--reshard-every"));
+    } else if (std::strcmp(argv[i], "--reshard-tenants") == 0) {
+      flags.reshard_tenants = std::atoll(next("--reshard-tenants"));
     } else {
       IMDIFF_CHECK(false) << "unknown flag" << argv[i];
     }
@@ -283,11 +327,280 @@ int RunZipfLoad(const ReplayFlags& flags,
       exit_code = 1;
     }
   }
+  if (flags.fail_on_shed && stats.rejected > 0) {
+    IMDIFF_LOG(Error) << "--fail-on-shed: " << stats.rejected
+                      << " submissions were shed (retried)";
+    exit_code = 1;
+  }
+  return exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded mode (DESIGN.md §16): spawn N imdiff_worker processes, drive the
+// same deterministic Zipf workload through a ShardRouter.
+
+std::string ShardSocketPath(const std::string& dir, int64_t shard) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "/shard-%02" PRId64 ".sock", shard);
+  return dir + name;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+// fork + execv one worker. The parent is multithreaded by now (the compute
+// pool ran training), so only async-signal-safe calls may happen between
+// fork and exec — argv is fully materialized beforehand and the environment
+// is inherited as-is.
+pid_t SpawnWorker(const std::string& worker_bin,
+                  const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(worker_bin.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execv(worker_bin.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
+                   int64_t num_features) {
+  IMDIFF_CHECK(FileExists(flags.model_path))
+      << "sharded mode needs the checkpoint on disk:" << flags.model_path;
+
+  // Worker serving options mirror this process's flags so every shard scores
+  // exactly like the single-process baseline (the bitwise-parity invariant).
+  const int worker_threads =
+      flags.worker_threads > 0 ? flags.worker_threads : flags.workers;
+  struct ShardProcess {
+    int64_t id = 0;
+    pid_t pid = -1;
+  };
+  std::vector<ShardProcess> workers;
+  for (int64_t s = 0; s < flags.shards; ++s) {
+    std::vector<std::string> args = {
+        "--socket",        ShardSocketPath(flags.socket_dir, s),
+        "--shard-id",      std::to_string(s),
+        "--block",         std::to_string(flags.block),
+        "--context",       std::to_string(flags.context),
+        "--flush-ms",      std::to_string(flags.flush_ms),
+        "--batch-windows", std::to_string(flags.batch_windows),
+        "--queue",         std::to_string(flags.queue),
+        "--workers",       std::to_string(worker_threads),
+        "--max-resident",  std::to_string(flags.max_resident),
+        "--max-stashed",   std::to_string(flags.max_stashed),
+        "--seed",          std::to_string(flags.seed),
+        "--deadline-ms",   std::to_string(flags.deadline_ms),
+    };
+    if (flags.epochs >= 0) {
+      args.push_back("--epochs");
+      args.push_back(std::to_string(flags.epochs));
+    }
+    if (flags.force_degrade >= 0) {
+      args.push_back("--force-degrade");
+      args.push_back(std::to_string(flags.force_degrade));
+    }
+    ShardProcess p;
+    p.id = s;
+    p.pid = SpawnWorker(flags.worker_bin, args);
+    IMDIFF_CHECK(p.pid > 0) << "fork failed for shard" << s;
+    workers.push_back(p);
+  }
+  std::printf("shards: %" PRId64 " workers spawned (dir %s, %d ingest "
+              "thread%s each)\n",
+              flags.shards, flags.socket_dir.c_str(), worker_threads,
+              worker_threads == 1 ? "" : "s");
+
+  int exit_code = 0;
+  int64_t expected_crashes = 0;
+  {
+    serve::RouterOptions options;
+    options.seed = flags.fault_seed;
+    // Generous dial budget: it also covers the worker-spawn race at startup.
+    options.reconnect.max_attempts = 10;
+    options.reconnect.base_seconds = 0.01;
+    for (int64_t s = 0; s < flags.shards; ++s) {
+      serve::ShardSpec spec;
+      spec.id = s;
+      spec.socket_path = ShardSocketPath(flags.socket_dir, s);
+      options.shards.push_back(std::move(spec));
+    }
+    serve::ShardRouter router(options);
+    IMDIFF_CHECK(router.Connect()) << "connect failed: " << router.error();
+    IMDIFF_CHECK(router.Publish("latency", flags.model_path, num_features,
+                                flags.seed, norm.min, norm.max))
+        << "publish failed: " << router.error();
+
+    serve::ShardedLoadConfig config;
+    config.load.num_tenants = flags.tenants;
+    config.load.total_samples = flags.total_samples > 0
+                                    ? flags.total_samples
+                                    : flags.tenants * flags.samples;
+    config.load.seed = flags.seed;
+    config.load.zipf_exponent = flags.zipf;
+    config.load.burst_min = flags.burst_min;
+    config.load.burst_tail = flags.burst_tail;
+    config.load.drain_every = flags.drain_every;
+    config.load.stream.missing_rate = flags.missing;
+    config.load.stream.gap_rate = flags.gaps;
+    config.load.stream.drift_rate = static_cast<float>(flags.drift);
+    config.load.stream.shift_rate = flags.shifts;
+    config.load.stream.season_amplitude = static_cast<float>(flags.season);
+    config.load.collect_scores = !flags.scores_out.empty();
+    config.reshard_every = flags.reshard_every;
+    config.reshard_tenants = flags.reshard_tenants;
+
+    const serve::ShardedLoadStats stats =
+        serve::ReplayLoadSharded(router, config, num_features);
+    expected_crashes = stats.crashes;
+
+    std::printf("sharded load: %" PRId64 " active tenants, %.2fs, %.1f "
+                "points/s, %" PRId64 " blocks delivered (%" PRId64
+                " degraded alerts)\n",
+                stats.tenants, stats.seconds, stats.points_per_second,
+                stats.alerts, stats.degraded_alerts);
+    std::printf("assembly: %" PRId64 " positions written, %" PRId64
+                " duplicate blocks, %" PRId64 " score conflicts | drain: %"
+                PRId64 " accepted, %" PRId64 " shed, %" PRId64
+                " degraded blocks\n",
+                stats.positions_written, stats.duplicate_blocks,
+                stats.score_conflicts, stats.accepted, stats.shed,
+                stats.degraded_blocks);
+    std::printf("chaos: %" PRId64 " moves, %" PRId64 " shard crashes, %"
+                PRId64 " of %" PRId64 " shards alive at exit\n",
+                stats.moves, stats.crashes, router.alive_shards(),
+                flags.shards);
+    std::printf("tenant latency: p50 across tenants p50=%.1fms p99=%.1fms | "
+                "p99 across tenants p50=%.1fms p99=%.1fms | peak rss %" PRId64
+                " KB\n",
+                stats.tenant_p50.p50 * 1e3, stats.tenant_p50.p99 * 1e3,
+                stats.tenant_p99.p50 * 1e3, stats.tenant_p99.p99 * 1e3,
+                stats.peak_rss_kb);
+
+    if (!flags.scores_out.empty()) {
+      // Same hex-exact tenant lines as the single-process dump, plus the one
+      // counter that is invariant across shard counts. Whole-file cmp works
+      // between any two sharded runs (any --shards); against the
+      // single-process dump, compare the '^tenant-' lines.
+      std::ofstream out(flags.scores_out);
+      for (const auto& [tenant, scores] : stats.scores) {
+        out << tenant;
+        char buf[40];
+        for (float s : scores) {
+          std::snprintf(buf, sizeof(buf), " %a", static_cast<double>(s));
+          out << buf;
+        }
+        out << "\n";
+      }
+      out << "serve.degraded_blocks " << stats.degraded_blocks << "\n";
+      out.flush();
+      if (out.good()) {
+        IMDIFF_LOG(Info) << "score dump written to " << flags.scores_out;
+      } else {
+        IMDIFF_LOG(Error) << "failed to write score dump to "
+                          << flags.scores_out;
+        exit_code = 1;
+      }
+    }
+
+    if (!flags.metrics_out.empty()) {
+      // One merged report across every surviving shard plus the router.
+      std::ofstream out(flags.metrics_out);
+      out << router.MergedMetricsJson();
+      out.flush();
+      if (out.good()) {
+        IMDIFF_LOG(Info) << "merged metrics written to " << flags.metrics_out;
+      } else {
+        IMDIFF_LOG(Error) << "failed to write merged metrics to "
+                          << flags.metrics_out;
+        exit_code = 1;
+      }
+    }
+
+    if (flags.fail_on_shed &&
+        (stats.score_conflicts > 0 || stats.shed > 0)) {
+      IMDIFF_LOG(Error) << "--fail-on-shed: " << stats.score_conflicts
+                        << " score conflicts, " << stats.shed
+                        << " shed submissions";
+      exit_code = 1;
+    }
+    router.ShutdownAll();
+  }
+
+  // Reap the workers: kShutdown exits 0, a chaos kCrash exits 2. Anything
+  // else (bind failure, exec failure, signal, or a hang past the grace
+  // period) is a harness failure.
+  int64_t crashed = 0;
+  for (ShardProcess& p : workers) {
+    int status = 0;
+    pid_t got = 0;
+    for (int spin = 0; spin < 1000; ++spin) {  // ~10 s grace
+      got = ::waitpid(p.pid, &status, WNOHANG);
+      if (got == p.pid || got < 0) break;
+      ::usleep(10000);
+    }
+    if (got != p.pid) {
+      IMDIFF_LOG(Error) << "worker shard " << p.id << " (pid " << p.pid
+                        << ") did not exit; killing";
+      ::kill(p.pid, SIGKILL);
+      ::waitpid(p.pid, &status, 0);
+      exit_code = 1;
+      continue;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == serve::kWorkerExitCrashed) {
+      ++crashed;
+    } else if (!WIFEXITED(status) ||
+               WEXITSTATUS(status) != serve::kWorkerExitOk) {
+      IMDIFF_LOG(Error) << "worker shard " << p.id << " exited abnormally "
+                        << "(status " << status << ")";
+      exit_code = 1;
+    }
+  }
+  if (crashed != expected_crashes) {
+    IMDIFF_LOG(Error) << crashed << " workers exited crashed but the run "
+                      << "crashed " << expected_crashes;
+    exit_code = 1;
+  }
   return exit_code;
 }
 
 int Main(int argc, char** argv) {
-  const ReplayFlags flags = ParseFlags(argc, argv);
+  ReplayFlags flags = ParseFlags(argc, argv);
+
+  // Sharded mode: resolve and validate every path before training — a
+  // stale socket or missing worker binary must fail in the first second.
+  if (flags.shards > 0) {
+    IMDIFF_CHECK(flags.zipf > 0.0) << "--shards requires the --zipf load mode";
+    if (flags.socket_dir.empty()) {
+      char dir[64];
+      std::snprintf(dir, sizeof(dir), "/tmp/imdiff-shards-%d",
+                    static_cast<int>(::getpid()));
+      flags.socket_dir = dir;
+    }
+    std::string error;
+    IMDIFF_CHECK(net::ProbeSocketDir(flags.socket_dir, &error)) << error;
+    for (int64_t s = 0; s < flags.shards; ++s) {
+      const std::string path = ShardSocketPath(flags.socket_dir, s);
+      IMDIFF_CHECK(!net::PathExists(path))
+          << "stale socket (dead worker? remove it first):" << path;
+    }
+    if (flags.worker_bin.empty()) {
+      flags.worker_bin = DirName(argv[0]) + "/imdiff_worker";
+    }
+    IMDIFF_CHECK(FileExists(flags.worker_bin))
+        << "worker binary not found:" << flags.worker_bin;
+    // Workers load the model by checkpoint path; make sure one gets written.
+    if (flags.model_path.empty()) {
+      flags.model_path = flags.socket_dir + "/model.ckpt";
+    }
+  }
 
   // Fail fast on unwritable output paths — a long replay must not end with
   // its results unrecordable.
@@ -382,6 +695,9 @@ int Main(int argc, char** argv) {
   options.deadline_seconds = flags.deadline_ms / 1000.0;
   options.force_degrade_level = flags.force_degrade;
 
+  if (flags.shards > 0) {
+    return RunShardedLoad(flags, stats, k);
+  }
   if (flags.zipf > 0.0) return RunZipfLoad(flags, std::move(model), options);
 
   std::printf(
@@ -514,6 +830,11 @@ int Main(int argc, char** argv) {
                         << flags.metrics_out;
       exit_code = 1;
     }
+  }
+  if (flags.fail_on_shed && dropped > 0) {
+    IMDIFF_LOG(Error) << "--fail-on-shed: " << dropped
+                      << " submissions were dropped at ingest";
+    exit_code = 1;
   }
   return exit_code;
 }

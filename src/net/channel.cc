@@ -1,0 +1,235 @@
+#include "net/channel.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "utils/metrics.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace net {
+
+ClientChannel::ClientChannel(std::string path, BackoffPolicy reconnect,
+                             uint64_t seed, bool inject_faults)
+    : path_(std::move(path)),
+      reconnect_(reconnect),
+      seed_(seed),
+      inject_faults_(inject_faults) {}
+
+ClientChannel::~ClientChannel() {
+  Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool ClientChannel::Connect() {
+  const int fd = DialUnixRetry(path_, reconnect_, seed_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd < 0 || closing_) {
+    if (fd >= 0) ::close(fd);
+    state_ = State::kDown;
+    cv_.notify_all();
+    return false;
+  }
+  fd_ = fd;
+  state_ = State::kConnected;
+  cv_.notify_all();
+  return true;
+}
+
+bool ClientChannel::Send(const Frame& frame) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  while (true) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return state_ == State::kConnected || state_ == State::kDown;
+      });
+      if (state_ == State::kDown) return false;
+      fd = fd_;
+    }
+    const bool drop = inject_faults_ && IMDIFF_FAULT("transport.drop");
+    const bool short_write =
+        inject_faults_ && !drop && IMDIFF_FAULT("transport.short_write");
+    bool ok = false;
+    if (drop) {
+      // Injected full loss: the frame never reaches the wire.
+      registry.GetCounter("transport.drops")->Increment();
+    } else {
+      const std::vector<uint8_t> bytes = EncodeFrame(frame);
+      if (short_write) {
+        // Injected truncation: half a frame goes out; the receiver discards
+        // the partial frame at EOF and the retry resends it whole.
+        registry.GetCounter("transport.short_writes")->Increment();
+        SendAll(fd, bytes.data(), bytes.size() / 2);
+      } else {
+        ok = SendAll(fd, bytes.data(), bytes.size());
+      }
+    }
+    if (ok) return true;
+    // Break the send direction only and let the reader rebuild: in-flight
+    // peer->us frames drain before the reader sees EOF (see header).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (state_ == State::kConnected && fd_ == fd) {
+        state_ = State::kBroken;
+        ::shutdown(fd_, SHUT_WR);
+        registry.GetCounter("transport.reconnects")->Increment();
+      }
+    }
+  }
+}
+
+ClientChannel::Status ClientChannel::Recv(Frame* out) {
+  while (true) {
+    int fd;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Wait out the window before Connect() finishes; the mid-loop
+      // kDisconnected is only ever held synchronously by this reader.
+      cv_.wait(lock, [&] { return state_ != State::kDisconnected; });
+      if (state_ == State::kDown) return Status::kDown;
+      fd = fd_;
+    }
+    if (ReadFrame(fd, out) == ReadResult::kOk) return Status::kFrame;
+    // Connection gone (peer closed after our SHUT_WR, crashed, or sent a
+    // truncated frame). The reader owns the rebuild.
+    bool terminal;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ::close(fd_);
+      fd_ = -1;
+      terminal = expect_close_ || closing_;
+      state_ = terminal ? State::kDown : State::kDisconnected;
+      if (terminal) cv_.notify_all();
+    }
+    if (terminal) return Status::kDown;
+    const int nfd =
+        DialUnixRetry(path_, reconnect_, MixSeed(seed_, ++generation_));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (nfd < 0 || closing_) {
+        if (nfd >= 0) ::close(nfd);
+        state_ = State::kDown;
+        cv_.notify_all();
+        return Status::kDown;
+      }
+      fd_ = nfd;
+      state_ = State::kConnected;
+      cv_.notify_all();
+    }
+  }
+}
+
+void ClientChannel::ExpectClose() {
+  std::lock_guard<std::mutex> lock(mu_);
+  expect_close_ = true;
+}
+
+bool ClientChannel::down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kDown;
+}
+
+void ClientChannel::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closing_ = true;
+  // Wake a blocked reader; it observes closing_ and goes down. A channel
+  // with no reader running settles in the destructor.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  if (state_ != State::kConnected && state_ != State::kBroken) {
+    state_ = State::kDown;
+  }
+  cv_.notify_all();
+}
+
+ServerChannel::ServerChannel(UnixListener listener)
+    : listener_(std::move(listener)) {}
+
+ServerChannel::~ServerChannel() {
+  Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServerChannel::set_hello(Frame hello) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hello_ = std::move(hello);
+  has_hello_ = true;
+}
+
+ServerChannel::Status ServerChannel::Next(Frame* out) {
+  while (true) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closing_) return Status::kDown;
+      fd = fd_;
+    }
+    if (fd < 0) {
+      const int conn = listener_.Accept();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn < 0 || closing_) {
+        if (conn >= 0) ::close(conn);
+        return Status::kDown;
+      }
+      // Hello first, then everything queued while disconnected, in order.
+      bool ok = !has_hello_ || WriteFrame(conn, hello_);
+      while (ok && !queue_.empty()) {
+        ok = WriteFrame(conn, queue_.front());
+        if (ok) queue_.pop_front();
+      }
+      if (!ok) {
+        ::close(conn);
+        continue;  // peer vanished mid-handshake; re-accept
+      }
+      fd_ = conn;
+      continue;
+    }
+    if (ReadFrame(fd, out) == ReadResult::kOk) return Status::kFrame;
+    // EOF (router reconnecting, or shutting down): drop the connection and
+    // go back to accept.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ == fd) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+}
+
+bool ServerChannel::Send(const Frame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closing_) return false;
+  if (fd_ < 0) {
+    queue_.push_back(frame);
+    return true;
+  }
+  if (!WriteFrame(fd_, frame)) {
+    // Queue for re-delivery and kick the dispatch loop off the dead
+    // connection. Fully written earlier frames are already in the peer's
+    // receive queue (same-host UDS), so re-delivery starts exactly here.
+    queue_.push_back(frame);
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  return true;
+}
+
+void ServerChannel::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closing_ = true;
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  listener_.Close();  // wakes a blocked Accept, unlinks the socket path
+}
+
+}  // namespace net
+}  // namespace imdiff

@@ -1,0 +1,132 @@
+// Reliable framed channels over unix-domain sockets, with fault injection
+// and deterministic reconnect (DESIGN.md §16).
+//
+// ClientChannel (the router side) pairs one sender thread with one reader
+// thread over a single fd. Recovery has exactly one owner — the reader:
+//
+//   - A send failure (a real EPIPE, or the injected "transport.drop" /
+//     "transport.short_write" faults) half-closes the socket (SHUT_WR) and
+//     parks the sender. The half-close matters: frames already in flight
+//     from the peer are still drained by the reader before it sees EOF, so
+//     breaking the send direction never loses reverse-direction traffic.
+//   - The reader hits EOF (after draining), closes the fd, redials with the
+//     seeded BackoffSchedule, and wakes the sender, which resends the failed
+//     frame. Frames whose write completed are never resent.
+//   - An unexpected EOF (peer crashed) takes the same redial path; when every
+//     attempt fails the channel goes down and both sides unblock.
+//
+// ServerChannel (the worker side) owns a listener and serves one connection
+// at a time: accept, send the hello frame, flush frames queued while
+// disconnected, then read until EOF and re-accept. Sends that race a broken
+// connection are queued and re-delivered on the next accept, so a worker's
+// scored blocks survive a router-initiated reconnect.
+
+#ifndef IMDIFF_NET_CHANNEL_H_
+#define IMDIFF_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "utils/fault.h"
+
+namespace imdiff {
+namespace net {
+
+class ClientChannel {
+ public:
+  // `inject_faults` gates the transport.drop / transport.short_write points:
+  // faults are injected on the dialing side only, where the reconnect+resend
+  // recovery is lossless by construction (see header comment).
+  ClientChannel(std::string path, BackoffPolicy reconnect, uint64_t seed,
+                bool inject_faults = true);
+  ~ClientChannel();
+
+  ClientChannel(const ClientChannel&) = delete;
+  ClientChannel& operator=(const ClientChannel&) = delete;
+
+  // Initial dial (bounded seeded retries, covering the worker-spawn race).
+  bool Connect();
+
+  // Sends one frame, riding the recovery loop above; false when the channel
+  // went down (peer unreachable past every redial). One sender at a time.
+  bool Send(const Frame& frame);
+
+  enum class Status { kFrame, kDown };
+  // Reader-thread call: blocks for the next frame, transparently rebuilding
+  // the connection. kDown is terminal.
+  Status Recv(Frame* out);
+
+  // Arms the next EOF as expected (kShutdown/kCrash was sent): the reader
+  // reports kDown without redialing.
+  void ExpectClose();
+
+  bool down() const;
+
+  // Terminal close from the owner; wakes sender and reader.
+  void Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  enum class State { kDisconnected, kConnected, kBroken, kDown };
+
+  const std::string path_;
+  const BackoffPolicy reconnect_;
+  const uint64_t seed_;
+  const bool inject_faults_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kDisconnected;
+  int fd_ = -1;
+  uint64_t generation_ = 0;  // redial count; salts the backoff seed
+  bool expect_close_ = false;
+  bool closing_ = false;
+  std::mutex send_mu_;  // serializes Send callers
+};
+
+class ServerChannel {
+ public:
+  explicit ServerChannel(UnixListener listener);
+  ~ServerChannel();
+
+  ServerChannel(const ServerChannel&) = delete;
+  ServerChannel& operator=(const ServerChannel&) = delete;
+
+  // Sent first on every (re)connection, before queued frames — the worker's
+  // shard-id handshake.
+  void set_hello(Frame hello);
+
+  enum class Status { kFrame, kDown };
+  // Dispatch-loop call: accepts a connection when there is none, then reads
+  // the next frame; EOF loops back to accept. kDown only after Close.
+  Status Next(Frame* out);
+
+  // Thread-safe; a frame that cannot be delivered now (no connection, or the
+  // write failed) is queued and flushed on the next accept. Returns false
+  // only after Close.
+  bool Send(const Frame& frame);
+
+  // Terminal: closes the connection and the listener (unlinking the socket
+  // path), wakes a blocked Next.
+  void Close();
+
+ private:
+  UnixListener listener_;
+  std::mutex mu_;  // guards fd_/queue_/closing_ and serializes writes
+  int fd_ = -1;
+  bool closing_ = false;
+  Frame hello_;
+  bool has_hello_ = false;
+  std::deque<Frame> queue_;
+};
+
+}  // namespace net
+}  // namespace imdiff
+
+#endif  // IMDIFF_NET_CHANNEL_H_

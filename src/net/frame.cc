@@ -1,0 +1,47 @@
+#include "net/frame.h"
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace imdiff {
+namespace net {
+namespace {
+
+// Larger prefixes are corruption (or a protocol mismatch), not real frames.
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(frame.payload.size()));
+  w.U8(frame.type);
+  std::vector<uint8_t> bytes = w.Take();
+  bytes.insert(bytes.end(), frame.payload.begin(), frame.payload.end());
+  return bytes;
+}
+
+bool WriteFrame(int fd, const Frame& frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  return SendAll(fd, bytes.data(), bytes.size());
+}
+
+ReadResult ReadFrame(int fd, Frame* out) {
+  uint8_t header[5];
+  if (RecvAll(fd, header, sizeof(header)) != sizeof(header)) {
+    return ReadResult::kClosed;
+  }
+  WireReader r(header, sizeof(header));
+  uint32_t length = 0;
+  r.U32(&length);
+  r.U8(&out->type);
+  if (length > kMaxFramePayload) return ReadResult::kClosed;
+  out->payload.resize(length);
+  if (length > 0 && RecvAll(fd, out->payload.data(), length) != length) {
+    return ReadResult::kClosed;
+  }
+  return ReadResult::kOk;
+}
+
+}  // namespace net
+}  // namespace imdiff

@@ -1,0 +1,41 @@
+// Length-prefixed binary framing over a stream socket (DESIGN.md §16).
+//
+// On-wire layout per frame:  u32 payload_length | u8 type | payload bytes.
+// The length prefix covers only the payload. ReadFrame distinguishes a clean
+// close (EOF exactly at a frame boundary) from a truncated frame (EOF
+// mid-frame, e.g. the peer's injected short write): both report kClosed —
+// partial frames are DISCARDED, never dispatched — and the sender's
+// reconnect-and-resend path makes delivery exactly-once for frames whose
+// write completed and at-least-once overall (receivers treat duplicates
+// idempotently; see serve/router.h).
+
+#ifndef IMDIFF_NET_FRAME_H_
+#define IMDIFF_NET_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imdiff {
+namespace net {
+
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Serializes `frame` into the on-wire byte layout.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Writes one frame; false on any socket error (caller reconnects).
+bool WriteFrame(int fd, const Frame& frame);
+
+enum class ReadResult {
+  kOk,      // one complete frame filled
+  kClosed,  // clean EOF, truncated frame, or oversized/corrupt length prefix
+};
+ReadResult ReadFrame(int fd, Frame* out);
+
+}  // namespace net
+}  // namespace imdiff
+
+#endif  // IMDIFF_NET_FRAME_H_

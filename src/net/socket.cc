@@ -1,0 +1,203 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "utils/metrics.h"
+
+namespace imdiff {
+namespace net {
+namespace {
+
+bool FillAddr(const std::string& path, sockaddr_un* addr, std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long (" + std::to_string(path.size()) +
+               " bytes, max " + std::to_string(sizeof(addr->sun_path) - 1) +
+               "): " + path;
+    }
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+bool UnixListener::Create(const std::string& path, std::string* error) {
+  Close();
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr, error)) return false;
+  if (PathExists(path)) {
+    // Never bind over an existing path. A live worker there would silently
+    // lose its socket; a stale file from a crashed run would make bind fail
+    // with a less actionable EADDRINUSE. Name the remedy explicitly.
+    if (error != nullptr) {
+      *error = "socket path already exists (stale socket file from a dead "
+               "worker, or a duplicate shard id?); remove it or pick a fresh "
+               "--socket-dir: " + path;
+    }
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("bind/listen failed for ") + path + ": " +
+               std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+int UnixListener::Accept() {
+  if (fd_ < 0) return -1;
+  while (true) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return conn;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+void UnixListener::Close() {
+  if (fd_ >= 0) {
+    // shutdown() wakes a concurrent Accept() blocked in another thread;
+    // close() alone does not reliably do so on Linux.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    std::remove(path_.c_str());
+    path_.clear();
+  }
+}
+
+int DialUnix(const std::string& path) {
+  sockaddr_un addr;
+  if (!FillAddr(path, &addr, nullptr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int DialUnixRetry(const std::string& path, const BackoffPolicy& policy,
+                  uint64_t seed) {
+  const std::vector<double> schedule = BackoffSchedule(policy, seed);
+  Counter* const retries =
+      MetricsRegistry::Global().GetCounter("transport.dial_retries");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    const int fd = DialUnix(path);
+    if (fd >= 0) return fd;
+    if (attempt < static_cast<int>(schedule.size())) {
+      retries->Increment();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(schedule[static_cast<size_t>(attempt)]));
+    }
+  }
+  return -1;
+}
+
+bool SendAll(int fd, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that died mid-write surfaces as EPIPE, not a
+    // process-killing SIGPIPE — the caller's reconnect path handles it.
+    const ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+size_t RecvAll(int fd, void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return got;
+    }
+    if (r == 0) return got;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+bool ProbeSocketDir(const std::string& dir, std::string* error) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0) {
+    if (::mkdir(dir.c_str(), 0755) != 0) {
+      if (error != nullptr) {
+        *error = "cannot create socket dir " + dir + ": " +
+                 std::strerror(errno);
+      }
+      return false;
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    if (error != nullptr) *error = "socket dir is not a directory: " + dir;
+    return false;
+  }
+  const std::string probe = dir + "/.imdiff_probe";
+  if (!ProbeWritable(probe)) {
+    if (error != nullptr) *error = "socket dir is not writable: " + dir;
+    return false;
+  }
+  return true;
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+}  // namespace net
+}  // namespace imdiff

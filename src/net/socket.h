@@ -1,0 +1,78 @@
+// Unix-domain stream sockets for the shard transport (DESIGN.md §16).
+//
+// Fail-fast is the design center: a worker binding onto a stale socket file
+// (a previous run that died without cleanup) or a router dialing a dead path
+// must produce a clear error, not a hang. Create() therefore refuses to bind
+// over an existing path — the operator (or the spawning harness) removes
+// stale files explicitly — and DialUnixRetry bounds its attempts with the
+// deterministic-jitter BackoffSchedule from utils/fault.h, so reconnect
+// timing is reproducible under a fixed seed.
+
+#ifndef IMDIFF_NET_SOCKET_H_
+#define IMDIFF_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "utils/fault.h"
+
+namespace imdiff {
+namespace net {
+
+// Listening unix-domain socket bound at `path`. Unlinks the path on Close.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  ~UnixListener() { Close(); }
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  // Binds and listens at `path`. Refuses to clobber an existing file: a
+  // stale socket file from a dead worker (or a live worker already bound
+  // there) fails fast with a descriptive *error instead of hanging a later
+  // connect. Returns false on failure.
+  bool Create(const std::string& path, std::string* error);
+
+  // Accepts one connection; -1 on error or after Close (including a
+  // concurrent Close from another thread, the shutdown path).
+  int Accept();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+// One connect attempt; returns the connected fd or -1 (errno holds why).
+int DialUnix(const std::string& path);
+
+// Dials with bounded retries on the seeded BackoffSchedule (attempt i sleeps
+// schedule[i] before retrying). Covers the worker-spawn race at startup and
+// transient drops mid-run; returns -1 when every attempt failed.
+int DialUnixRetry(const std::string& path, const BackoffPolicy& policy,
+                  uint64_t seed);
+
+// Writes exactly `n` bytes (retrying short writes and EINTR); false on error.
+bool SendAll(int fd, const void* data, size_t n);
+
+// Reads exactly `n` bytes; returns the byte count actually read, so a caller
+// can distinguish clean EOF at a boundary (0) from a truncated tail (< n).
+size_t RecvAll(int fd, void* data, size_t n);
+
+// Validates a directory for socket/output files at startup, in the spirit of
+// utils/metrics.h ProbeWritable: creates the final path component when
+// missing, then proves writability by creating and removing a probe file.
+bool ProbeSocketDir(const std::string& dir, std::string* error);
+
+// True when `path` names an existing filesystem entry.
+bool PathExists(const std::string& path);
+
+}  // namespace net
+}  // namespace imdiff
+
+#endif  // IMDIFF_NET_SOCKET_H_

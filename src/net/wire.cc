@@ -1,0 +1,136 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace imdiff {
+namespace net {
+namespace {
+
+// A length prefix larger than this is treated as corruption, not a request
+// to allocate: the largest legitimate payload (a snapshot of a full stash)
+// stays far below it.
+constexpr uint32_t kMaxLength = 1u << 30;
+
+}  // namespace
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::F32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U32(bits);
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void WireWriter::Bytes(const std::vector<uint8_t>& b) {
+  U32(static_cast<uint32_t>(b.size()));
+  bytes_.insert(bytes_.end(), b.begin(), b.end());
+}
+
+void WireWriter::FloatVec(const std::vector<float>& v) {
+  U32(static_cast<uint32_t>(v.size()));
+  for (float f : v) F32(f);
+}
+
+bool WireReader::Take(void* out, size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* v) { return Take(v, 1); }
+
+bool WireReader::U32(uint32_t* v) {
+  uint8_t raw[4];
+  if (!Take(raw, 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(raw[i]) << (8 * i);
+  return true;
+}
+
+bool WireReader::U64(uint64_t* v) {
+  uint8_t raw[8];
+  if (!Take(raw, 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+  return true;
+}
+
+bool WireReader::I64(int64_t* v) {
+  uint64_t u;
+  if (!U64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool WireReader::F32(float* v) {
+  uint32_t bits;
+  if (!U32(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool WireReader::F64(double* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool WireReader::Str(std::string* s) {
+  uint32_t n;
+  if (!U32(&n) || n > kMaxLength || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::Bytes(std::vector<uint8_t>* b) {
+  uint32_t n;
+  if (!U32(&n) || n > kMaxLength || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  b->assign(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::FloatVec(std::vector<float>* v) {
+  uint32_t n;
+  if (!U32(&n) || n > kMaxLength / 4 || size_ - pos_ < 4 * static_cast<size_t>(n)) {
+    ok_ = false;
+    return false;
+  }
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!F32(&(*v)[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace imdiff

@@ -1,0 +1,74 @@
+// Bounds-checked binary serialization for the shard transport (DESIGN.md
+// §16). Little-endian fixed-width encoding — the shard fleet runs on one
+// machine (unix-domain sockets), but an explicit byte order keeps the session
+// checkpoint format stable if shards ever move off-host.
+//
+// WireWriter appends; WireReader consumes and *never* aborts on malformed
+// input — every Read returns false past the end, and ok() latches the first
+// failure, so a truncated or corrupt frame is a recoverable protocol error
+// (drop the connection), not a crash.
+
+#ifndef IMDIFF_NET_WIRE_H_
+#define IMDIFF_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imdiff {
+namespace net {
+
+class WireWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F32(float v);
+  void F64(double v);
+  // Length-prefixed (u32) payloads.
+  void Str(const std::string& s);
+  void Bytes(const std::vector<uint8_t>& b);
+  void FloatVec(const std::vector<float>& v);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F32(float* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+  bool Bytes(std::vector<uint8_t>* b);
+  bool FloatVec(std::vector<float>* v);
+
+  // True while every Read so far succeeded AND-ed with "fully consumed" being
+  // checked separately via remaining().
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Take(void* out, size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace net
+}  // namespace imdiff
+
+#endif  // IMDIFF_NET_WIRE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/wire.h"
 #include "utils/check.h"
 #include "utils/fault.h"
 #include "utils/metrics.h"
@@ -254,6 +255,136 @@ int64_t SessionManager::stashed_sessions() const {
 int64_t SessionManager::pending_blocks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_total_;
+}
+
+namespace {
+
+// Bump on any layout change: a version mismatch fails the decode cleanly
+// instead of misreading a foreign process's bytes.
+constexpr uint8_t kSessionWireVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> SerializeSession(const SessionSnapshot& snapshot) {
+  net::WireWriter w;
+  w.U8(kSessionWireVersion);
+  w.I64(snapshot.blocks);
+  w.I64(snapshot.state.num_features);
+  w.I64(snapshot.state.total_samples);
+  w.I64(snapshot.state.pending);
+  w.FloatVec(snapshot.state.stats.min);
+  w.FloatVec(snapshot.state.stats.max);
+  w.U32(static_cast<uint32_t>(snapshot.state.buffer.size()));
+  for (const std::vector<float>& row : snapshot.state.buffer) w.FloatVec(row);
+  w.FloatVec(snapshot.state.fill);
+  return w.Take();
+}
+
+bool DeserializeSession(const std::vector<uint8_t>& bytes,
+                        SessionSnapshot* out) {
+  IMDIFF_CHECK(out != nullptr);
+  net::WireReader r(bytes);
+  uint8_t version = 0;
+  if (!r.U8(&version) || version != kSessionWireVersion) return false;
+  r.I64(&out->blocks);
+  r.I64(&out->state.num_features);
+  r.I64(&out->state.total_samples);
+  r.I64(&out->state.pending);
+  r.FloatVec(&out->state.stats.min);
+  r.FloatVec(&out->state.stats.max);
+  uint32_t rows = 0;
+  r.U32(&rows);
+  out->state.buffer.clear();
+  for (uint32_t i = 0; i < rows && r.ok(); ++i) {
+    std::vector<float> row;
+    if (!r.FloatVec(&row)) return false;
+    out->state.buffer.push_back(std::move(row));
+  }
+  r.FloatVec(&out->state.fill);
+  return r.ok() && r.remaining() == 0 &&
+         out->state.buffer.size() == rows;
+}
+
+bool SessionManager::SnapshotSession(const std::string& tenant,
+                                     SessionSnapshot* out) const {
+  IMDIFF_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto resident = sessions_.find(tenant);
+  if (resident != sessions_.end()) {
+    if (resident->second.pending > 0) return false;  // drain first
+    out->state = resident->second.online.ExportState();
+    out->blocks = resident->second.blocks;
+    return true;
+  }
+  auto stashed = stash_.find(tenant);
+  if (stashed == stash_.end()) return false;
+  out->state = stashed->second.state;
+  out->blocks = stashed->second.blocks;
+  return true;
+}
+
+bool SessionManager::ExportSession(const std::string& tenant,
+                                   SessionSnapshot* out) {
+  IMDIFF_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  auto resident = sessions_.find(tenant);
+  if (resident != sessions_.end()) {
+    if (resident->second.pending > 0) return false;
+    out->state = resident->second.online.ExportState();
+    out->blocks = resident->second.blocks;
+    sessions_.erase(resident);
+    registry.GetCounter("serve.sessions_exported")->Increment();
+    return true;
+  }
+  auto stashed = stash_.find(tenant);
+  if (stashed == stash_.end()) return false;
+  out->state = std::move(stashed->second.state);
+  out->blocks = stashed->second.blocks;
+  stash_.erase(stashed);
+  registry.GetCounter("serve.sessions_exported")->Increment();
+  registry.GetGauge("serve.stash_size")
+      ->Set(static_cast<double>(stash_.size()));
+  return true;
+}
+
+void SessionManager::ImportSession(const std::string& tenant,
+                                   const SessionSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Replace wholesale: a move or a recovery rehydrate supersedes whatever
+  // partial state this shard held for the tenant.
+  auto resident = sessions_.find(tenant);
+  if (resident != sessions_.end()) {
+    IMDIFF_CHECK_EQ(resident->second.pending, 0)
+        << "session imported over a block in flight:" << tenant;
+    sessions_.erase(resident);
+  }
+  Stash stash;
+  stash.state = snapshot.state;
+  stash.blocks = snapshot.blocks;
+  stash.tick = ++tick_;  // newest: an over-cap drop evicts older stashes
+  stash_[tenant] = std::move(stash);
+  registry.GetCounter("serve.sessions_imported")->Increment();
+  while (static_cast<int64_t>(stash_.size()) > options_.max_stashed) {
+    auto drop = stash_.begin();
+    for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+      if (it->second.tick < drop->second.tick) drop = it;
+    }
+    stash_.erase(drop);
+    registry.GetCounter("serve.stash_evictions")->Increment();
+  }
+  registry.GetGauge("serve.stash_size")
+      ->Set(static_cast<double>(stash_.size()));
+}
+
+std::vector<std::string> SessionManager::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> tenants;
+  tenants.reserve(sessions_.size() + stash_.size());
+  for (const auto& [tenant, session] : sessions_) tenants.push_back(tenant);
+  for (const auto& [tenant, stash] : stash_) tenants.push_back(tenant);
+  return tenants;
 }
 
 int64_t SessionManager::cached_window_scores() const {

@@ -87,6 +87,25 @@ struct BlockRequest {
   int degrade_level = 0;
 };
 
+// Cross-process session state (DESIGN.md §16): everything needed to continue
+// a tenant bitwise-identically in another process that shares the same
+// published model — the OnlineDetector streaming state (normalization,
+// rolling buffer, stream counters, carry-forward fill) plus the per-session
+// block ordinal. The window-score cache deliberately does NOT travel: cached
+// scores are bitwise interchangeable with recomputed ones, so dropping the
+// cache across a move costs recomputation, never correctness.
+struct SessionSnapshot {
+  OnlineDetector::State state;
+  int64_t blocks = 0;
+};
+
+// Byte round-trip of a snapshot in the net wire format — what the shard
+// transport ships for resharding moves and crash recovery. Deserialize
+// returns false on truncated or corrupt input (never aborts).
+std::vector<uint8_t> SerializeSession(const SessionSnapshot& snapshot);
+bool DeserializeSession(const std::vector<uint8_t>& bytes,
+                        SessionSnapshot* out);
+
 class SessionManager {
  public:
   struct Options {
@@ -138,6 +157,27 @@ class SessionManager {
   // caches are invalidated (scores from different versions must not mix).
   void SwapModel(std::shared_ptr<const ModelEntry> model);
   std::shared_ptr<const ModelEntry> model() const;
+
+  // Non-destructive copy of `tenant`'s streaming state, resident or stashed.
+  // False when the tenant is unknown here or has a block in flight — callers
+  // drain first (the router snapshots only at drain barriers).
+  bool SnapshotSession(const std::string& tenant, SessionSnapshot* out) const;
+
+  // Destructive export for a resharding move: on success the session (or
+  // stash) is removed, so a stray later sample for the tenant would start a
+  // fresh session. Same preconditions as SnapshotSession.
+  bool ExportSession(const std::string& tenant, SessionSnapshot* out);
+
+  // Injects a snapshot as stashed state; the tenant's next Append rehydrates
+  // it through the existing eviction machinery, continuing bitwise
+  // identically. Replaces any resident or stashed state for the tenant. The
+  // stash cap still applies (the imported entry is newest, so an over-cap
+  // drop takes the least recently evicted stash instead).
+  void ImportSession(const std::string& tenant,
+                     const SessionSnapshot& snapshot);
+
+  // Every tenant with live state here (resident + stashed).
+  std::vector<std::string> Tenants() const;
 
   int64_t resident_sessions() const;
   int64_t stashed_sessions() const;

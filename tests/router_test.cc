@@ -1,0 +1,345 @@
+// Sharded-serving tests (src/serve/router + src/serve/worker): a real
+// ShardRouter talking to RunShardWorker dispatch loops over unix-domain
+// sockets (workers run as in-test threads — the loop body is identical to
+// the process main). The invariant under test everywhere: the assembled
+// score streams are bitwise identical to the single-session serial replay,
+// through sharding, live resharding moves, and a chaos shard kill recovered
+// from the router's journal + stash.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmarks.h"
+#include "net/messages.h"
+#include "serve/model_registry.h"
+#include "serve/replay.h"
+#include "serve/router.h"
+#include "serve/worker.h"
+#include "utils/fault.h"
+
+namespace imdiff {
+namespace {
+
+using serve::ModelEntry;
+using serve::TenantStream;
+
+constexpr uint64_t kSeedBase = 7;
+constexpr int64_t kBlock = 50;
+constexpr int64_t kContext = 50;
+
+// Tiny config with stochastic sampling ON (see serve_test.cc): the seeded
+// per-window noise streams are what makes shard placement unobservable.
+ImDiffusionConfig RouterTinyConfig(uint64_t seed) {
+  ImDiffusionConfig config;
+  config.model.window = 40;
+  config.model.hidden = 16;
+  config.model.num_blocks = 1;
+  config.model.num_heads = 2;
+  config.model.ff_dim = 32;
+  config.model.side_dim = 8;
+  config.model.step_embed_dim = 16;
+  config.schedule.num_steps = 6;
+  config.schedule.beta_end = 0.7f;
+  config.num_masked_windows = 2;
+  config.epochs = 4;
+  config.batch_size = 4;
+  config.train_stride = 10;
+  config.vote_last_steps = 4;
+  config.vote_stride = 1;
+  config.stochastic_sampling = true;
+  config.seed = seed;
+  return config;
+}
+
+// One fitted model for the suite, saved once as the checkpoint every worker
+// warm-loads (the kPublish path) and kept in memory as the serial reference.
+struct SuiteModel {
+  std::shared_ptr<const ModelEntry> entry;
+  std::string checkpoint;
+};
+
+const SuiteModel& SharedSuiteModel() {
+  static const SuiteModel* suite = [] {
+    const MtsDataset history = MakeMicroserviceLatencyDataset(
+        /*seed=*/3, /*num_services=*/3, /*train_length=*/240,
+        /*test_length=*/1);
+    auto e = std::make_shared<ModelEntry>();
+    e->name = "latency";
+    e->version = 1;
+    e->stats = FitMinMax(history.train);
+    auto detector = std::make_shared<ImDiffusionDetector>(RouterTinyConfig(11));
+    detector->Fit(ApplyMinMax(history.train, e->stats));
+    auto* s = new SuiteModel;
+    s->checkpoint = testing::TempDir() + "imdiff_router_model.ckpt";
+    EXPECT_TRUE(serve::SaveModelWithRetry(*detector, s->checkpoint));
+    e->detector = std::move(detector);
+    s->entry = std::move(e);
+    return s;
+  }();
+  return *suite;
+}
+
+TenantStream MakeStream(const std::string& tenant, uint64_t seed,
+                        int64_t length) {
+  TenantStream stream;
+  stream.tenant = tenant;
+  stream.samples = MakeMicroserviceLatencyDataset(seed, /*num_services=*/3,
+                                                  /*train_length=*/1,
+                                                  /*test_length=*/length)
+                       .test;
+  return stream;
+}
+
+// Positional score assembly with the router-grade conflict check: duplicate
+// deliveries (recovery replays) must match the first delivery bitwise.
+struct Assembler {
+  void OnBlock(const net::ScoredBlockMsg& msg) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<float>& scores = streams[msg.tenant];
+    std::vector<uint8_t>& written = mask[msg.tenant];
+    const size_t end = static_cast<size_t>(msg.start) + msg.scores.size();
+    if (scores.size() < end) {
+      scores.resize(end, 0.0f);
+      written.resize(end, 0);
+    }
+    for (size_t i = 0; i < msg.scores.size(); ++i) {
+      const size_t pos = static_cast<size_t>(msg.start) + i;
+      if (written[pos] && scores[pos] != msg.scores[i]) ++conflicts;
+      scores[pos] = msg.scores[i];
+      written[pos] = 1;
+    }
+  }
+
+  std::mutex mu;
+  std::map<std::string, std::vector<float>> streams;
+  std::map<std::string, std::vector<uint8_t>> mask;
+  int64_t conflicts = 0;
+};
+
+// N in-thread workers + a connected, published router wired to `assembler`.
+class Cluster {
+ public:
+  Cluster(int64_t shards, const char* name, Assembler* assembler) {
+    serve::RouterOptions options;
+    options.seed = 21;
+    // Generous dial budget: the worker threads are still binding.
+    options.reconnect.max_attempts = 10;
+    options.reconnect.base_seconds = 0.01;
+    for (int64_t s = 0; s < shards; ++s) {
+      serve::WorkerOptions worker;
+      worker.socket_path = testing::TempDir() + "imdiff_router_" + name +
+                           "_" + std::to_string(s) + ".sock";
+      // A crashed earlier run may have left a stale socket; the worker
+      // fail-fasts on it by design, so clean up explicitly first.
+      std::remove(worker.socket_path.c_str());
+      worker.shard_id = s;
+      worker.config = RouterTinyConfig(11);
+      worker.serve.num_workers = 1;
+      worker.serve.queue_capacity = 4096;
+      worker.serve.session.online.block = kBlock;
+      worker.serve.session.online.context = kContext;
+      worker.serve.session.seed_base = kSeedBase;
+      worker.serve.batch.max_batch_windows = 1 << 20;
+      worker.serve.batch.flush_window_seconds = 1e6;
+      threads_.emplace_back([this, worker] {
+        SetExitCode(worker.shard_id, RunShardWorker(worker));
+      });
+      serve::ShardSpec spec;
+      spec.id = s;
+      spec.socket_path = worker.socket_path;
+      options.shards.push_back(std::move(spec));
+    }
+    router_ = std::make_unique<serve::ShardRouter>(
+        options, [assembler](int64_t, const net::ScoredBlockMsg& msg) {
+          assembler->OnBlock(msg);
+        });
+    const SuiteModel& suite = SharedSuiteModel();
+    EXPECT_TRUE(router_->Connect()) << router_->error();
+    EXPECT_TRUE(router_->Publish(
+        "latency", suite.checkpoint, /*num_features=*/3, /*config_seed=*/11,
+        suite.entry->stats.min, suite.entry->stats.max))
+        << router_->error();
+  }
+
+  ~Cluster() {
+    router_->ShutdownAll();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  // Worker exit codes by shard id, written as each dispatch loop returns;
+  // -1 while the worker is still running.
+  void SetExitCode(int64_t shard, int code) {
+    std::lock_guard<std::mutex> lock(exit_mu_);
+    exit_codes_[shard] = code;
+  }
+  int GetExitCode(int64_t shard) {
+    std::lock_guard<std::mutex> lock(exit_mu_);
+    auto it = exit_codes_.find(shard);
+    return it == exit_codes_.end() ? -1 : it->second;
+  }
+
+  serve::ShardRouter& router() { return *router_; }
+
+ private:
+  std::mutex exit_mu_;
+  std::map<int64_t, int> exit_codes_;
+  std::vector<std::thread> threads_;
+  std::unique_ptr<serve::ShardRouter> router_;
+};
+
+std::vector<float> SerialReference(const TenantStream& stream) {
+  OnlineDetector::Options online;
+  online.block = kBlock;
+  online.context = kContext;
+  return serve::ReplaySerial(*SharedSuiteModel().entry, online, kSeedBase,
+                             stream);
+}
+
+void SubmitRange(serve::ShardRouter& router, const TenantStream& stream,
+                 int64_t begin, int64_t end) {
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+  for (int64_t l = begin; l < end; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    ASSERT_TRUE(router.Submit(stream.tenant, sample, {})) << router.error();
+  }
+}
+
+TEST(RouterTest, ShardedReplayMatchesSerialBitwise) {
+  Assembler assembler;
+  Cluster cluster(/*shards=*/3, "basic", &assembler);
+  std::vector<TenantStream> streams;
+  for (int t = 0; t < 4; ++t) {
+    streams.push_back(MakeStream("tenant-" + std::to_string(t),
+                                 /*seed=*/101 + t, /*length=*/150));
+  }
+  // Round-robin interleave, like a real multi-tenant ingest.
+  for (int64_t l = 0; l < 150; ++l) {
+    for (const TenantStream& stream : streams) {
+      SubmitRange(cluster.router(), stream, l, l + 1);
+    }
+  }
+  serve::ShardRouter::DrainTotals totals;
+  ASSERT_TRUE(cluster.router().DrainAll(&totals));
+  EXPECT_EQ(totals.accepted, 600);
+  EXPECT_EQ(totals.shed, 0);
+
+  // Consistent hashing spreads load: over a spray of probe names (ShardOf on
+  // an unpinned tenant is a pure ring lookup) every shard sees placements.
+  std::map<int64_t, int> placement;
+  for (int t = 0; t < 64; ++t) {
+    ++placement[cluster.router().ShardOf("probe-" + std::to_string(t))];
+  }
+  EXPECT_EQ(placement.size(), 3u);
+
+  std::lock_guard<std::mutex> lock(assembler.mu);
+  EXPECT_EQ(assembler.conflicts, 0);
+  for (const TenantStream& stream : streams) {
+    const std::vector<float> want = SerialReference(stream);
+    std::vector<float> got = assembler.streams.at(stream.tenant);
+    got.resize(want.size(), 0.0f);  // positions past the last block stay 0
+    EXPECT_EQ(got, want) << stream.tenant;
+  }
+}
+
+TEST(RouterTest, MoveTenantContinuesBitwise) {
+  Assembler assembler;
+  Cluster cluster(/*shards=*/2, "move", &assembler);
+  const TenantStream stream = MakeStream("mover", /*seed=*/201, /*length=*/150);
+
+  SubmitRange(cluster.router(), stream, 0, 70);
+  serve::ShardRouter::DrainTotals totals;
+  ASSERT_TRUE(cluster.router().DrainAll(&totals));
+
+  // Move to the other shard at the barrier, then keep streaming.
+  const int64_t source = cluster.router().ShardOf("mover");
+  const int64_t target = source == 0 ? 1 : 0;
+  ASSERT_TRUE(cluster.router().MoveTenant("mover", target));
+  EXPECT_EQ(cluster.router().ShardOf("mover"), target);
+
+  SubmitRange(cluster.router(), stream, 70, 150);
+  ASSERT_TRUE(cluster.router().DrainAll(&totals));
+
+  std::lock_guard<std::mutex> lock(assembler.mu);
+  EXPECT_EQ(assembler.conflicts, 0);
+  const std::vector<float> want = SerialReference(stream);
+  std::vector<float> got = assembler.streams.at("mover");
+  got.resize(want.size(), 0.0f);
+  EXPECT_EQ(got, want);
+}
+
+TEST(RouterTest, CrashedShardRecoversFromJournalAndStashBitwise) {
+  Assembler assembler;
+  Cluster cluster(/*shards=*/2, "crash", &assembler);
+  std::vector<TenantStream> streams;
+  for (int t = 0; t < 3; ++t) {
+    streams.push_back(MakeStream("crash-" + std::to_string(t),
+                                 /*seed=*/301 + t, /*length=*/150));
+  }
+  // Barrier at 70: every session's state lands in the router's stash copy;
+  // the 30 samples after it sit in the journal when the shard dies.
+  for (const TenantStream& stream : streams) {
+    SubmitRange(cluster.router(), stream, 0, 70);
+  }
+  serve::ShardRouter::DrainTotals totals;
+  ASSERT_TRUE(cluster.router().DrainAll(&totals));
+  for (const TenantStream& stream : streams) {
+    SubmitRange(cluster.router(), stream, 70, 100);
+  }
+
+  const std::vector<int64_t> alive = cluster.router().AliveShards();
+  ASSERT_EQ(alive.size(), 2u);
+  cluster.router().CrashShard(alive.front());
+  EXPECT_EQ(cluster.router().alive_shards(), 1);
+  // The killed worker's dispatch loop exited with the crash code.
+  for (int spin = 0; spin < 2000; ++spin) {
+    if (cluster.GetExitCode(alive.front()) >= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(cluster.GetExitCode(alive.front()), serve::kWorkerExitCrashed);
+
+  // Every tenant now lives on the survivor; the stream just continues.
+  for (const TenantStream& stream : streams) {
+    EXPECT_EQ(cluster.router().ShardOf(stream.tenant), alive.back());
+    SubmitRange(cluster.router(), stream, 100, 150);
+  }
+  ASSERT_TRUE(cluster.router().DrainAll(&totals));
+
+  std::lock_guard<std::mutex> lock(assembler.mu);
+  // Recovery re-scores the journal tail, so duplicate deliveries are fine —
+  // but they must be bitwise equal to the originals, and nothing may be lost.
+  EXPECT_EQ(assembler.conflicts, 0);
+  for (const TenantStream& stream : streams) {
+    const std::vector<float> want = SerialReference(stream);
+    std::vector<float> got = assembler.streams.at(stream.tenant);
+    got.resize(want.size(), 0.0f);
+    EXPECT_EQ(got, want) << stream.tenant;
+  }
+}
+
+TEST(RouterTest, ConnectFailsFastOnDuplicateShardIds) {
+  serve::RouterOptions options;
+  options.reconnect.base_seconds = 1e-4;
+  for (int i = 0; i < 2; ++i) {
+    serve::ShardSpec spec;
+    spec.id = 0;  // duplicate on purpose
+    spec.socket_path = testing::TempDir() + "imdiff_router_dup.sock";
+    options.shards.push_back(std::move(spec));
+  }
+  serve::ShardRouter router(options);
+  EXPECT_FALSE(router.Connect());
+  EXPECT_FALSE(router.error().empty());
+}
+
+}  // namespace
+}  // namespace imdiff

@@ -1148,5 +1148,74 @@ TEST(ServeFaultTest, BitwiseNeutralFaultsKeepServedMatchingSerial) {
   EXPECT_GT(CounterValue("serve.flush_timeouts"), flushes_before);
 }
 
+// Cross-process session continuity (DESIGN.md §16): a session exported from
+// one server, shipped as the wire byte format resharding moves use, and
+// imported into a *fresh* server (a stand-in for another process sharing the
+// published model) continues scoring bitwise-identically to one
+// uninterrupted serial replay.
+TEST(ServeStateTest, SessionByteRoundTripContinuesAcrossServersBitwise) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 4096;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 9;
+  options.batch.max_batch_windows = 1 << 20;
+  options.batch.flush_window_seconds = 1e6;  // flush only at Drain
+
+  const TenantStream stream = MakeStream("roundtrip", 83, 150);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+
+  std::mutex mu;
+  std::vector<float> assembled(150, 0.0f);
+  auto on_block = [&](const StreamServer::ScoredBlock& block) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t i = 0; i < block.alert.scores.size(); ++i) {
+      assembled[static_cast<size_t>(block.alert.start) + i] =
+          block.alert.scores[i];
+    }
+  };
+  auto submit_range = [&](StreamServer& server, int64_t begin, int64_t end) {
+    for (int64_t l = begin; l < end; ++l) {
+      std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+      ASSERT_TRUE(server.Submit("roundtrip", sample, {}));
+    }
+  };
+
+  std::vector<uint8_t> bytes;
+  {
+    StreamServer first(model, options, on_block);
+    submit_range(first, 0, 70);
+    first.Drain();
+    serve::SessionSnapshot snapshot;
+    ASSERT_TRUE(first.sessions().ExportSession("roundtrip", &snapshot));
+    bytes = serve::SerializeSession(snapshot);
+    first.Shutdown();
+  }
+
+  // The byte format is self-consistent (serialize . deserialize = identity)
+  // and rejects truncation instead of half-applying it.
+  serve::SessionSnapshot decoded;
+  ASSERT_TRUE(serve::DeserializeSession(bytes, &decoded));
+  EXPECT_EQ(serve::SerializeSession(decoded), bytes);
+  serve::SessionSnapshot rejected;
+  EXPECT_FALSE(serve::DeserializeSession(
+      std::vector<uint8_t>(bytes.begin(), bytes.end() - 1), &rejected));
+
+  {
+    StreamServer second(model, options, on_block);
+    second.sessions().ImportSession("roundtrip", decoded);
+    submit_range(second, 70, 150);
+    second.Drain();
+    second.Shutdown();
+  }
+
+  const std::vector<float> want = serve::ReplaySerial(
+      *model, options.session.online, options.session.seed_base, stream);
+  EXPECT_EQ(assembled, want);
+}
+
 }  // namespace
 }  // namespace imdiff

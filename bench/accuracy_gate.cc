@@ -1,0 +1,197 @@
+// Accuracy gate for the reduced-precision scoring ladder (DESIGN.md §17).
+//
+// A precision rung is only admissible as a degradation level if it trades
+// latency for thousandths of accuracy, not whole detections. This harness
+// quantifies that trade on every simulated benchmark: ImDiffusion is fitted
+// once per dataset (training is always fp32 — the quantized forward is
+// inference-only), then the identical fitted model scores the test split at
+// fp32, bf16, and int8, and the bf16/int8 deltas against the fp32 baseline
+// are gated:
+//
+//   best-F1(fp32)   - best-F1(p)     <= 0.01
+//   R-AUC-PR(fp32)  - R-AUC-PR(p)    <= 0.02
+//
+// The gate is one-sided: it bounds detection quality LOST to quantization.
+// The best-F1 stage thresholds scores into discrete votes, so a seed's
+// delta moves in steps of whole vote flips and can land slightly positive
+// as easily as slightly negative; a favorable flip is the same zero-mean
+// jitter as an unfavorable one and must not fail CI. (A numerics bug that
+// inflates scores shows up in the scoreL2 column and in the per-step
+// rel-L2 shadow validation, which are magnitude gates, not quality gates.)
+//
+// Any breach on any dataset exits nonzero with the offending rows printed —
+// this is the CI job that keeps kernel changes honest: a quantization bug
+// that survives the per-step rel-L2 shadow validation (looser by design)
+// still cannot ship if it moves detection quality.
+//
+// Usage: accuracy_gate [--seeds N] [--scale F] [--paper] [--dataset-seed S]
+//   [--metrics-out PATH]
+//
+// Protocol: per dataset, `--seeds` independent detector seeds are fitted
+// (the paper's independent-runs protocol); each fitted model scores all
+// three precisions, so seed variance cancels exactly inside every per-seed
+// delta. The per-seed deltas are SIGNED and averaged before gating: the
+// ensemble-vote stage thresholds scores into discrete per-step labels, so a
+// harmless sub-percent score perturbation can flip votes and move a single
+// seed's best-F1 by whole points in either direction — zero-mean jitter the
+// averaging cancels — while a real quantization bias (all seeds shifted the
+// same way) survives averaging and trips the gate. The scoreL2 column
+// reports the continuous perturbation (relative L2 of the reduced-precision
+// score stream vs the same seed's fp32 stream) so a metric breach can be
+// told apart from a kernel numerics regression at a glance.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/imdiffusion.h"
+#include "data/benchmarks.h"
+#include "eval/runner.h"
+#include "eval/tables.h"
+#include "metrics/classification.h"
+#include "metrics/range_auc.h"
+#include "tensor/precision.h"
+
+namespace imdiff {
+namespace {
+
+constexpr double kMaxF1Delta = 0.01;
+constexpr double kMaxRAucPrDelta = 0.02;
+
+struct PrecisionMetrics {
+  double f1 = 0.0;
+  double r_auc_pr = 0.0;
+  std::vector<float> scores;
+};
+
+// Seeded scoring pass: RunSeeded derives all inference noise from (window
+// content, seed), so the three precisions score under bitwise-identical
+// noise draws and the only difference between their score streams is the
+// GEMM precision itself. (The unseeded Run() would consume the fit-time RNG
+// stream — each successive call a fresh noise realization — and drown the
+// quantization signal in sampling noise.)
+PrecisionMetrics ScoreAt(const ImDiffusionDetector& detector,
+                         const MtsDataset& test_set, Precision precision) {
+  const DetectionResult result =
+      detector.RunSeeded(test_set.test, /*seed=*/777, /*degrade_level=*/0,
+                         precision);
+  PrecisionMetrics m;
+  BinaryMetrics best;
+  BestF1Threshold(result.scores, test_set.test_labels, 64, &best);
+  m.f1 = best.f1;
+  m.r_auc_pr = RangeAucPr(result.scores, test_set.test_labels);
+  m.scores = result.scores;
+  return m;
+}
+
+// Signed delta with an explicit sign so improvement vs loss reads directly
+// off the table.
+std::string FormatSignedMetric(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.4f", value);
+  return buf;
+}
+
+// Relative L2 distance between a reduced-precision score stream and the
+// fp32 baseline — the continuous perturbation underneath the (discrete)
+// metric deltas.
+double ScoreRelL2(const std::vector<float>& got,
+                  const std::vector<float>& want) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double d = static_cast<double>(got[i]) - want[i];
+    num += d * d;
+    den += static_cast<double>(want[i]) * want[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+int Main(int argc, char** argv) {
+  const HarnessOptions options = ParseHarnessOptions(argc, argv);
+  std::printf(
+      "=== Precision accuracy gate: bf16/int8 vs fp32 on the six simulated "
+      "benchmarks (scale=%.2f) ===\n",
+      options.size_scale);
+  std::printf("gates (one-sided, on quality lost): F1 loss <= %.3f, "
+              "R-AUC-PR loss <= %.3f\n",
+              kMaxF1Delta, kMaxRAucPrDelta);
+
+  std::printf("protocol: %d independent detector seed%s per dataset; deltas "
+              "are signed per-seed (same fitted model scores all three "
+              "precisions) and averaged, so unbiased vote-flip jitter "
+              "cancels and only a systematic quantization bias can trip "
+              "the gate\n",
+              options.num_seeds, options.num_seeds == 1 ? "" : "s");
+
+  const Precision reduced[] = {Precision::kBf16, Precision::kInt8};
+  TextTable table({"Dataset", "Prec", "F1", "dF1", "R-AUC-PR", "dR-AUC-PR",
+                   "scoreL2", "Gate"});
+  int breaches = 0;
+  for (BenchmarkId id : AllBenchmarks()) {
+    const MtsDataset dataset =
+        MakeBenchmarkDataset(id, options.dataset_seed, options.size_scale);
+    const MtsDataset normalized = NormalizeDataset(dataset);
+
+    double base_f1 = 0.0, base_pr = 0.0;
+    double f1[2] = {0.0, 0.0}, pr[2] = {0.0, 0.0};
+    double df1[2] = {0.0, 0.0}, dpr[2] = {0.0, 0.0};
+    double rel_l2[2] = {0.0, 0.0};
+    for (int s = 0; s < options.num_seeds; ++s) {
+      auto detector = MakeDetector("ImDiffusion",
+                                   1000 + static_cast<uint64_t>(s),
+                                   options.profile);
+      detector->Fit(normalized.train);
+      auto* imdiff = dynamic_cast<const ImDiffusionDetector*>(detector.get());
+      if (imdiff == nullptr) {
+        std::fprintf(stderr, "MakeDetector did not build an ImDiffusion\n");
+        return 2;
+      }
+      const PrecisionMetrics base =
+          ScoreAt(*imdiff, normalized, Precision::kF32);
+      base_f1 += base.f1;
+      base_pr += base.r_auc_pr;
+      for (int i = 0; i < 2; ++i) {
+        const PrecisionMetrics m = ScoreAt(*imdiff, normalized, reduced[i]);
+        f1[i] += m.f1;
+        pr[i] += m.r_auc_pr;
+        df1[i] += m.f1 - base.f1;
+        dpr[i] += m.r_auc_pr - base.r_auc_pr;
+        rel_l2[i] += ScoreRelL2(m.scores, base.scores);
+      }
+      std::printf("%s: seed %d done\n", dataset.name.c_str(), s);
+      std::fflush(stdout);
+    }
+    const double inv = 1.0 / options.num_seeds;
+    table.AddRow({dataset.name, "fp32", FormatMetric(base_f1 * inv), "-",
+                  FormatMetric(base_pr * inv), "-", "-", "-"});
+    for (int i = 0; i < 2; ++i) {
+      // Signed mean deltas (reduced - fp32); only the lost-quality side
+      // (negative deltas) can breach.
+      const double mean_df1 = df1[i] * inv;
+      const double mean_dpr = dpr[i] * inv;
+      const bool pass = -mean_df1 <= kMaxF1Delta && -mean_dpr <= kMaxRAucPrDelta;
+      if (!pass) ++breaches;
+      table.AddRow({dataset.name, PrecisionName(reduced[i]),
+                    FormatMetric(f1[i] * inv), FormatSignedMetric(mean_df1),
+                    FormatMetric(pr[i] * inv), FormatSignedMetric(mean_dpr),
+                    FormatMetric(rel_l2[i] * inv), pass ? "ok" : "BREACH"});
+    }
+  }
+  std::printf("\n%s", table.ToString().c_str());
+
+  WriteMetricsIfRequested(options);
+  if (breaches > 0) {
+    std::printf("\naccuracy gate: %d breach%s — reduced precision lost "
+                "detection quality beyond the gate\n",
+                breaches, breaches == 1 ? "" : "es");
+    return 1;
+  }
+  std::printf("\naccuracy gate: PASS on all datasets\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace imdiff
+
+int main(int argc, char** argv) { return imdiff::Main(argc, argv); }

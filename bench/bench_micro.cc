@@ -28,6 +28,8 @@
 #include "graph/graph.h"
 #include "nn/attention.h"
 #include "tensor/arena.h"
+#include "tensor/gemm.h"
+#include "tensor/quant.h"
 #include "tensor/simd.h"
 #include "tensor/tensor_ops.h"
 #include "utils/metrics.h"
@@ -334,14 +336,20 @@ struct KernelRow {
   std::string variant;
   double seconds_per_op = 0.0;
   double gflops = 0.0;  // 0 when flops aren't meaningful for the row
+  // Bandwidth for memory-bound rows (bytes touched / seconds): the comparable
+  // throughput for kernels whose flops are not the limiting resource, where
+  // gflops reads 0.000.
+  double gbps = 0.0;
   double allocs_per_op = 0.0;
 };
 
 // Runs fn repeatedly until ~100ms elapse (3 repetitions, best wall time per
-// op) and samples arena misses across the timed runs.
+// op) and samples arena misses across the timed runs. `flops` drives the
+// gflops column (compute-bound rows); `bytes` drives GB/s (bandwidth-bound
+// rows); pass 0 for whichever is not meaningful.
 template <typename Fn>
 KernelRow MeasureKernel(const std::string& kernel, int variant, double flops,
-                        Fn&& fn) {
+                        double bytes, Fn&& fn) {
   using Clock = std::chrono::steady_clock;
   ApplyVariant(variant);
   fn();  // warmup: populate free lists, fault pages
@@ -370,6 +378,7 @@ KernelRow MeasureKernel(const std::string& kernel, int variant, double flops,
   row.variant = VariantName(variant);
   row.seconds_per_op = best;
   row.gflops = flops > 0.0 ? flops / best * 1e-9 : 0.0;
+  row.gbps = bytes > 0.0 ? bytes / best * 1e-9 : 0.0;
   row.allocs_per_op = static_cast<double>(after.misses - before.misses) /
                       static_cast<double>(total_iters);
   return row;
@@ -380,9 +389,9 @@ void AppendRowJson(std::string& out, const KernelRow& row, bool last) {
   std::snprintf(buf, sizeof(buf),
                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", "
                 "\"seconds_per_op\": %.6e, \"gflops\": %.3f, "
-                "\"allocs_per_op\": %.3f}%s\n",
+                "\"gbps\": %.3f, \"allocs_per_op\": %.3f}%s\n",
                 row.kernel.c_str(), row.variant.c_str(), row.seconds_per_op,
-                row.gflops, row.allocs_per_op, last ? "" : ",");
+                row.gflops, row.gbps, row.allocs_per_op, last ? "" : ",");
   out += buf;
 }
 
@@ -403,15 +412,80 @@ int RunKernelBench(const std::string& path) {
                   static_cast<long>(kTfM), static_cast<long>(kTfK),
                   static_cast<long>(kTfN));
     for (int v : {kScalar, kSimd, kSimdArenaOff}) {
-      rows.push_back(MeasureKernel(name, v, flops,
+      rows.push_back(MeasureKernel(name, v, flops, 0.0,
                                    [&] { benchmark::DoNotOptimize(MatMul(a, b)); }));
     }
   }
+
+  // Reduced-precision weight GEMMs (DESIGN.md §17) at the same transformer
+  // projection shape, weights prepacked per precision exactly as a graph
+  // capture does. The per-row activation quantization runs inside the timed
+  // region (it runs per call in production too). The fp32 row uses the
+  // identical prepacked-panel call (gemm::GemmRowsPrepacked), so the
+  // bf16/int8 ratios isolate the arithmetic, not the packing strategy.
+  {
+    Rng rng(11);
+    Tensor a = Tensor::Randn({kTfM, kTfK}, rng);
+    Tensor b = Tensor::Randn({kTfK, kTfN}, rng);
+    Tensor c = Tensor::Uninitialized({kTfM, kTfN});
+    const double flops = 2.0 * kTfM * kTfK * kTfN;
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), "%ldx%ldx%ld",
+                  static_cast<long>(kTfM), static_cast<long>(kTfK),
+                  static_cast<long>(kTfN));
+#if defined(IMDIFF_SIMD_ANY)
+    {
+      std::vector<float> packed(gemm::PackedBFloats(kTfK, kTfN));
+      gemm::PackBFull(b.data(), kTfK, kTfN, false, packed.data());
+      rows.push_back(MeasureKernel(std::string("gemm_fp32_prepacked_") + suffix,
+                                   kSimd, flops, 0.0, [&] {
+        gemm::GemmRowsPrepacked(a.data(), packed.data(), c.mutable_data(),
+                                kTfM, kTfK, kTfN, 0, kTfM);
+        benchmark::DoNotOptimize(c.mutable_data());
+      }));
+    }
+#endif
+    quant::PackedBf16 pb;
+    quant::PackBf16(b.data(), kTfK, kTfN, false, &pb);
+    for (int v : {kScalar, kSimd}) {
+      rows.push_back(MeasureKernel(std::string("gemm_bf16_prepacked_") + suffix,
+                                   v, flops, 0.0, [&] {
+        quant::GemmRowsBf16(a.data(), pb, c.mutable_data(), kTfK, kTfN, 0,
+                            kTfM);
+        benchmark::DoNotOptimize(c.mutable_data());
+      }));
+    }
+    quant::PackedInt8 pi;
+    quant::PackInt8(b.data(), kTfK, kTfN, false, &pi);
+    for (int v : {kScalar, kSimd}) {
+      rows.push_back(MeasureKernel(std::string("gemm_int8_prepacked_") + suffix,
+                                   v, flops, 0.0, [&] {
+        quant::GemmRowsInt8(a.data(), pi, c.mutable_data(), kTfK, kTfN, 0,
+                            kTfM);
+        benchmark::DoNotOptimize(c.mutable_data());
+      }));
+    }
+    // Pack overhead: paid once per weight per graph capture (never per
+    // call), reported as bandwidth over the fp32 weight bytes read.
+    const double pack_bytes = static_cast<double>(kTfK) * kTfN * 4.0;
+    rows.push_back(MeasureKernel("pack_bf16_64x64", kSimd, 0.0, pack_bytes,
+                                 [&] {
+      quant::PackBf16(b.data(), kTfK, kTfN, false, &pb);
+      benchmark::DoNotOptimize(pb.data.data());
+    }));
+    rows.push_back(MeasureKernel("pack_int8_64x64", kSimd, 0.0, pack_bytes,
+                                 [&] {
+      quant::PackInt8(b.data(), kTfK, kTfN, false, &pi);
+      benchmark::DoNotOptimize(pi.data.data());
+    }));
+  }
+
   {
     Rng rng(3);
     Tensor t = Tensor::Randn({512, 100}, rng);
+    const double bytes = 2.0 * 512 * 100 * 4;  // read + write
     for (int v : {kScalar, kSimd}) {
-      rows.push_back(MeasureKernel("softmax_512x100", v, 0.0, [&] {
+      rows.push_back(MeasureKernel("softmax_512x100", v, 0.0, bytes, [&] {
         benchmark::DoNotOptimize(SoftmaxLastDim(t));
       }));
     }
@@ -419,8 +493,9 @@ int RunKernelBench(const std::string& path) {
   {
     Rng rng(5);
     Tensor t = Tensor::Randn({80000}, rng);
+    const double bytes = 2.0 * 80000 * 4;  // read + write
     for (int v : {kScalar, kSimd}) {
-      rows.push_back(MeasureKernel("gelu_80000", v, 0.0, [&] {
+      rows.push_back(MeasureKernel("gelu_80000", v, 0.0, bytes, [&] {
         benchmark::DoNotOptimize(GeluForward(t));
       }));
     }
@@ -430,8 +505,11 @@ int RunKernelBench(const std::string& path) {
     Tensor x = Tensor::Randn({4, 128}, rng);
     Tensor gamma = Tensor::Randn({128}, rng);
     Tensor beta = Tensor::Randn({128}, rng);
+    // x read, y and the normalized intermediate written, gamma/beta/inv-std
+    // small against those.
+    const double bytes = 3.0 * 4 * 128 * 4;
     for (int v : {kScalar, kSimd}) {
-      rows.push_back(MeasureKernel("layernorm_4x128", v, 0.0, [&] {
+      rows.push_back(MeasureKernel("layernorm_4x128", v, 0.0, bytes, [&] {
         Tensor y, h, is;
         LayerNormForward(x, gamma, beta, 1e-5f, &y, &h, &is);
         benchmark::DoNotOptimize(y);
@@ -547,6 +625,7 @@ int RunKernelBench(const std::string& path) {
   }
 
   double scalar_s = 0.0, simd_s = 0.0;
+  double fp32_pre_s = 0.0, bf16_s = 0.0, int8_s = 0.0;
   double rd_allocs_off = 0.0, rd_allocs_on = 0.0;
   double bs_stack_s = 0.0, bs_graph_s = 0.0, bs_graph_arena = 0.0;
   for (const KernelRow& r : rows) {
@@ -554,6 +633,14 @@ int RunKernelBench(const std::string& path) {
       scalar_s = r.seconds_per_op;
     if (r.kernel.rfind("matmul_", 0) == 0 && r.variant == "simd")
       simd_s = r.seconds_per_op;
+    if (r.variant == "simd") {
+      if (r.kernel.rfind("gemm_fp32_prepacked_", 0) == 0)
+        fp32_pre_s = r.seconds_per_op;
+      if (r.kernel.rfind("gemm_bf16_prepacked_", 0) == 0)
+        bf16_s = r.seconds_per_op;
+      if (r.kernel.rfind("gemm_int8_prepacked_", 0) == 0)
+        int8_s = r.seconds_per_op;
+    }
     if (r.kernel.rfind("reverse_diffusion", 0) == 0) {
       if (r.variant == "simd_arena_off") rd_allocs_off = r.allocs_per_op;
       if (r.variant == "simd") rd_allocs_on = r.allocs_per_op;
@@ -581,11 +668,15 @@ int RunKernelBench(const std::string& path) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "    \"matmul_simd_speedup\": %.2f,\n"
+                "    \"matmul_bf16_speedup\": %.2f,\n"
+                "    \"matmul_int8_speedup\": %.2f,\n"
                 "    \"reverse_diffusion_allocs_arena_off\": %.0f,\n"
                 "    \"reverse_diffusion_allocs_arena_on\": %.0f,\n"
                 "    \"block_score_graph_speedup\": %.2f,\n"
                 "    \"block_score_graph_arena_ops\": %.0f\n",
-                simd_s > 0.0 ? scalar_s / simd_s : 0.0, rd_allocs_off,
+                simd_s > 0.0 ? scalar_s / simd_s : 0.0,
+                bf16_s > 0.0 ? fp32_pre_s / bf16_s : 0.0,
+                int8_s > 0.0 ? fp32_pre_s / int8_s : 0.0, rd_allocs_off,
                 rd_allocs_on, bs_graph_s > 0.0 ? bs_stack_s / bs_graph_s : 0.0,
                 bs_graph_arena);
   out += buf;

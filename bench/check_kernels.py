@@ -7,9 +7,16 @@ row's throughput dropped by more than --max-drop (default 30%, loose enough
 for shared CI runners but tight enough to catch a scalarized kernel or a
 vectorization regression).
 
-Throughput per row: gflops when the baseline reports one (> 0), otherwise
-1 / seconds_per_op — memory-bound kernels (softmax, gelu, layernorm) report
-gflops as 0.000, so ops/s is the comparable quantity there.
+Throughput per row: gflops when the baseline reports one (> 0), then gbps —
+memory-bound kernels (softmax, gelu, layernorm, pack_*) report gflops as
+0.000 but carry bandwidth — and finally 1 / seconds_per_op for rows that
+report neither (composite kernels like block_score).
+
+The current sweep's summary is also gated on absolute speedup floors for the
+reduced-precision GEMMs: matmul_bf16_speedup >= 1.3 and
+matmul_int8_speedup >= 2.0 over the prepacked fp32 SIMD GEMM. A quantized
+kernel that is not decisively faster than fp32 has no business on the
+deadline-degradation ladder.
 
 Rows present in the baseline but missing from the current sweep fail the gate
 (a silently dropped benchmark is a regression in coverage, not a pass). New
@@ -29,7 +36,13 @@ import json
 import sys
 
 
-def load_rows(path):
+SPEEDUP_FLOORS = {
+    "matmul_bf16_speedup": 1.3,
+    "matmul_int8_speedup": 2.0,
+}
+
+
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
@@ -37,7 +50,7 @@ def load_rows(path):
         rows[(row["kernel"], row["variant"])] = row
     if not rows:
         sys.exit(f"error: no kernel rows in {path}")
-    return rows
+    return rows, doc.get("summary", {})
 
 
 def throughput(baseline_row, row):
@@ -45,6 +58,8 @@ def throughput(baseline_row, row):
     # same units even if the current sweep starts reporting gflops.
     if baseline_row.get("gflops", 0.0) > 0.0:
         return row.get("gflops", 0.0)
+    if baseline_row.get("gbps", 0.0) > 0.0:
+        return row.get("gbps", 0.0)
     seconds = row.get("seconds_per_op", 0.0)
     return 1.0 / seconds if seconds > 0.0 else 0.0
 
@@ -76,8 +91,25 @@ def compare(baseline, current, max_drop):
     return failures
 
 
-def self_test(baseline, max_drop):
+def check_floors(summary):
+    """Gates the current sweep's summary speedups against absolute floors."""
+    failures = []
+    for name, floor in sorted(SPEEDUP_FLOORS.items()):
+        value = summary.get(name)
+        if value is None:
+            failures.append(f"{name}: missing from current sweep's summary")
+            continue
+        status = "FAIL" if value < floor else "ok"
+        print(f"  {status:4s} {name}: {value:.2f}x (floor {floor:.1f}x)")
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.2f}x below the {floor:.1f}x floor")
+    return failures
+
+
+def self_test(baseline, baseline_summary, max_drop):
     identical = compare(baseline, dict(baseline), max_drop)
+    identical += check_floors(baseline_summary)
     if identical:
         sys.exit("self-test FAILED: identical sweep did not pass: "
                  + "; ".join(identical))
@@ -86,12 +118,19 @@ def self_test(baseline, max_drop):
         slow = dict(row)
         slow["seconds_per_op"] = row.get("seconds_per_op", 0.0) * 2.0
         slow["gflops"] = row.get("gflops", 0.0) * 0.5
+        slow["gbps"] = row.get("gbps", 0.0) * 0.5
         slowed[key] = slow
     failures = compare(baseline, slowed, max_drop)
     if len(failures) != len(baseline):
         sys.exit("self-test FAILED: synthetic 50% slowdown tripped "
                  f"{len(failures)}/{len(baseline)} rows")
+    sunk = {name: floor - 0.1 for name, floor in SPEEDUP_FLOORS.items()}
+    floor_failures = check_floors(sunk)
+    if len(floor_failures) != len(SPEEDUP_FLOORS):
+        sys.exit("self-test FAILED: sub-floor speedups tripped "
+                 f"{len(floor_failures)}/{len(SPEEDUP_FLOORS)} floors")
     print(f"self-test passed: 50% slowdown trips all {len(baseline)} rows, "
+          f"sub-floor speedups trip all {len(SPEEDUP_FLOORS)} floors, "
           "identical sweep passes")
 
 
@@ -105,13 +144,15 @@ def main():
                         help="verify the gate trips on a synthetic slowdown")
     args = parser.parse_args()
 
-    baseline = load_rows(args.baseline)
+    baseline, baseline_summary = load_doc(args.baseline)
     if args.self_test:
-        self_test(baseline, args.max_drop)
+        self_test(baseline, baseline_summary, args.max_drop)
         return
     if args.current is None:
         parser.error("CURRENT is required unless --self-test")
-    failures = compare(baseline, load_rows(args.current), args.max_drop)
+    current, current_summary = load_doc(args.current)
+    failures = compare(baseline, current, args.max_drop)
+    failures += check_floors(current_summary)
     if failures:
         print("\nperf gate FAILED:")
         for failure in failures:

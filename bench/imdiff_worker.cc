@@ -13,7 +13,7 @@
 // Usage: imdiff_worker --socket PATH [--shard-id N] [--block B] [--context C]
 //   [--flush-ms F] [--batch-windows W] [--queue Q] [--workers N]
 //   [--max-resident S] [--max-stashed S] [--seed S] [--epochs E]
-//   [--deadline-ms D] [--force-degrade L]
+//   [--deadline-ms D] [--force-degrade L] [--precision {fp32,bf16,int8}]
 //
 // Exits 0 on a graceful kShutdown (or channel teardown), 1 when the socket
 // path is unusable (stale socket file: fail fast, never clobber), 2 on a
@@ -73,6 +73,12 @@ int Main(int argc, char** argv) {
       options.serve.deadline_seconds = std::atof(next("--deadline-ms")) / 1000.0;
     } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
       options.serve.force_degrade_level = std::atoi(next("--force-degrade"));
+    } else if (std::strcmp(argv[i], "--precision") == 0) {
+      Precision p;
+      const char* name = next("--precision");
+      IMDIFF_CHECK(ParsePrecision(name, &p))
+          << "--precision must be fp32, bf16, or int8, got" << name;
+      options.serve.force_precision = static_cast<int>(p);
     } else {
       IMDIFF_CHECK(false) << "unknown flag" << argv[i];
     }

@@ -14,7 +14,7 @@
 //   [--max-resident S] [--max-stashed S] [--train L] [--epochs E]
 //   [--model PATH] [--no-compare-serial] [--seed S] [--metrics-out PATH]
 //   [--faults SPEC] [--fault-seed S] [--deadline-ms D] [--scores-out PATH]
-//   [--force-degrade L]
+//   [--force-degrade L] [--precision {fp32,bf16,int8}]
 //   [--zipf EXP] [--total-samples N] [--missing R] [--gaps R] [--drift R]
 //   [--shifts R] [--season A] [--burst-min N] [--burst-tail T]
 //   [--drain-every N]
@@ -61,6 +61,12 @@
 // deadline policy), so two runs that differ only in execution backend — e.g.
 // IMDIFF_GRAPH=0 vs 1 — produce comparable --scores-out dumps at a fixed
 // level instead of coupling level choice to wall-clock speed.
+//
+// --precision P pins every block to scoring precision P (fp32/bf16/int8),
+// the same knob for the ladder's precision axis (DESIGN.md §17). The serial
+// baseline is scored at the pinned rung too, so the bitwise comparison still
+// runs: same-precision scoring is deterministic end to end. In sharded mode
+// the flag is forwarded to every worker.
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -110,6 +116,7 @@ struct ReplayFlags {
   uint64_t fault_seed = 0;  // base seed for fault triggers and backoff jitter
   double deadline_ms = 0.0;
   int force_degrade = -1;  // >= 0 pins every block's degradation level
+  int force_precision = -1;  // >= 0 pins every block's scoring precision
   std::string scores_out;
   int64_t max_stashed = 1024;
   // Load-generator mode (> 0 enables): Zipf tenant popularity exponent.
@@ -178,6 +185,12 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.deadline_ms = std::atof(next("--deadline-ms"));
     } else if (std::strcmp(argv[i], "--force-degrade") == 0) {
       flags.force_degrade = std::atoi(next("--force-degrade"));
+    } else if (std::strcmp(argv[i], "--precision") == 0) {
+      Precision p;
+      const char* name = next("--precision");
+      IMDIFF_CHECK(ParsePrecision(name, &p))
+          << "--precision must be fp32, bf16, or int8, got" << name;
+      flags.force_precision = static_cast<int>(p);
     } else if (std::strcmp(argv[i], "--scores-out") == 0) {
       flags.scores_out = next("--scores-out");
     } else if (std::strcmp(argv[i], "--max-stashed") == 0) {
@@ -262,10 +275,12 @@ int RunZipfLoad(const ReplayFlags& flags,
   const serve::LoadStats stats = serve::ReplayLoad(std::move(model), load, options);
 
   std::printf("load: %" PRId64 " active tenants, %.2fs, %.1f points/s, %" PRId64
-              " alerts (%" PRId64 " degraded), %" PRId64 " rejected submits, "
+              " alerts (%" PRId64 " degraded, %" PRId64
+              " precision-dropped), %" PRId64 " rejected submits, "
               "%" PRId64 " values carry-forward filled\n",
               stats.tenants, stats.seconds, stats.points_per_second,
-              stats.alerts, stats.degraded_alerts, stats.rejected,
+              stats.alerts, stats.degraded_alerts,
+              stats.precision_dropped_alerts, stats.rejected,
               stats.missing_filled);
   std::printf("tenant latency: p50 across tenants p50=%.1fms p90=%.1fms "
               "p99=%.1fms max=%.1fms | p99 across tenants p50=%.1fms "
@@ -306,6 +321,9 @@ int RunZipfLoad(const ReplayFlags& flags,
     }
     out << "serve.degraded_blocks "
         << MetricsRegistry::Global().GetCounter("serve.degraded_blocks")->value()
+        << "\n";
+    out << "serve.precision_drops "
+        << MetricsRegistry::Global().GetCounter("serve.precision_drops")->value()
         << "\n";
     out << "serve.stash_evictions " << stats.stash_evictions << "\n";
     out << "serve.sessions_evicted " << stats.sessions_evicted << "\n";
@@ -407,6 +425,11 @@ int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
       args.push_back("--force-degrade");
       args.push_back(std::to_string(flags.force_degrade));
     }
+    if (flags.force_precision >= 0) {
+      args.push_back("--precision");
+      args.push_back(
+          PrecisionName(static_cast<Precision>(flags.force_precision)));
+    }
     ShardProcess p;
     p.id = s;
     p.pid = SpawnWorker(flags.worker_bin, args);
@@ -463,9 +486,10 @@ int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
 
     std::printf("sharded load: %" PRId64 " active tenants, %.2fs, %.1f "
                 "points/s, %" PRId64 " blocks delivered (%" PRId64
-                " degraded alerts)\n",
+                " degraded alerts, %" PRId64 " precision-dropped)\n",
                 stats.tenants, stats.seconds, stats.points_per_second,
-                stats.alerts, stats.degraded_alerts);
+                stats.alerts, stats.degraded_alerts,
+                stats.precision_dropped_alerts);
     std::printf("assembly: %" PRId64 " positions written, %" PRId64
                 " duplicate blocks, %" PRId64 " score conflicts | drain: %"
                 PRId64 " accepted, %" PRId64 " shed, %" PRId64
@@ -500,6 +524,7 @@ int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
         out << "\n";
       }
       out << "serve.degraded_blocks " << stats.degraded_blocks << "\n";
+      out << "serve.precision_drops " << stats.precision_drops << "\n";
       out.flush();
       if (out.good()) {
         IMDIFF_LOG(Info) << "score dump written to " << flags.scores_out;
@@ -694,6 +719,7 @@ int Main(int argc, char** argv) {
   options.batch.flush_window_seconds = flags.flush_ms / 1000.0;
   options.deadline_seconds = flags.deadline_ms / 1000.0;
   options.force_degrade_level = flags.force_degrade;
+  options.force_precision = flags.force_precision;
 
   if (flags.shards > 0) {
     return RunShardedLoad(flags, stats, k);
@@ -740,14 +766,18 @@ int Main(int argc, char** argv) {
               metrics.GetCounter("serve.sessions_rehydrated")->value());
 
   const int64_t degraded = metrics.GetCounter("serve.degraded_blocks")->value();
+  const int64_t precision_drops =
+      metrics.GetCounter("serve.precision_drops")->value();
   const int64_t rehydrate_failures =
       metrics.GetCounter("serve.rehydrate_failures")->value();
   const int64_t arena_fallbacks = metrics.GetCounter("arena.fallback")->value();
   if (!flags.faults.empty() || flags.deadline_ms > 0.0) {
     std::printf("degradation: %" PRId64 " degraded blocks (%" PRId64
-                " degraded alerts), %" PRId64 " arena fallbacks, %" PRId64
-                " forced flushes, %" PRId64 " rehydrate failures\n",
-                degraded, served.degraded_alerts, arena_fallbacks,
+                " degraded alerts), %" PRId64 " precision drops (%" PRId64
+                " precision-dropped alerts), %" PRId64 " arena fallbacks, %"
+                PRId64 " forced flushes, %" PRId64 " rehydrate failures\n",
+                degraded, served.degraded_alerts, precision_drops,
+                served.precision_dropped_alerts, arena_fallbacks,
                 metrics.GetCounter("serve.flush_timeouts")->value(),
                 rehydrate_failures);
     std::printf("registry: %" PRId64 " load retries, %" PRId64
@@ -760,21 +790,40 @@ int Main(int argc, char** argv) {
   }
 
   int exit_code = 0;
-  if (flags.compare_serial && (degraded > 0 || rehydrate_failures > 0)) {
-    // Degraded blocks score a truncated chain and a dropped stash resets a
-    // tenant's stream positions — either makes the full-quality serial
-    // baseline the wrong reference. Determinism is checked differently in
-    // chaos runs: two identical runs must produce identical --scores-out.
+  // Forced rungs (--force-degrade / --precision) apply uniformly to every
+  // block, so the serial baseline is scored at the same rung and the bitwise
+  // comparison still runs. Only policy- or chaos-chosen degradation — whose
+  // placement depends on queue timing or the fault seed — or dropped session
+  // state makes the serial reference wrong.
+  const bool forced_rungs =
+      flags.force_degrade >= 0 || flags.force_precision >= 0;
+  const int64_t unforced_degraded = forced_rungs ? 0 : degraded;
+  const int64_t unforced_drops = forced_rungs ? 0 : precision_drops;
+  if (flags.compare_serial &&
+      (unforced_degraded > 0 || unforced_drops > 0 || rehydrate_failures > 0)) {
+    // Degraded blocks score a truncated chain or reduced precision and a
+    // dropped stash resets a tenant's stream positions — either makes the
+    // full-quality serial baseline the wrong reference. Determinism is
+    // checked differently in chaos runs: two identical runs must produce
+    // identical --scores-out.
     std::printf("serial: comparison skipped (%" PRId64 " degraded blocks, "
-                "%" PRId64 " rehydrate failures)\n",
-                degraded, rehydrate_failures);
+                "%" PRId64 " precision drops, %" PRId64
+                " rehydrate failures)\n",
+                degraded, precision_drops, rehydrate_failures);
   } else if (flags.compare_serial) {
-    // Serial baseline: per-tenant fresh scoring, no batching, no cache.
+    // Serial baseline: per-tenant fresh scoring, no batching, no cache —
+    // pinned to the forced rung when one is set.
+    const int serial_level = flags.force_degrade >= 0 ? flags.force_degrade : 0;
+    const Precision serial_precision =
+        flags.force_precision >= 0
+            ? static_cast<Precision>(flags.force_precision)
+            : Precision::kF32;
     Stopwatch serial_timer;
     int64_t mismatched_tenants = 0;
     for (const serve::TenantStream& stream : streams) {
       const std::vector<float> serial = serve::ReplaySerial(
-          *model, options.session.online, options.session.seed_base, stream);
+          *model, options.session.online, options.session.seed_base, stream,
+          serial_level, serial_precision);
       const std::vector<float>& batched = served.scores.at(stream.tenant);
       if (serial != batched) {
         ++mismatched_tenants;
@@ -811,6 +860,7 @@ int Main(int argc, char** argv) {
       out << "\n";
     }
     out << "serve.degraded_blocks " << degraded << "\n";
+    out << "serve.precision_drops " << precision_drops << "\n";
     out << "arena.fallback " << arena_fallbacks << "\n";
     out.flush();
     if (out.good()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <numeric>
 
 #include "data/windowing.h"
@@ -667,11 +668,42 @@ ImDiffusionDetector::WindowPlan ImDiffusionDetector::PlanWindows(
   return plan;
 }
 
+namespace {
+
+// Loose catastrophe gates for first-execution validation of reduced-precision
+// graph captures against the fp32 legacy stack: a correct bf16/int8 lowering
+// lands orders of magnitude below these, a wrong one (bad pack geometry,
+// swapped scales) blows through them. Accuracy proper is judged end-to-end by
+// the eval accuracy gate, not here.
+float PrecisionRelL2Gate(Precision p) {
+  return p == Precision::kInt8 ? 0.5f : 0.25f;
+}
+
+// Relative L2 distance between a reduced-precision step tensor and its fp32
+// reference; +inf when the quantized result carries a non-finite value.
+float StepRelL2(const Tensor& quantized, const Tensor& ref) {
+  const float* q = quantized.data();
+  const float* f = ref.data();
+  const int64_t n = ref.numel();
+  double num = 0.0, den = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(q[i])) return std::numeric_limits<float>::infinity();
+    const double d = static_cast<double>(q[i]) - static_cast<double>(f[i]);
+    num += d * d;
+    den += static_cast<double>(f[i]) * static_cast<double>(f[i]);
+  }
+  return static_cast<float>(std::sqrt(num / (den + 1e-30)));
+}
+
+}  // namespace
+
 std::vector<ImDiffusionDetector::WindowScore>
 ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
                                       const std::vector<uint64_t>& seeds,
-                                      int degrade_level) const {
+                                      int degrade_level,
+                                      Precision precision) const {
   IMDIFF_CHECK(model_ != nullptr) << "Fit or LoadModel must be called first";
+  const Precision prec = ResolvePrecision(precision);
   IMDIFF_CHECK_EQ(windows.ndim(), 3u);
   const int64_t num_windows = windows.dim(0);
   const int64_t k = windows.dim(1);
@@ -726,11 +758,14 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
   Counter* const windows_scored =
       MetricsRegistry::Global().GetCounter("detector.windows_scored");
 
-  // Legacy (autograd layer stack) chunk body; also the reference a freshly
-  // captured graph is validated against on its first execution per kernel
-  // mode (DESIGN.md §12).
-  auto legacy_chunk = [&](int64_t chunk, int64_t bsz,
+  // Legacy (autograd layer stack) chunk body at precision `p`; also the
+  // reference a freshly captured graph is validated against on its first
+  // execution per kernel mode (DESIGN.md §12, §17). The ScopedPrecision guard
+  // routes every nn::Linear inside RunChain through the quantized kernels for
+  // non-fp32 p — the same kernels a graph capture at p lowers onto.
+  auto legacy_chunk = [&](int64_t chunk, int64_t bsz, Precision p,
                           std::vector<Tensor>* step_diff) {
+    ScopedPrecision precision_guard(p);
     Tensor x0 = Tensor::Uninitialized({bsz, k, window});
     std::copy_n(windows.data() + chunk * per_window, bsz * per_window,
                 x0.mutable_data());
@@ -796,7 +831,7 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
 
     if (gcache != nullptr && !gcache->disabled()) {
       std::unique_ptr<graph::GraphContext> ctx =
-          gcache->Acquire(bsz, degrade_level, [&]() {
+          gcache->Acquire(bsz, degrade_level, prec, [&]() {
             const std::pair<Tensor, Tensor>& mp = masks();
             graph::DenoiserSpec spec;
             spec.model = model_.get();
@@ -810,6 +845,7 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
             spec.conditional = config_.conditional;
             spec.stochastic_sampling = config_.stochastic_sampling;
             spec.score_on_x0 = config_.score_on_x0;
+            spec.precision = prec;
             return std::make_unique<graph::GraphContext>(spec);
           });
       if (ctx != nullptr) {
@@ -817,25 +853,38 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
                         seeds.data() + chunk);
         if (ctx->validated_for_current_mode()) {
           ErrorRowsFromDiff(ctx->step_diff(), bsz, chunk, &rows);
-          gcache->Release(bsz, degrade_level, std::move(ctx));
+          gcache->Release(bsz, degrade_level, prec, std::move(ctx));
           return;
         }
         // First execution of this capture in the current kernel mode:
-        // validate against the legacy stack before trusting it. A mismatch
-        // means the lowering is wrong for this build — score with the legacy
-        // result and permanently disable the cache.
+        // validate against the legacy stack before trusting it. The lowering
+        // check is a memcmp against the legacy stack at the SAME precision —
+        // identical kernels, so any difference means the capture is wrong for
+        // this build. Non-fp32 captures additionally pass a tolerance gate
+        // against the fp32 legacy stack, which catches a quantization path
+        // that is self-consistent but numerically broken. Either failure
+        // scores with the same-precision legacy result (keeping graph-on ==
+        // graph-off bitwise) and permanently disables the cache.
         std::vector<Tensor> ref_diff;
-        legacy_chunk(chunk, bsz, &ref_diff);
+        legacy_chunk(chunk, bsz, prec, &ref_diff);
         bool match = ref_diff.size() == ctx->step_diff().size();
         for (size_t s = 0; match && s < ref_diff.size(); ++s) {
           match = std::memcmp(ref_diff[s].data(), ctx->step_diff()[s].data(),
                               static_cast<size_t>(ref_diff[s].numel()) *
                                   sizeof(float)) == 0;
         }
+        if (match && prec != Precision::kF32) {
+          std::vector<Tensor> f32_diff;
+          legacy_chunk(chunk, bsz, Precision::kF32, &f32_diff);
+          const float gate = PrecisionRelL2Gate(prec);
+          for (size_t s = 0; match && s < f32_diff.size(); ++s) {
+            match = StepRelL2(ctx->step_diff()[s], f32_diff[s]) <= gate;
+          }
+        }
         if (match) {
           ctx->mark_validated_for_current_mode();
           ErrorRowsFromDiff(ctx->step_diff(), bsz, chunk, &rows);
-          gcache->Release(bsz, degrade_level, std::move(ctx));
+          gcache->Release(bsz, degrade_level, prec, std::move(ctx));
         } else {
           MetricsRegistry::Global()
               .GetCounter("graph.validation_failures")
@@ -848,7 +897,7 @@ ImDiffusionDetector::ScoreWindowBatch(const Tensor& windows,
     }
 
     std::vector<Tensor> step_diff;
-    legacy_chunk(chunk, bsz, &step_diff);
+    legacy_chunk(chunk, bsz, prec, &step_diff);
     ErrorRowsFromDiff(step_diff, bsz, chunk, &rows);
   });
 
@@ -881,8 +930,8 @@ DetectionResult ImDiffusionDetector::ReduceWindowScores(
 }
 
 DetectionResult ImDiffusionDetector::RunSeeded(const Tensor& test,
-                                               uint64_t seed,
-                                               int degrade_level) const {
+                                               uint64_t seed, int degrade_level,
+                                               Precision precision) const {
   WindowPlan plan = PlanWindows(test);
   const int64_t n = plan.windows.dim(0);
   std::vector<uint64_t> seeds(static_cast<size_t>(n));
@@ -890,8 +939,8 @@ DetectionResult ImDiffusionDetector::RunSeeded(const Tensor& test,
     seeds[static_cast<size_t>(i)] = MixSeed(seed, static_cast<uint64_t>(i));
   }
   return ReduceWindowScores(
-      ScoreWindowBatch(plan.windows, seeds, degrade_level), plan.starts,
-      plan.length);
+      ScoreWindowBatch(plan.windows, seeds, degrade_level, precision),
+      plan.starts, plan.length);
 }
 
 Tensor ImDiffusionDetector::ImputeWindow(const Tensor& window,

@@ -10,6 +10,7 @@
 #include "tensor/arena.h"
 #include "utils/check.h"
 #include "tensor/gemm.h"
+#include "tensor/quant.h"
 #include "tensor/simd.h"
 #include "utils/metrics.h"
 #include "utils/rng.h"
@@ -47,6 +48,9 @@ namespace {
 // the model's tensors plus (when a vector ISA is compiled in) the weight
 // prepacked into GEMM panels at capture time. Packing is pure data movement,
 // so the prepacked path is bitwise identical to MatMul's per-call packing.
+// Non-fp32 captures instead prepack into the quant panel formats (every
+// build — the quant kernels carry scalar bodies), which matches the
+// per-call pack of quant::LinearInto bit for bit.
 struct Weight {
   const float* w = nullptr;     // [in, out]
   const float* bias = nullptr;  // [out], null when the layer has no bias
@@ -55,6 +59,8 @@ struct Weight {
 #if defined(IMDIFF_SIMD_ANY)
   std::vector<float> packed;
 #endif
+  quant::PackedBf16 packed_bf16;  // filled when precision == kBf16
+  quant::PackedInt8 packed_int8;  // filled when precision == kInt8
 };
 
 struct Norm {
@@ -135,6 +141,7 @@ struct GraphContext::Impl {
   bool conditional = false;
   bool stoch = false;
   bool score_x0 = true;
+  Precision precision = Precision::kF32;
 
   // ---- Shape constants --------------------------------------------------
   int64_t B = 0, K = 0, L = 0, KL = 0, R = 0;
@@ -185,12 +192,30 @@ struct GraphContext::Impl {
     w.bias = lin.has_bias() ? lin.bias().data() : nullptr;
     w.in = lin.in_features();
     w.out = lin.out_features();
-#if defined(IMDIFF_SIMD_ANY)
-    w.packed.resize(gemm::PackedBFloats(w.in, w.out));
-    gemm::PackBFull(w.w, w.in, w.out, false, w.packed.data());
-#endif
+    PackWeight(&w);
     weights.push_back(std::move(w));
     return static_cast<int>(weights.size()) - 1;
+  }
+
+  // Capture-time prepack for the active precision. For fused weights built
+  // from concatenated columns (LN+QKV) the per-column int8 absmax scales are
+  // identical to the scales of the separate packs, so fusion does not change
+  // the quantization.
+  void PackWeight(Weight* w) {
+    switch (precision) {
+      case Precision::kBf16:
+        quant::PackBf16(w->w, w->in, w->out, false, &w->packed_bf16);
+        break;
+      case Precision::kInt8:
+        quant::PackInt8(w->w, w->in, w->out, false, &w->packed_int8);
+        break;
+      case Precision::kF32:
+#if defined(IMDIFF_SIMD_ANY)
+        w->packed.resize(gemm::PackedBFloats(w->in, w->out));
+        gemm::PackBFull(w->w, w->in, w->out, false, w->packed.data());
+#endif
+        break;
+    }
   }
 
   int AddNorm(const nn::LayerNorm& n) {
@@ -324,6 +349,7 @@ struct GraphContext::Impl {
     conditional = spec.conditional;
     stoch = spec.stochastic_sampling;
     score_x0 = spec.score_on_x0;
+    precision = spec.precision;
 
     const ImTransformerConfig& mc = model->config();
     B = spec.bsz;
@@ -653,22 +679,7 @@ struct GraphContext::Impl {
         [&](size_t begin, size_t end) {
           const int64_t rb = static_cast<int64_t>(begin);
           const int64_t re = static_cast<int64_t>(end);
-#if defined(IMDIFF_SIMD_ANY)
-          if (simd::Enabled()) {
-            gemm::GemmRowsPrepacked(a, w.packed.data(), c, rows, w.in, w.out,
-                                    rb, re);
-          } else {
-            std::memset(c + rb * w.out, 0,
-                        static_cast<size_t>((re - rb) * w.out) * sizeof(float));
-            gemm::MatMulRowsScalar(a, w.w, c, rows, w.in, w.out, false, false,
-                                   rb, re);
-          }
-#else
-          std::memset(c + rb * w.out, 0,
-                      static_cast<size_t>((re - rb) * w.out) * sizeof(float));
-          gemm::MatMulRowsScalar(a, w.w, c, rows, w.in, w.out, false, false,
-                                 rb, re);
-#endif
+          GemmRowsCore(w, a, c, rows, rb, re);
           for (int64_t r = rb; r < re; ++r) {
             float* row = c + r * w.out;
             if (w.bias != nullptr) simd::AddInto(row, row, w.bias, w.out);
@@ -697,24 +708,35 @@ struct GraphContext::Impl {
     }
   }
 
+  // Rows [rb, re) of c = a @ W (no bias, no epilogue) at the context's
+  // precision — the single GEMM body every lowered Linear shares. Row-local
+  // like the underlying kernels, so it is safe inside any row partition.
+  void GemmRowsCore(const Weight& w, const float* a, float* c, int64_t rows,
+                    int64_t rb, int64_t re) {
+    if (precision == Precision::kBf16) {
+      quant::GemmRowsBf16(a, w.packed_bf16, c, w.in, w.out, rb, re);
+      return;
+    }
+    if (precision == Precision::kInt8) {
+      quant::GemmRowsInt8(a, w.packed_int8, c, w.in, w.out, rb, re);
+      return;
+    }
+#if defined(IMDIFF_SIMD_ANY)
+    if (simd::Enabled()) {
+      gemm::GemmRowsPrepacked(a, w.packed.data(), c, rows, w.in, w.out, rb, re);
+      return;
+    }
+#endif
+    std::memset(c + rb * w.out, 0,
+                static_cast<size_t>((re - rb) * w.out) * sizeof(float));
+    gemm::MatMulRowsScalar(a, w.w, c, rows, w.in, w.out, false, false, rb, re);
+  }
+
   // Rows [rb, re) of c = a @ W + b for an encoder sub-layer, inside an
   // already-parallel row range.
   void GemmRowsBias(const Weight& w, const float* a, float* c, int64_t rows,
                     int64_t rb, int64_t re) {
-#if defined(IMDIFF_SIMD_ANY)
-    if (simd::Enabled()) {
-      gemm::GemmRowsPrepacked(a, w.packed.data(), c, rows, w.in, w.out, rb, re);
-    } else {
-      std::memset(c + rb * w.out, 0,
-                  static_cast<size_t>((re - rb) * w.out) * sizeof(float));
-      gemm::MatMulRowsScalar(a, w.w, c, rows, w.in, w.out, false, false, rb,
-                             re);
-    }
-#else
-    std::memset(c + rb * w.out, 0,
-                static_cast<size_t>((re - rb) * w.out) * sizeof(float));
-    gemm::MatMulRowsScalar(a, w.w, c, rows, w.in, w.out, false, false, rb, re);
-#endif
+    GemmRowsCore(w, a, c, rows, rb, re);
     if (w.bias != nullptr) {
       for (int64_t r = rb; r < re; ++r) {
         float* row = c + r * w.out;
@@ -1233,11 +1255,12 @@ size_t GraphContext::plan_bytes() const { return impl_->plan_bytes(); }
 
 std::unique_ptr<GraphContext> GraphCache::Acquire(int64_t bsz,
                                                   int degrade_level,
+                                                  Precision precision,
                                                   const Factory& make) {
   if (disabled()) return nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = pool_.find({bsz, degrade_level});
+    auto it = pool_.find({bsz, degrade_level, static_cast<int>(precision)});
     if (it != pool_.end() && !it->second.empty()) {
       std::unique_ptr<GraphContext> ctx = std::move(it->second.back());
       it->second.pop_back();
@@ -1247,11 +1270,12 @@ std::unique_ptr<GraphContext> GraphCache::Acquire(int64_t bsz,
   return make();
 }
 
-void GraphCache::Release(int64_t bsz, int degrade_level,
+void GraphCache::Release(int64_t bsz, int degrade_level, Precision precision,
                          std::unique_ptr<GraphContext> ctx) {
   if (ctx == nullptr || disabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  pool_[{bsz, degrade_level}].push_back(std::move(ctx));
+  pool_[{bsz, degrade_level, static_cast<int>(precision)}].push_back(
+      std::move(ctx));
 }
 
 void GraphCache::Disable() {

@@ -44,11 +44,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/im_transformer.h"
 #include "diffusion/schedule.h"
+#include "tensor/precision.h"
 #include "tensor/tensor.h"
 
 namespace imdiff {
@@ -73,6 +75,10 @@ struct DenoiserSpec {
   bool conditional = false;
   bool stochastic_sampling = false;
   bool score_on_x0 = true;
+  // Scoring precision (DESIGN.md §17). Non-fp32 captures prepack weights
+  // into the quant panel formats and lower every Linear onto the quantized
+  // kernels; attention QK^T / attn x V and all norms stay fp32.
+  Precision precision = Precision::kF32;
 };
 
 // One captured, lowered, and arena-planned reverse-diffusion chunk executor.
@@ -111,8 +117,8 @@ class GraphContext {
 };
 
 // Pool of captured contexts for one detector, keyed by (chunk batch size,
-// degrade level). Thread-safe. Invalidation = dropping the whole cache (the
-// detector swaps in a fresh GraphCache when its model changes).
+// degrade level, precision). Thread-safe. Invalidation = dropping the whole
+// cache (the detector swaps in a fresh GraphCache when its model changes).
 class GraphCache {
  public:
   using Factory = std::function<std::unique_ptr<GraphContext>()>;
@@ -120,9 +126,10 @@ class GraphCache {
   // Returns an idle context for the key, or captures a new one via `make`.
   // Returns nullptr when the cache has been disabled.
   std::unique_ptr<GraphContext> Acquire(int64_t bsz, int degrade_level,
+                                        Precision precision,
                                         const Factory& make);
   // Returns a context to the pool (no-op when disabled).
-  void Release(int64_t bsz, int degrade_level,
+  void Release(int64_t bsz, int degrade_level, Precision precision,
                std::unique_ptr<GraphContext> ctx);
 
   // Permanently stops handing out contexts — set after a validation failure
@@ -132,7 +139,7 @@ class GraphCache {
 
  private:
   std::mutex mu_;
-  std::map<std::pair<int64_t, int>,
+  std::map<std::tuple<int64_t, int, int>,
            std::vector<std::unique_ptr<GraphContext>>>
       pool_;
   std::atomic<bool> disabled_{false};

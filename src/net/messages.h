@@ -69,6 +69,7 @@ struct ScoredBlockMsg {
   int64_t block_index = 0;
   int64_t start = 0;  // global stream position of the first score
   int64_t degrade_level = 0;
+  int64_t precision = 0;  // Precision the block was scored at (0 = fp32)
   double latency_seconds = 0.0;
   std::vector<float> scores;
 };
@@ -85,6 +86,7 @@ struct DrainResultMsg {
   int64_t shed = 0;
   int64_t alerts = 0;
   int64_t degraded_blocks = 0;
+  int64_t precision_drops = 0;  // blocks scored below fp32
 };
 
 // One serialized session: `state` is the SerializeSession byte format

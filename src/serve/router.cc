@@ -443,6 +443,7 @@ bool ShardRouter::DrainAll(DrainTotals* totals) {
         sums.shed += result.shed;
         sums.alerts += result.alerts;
         sums.degraded_blocks += result.degraded_blocks;
+        sums.precision_drops += result.precision_drops;
       }
     }
     if (failed < 0 && options_.snapshot_on_drain) {

@@ -106,6 +106,7 @@ class ShardRouter {
     int64_t shed = 0;
     int64_t alerts = 0;
     int64_t degraded_blocks = 0;
+    int64_t precision_drops = 0;
   };
   // Barrier: drains every live shard (pipelined — shards drain in
   // parallel), then refreshes the stash copies (all-or-nothing) and clears

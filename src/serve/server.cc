@@ -17,7 +17,10 @@ StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
           "serve.batch_score_seconds")),
       degraded_blocks_(
           MetricsRegistry::Global().GetCounter("serve.degraded_blocks")),
+      precision_drops_(
+          MetricsRegistry::Global().GetCounter("serve.precision_drops")),
       deadline_fault_(FaultRegistry::Global().GetPoint("serve.deadline")),
+      precision_fault_(FaultRegistry::Global().GetPoint("serve.precision")),
       sessions_(std::move(model), options.session),
       batcher_(&sessions_, options.batch,
                [this](const BlockRequest& request,
@@ -26,6 +29,7 @@ StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
                  scored.tenant = request.tenant;
                  scored.block_index = request.block_index;
                  scored.degrade_level = request.degrade_level;
+                 scored.precision = request.precision;
                  scored.alert = OnlineDetector::MakeAlert(request.ready, result);
                  // Ready-to-alert latency: queueing at the batcher plus the
                  // batched scoring pass — the end-to-end cost the serving
@@ -118,8 +122,11 @@ void StreamServer::WorkerLoop(Shard* shard) {
     BlockRequest block;
     if (sessions_.Append(request.tenant, request.sample, request.observed,
                          &block)) {
-      block.degrade_level = ChooseDegradeLevel(wait_seconds, block);
+      const Rung rung = ChooseRung(wait_seconds, block);
+      block.degrade_level = rung.degrade_level;
+      block.precision = rung.precision;
       if (block.degrade_level > 0) degraded_blocks_->Increment();
+      if (block.precision != Precision::kF32) precision_drops_->Increment();
       batcher_.Submit(std::move(block));
     }
 
@@ -131,29 +138,56 @@ void StreamServer::WorkerLoop(Shard* shard) {
   }
 }
 
-int StreamServer::ChooseDegradeLevel(double queue_wait_seconds,
-                                     const BlockRequest& block) const {
-  if (options_.force_degrade_level >= 0) return options_.force_degrade_level;
-  // Chaos override: an armed "serve.deadline" point decides from (fault
-  // seed, session seed, block index) alone — no wall clock — so two runs of
-  // the same stream degrade exactly the same blocks.
-  if (FaultRegistry::Global().armed() && deadline_fault_->armed()) {
-    return deadline_fault_->FireKeyed(
-               MixSeed(block.session_seed,
-                       static_cast<uint64_t>(block.block_index)))
-               ? 2
-               : 0;
+StreamServer::Rung StreamServer::ChooseRung(double queue_wait_seconds,
+                                            const BlockRequest& block) const {
+  Rung rung;
+  if (options_.force_degrade_level >= 0 || options_.force_precision >= 0) {
+    if (options_.force_degrade_level >= 0) {
+      rung.degrade_level = options_.force_degrade_level;
+    }
+    if (options_.force_precision >= 0) {
+      rung.precision = static_cast<Precision>(options_.force_precision);
+    }
+    return rung;
   }
-  if (options_.deadline_seconds <= 0.0) return 0;
+  // Chaos overrides: an armed "serve.deadline" / "serve.precision" point
+  // decides its axis from (fault seed, session seed, block index) alone — no
+  // wall clock — so two runs of the same stream degrade exactly the same
+  // blocks. The precision key is re-mixed so the two points fire on
+  // independent block subsets.
+  if (FaultRegistry::Global().armed() &&
+      (deadline_fault_->armed() || precision_fault_->armed())) {
+    const uint64_t key = MixSeed(block.session_seed,
+                                 static_cast<uint64_t>(block.block_index));
+    if (deadline_fault_->armed() && deadline_fault_->FireKeyed(key)) {
+      rung.degrade_level = 2;
+    }
+    if (precision_fault_->armed() &&
+        precision_fault_->FireKeyed(MixSeed(key, /*stream=*/0x70726563))) {
+      rung.precision = Precision::kInt8;
+    }
+    return rung;
+  }
+  if (options_.deadline_seconds <= 0.0) return rung;
   const double remaining = options_.deadline_seconds - queue_wait_seconds;
-  // Budget already gone: score the cheapest chain rather than shed — a
+  // Budget already gone: score the cheapest rung rather than shed — a
   // degraded score still beats a missing one for anomaly detection.
-  if (remaining <= 0.0) return 2;
+  if (remaining <= 0.0) return Rung{2, Precision::kInt8};
   // Predict the batched scoring cost from observed history; with no history
-  // yet, optimistically assume it fits.
+  // yet, optimistically assume it fits. The ladder drops precision before it
+  // truncates the chain (DESIGN.md §17): a reduced-precision GEMM costs
+  // thousandths of F1, a truncated chain costs vote diversity. The rung
+  // thresholds are conservative speedup credits (below the measured kernel
+  // ratios — bench/BENCH_kernels.json) since only the GEMM share of a chunk
+  // accelerates.
   const double predicted =
       batch_score_->count() > 0 ? batch_score_->Percentile(0.9) : 0.0;
-  return predicted > remaining ? 1 : 0;
+  if (predicted <= remaining) return rung;
+  const double over = predicted / remaining;
+  if (over <= 1.25) return Rung{0, Precision::kBf16};
+  if (over <= 1.75) return Rung{0, Precision::kInt8};
+  if (over <= 3.0) return Rung{1, Precision::kInt8};
+  return Rung{2, Precision::kInt8};
 }
 
 void StreamServer::SwapModel(std::shared_ptr<const ModelEntry> model) {

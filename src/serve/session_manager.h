@@ -85,6 +85,12 @@ struct BlockRequest {
   // ImDiffusionDetector::ChainStartForDegradeLevel). Degraded fresh scores
   // are delivered but never written back to the window-score cache.
   int degrade_level = 0;
+  // Scoring precision chosen by the server's deadline ladder (DESIGN.md §17):
+  // the ladder drops precision (fp32 -> bf16 -> int8) before it truncates the
+  // chain. Like degraded scores, reduced-precision fresh scores are delivered
+  // (tagged on the ScoredBlock) but never written back to the window-score
+  // cache — cached entries are reused as full-quality scores.
+  Precision precision = Precision::kF32;
 };
 
 // Cross-process session state (DESIGN.md §16): everything needed to continue

@@ -54,6 +54,8 @@ int RunShardWorker(const WorkerOptions& options) {
   WorkerMetrics metrics;
   Counter* degraded = MetricsRegistry::Global().GetCounter(
       "serve.degraded_blocks");
+  Counter* precision_drops = MetricsRegistry::Global().GetCounter(
+      "serve.precision_drops");
 
   ModelRegistry registry;
   std::unique_ptr<StreamServer> server;
@@ -69,6 +71,7 @@ int RunShardWorker(const WorkerOptions& options) {
     msg.block_index = block.block_index;
     msg.start = block.alert.start;
     msg.degrade_level = block.degrade_level;
+    msg.precision = static_cast<int64_t>(block.precision);
     msg.latency_seconds = block.latency_seconds;
     msg.scores = block.alert.scores;
     channel.Send(net::Encode(msg));
@@ -142,6 +145,7 @@ int RunShardWorker(const WorkerOptions& options) {
         result.shed = server != nullptr ? server->dropped() : 0;
         result.alerts = alert_blocks.load(std::memory_order_relaxed);
         result.degraded_blocks = degraded->value();
+        result.precision_drops = precision_drops->value();
         channel.Send(net::Encode(result));
         break;
       }

@@ -1,0 +1,157 @@
+// Scoring precision levels (DESIGN.md §17).
+//
+// Precision is the second axis of the serving degradation ladder: before the
+// deadline chooser truncates denoising steps it can drop the denoiser's
+// weight GEMMs from fp32 to bf16 and then to per-channel int8 (kernels in
+// tensor/quant.h). A precision level names a complete numeric contract —
+// scores are a pure function of (content, seed, model, degrade level,
+// precision), and two runs at the same precision are bitwise identical.
+//
+// Two override mechanisms mirror the IMDIFF_FORCE_SCALAR pattern:
+//  - IMDIFF_PRECISION={fp32,bf16,int8} in the environment (read once,
+//    cached) forces every seeded scoring call to that precision, which is
+//    how the CI matrix runs the whole tier-1 suite quantized.
+//  - SetForcePrecision()/ClearForcePrecision() from tests, winning over the
+//    environment.
+// Both are consumed only at the scoring entry points (ScoreWindowBatch /
+// RunSeeded); the training path never observes them, because the quantized
+// forward is inference-only (it produces constants, not autograd nodes).
+//
+// ScopedPrecision is the hand-off into the legacy layer stack: the scoring
+// path sets it around a chunk and nn::Linear::Forward consults
+// ActivePrecision() to pick the quantized GEMM. It is thread-local, and each
+// scoring chunk runs its model forwards on a single pool thread, so a guard
+// in the chunk body covers every layer the chunk executes.
+
+#ifndef IMDIFF_TENSOR_PRECISION_H_
+#define IMDIFF_TENSOR_PRECISION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace imdiff {
+
+enum class Precision : uint8_t { kF32 = 0, kBf16 = 1, kInt8 = 2 };
+
+inline constexpr int kNumPrecisions = 3;
+
+inline const char* PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kBf16:
+      return "bf16";
+    case Precision::kInt8:
+      return "int8";
+    default:
+      return "fp32";
+  }
+}
+
+inline bool ParsePrecision(const char* s, Precision* out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "fp32") == 0 || std::strcmp(s, "f32") == 0) {
+    *out = Precision::kF32;
+    return true;
+  }
+  if (std::strcmp(s, "bf16") == 0) {
+    *out = Precision::kBf16;
+    return true;
+  }
+  if (std::strcmp(s, "int8") == 0) {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+namespace detail {
+// -2: environment not consulted yet; -1: no override; >= 0: forced value.
+inline std::atomic<int>& ForcePrecisionFlag() {
+  static std::atomic<int> flag{-2};
+  return flag;
+}
+}  // namespace detail
+
+// True (with *out set) when IMDIFF_PRECISION or SetForcePrecision forces a
+// precision for scoring calls.
+inline bool ForcedPrecision(Precision* out) {
+  int v = detail::ForcePrecisionFlag().load(std::memory_order_relaxed);
+  if (v == -2) {
+    Precision p;
+    v = ParsePrecision(std::getenv("IMDIFF_PRECISION"), &p)
+            ? static_cast<int>(p)
+            : -1;
+    detail::ForcePrecisionFlag().store(v, std::memory_order_relaxed);
+  }
+  if (v < 0) return false;
+  *out = static_cast<Precision>(v);
+  return true;
+}
+
+// Runtime override for tests; wins over the environment.
+inline void SetForcePrecision(Precision p) {
+  detail::ForcePrecisionFlag().store(static_cast<int>(p),
+                                     std::memory_order_relaxed);
+}
+inline void ClearForcePrecision() {
+  detail::ForcePrecisionFlag().store(-1, std::memory_order_relaxed);
+}
+
+// The precision a scoring call should actually run at: the forced override
+// when present, else the caller's request.
+inline Precision ResolvePrecision(Precision requested) {
+  Precision forced;
+  return ForcedPrecision(&forced) ? forced : requested;
+}
+
+// RAII guard removing any precision override (environment or
+// SetForcePrecision) for the enclosing scope and restoring it on exit. Tests
+// that deliberately compare precisions against each other need every call's
+// requested precision honored — under the CI matrix's IMDIFF_PRECISION legs
+// their fp32 baseline would otherwise silently resolve to the forced rung.
+class ScopedPrecisionOverrideClear {
+ public:
+  ScopedPrecisionOverrideClear() : had_(ForcedPrecision(&prev_)) {
+    ClearForcePrecision();
+  }
+  ~ScopedPrecisionOverrideClear() {
+    if (had_) {
+      SetForcePrecision(prev_);
+    } else {
+      ClearForcePrecision();
+    }
+  }
+  ScopedPrecisionOverrideClear(const ScopedPrecisionOverrideClear&) = delete;
+  ScopedPrecisionOverrideClear& operator=(const ScopedPrecisionOverrideClear&) =
+      delete;
+
+ private:
+  Precision prev_ = Precision::kF32;
+  bool had_;
+};
+
+namespace detail {
+inline thread_local Precision g_active_precision = Precision::kF32;
+}  // namespace detail
+
+// Precision the current thread's layer-stack forwards should run at.
+inline Precision ActivePrecision() { return detail::g_active_precision; }
+
+// RAII guard setting ActivePrecision() for the enclosing scope.
+class ScopedPrecision {
+ public:
+  explicit ScopedPrecision(Precision p) : prev_(detail::g_active_precision) {
+    detail::g_active_precision = p;
+  }
+  ~ScopedPrecision() { detail::g_active_precision = prev_; }
+  ScopedPrecision(const ScopedPrecision&) = delete;
+  ScopedPrecision& operator=(const ScopedPrecision&) = delete;
+
+ private:
+  Precision prev_;
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_TENSOR_PRECISION_H_

@@ -1,0 +1,793 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/arena.h"
+#include "tensor/gemm.h"
+#include "tensor/simd.h"
+#include "utils/check.h"
+#include "utils/thread_pool.h"
+
+// Vector bodies need both the project's AVX-512 path and the instruction-set
+// extension the kernel is built on; without them the scalar body serves both
+// kernel modes (for int8 that is invisible — the scalar and vector bodies are
+// bitwise identical by construction).
+#if defined(IMDIFF_SIMD_AVX512) && defined(__AVX512BF16__)
+#define IMDIFF_QUANT_BF16_VEC 1
+#endif
+#if defined(IMDIFF_SIMD_AVX512) && defined(__AVX512VNNI__)
+#define IMDIFF_QUANT_INT8_VEC 1
+#endif
+
+// AMX tile bodies additionally need the OS to grant tile-data state at
+// runtime (Linux arch_prctl), checked once in AmxPermitted().
+#if defined(IMDIFF_SIMD_AVX512) && defined(__AMX_TILE__) && \
+    defined(__AMX_BF16__) && defined(__linux__)
+#define IMDIFF_QUANT_AMX_BF16 1
+#endif
+#if defined(IMDIFF_SIMD_AVX512) && defined(__AMX_TILE__) && \
+    defined(__AMX_INT8__) && defined(__linux__)
+#define IMDIFF_QUANT_AMX_INT8 1
+#endif
+#if defined(IMDIFF_QUANT_AMX_BF16) || defined(IMDIFF_QUANT_AMX_INT8)
+#define IMDIFF_QUANT_AMX_ANY 1
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include <atomic>
+
+namespace imdiff {
+namespace quant {
+
+namespace {
+
+using gemm::kMR;
+
+std::atomic<bool> g_disable_amx{false};
+
+#if defined(IMDIFF_QUANT_AMX_ANY)
+
+// Values from the Linux uapi (asm/prctl.h, not present in every sysroot).
+constexpr int kArchReqXcompPerm = 0x1023;
+constexpr int kXfeatureXtiledata = 18;
+
+// Tile palette 1, all eight registers at full 16 x 64B geometry. Loaded at
+// kernel entry and released at exit so no tile state leaks across calls
+// (tile registers are per-thread XSTATE).
+struct TileConfig {
+  uint8_t palette;
+  uint8_t start_row;
+  uint8_t reserved[14];
+  uint16_t colsb[16];
+  uint8_t rows[16];
+};
+static_assert(sizeof(TileConfig) == 64);
+
+inline void LoadFullTileConfig() {
+  TileConfig cfg{};
+  cfg.palette = 1;
+  for (int t = 0; t < 8; ++t) {
+    cfg.rows[t] = 16;
+    cfg.colsb[t] = 64;
+  }
+  _tile_loadconfig(&cfg);
+}
+
+// One process-wide permission request, cached. A denial (old kernel, seccomp)
+// deterministically routes every call to the AVX-512 bodies instead.
+bool AmxPermitted() {
+  static const bool ok =
+      syscall(SYS_arch_prctl, kArchReqXcompPerm, kXfeatureXtiledata) == 0;
+  return ok;
+}
+
+inline bool AmxActive() {
+  return AmxPermitted() && !g_disable_amx.load(std::memory_order_relaxed);
+}
+
+#endif  // IMDIFF_QUANT_AMX_ANY
+
+// Reads the logical b[p][j] of a [k, n] operand stored [n, k] when tb.
+inline float BAt(const float* b, int64_t k, int64_t n, bool tb, int64_t p,
+                 int64_t j) {
+  return tb ? b[j * k + p] : b[p * n + j];
+}
+
+// Quantizes one activation row to asymmetric u8: q = rne((a - min) * inv),
+// four quants per packed word (zero-padded past k). Scalar arithmetic on
+// every path, so the quantized row — and therefore the whole int8 result —
+// is a pure function of the row's floats.
+inline void QuantizeRowA(const float* a, int64_t k, uint32_t* words,
+                         float* s_a, float* min_a) {
+  float mn = a[0];
+  float mx = a[0];
+  for (int64_t p = 1; p < k; ++p) {
+    mn = a[p] < mn ? a[p] : mn;
+    mx = a[p] > mx ? a[p] : mx;
+  }
+  // Canonicalize -0 to +0 so the reduction's tie-breaking (which zero wins)
+  // can never leak into min_a — the vector quantizer reduces in a different
+  // order but lands on the same bits.
+  mn = mn + 0.0f;
+  const float range = mx - mn;
+  const float inv = range > 0.0f ? 255.0f / range : 0.0f;
+  *s_a = range > 0.0f ? range / 255.0f : 0.0f;
+  *min_a = mn;
+  const int64_t k4 = (k + 3) / 4;
+  for (int64_t g = 0; g < k4; ++g) {
+    uint32_t w = 0;
+    const int64_t lim = std::min<int64_t>(4, k - 4 * g);
+    for (int64_t bb = 0; bb < lim; ++bb) {
+      long q = std::lrintf((a[4 * g + bb] - mn) * inv);
+      q = q < 0 ? 0 : (q > 255 ? 255 : q);
+      w |= static_cast<uint32_t>(q) << (8 * bb);
+    }
+    words[g] = w;
+  }
+}
+
+// Converts one activation row to paired bf16 words (zero-padded past k).
+inline void ConvertRowBf16(const float* a, int64_t k, uint32_t* words) {
+  const int64_t k2 = (k + 1) / 2;
+  for (int64_t g = 0; g < k2; ++g) {
+    const uint32_t lo = Bf16FromF32(a[2 * g]);
+    const uint32_t hi =
+        2 * g + 1 < k ? Bf16FromF32(a[2 * g + 1]) : 0u;
+    words[g] = lo | (hi << 16);
+  }
+}
+
+#if defined(IMDIFF_QUANT_BF16_VEC)
+
+// Vector row conversion: vcvtne2ps2bf16 emits 32 consecutive bf16 lanes, and
+// consecutive 16-bit lanes viewed as 32-bit words are exactly the paired-k
+// layout. Same round-to-nearest-even as the scalar converter on normal
+// values; zero-padded past k via masked loads.
+inline void ConvertRowBf16Vec(const float* a, int64_t k, uint32_t* words) {
+  const int64_t k2 = (k + 1) / 2;
+  int64_t p = 0;
+  int64_t g = 0;
+  for (; p + 32 <= k; p += 32, g += 16) {
+    const __m512 lo = _mm512_loadu_ps(a + p);
+    const __m512 hi = _mm512_loadu_ps(a + p + 16);
+    _mm512_storeu_si512(words + g,
+                        (__m512i)_mm512_cvtne2ps_pbh(hi, lo));
+  }
+  const int64_t rem = k - p;
+  if (rem > 0) {
+    const __mmask16 mlo =
+        rem >= 16 ? static_cast<__mmask16>(0xffff)
+                  : static_cast<__mmask16>((1u << rem) - 1u);
+    const __mmask16 mhi =
+        rem > 16 ? static_cast<__mmask16>((1u << (rem - 16)) - 1u)
+                 : static_cast<__mmask16>(0);
+    const __m512 lo = _mm512_maskz_loadu_ps(mlo, a + p);
+    const __m512 hi = _mm512_maskz_loadu_ps(mhi, a + p + 16);
+    const __mmask16 mw = static_cast<__mmask16>((1u << (k2 - g)) - 1u);
+    _mm512_mask_storeu_epi32(words + g, mw,
+                             (__m512i)_mm512_cvtne2ps_pbh(hi, lo));
+  }
+}
+
+// MR x kQNR bf16 register tile over paired-k panels: two fp32 accumulators
+// per row, one vdpbf16ps per (row, half-panel, pair-group). Accumulators are
+// named variables, not an array — GCC keeps an indexed array on the stack
+// and spills every iteration, which halves throughput.
+template <int MR>
+void MicroKernelBf16(const uint32_t* arows, int64_t k2, const uint32_t* panel,
+                     float* c, int64_t n, int64_t j0, int64_t jr) {
+  __m512 a00 = _mm512_setzero_ps(), a01 = a00;
+  __m512 a10 = a00, a11 = a00;
+  __m512 a20 = a00, a21 = a00;
+  __m512 a30 = a00, a31 = a00;
+  for (int64_t g = 0; g < k2; ++g) {
+    const __m512i b0 = _mm512_loadu_si512(panel + g * kQNR);
+    const __m512i b1 = _mm512_loadu_si512(panel + g * kQNR + 16);
+    __m512i av = _mm512_set1_epi32(static_cast<int>(arows[g]));
+    a00 = _mm512_dpbf16_ps(a00, (__m512bh)av, (__m512bh)b0);
+    a01 = _mm512_dpbf16_ps(a01, (__m512bh)av, (__m512bh)b1);
+    if constexpr (MR > 1) {
+      av = _mm512_set1_epi32(static_cast<int>(arows[k2 + g]));
+      a10 = _mm512_dpbf16_ps(a10, (__m512bh)av, (__m512bh)b0);
+      a11 = _mm512_dpbf16_ps(a11, (__m512bh)av, (__m512bh)b1);
+    }
+    if constexpr (MR > 2) {
+      av = _mm512_set1_epi32(static_cast<int>(arows[2 * k2 + g]));
+      a20 = _mm512_dpbf16_ps(a20, (__m512bh)av, (__m512bh)b0);
+      a21 = _mm512_dpbf16_ps(a21, (__m512bh)av, (__m512bh)b1);
+    }
+    if constexpr (MR > 3) {
+      av = _mm512_set1_epi32(static_cast<int>(arows[3 * k2 + g]));
+      a30 = _mm512_dpbf16_ps(a30, (__m512bh)av, (__m512bh)b0);
+      a31 = _mm512_dpbf16_ps(a31, (__m512bh)av, (__m512bh)b1);
+    }
+  }
+  const __m512 acc0[4] = {a00, a10, a20, a30};
+  const __m512 acc1[4] = {a01, a11, a21, a31};
+  if (jr == kQNR) {
+    for (int r = 0; r < MR; ++r) {
+      _mm512_storeu_ps(c + r * n + j0, acc0[r]);
+      _mm512_storeu_ps(c + r * n + j0 + 16, acc1[r]);
+    }
+  } else {
+    float tmp[kQNR];
+    for (int r = 0; r < MR; ++r) {
+      _mm512_storeu_ps(tmp, acc0[r]);
+      _mm512_storeu_ps(tmp + 16, acc1[r]);
+      std::memcpy(c + r * n + j0, tmp, sizeof(float) * static_cast<size_t>(jr));
+    }
+  }
+}
+
+void GemmRowsBf16Vec(const uint32_t* abuf, int64_t k2, int64_t pstride,
+                     const PackedBf16& b, float* c, int64_t n,
+                     int64_t row_begin, int64_t rows) {
+  for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+    const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+    const uint32_t* panel =
+        b.data.data() + (j0 / kQNR) * (pstride * kQNR);
+    for (int64_t i0 = 0; i0 < rows; i0 += kMR) {
+      const int64_t mr = std::min<int64_t>(kMR, rows - i0);
+      const uint32_t* arows = abuf + i0 * k2;
+      float* crow = c + (row_begin + i0) * n;
+      switch (mr) {
+        case 1:
+          MicroKernelBf16<1>(arows, k2, panel, crow, n, j0, jr);
+          break;
+        case 2:
+          MicroKernelBf16<2>(arows, k2, panel, crow, n, j0, jr);
+          break;
+        case 3:
+          MicroKernelBf16<3>(arows, k2, panel, crow, n, j0, jr);
+          break;
+        default:
+          MicroKernelBf16<4>(arows, k2, panel, crow, n, j0, jr);
+          break;
+      }
+    }
+  }
+}
+
+#endif  // IMDIFF_QUANT_BF16_VEC
+
+// Scalar bf16 body reading the same paired-k panels: per pair group the low
+// then the high product is accumulated (each product exact in fp32), which
+// fixes the sum order as a function of (k, j) alone.
+void GemmRowsBf16Scalar(const uint32_t* abuf, int64_t k2, int64_t pstride,
+                        const PackedBf16& b, float* c, int64_t n,
+                        int64_t row_begin, int64_t rows) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const uint32_t* arow = abuf + r * k2;
+    float* crow = c + (row_begin + r) * n;
+    for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+      const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+      const uint32_t* panel = b.data.data() + (j0 / kQNR) * (pstride * kQNR);
+      for (int64_t jj = 0; jj < jr; ++jj) {
+        float acc = 0.0f;
+        for (int64_t g = 0; g < k2; ++g) {
+          const uint32_t aw = arow[g];
+          const uint32_t bw = panel[g * kQNR + jj];
+          acc = simd::Madd(F32FromBf16(static_cast<uint16_t>(aw)),
+                           F32FromBf16(static_cast<uint16_t>(bw)), acc);
+          acc = simd::Madd(F32FromBf16(static_cast<uint16_t>(aw >> 16)),
+                           F32FromBf16(static_cast<uint16_t>(bw >> 16)), acc);
+        }
+        crow[j0 + jj] = acc;
+      }
+    }
+  }
+}
+
+#if defined(IMDIFF_QUANT_INT8_VEC)
+
+// Vector row quantization, bitwise identical to QuantizeRowA: min/max is
+// exact under any reduction order once -0 is canonicalized, and each lane's
+// (a - mn) * inv / convert / clamp is the same correctly-rounded elementwise
+// arithmetic as the scalar path (cvtps2dq and lrintf both round to nearest
+// even). The sub-16 tail reuses the scalar per-element ops verbatim.
+inline void QuantizeRowAVec(const float* a, int64_t k, uint32_t* words,
+                            float* s_a, float* min_a) {
+  __m512 vmn = _mm512_set1_ps(std::numeric_limits<float>::infinity());
+  __m512 vmx = _mm512_set1_ps(-std::numeric_limits<float>::infinity());
+  int64_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m512 v = _mm512_loadu_ps(a + p);
+    vmn = _mm512_min_ps(vmn, v);
+    vmx = _mm512_max_ps(vmx, v);
+  }
+  float mn = _mm512_reduce_min_ps(vmn);
+  float mx = _mm512_reduce_max_ps(vmx);
+  for (int64_t t = p; t < k; ++t) {
+    mn = a[t] < mn ? a[t] : mn;
+    mx = a[t] > mx ? a[t] : mx;
+  }
+  mn = mn + 0.0f;
+  const float range = mx - mn;
+  const float inv = range > 0.0f ? 255.0f / range : 0.0f;
+  *s_a = range > 0.0f ? range / 255.0f : 0.0f;
+  *min_a = mn;
+  const __m512 vsub = _mm512_set1_ps(mn);
+  const __m512 vinv = _mm512_set1_ps(inv);
+  const __m512i vzero = _mm512_setzero_si512();
+  const __m512i vhi = _mm512_set1_epi32(255);
+  int64_t q = 0;
+  for (p = 0; p + 16 <= k; p += 16, q += 4) {
+    const __m512 v = _mm512_loadu_ps(a + p);
+    __m512i qi = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_sub_ps(v, vsub),
+                                                  vinv));
+    qi = _mm512_min_epi32(_mm512_max_epi32(qi, vzero), vhi);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(words + q),
+                     _mm512_cvtepi32_epi8(qi));
+  }
+  const int64_t k4 = (k + 3) / 4;
+  for (int64_t g = q; g < k4; ++g) {
+    uint32_t w = 0;
+    const int64_t lim = std::min<int64_t>(4, k - 4 * g);
+    for (int64_t bb = 0; bb < lim; ++bb) {
+      long qv = std::lrintf((a[4 * g + bb] - mn) * inv);
+      qv = qv < 0 ? 0 : (qv > 255 ? 255 : qv);
+      w |= static_cast<uint32_t>(qv) << (8 * bb);
+    }
+    words[g] = w;
+  }
+}
+
+// MR x kQNR int8 register tile over quad-k panels: two i32 accumulators per
+// row, one vpdpbusd per (row, half-panel, quad-group), then the fused
+// dequant epilogue — the same three float ops as the scalar body.
+template <int MR>
+void MicroKernelInt8(const uint32_t* arows, int64_t k4, const uint32_t* panel,
+                     const float* scale, const float* colsum, const float* s_a,
+                     const float* min_a, float* c, int64_t n, int64_t j0,
+                     int64_t jr) {
+  __m512i a00 = _mm512_setzero_si512(), a01 = a00;
+  __m512i a10 = a00, a11 = a00;
+  __m512i a20 = a00, a21 = a00;
+  __m512i a30 = a00, a31 = a00;
+  for (int64_t g = 0; g < k4; ++g) {
+    const __m512i b0 = _mm512_loadu_si512(panel + g * kQNR);
+    const __m512i b1 = _mm512_loadu_si512(panel + g * kQNR + 16);
+    __m512i av = _mm512_set1_epi32(static_cast<int>(arows[g]));
+    a00 = _mm512_dpbusd_epi32(a00, av, b0);
+    a01 = _mm512_dpbusd_epi32(a01, av, b1);
+    if constexpr (MR > 1) {
+      av = _mm512_set1_epi32(static_cast<int>(arows[k4 + g]));
+      a10 = _mm512_dpbusd_epi32(a10, av, b0);
+      a11 = _mm512_dpbusd_epi32(a11, av, b1);
+    }
+    if constexpr (MR > 2) {
+      av = _mm512_set1_epi32(static_cast<int>(arows[2 * k4 + g]));
+      a20 = _mm512_dpbusd_epi32(a20, av, b0);
+      a21 = _mm512_dpbusd_epi32(a21, av, b1);
+    }
+    if constexpr (MR > 3) {
+      av = _mm512_set1_epi32(static_cast<int>(arows[3 * k4 + g]));
+      a30 = _mm512_dpbusd_epi32(a30, av, b0);
+      a31 = _mm512_dpbusd_epi32(a31, av, b1);
+    }
+  }
+  const __m512i acc0[4] = {a00, a10, a20, a30};
+  const __m512i acc1[4] = {a01, a11, a21, a31};
+  const __m512 sb0 = _mm512_loadu_ps(scale + j0);
+  const __m512 sb1 = _mm512_loadu_ps(scale + j0 + 16);
+  const __m512 cs0 = _mm512_loadu_ps(colsum + j0);
+  const __m512 cs1 = _mm512_loadu_ps(colsum + j0 + 16);
+  for (int r = 0; r < MR; ++r) {
+    const __m512 vsa = _mm512_set1_ps(s_a[r]);
+    const __m512 vmin = _mm512_set1_ps(min_a[r]);
+    const __m512 d0 = _mm512_mul_ps(
+        sb0, _mm512_fmadd_ps(vsa, _mm512_cvtepi32_ps(acc0[r]),
+                             _mm512_mul_ps(vmin, cs0)));
+    const __m512 d1 = _mm512_mul_ps(
+        sb1, _mm512_fmadd_ps(vsa, _mm512_cvtepi32_ps(acc1[r]),
+                             _mm512_mul_ps(vmin, cs1)));
+    if (jr == kQNR) {
+      _mm512_storeu_ps(c + r * n + j0, d0);
+      _mm512_storeu_ps(c + r * n + j0 + 16, d1);
+    } else {
+      float tmp[kQNR];
+      _mm512_storeu_ps(tmp, d0);
+      _mm512_storeu_ps(tmp + 16, d1);
+      std::memcpy(c + r * n + j0, tmp, sizeof(float) * static_cast<size_t>(jr));
+    }
+  }
+}
+
+void GemmRowsInt8Vec(const uint32_t* abuf, const float* s_a, const float* min_a,
+                     int64_t k4, int64_t pstride, const PackedInt8& b, float* c,
+                     int64_t n, int64_t row_begin, int64_t rows) {
+  for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+    const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+    const uint32_t* panel = b.data.data() + (j0 / kQNR) * (pstride * kQNR);
+    for (int64_t i0 = 0; i0 < rows; i0 += kMR) {
+      const int64_t mr = std::min<int64_t>(kMR, rows - i0);
+      const uint32_t* arows = abuf + i0 * k4;
+      float* crow = c + (row_begin + i0) * n;
+      switch (mr) {
+        case 1:
+          MicroKernelInt8<1>(arows, k4, panel, b.scale.data(), b.colsum.data(),
+                             s_a + i0, min_a + i0, crow, n, j0, jr);
+          break;
+        case 2:
+          MicroKernelInt8<2>(arows, k4, panel, b.scale.data(), b.colsum.data(),
+                             s_a + i0, min_a + i0, crow, n, j0, jr);
+          break;
+        case 3:
+          MicroKernelInt8<3>(arows, k4, panel, b.scale.data(), b.colsum.data(),
+                             s_a + i0, min_a + i0, crow, n, j0, jr);
+          break;
+        default:
+          MicroKernelInt8<4>(arows, k4, panel, b.scale.data(), b.colsum.data(),
+                             s_a + i0, min_a + i0, crow, n, j0, jr);
+          break;
+      }
+    }
+  }
+}
+
+#endif  // IMDIFF_QUANT_INT8_VEC
+
+// Scalar int8 body: the identical integer accumulation (u8 x s8 products
+// summed into i32, exact) and the identical dequant expression as the vector
+// body — bitwise equal to it by construction.
+void GemmRowsInt8Scalar(const uint32_t* abuf, const float* s_a,
+                        const float* min_a, int64_t k4, int64_t pstride,
+                        const PackedInt8& b, float* c, int64_t n,
+                        int64_t row_begin, int64_t rows) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const uint32_t* arow = abuf + r * k4;
+    const float sa = s_a[r];
+    const float mn = min_a[r];
+    float* crow = c + (row_begin + r) * n;
+    for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+      const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+      const uint32_t* panel = b.data.data() + (j0 / kQNR) * (pstride * kQNR);
+      for (int64_t jj = 0; jj < jr; ++jj) {
+        int32_t acc = 0;
+        for (int64_t g = 0; g < k4; ++g) {
+          const uint32_t aw = arow[g];
+          const uint32_t bw = panel[g * kQNR + jj];
+          for (int bb = 0; bb < 4; ++bb) {
+            const int32_t av = static_cast<int32_t>((aw >> (8 * bb)) & 0xffu);
+            const int32_t bv =
+                static_cast<int8_t>((bw >> (8 * bb)) & 0xffu);
+            acc += av * bv;
+          }
+        }
+        const int64_t j = j0 + jj;
+        crow[j] = b.scale[static_cast<size_t>(j)] *
+                  std::fmaf(sa, static_cast<float>(acc),
+                            mn * b.colsum[static_cast<size_t>(j)]);
+      }
+    }
+  }
+}
+
+#if defined(IMDIFF_QUANT_AMX_BF16)
+
+// AMX bf16 body: 16-row x 32-column output tiles, one tdpbf16ps per
+// (half-panel, 16-group block). The packed panels are loaded as B tiles
+// unchanged; `abuf` rows and groups are zero-padded to tile multiples by the
+// caller. Row-local like every body — a row's result reads only its own
+// A-tile row.
+void AmxGemmBf16(const uint32_t* abuf, int64_t K2, const PackedBf16& b,
+                 float* c, int64_t n, int64_t row_begin, int64_t rows) {
+  LoadFullTileConfig();
+  alignas(64) float cbuf[16 * kQNR];
+  for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+    const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+    const uint32_t* panel = b.data.data() + (j0 / kQNR) * (K2 * kQNR);
+    for (int64_t i0 = 0; i0 < rows; i0 += 16) {
+      const int64_t mr = std::min<int64_t>(16, rows - i0);
+      _tile_zero(0);
+      _tile_zero(1);
+      for (int64_t g = 0; g < K2; g += 16) {
+        _tile_loadd(2, abuf + i0 * K2 + g, static_cast<int>(K2 * 4));
+        _tile_loadd(3, panel + g * kQNR, kQNR * 4);
+        _tile_loadd(4, panel + g * kQNR + 16, kQNR * 4);
+        _tile_dpbf16ps(0, 2, 3);
+        _tile_dpbf16ps(1, 2, 4);
+      }
+      float* cdst = c + (row_begin + i0) * n + j0;
+      if (mr == 16 && jr == kQNR) {
+        _tile_stored(0, cdst, static_cast<int>(n * 4));
+        _tile_stored(1, cdst + 16, static_cast<int>(n * 4));
+      } else {
+        _tile_stored(0, cbuf, kQNR * 4);
+        _tile_stored(1, cbuf + 16, kQNR * 4);
+        for (int64_t r = 0; r < mr; ++r) {
+          std::memcpy(cdst + r * n, cbuf + r * kQNR,
+                      sizeof(float) * static_cast<size_t>(jr));
+        }
+      }
+    }
+  }
+  _tile_release();
+}
+
+#endif  // IMDIFF_QUANT_AMX_BF16
+
+#if defined(IMDIFF_QUANT_AMX_INT8)
+
+// AMX int8 body: tdpbusd accumulates the identical exact integers as
+// vpdpbusd and the scalar loop, and the dequant epilogue below is the same
+// elementwise float ops as the AVX-512 body — so int8 stays bitwise
+// identical across scalar, vector, and AMX.
+void AmxGemmInt8(const uint32_t* abuf, const float* s_a, const float* min_a,
+                 int64_t K4, const PackedInt8& b, float* c, int64_t n,
+                 int64_t row_begin, int64_t rows) {
+  LoadFullTileConfig();
+  alignas(64) int32_t acc[16 * kQNR];
+  float tmp[kQNR];
+  for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+    const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+    const uint32_t* panel = b.data.data() + (j0 / kQNR) * (K4 * kQNR);
+    const __m512 sb0 = _mm512_loadu_ps(b.scale.data() + j0);
+    const __m512 sb1 = _mm512_loadu_ps(b.scale.data() + j0 + 16);
+    const __m512 cs0 = _mm512_loadu_ps(b.colsum.data() + j0);
+    const __m512 cs1 = _mm512_loadu_ps(b.colsum.data() + j0 + 16);
+    for (int64_t i0 = 0; i0 < rows; i0 += 16) {
+      const int64_t mr = std::min<int64_t>(16, rows - i0);
+      _tile_zero(0);
+      _tile_zero(1);
+      for (int64_t g = 0; g < K4; g += 16) {
+        _tile_loadd(2, abuf + i0 * K4 + g, static_cast<int>(K4 * 4));
+        _tile_loadd(3, panel + g * kQNR, kQNR * 4);
+        _tile_loadd(4, panel + g * kQNR + 16, kQNR * 4);
+        _tile_dpbusd(0, 2, 3);
+        _tile_dpbusd(1, 2, 4);
+      }
+      _tile_stored(0, acc, kQNR * 4);
+      _tile_stored(1, acc + 16, kQNR * 4);
+      for (int64_t r = 0; r < mr; ++r) {
+        const __m512 vsa = _mm512_set1_ps(s_a[i0 + r]);
+        const __m512 vmin = _mm512_set1_ps(min_a[i0 + r]);
+        const __m512i a0 = _mm512_loadu_si512(acc + r * kQNR);
+        const __m512i a1 = _mm512_loadu_si512(acc + r * kQNR + 16);
+        const __m512 d0 = _mm512_mul_ps(
+            sb0, _mm512_fmadd_ps(vsa, _mm512_cvtepi32_ps(a0),
+                                 _mm512_mul_ps(vmin, cs0)));
+        const __m512 d1 = _mm512_mul_ps(
+            sb1, _mm512_fmadd_ps(vsa, _mm512_cvtepi32_ps(a1),
+                                 _mm512_mul_ps(vmin, cs1)));
+        float* cdst = c + (row_begin + i0 + r) * n + j0;
+        if (jr == kQNR) {
+          _mm512_storeu_ps(cdst, d0);
+          _mm512_storeu_ps(cdst + 16, d1);
+        } else {
+          _mm512_storeu_ps(tmp, d0);
+          _mm512_storeu_ps(tmp + 16, d1);
+          std::memcpy(cdst, tmp, sizeof(float) * static_cast<size_t>(jr));
+        }
+      }
+    }
+  }
+  _tile_release();
+}
+
+#endif  // IMDIFF_QUANT_AMX_INT8
+
+}  // namespace
+
+void PackBf16(const float* b, int64_t k, int64_t n, bool tb, PackedBf16* out) {
+  out->k = k;
+  out->n = n;
+  out->data.assign(Bf16PackedWords(k, n), 0u);
+  const int64_t k2 = (k + 1) / 2;
+  const int64_t pstride = Bf16Groups(k);
+  for (int64_t j0 = 0; j0 < n; j0 += kQNR) {
+    const int64_t jr = std::min<int64_t>(kQNR, n - j0);
+    uint32_t* panel = out->data.data() + (j0 / kQNR) * (pstride * kQNR);
+    for (int64_t g = 0; g < k2; ++g) {
+      for (int64_t jj = 0; jj < jr; ++jj) {
+        const uint32_t lo = Bf16FromF32(BAt(b, k, n, tb, 2 * g, j0 + jj));
+        const uint32_t hi =
+            2 * g + 1 < k ? Bf16FromF32(BAt(b, k, n, tb, 2 * g + 1, j0 + jj))
+                          : 0u;
+        panel[g * kQNR + jj] = lo | (hi << 16);
+      }
+    }
+  }
+}
+
+void PackInt8(const float* b, int64_t k, int64_t n, bool tb, PackedInt8* out) {
+  out->k = k;
+  out->n = n;
+  const size_t padded_n =
+      static_cast<size_t>((n + kQNR - 1) / kQNR) * static_cast<size_t>(kQNR);
+  out->data.assign(Int8PackedWords(k, n), 0u);
+  out->scale.assign(padded_n, 0.0f);
+  out->colsum.assign(padded_n, 0.0f);
+  const int64_t k4 = (k + 3) / 4;
+  const int64_t pstride = Int8Groups(k);
+  std::vector<int8_t> q(static_cast<size_t>(k));
+  for (int64_t j = 0; j < n; ++j) {
+    float absmax = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      const float v = std::fabs(BAt(b, k, n, tb, p, j));
+      absmax = v > absmax ? v : absmax;
+    }
+    const float inv = absmax > 0.0f ? 127.0f / absmax : 0.0f;
+    out->scale[static_cast<size_t>(j)] = absmax > 0.0f ? absmax / 127.0f : 0.0f;
+    int32_t sum = 0;
+    for (int64_t p = 0; p < k; ++p) {
+      long qi = std::lrintf(BAt(b, k, n, tb, p, j) * inv);
+      qi = qi < -127 ? -127 : (qi > 127 ? 127 : qi);
+      q[static_cast<size_t>(p)] = static_cast<int8_t>(qi);
+      sum += static_cast<int32_t>(qi);
+    }
+    // Exact: |sum| <= 127 * k stays far inside float's integer range.
+    out->colsum[static_cast<size_t>(j)] = static_cast<float>(sum);
+    uint32_t* panel = out->data.data() + (j / kQNR) * (pstride * kQNR);
+    const int64_t jj = j % kQNR;
+    for (int64_t g = 0; g < k4; ++g) {
+      uint32_t w = 0;
+      const int64_t lim = std::min<int64_t>(4, k - 4 * g);
+      for (int64_t bb = 0; bb < lim; ++bb) {
+        w |= static_cast<uint32_t>(
+                 static_cast<uint8_t>(q[static_cast<size_t>(4 * g + bb)]))
+             << (8 * bb);
+      }
+      panel[g * kQNR + jj] = w;
+    }
+  }
+}
+
+void GemmRowsBf16(const float* a, const PackedBf16& b, float* c, int64_t k,
+                  int64_t n, int64_t row_begin, int64_t row_end) {
+  IMDIFF_CHECK_EQ(k, b.k);
+  const int64_t rows = row_end - row_begin;
+  if (rows <= 0 || n <= 0) return;
+  const int64_t k2 = (k + 1) / 2;
+  const int64_t pstride = Bf16Groups(k);
+#if defined(IMDIFF_QUANT_AMX_BF16)
+  if (simd::Enabled() && AmxActive()) {
+    // A-side rows and groups padded with zeros to whole tiles.
+    const int64_t rows16 = (rows + 15) / 16 * 16;
+    ArenaBuffer scratch(static_cast<size_t>(rows16 * pstride));
+    uint32_t* abuf = reinterpret_cast<uint32_t*>(scratch.data());
+    std::memset(abuf, 0, sizeof(uint32_t) * static_cast<size_t>(rows16 * pstride));
+    for (int64_t r = 0; r < rows; ++r) {
+      ConvertRowBf16Vec(a + (row_begin + r) * k, k, abuf + r * pstride);
+    }
+    AmxGemmBf16(abuf, pstride, b, c, n, row_begin, rows);
+    return;
+  }
+#endif
+  // Word scratch drawn from the arena through its float façade; the buffer
+  // is only ever accessed as uint32_t.
+  ArenaBuffer scratch(static_cast<size_t>(rows * k2));
+  uint32_t* abuf = reinterpret_cast<uint32_t*>(scratch.data());
+#if defined(IMDIFF_QUANT_BF16_VEC)
+  if (simd::Enabled()) {
+    for (int64_t r = 0; r < rows; ++r) {
+      ConvertRowBf16Vec(a + (row_begin + r) * k, k, abuf + r * k2);
+    }
+    GemmRowsBf16Vec(abuf, k2, pstride, b, c, n, row_begin, rows);
+    return;
+  }
+#endif
+  for (int64_t r = 0; r < rows; ++r) {
+    ConvertRowBf16(a + (row_begin + r) * k, k, abuf + r * k2);
+  }
+  GemmRowsBf16Scalar(abuf, k2, pstride, b, c, n, row_begin, rows);
+}
+
+void GemmRowsInt8(const float* a, const PackedInt8& b, float* c, int64_t k,
+                  int64_t n, int64_t row_begin, int64_t row_end) {
+  IMDIFF_CHECK_EQ(k, b.k);
+  const int64_t rows = row_end - row_begin;
+  if (rows <= 0 || n <= 0) return;
+  const int64_t k4 = (k + 3) / 4;
+  const int64_t pstride = Int8Groups(k);
+#if defined(IMDIFF_QUANT_AMX_INT8)
+  if (simd::Enabled() && AmxActive()) {
+    const int64_t rows16 = (rows + 15) / 16 * 16;
+    ArenaBuffer scratch(
+        static_cast<size_t>(rows16 * pstride + 2 * rows16));
+    uint32_t* abuf = reinterpret_cast<uint32_t*>(scratch.data());
+    std::memset(abuf, 0,
+                sizeof(uint32_t) * static_cast<size_t>(rows16 * pstride));
+    float* s_a = scratch.data() + rows16 * pstride;
+    float* min_a = s_a + rows16;
+    for (int64_t r = 0; r < rows; ++r) {
+      QuantizeRowAVec(a + (row_begin + r) * k, k, abuf + r * pstride, s_a + r,
+                      min_a + r);
+    }
+    AmxGemmInt8(abuf, s_a, min_a, pstride, b, c, n, row_begin, rows);
+    return;
+  }
+#endif
+  ArenaBuffer scratch(static_cast<size_t>(rows * k4 + 2 * rows));
+  uint32_t* abuf = reinterpret_cast<uint32_t*>(scratch.data());
+  float* s_a = scratch.data() + rows * k4;
+  float* min_a = s_a + rows;
+#if defined(IMDIFF_QUANT_INT8_VEC)
+  if (simd::Enabled()) {
+    for (int64_t r = 0; r < rows; ++r) {
+      QuantizeRowAVec(a + (row_begin + r) * k, k, abuf + r * k4, s_a + r,
+                      min_a + r);
+    }
+    GemmRowsInt8Vec(abuf, s_a, min_a, k4, pstride, b, c, n, row_begin, rows);
+    return;
+  }
+#endif
+  for (int64_t r = 0; r < rows; ++r) {
+    QuantizeRowA(a + (row_begin + r) * k, k, abuf + r * k4, s_a + r,
+                 min_a + r);
+  }
+  GemmRowsInt8Scalar(abuf, s_a, min_a, k4, pstride, b, c, n, row_begin, rows);
+}
+
+void LinearInto(const float* x, const float* w, const float* bias, float* y,
+                int64_t m, int64_t k, int64_t n, Precision precision) {
+  IMDIFF_CHECK(precision != Precision::kF32);
+  if (precision == Precision::kBf16) {
+    PackedBf16 packed;
+    PackBf16(w, k, n, false, &packed);
+    ParallelForRange(ComputePool(), static_cast<size_t>(m),
+                     gemm::RowGrain(2 * k * n), [&](size_t begin, size_t end) {
+                       GemmRowsBf16(x, packed, y, k, n,
+                                    static_cast<int64_t>(begin),
+                                    static_cast<int64_t>(end));
+                     });
+  } else {
+    PackedInt8 packed;
+    PackInt8(w, k, n, false, &packed);
+    ParallelForRange(ComputePool(), static_cast<size_t>(m),
+                     gemm::RowGrain(2 * k * n), [&](size_t begin, size_t end) {
+                       GemmRowsInt8(x, packed, y, k, n,
+                                    static_cast<int64_t>(begin),
+                                    static_cast<int64_t>(end));
+                     });
+  }
+  if (bias != nullptr) {
+    for (int64_t r = 0; r < m; ++r) {
+      float* row = y + r * n;
+      simd::AddInto(row, row, bias, n);
+    }
+  }
+}
+
+bool HasVectorBf16() {
+#if defined(IMDIFF_QUANT_BF16_VEC)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool HasVectorInt8() {
+#if defined(IMDIFF_QUANT_INT8_VEC)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool HasAmxBf16() {
+#if defined(IMDIFF_QUANT_AMX_BF16)
+  return AmxActive();
+#else
+  return false;
+#endif
+}
+
+bool HasAmxInt8() {
+#if defined(IMDIFF_QUANT_AMX_INT8)
+  return AmxActive();
+#else
+  return false;
+#endif
+}
+
+void SetDisableAmx(bool disable) {
+  g_disable_amx.store(disable, std::memory_order_relaxed);
+}
+
+}  // namespace quant
+}  // namespace imdiff

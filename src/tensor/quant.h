@@ -1,0 +1,166 @@
+// Reduced-precision weight-GEMM kernels for the scoring precision ladder
+// (DESIGN.md §17).
+//
+// Two variants, both reusing the panel machinery of tensor/gemm.h (the b
+// operand packed into zero-padded column panels, an MR-tall register-tiled
+// microkernel, every output element stored exactly once):
+//
+//  - bf16: weights and activations truncate-rounded (round-to-nearest-even)
+//    to bfloat16, products accumulated in fp32. The AVX-512 BF16 body pairs
+//    reduction steps into vdpbf16ps lanes; the scalar body replicates the
+//    same pairing with fp32 arithmetic (a bf16 x bf16 product is exact in
+//    fp32, so only the instruction's internal sum order can differ — bf16
+//    scalar and vector modes are therefore *separate* bit patterns, exactly
+//    like the fp32 kernels' scalar/SIMD split).
+//  - int8: weights quantized symmetrically per output channel (absmax / 127)
+//    at pack time, activations asymmetrically per row ([0, 255], computed in
+//    scalar arithmetic on every path) at call time, i32 accumulation
+//    (vpdpbusd), and a fused dequantization epilogue
+//        c = s_b[j] * fma(s_a[i], float(acc), min_a[i] * colsum[j])
+//    written with the identical operation shape in the scalar and vector
+//    bodies. Because integer accumulation is exact and the epilogue is three
+//    correctly-rounded float ops, the int8 kernel is bitwise identical
+//    across the scalar and SIMD paths — and across build architectures.
+//
+// Packing is a pure function of the weight tensor: a capture-time pack
+// (graph executor) and a per-call pack (legacy layer stack) produce the same
+// bits, which is what keeps graph and stack scores bitwise identical at
+// every precision. Panel geometry is a fixed 32 columns (kQNR) independent
+// of the compiled vector width, so packed layouts — and int8 scores — do not
+// depend on the build's ISA.
+//
+// The paired-k (bf16) and quad-k (int8) panel layouts are exactly the AMX
+// "VNNI" tile format: 16 consecutive panel words are one tile row, so on
+// hardware with AMX-BF16 / AMX-INT8 the same packed buffers feed tdpbf16ps /
+// tdpbusd tile kernels directly (reduction groups are padded to multiples of
+// 16 — one tile height — with zeros, which contribute exact-zero products).
+// The AMX int8 body accumulates the same exact integers and runs the same
+// dequant epilogue, so the scalar == vector == AMX bitwise identity holds;
+// the AMX bf16 body is its own bit pattern, like every bf16 kernel mode.
+
+#ifndef IMDIFF_TENSOR_QUANT_H_
+#define IMDIFF_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/precision.h"
+
+namespace imdiff {
+namespace quant {
+
+// Columns per packed panel. Fixed (not derived from simd::kVectorWidth) so
+// the packed layout is identical in every build configuration.
+constexpr int64_t kQNR = 32;
+
+// f32 -> bf16 with round-to-nearest-even (the top 16 bits of the f32 pattern
+// after adding the rounding bias). NaN payloads are quieted instead of being
+// carried into the rounding add.
+inline uint16_t Bf16FromF32(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  bits += 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+inline float F32FromBf16(uint16_t h) {
+  const uint32_t bits = static_cast<uint32_t>(h) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+// Weights packed for the bf16 kernel: per column panel, reduction steps are
+// paired — word [g * kQNR + jj] of a panel holds bf16(b[2g][j]) in its low
+// half and bf16(b[2g+1][j]) in its high half (zero-padded past k or the
+// column edge; a zero pad contributes an exact 0 product).
+struct PackedBf16 {
+  std::vector<uint32_t> data;
+  int64_t k = 0;
+  int64_t n = 0;
+};
+
+// Weights packed for the int8 kernel: reduction steps are grouped in fours —
+// word [g * kQNR + jj] of a panel holds the signed-byte quants of
+// b[4g..4g+3][j]. `scale` is the per-column dequant scale s_b = absmax / 127
+// and `colsum` the per-column sum of quants (an exact small integer, stored
+// as float for the fused epilogue); both are zero-padded to whole panels.
+struct PackedInt8 {
+  std::vector<uint32_t> data;
+  std::vector<float> scale;
+  std::vector<float> colsum;
+  int64_t k = 0;
+  int64_t n = 0;
+};
+
+// Reduction-group counts (panel row strides), padded to whole AMX tile
+// heights of 16. Padding groups are packed as zero words.
+inline int64_t Bf16Groups(int64_t k) {
+  return ((k + 1) / 2 + 15) / 16 * 16;
+}
+inline int64_t Int8Groups(int64_t k) {
+  return ((k + 3) / 4 + 15) / 16 * 16;
+}
+
+// Words of packed storage for a logical [k, n] operand.
+inline size_t Bf16PackedWords(int64_t k, int64_t n) {
+  return static_cast<size_t>((n + kQNR - 1) / kQNR) *
+         static_cast<size_t>(Bf16Groups(k)) * static_cast<size_t>(kQNR);
+}
+inline size_t Int8PackedWords(int64_t k, int64_t n) {
+  return static_cast<size_t>((n + kQNR - 1) / kQNR) *
+         static_cast<size_t>(Int8Groups(k)) * static_cast<size_t>(kQNR);
+}
+
+// Packs a logical [k, n] weight operand (tb: stored [n, k]). Pure functions
+// of the input bytes — scalar arithmetic only, no ISA dependence.
+void PackBf16(const float* b, int64_t k, int64_t n, bool tb, PackedBf16* out);
+void PackInt8(const float* b, int64_t k, int64_t n, bool tb, PackedInt8* out);
+
+// Rows [row_begin, row_end) of c[., n] = a @ B for prepacked weights; `a` is
+// the non-transposed [., k] activation layout and every covered output
+// element is stored exactly once (c may arrive uninitialized). Row-local:
+// a row's result depends only on that row's activations and the pack, never
+// on the row partition — safe under any ParallelForRange split. Dispatches
+// internally between the vector body (when compiled in and simd::Enabled())
+// and the scalar body.
+void GemmRowsBf16(const float* a, const PackedBf16& b, float* c, int64_t k,
+                  int64_t n, int64_t row_begin, int64_t row_end);
+void GemmRowsInt8(const float* a, const PackedInt8& b, float* c, int64_t k,
+                  int64_t n, int64_t row_begin, int64_t row_end);
+
+// Full linear layer at a reduced precision: y[m, n] = x[m, k] @ w[k, n]
+// (+ bias when non-null), packing w per call and parallelizing over rows on
+// the compute pool like gemm::MatMulInto. The per-call pack is bitwise
+// identical to a capture-time pack, and the bias add matches the graph
+// executor's row epilogue, so this is the legacy-stack twin of the graph's
+// quantized linear op. `precision` must not be kF32.
+void LinearInto(const float* x, const float* w, const float* bias, float* y,
+                int64_t m, int64_t k, int64_t n, Precision precision);
+
+// True when this build carries a vector body for the precision (AVX-512
+// BF16 / VNNI compiled in); false means the scalar body serves both kernel
+// modes. Exposed for tests and bench labeling.
+bool HasVectorBf16();
+bool HasVectorInt8();
+
+// True when the AMX tile body would serve vector-mode calls for the
+// precision: compiled in (AMX-BF16 / AMX-INT8), the kernel granted tile-data
+// permission by the OS, and not disabled. Exposed for tests and bench
+// labeling.
+bool HasAmxBf16();
+bool HasAmxInt8();
+
+// Test/bench hook: route vector-mode calls to the AVX-512 bodies even when
+// AMX is available (e.g. to check the int8 AMX == AVX-512 bitwise identity
+// in one process). Not consulted by scalar mode.
+void SetDisableAmx(bool disable);
+
+}  // namespace quant
+}  // namespace imdiff
+
+#endif  // IMDIFF_TENSOR_QUANT_H_

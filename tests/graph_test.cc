@@ -141,6 +141,56 @@ TEST(GraphExecutorTest, BitwiseMatchesLegacyStackEverywhere) {
   EXPECT_EQ(CounterValue("graph.validation_failures"), failures_before);
 }
 
+// The precision axis obeys the same contract as every other knob: for each
+// (precision x degrade level x forced-scalar) combination the captured graph
+// and the legacy stack score bitwise identically, repeats at one precision
+// are bitwise stable, and reduced precisions genuinely change the bits.
+TEST(GraphExecutorTest, ReducedPrecisionMatchesLegacyStackPerLevel) {
+  // This test requests specific precisions per call; an IMDIFF_PRECISION
+  // override (the forced-precision CI legs) would collapse the fp32
+  // baseline onto the forced rung and break the EXPECT_NE below.
+  ScopedPrecisionOverrideClear no_override;
+  const ImDiffusionDetector& detector = SharedDetector();
+  const MtsDataset data = GraphDataset();
+  const ImDiffusionDetector::WindowPlan plan = detector.PlanWindows(data.test);
+  const int64_t n = std::min<int64_t>(5, plan.windows.dim(0));
+  Tensor subset = Tensor::Uninitialized({n, plan.windows.dim(1),
+                                         plan.windows.dim(2)});
+  std::copy_n(plan.windows.data(),
+              n * plan.windows.dim(1) * plan.windows.dim(2),
+              subset.mutable_data());
+  const std::vector<uint64_t> seeds = SeedsFor(n);
+
+  const int64_t failures_before = CounterValue("graph.validation_failures");
+  auto score = [&](bool use_graph, int level, Precision p) {
+    graph::SetGraphEnabled(use_graph);
+    return detector.ScoreWindowBatch(subset, seeds, level, p);
+  };
+  for (const bool force_scalar : {false, true}) {
+    simd::SetForceScalar(force_scalar);
+    for (const Precision p : {Precision::kBf16, Precision::kInt8}) {
+      for (int level = 0; level <= 2; ++level) {
+        const auto graph_scores = score(true, level, p);
+        const auto stack_scores = score(false, level, p);
+        const std::string what = std::string(PrecisionName(p)) +
+                                 " scalar=" + std::to_string(force_scalar) +
+                                 " level=" + std::to_string(level);
+        ExpectScoresBitwiseEqual(graph_scores, stack_scores, what);
+        // Same precision scores the same bits on a repeat...
+        ExpectScoresBitwiseEqual(graph_scores, score(true, level, p),
+                                 what + " repeat");
+        // ...and different bits than the fp32 rung.
+        EXPECT_NE(graph_scores[0].step_errors,
+                  score(true, level, Precision::kF32)[0].step_errors)
+            << what;
+      }
+    }
+  }
+  simd::SetForceScalar(false);
+  graph::SetGraphEnabled(true);
+  EXPECT_EQ(CounterValue("graph.validation_failures"), failures_before);
+}
+
 // Full seeded pass (windowing + scoring + reduction) agrees end to end.
 TEST(GraphExecutorTest, RunSeededMatchesLegacyStack) {
   const ImDiffusionDetector& detector = SharedDetector();

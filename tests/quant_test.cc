@@ -1,0 +1,330 @@
+// Tests for the reduced-precision GEMM kernels (src/tensor/quant): bf16
+// pack/unpack exactness and rounding, int8 quantization error bounds, the
+// int8 scalar == vector == AMX bitwise identity, pack purity across storage
+// layouts, and the precision override plumbing (tensor/precision.h).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/precision.h"
+#include "tensor/quant.h"
+#include "tensor/simd.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+std::vector<float> RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                                float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> m(static_cast<size_t>(rows * cols));
+  for (float& v : m) v = lo + (hi - lo) * rng.Uniform();
+  return m;
+}
+
+// Double-precision reference GEMM: c[m, n] = a[m, k] @ b[k, n].
+std::vector<double> ReferenceGemm(const std::vector<float>& a,
+                                  const std::vector<float>& b, int64_t m,
+                                  int64_t k, int64_t n) {
+  std::vector<double> c(static_cast<size_t>(m * n), 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t g = 0; g < k; ++g) {
+      const double av = a[static_cast<size_t>(i * k + g)];
+      for (int64_t j = 0; j < n; ++j) {
+        c[static_cast<size_t>(i * n + j)] +=
+            av * b[static_cast<size_t>(g * n + j)];
+      }
+    }
+  }
+  return c;
+}
+
+double RelL2(const std::vector<float>& got, const std::vector<double>& want) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double d = got[i] - want[i];
+    num += d * d;
+    den += want[i] * want[i];
+  }
+  return std::sqrt(num / den);
+}
+
+// ---- bf16 conversion -----------------------------------------------------
+
+// Every value whose mantissa fits in bf16's 8 bits (including zeros,
+// denormal-range powers of two, and infinities) round-trips exactly.
+TEST(QuantBf16Test, RepresentableValuesRoundTripExactly) {
+  const float exact[] = {0.0f,   -0.0f, 1.0f,     -1.0f,  0.5f,
+                         2.0f,   -3.5f, 0.15625f, 192.0f, -0.00390625f,
+                         256.0f, 255.0f, -1024.0f, 0x1.fep8f};
+  for (float f : exact) {
+    EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(f)), f) << f;
+  }
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(inf)), inf);
+  EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(-inf)), -inf);
+}
+
+// Round-to-nearest-even at the mantissa cut: the tie halfway between two
+// representable values goes to the even one, non-ties to the nearest.
+TEST(QuantBf16Test, RoundsToNearestEven) {
+  // bf16 keeps 7 mantissa bits, so ulp(1.0) = 2^-7. The exact tie between
+  // bf16(1.0) and bf16(1.0078125) is 1 + 2^-8; even mantissa wins -> 1.0.
+  EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(1.0f + 0x1p-8f)), 1.0f);
+  // The tie between the odd mantissa 1.0078125 and the even 1.015625 rounds
+  // up to the even one.
+  EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(1.0078125f + 0x1p-8f)),
+            1.015625f);
+  // Just above the tie rounds up, just below rounds down.
+  EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(1.0f + 0x1p-8f + 0x1p-16f)),
+            1.0078125f);
+  EXPECT_EQ(quant::F32FromBf16(quant::Bf16FromF32(1.0f + 0x1p-8f - 0x1p-16f)),
+            1.0f);
+  // Rounding error is bounded by half a ulp (2^-9 relative).
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = 2.0f * rng.Uniform() - 1.0f;
+    const float r = quant::F32FromBf16(quant::Bf16FromF32(f));
+    EXPECT_LE(std::fabs(r - f), std::fabs(f) * 0x1p-8f + 1e-38f) << f;
+  }
+}
+
+TEST(QuantBf16Test, NanIsQuietedNotRounded) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(quant::F32FromBf16(quant::Bf16FromF32(nan))));
+  // A signaling-ish payload must stay a NaN (the rounding add alone could
+  // carry it into the infinity pattern).
+  uint32_t bits = 0x7f800001u;
+  float snan;
+  std::memcpy(&snan, &bits, sizeof(snan));
+  EXPECT_TRUE(std::isnan(quant::F32FromBf16(quant::Bf16FromF32(snan))));
+}
+
+// ---- GEMM accuracy bounds ------------------------------------------------
+
+TEST(QuantGemmTest, Bf16GemmIsCloseToFp32Reference) {
+  const int64_t m = 17, k = 64, n = 50;  // ragged n: partial panel covered
+  const std::vector<float> a = RandomMatrix(m, k, 21);
+  const std::vector<float> b = RandomMatrix(k, n, 22);
+  quant::PackedBf16 packed;
+  quant::PackBf16(b.data(), k, n, /*tb=*/false, &packed);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  quant::GemmRowsBf16(a.data(), packed, c.data(), k, n, 0, m);
+  // 8-bit mantissas on both operands, fp32 accumulation: well under 1%.
+  EXPECT_LT(RelL2(c, ReferenceGemm(a, b, m, k, n)), 0.01);
+}
+
+// int8 round-trip bound: per-output-channel symmetric weights and per-row
+// asymmetric activations keep the quantized GEMM within a small relative L2
+// of the fp32 reference — the numeric contract the accuracy gate leans on.
+TEST(QuantGemmTest, Int8GemmIsWithinQuantizationBound) {
+  const int64_t m = 17, k = 64, n = 50;
+  const std::vector<float> a = RandomMatrix(m, k, 31);
+  const std::vector<float> b = RandomMatrix(k, n, 32);
+  quant::PackedInt8 packed;
+  quant::PackInt8(b.data(), k, n, /*tb=*/false, &packed);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  quant::GemmRowsInt8(a.data(), packed, c.data(), k, n, 0, m);
+  EXPECT_LT(RelL2(c, ReferenceGemm(a, b, m, k, n)), 0.05);
+
+  // Per-channel scaling means a wildly hot column cannot poison the others:
+  // scale one weight column by 1000x and the rest must stay tight.
+  std::vector<float> hot = b;
+  for (int64_t g = 0; g < k; ++g) hot[static_cast<size_t>(g * n)] *= 1000.0f;
+  quant::PackedInt8 hot_packed;
+  quant::PackInt8(hot.data(), k, n, /*tb=*/false, &hot_packed);
+  std::vector<float> hot_c(static_cast<size_t>(m * n));
+  quant::GemmRowsInt8(a.data(), hot_packed, hot_c.data(), k, n, 0, m);
+  const std::vector<double> hot_ref = ReferenceGemm(a, hot, m, k, n);
+  double num = 0.0, den = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 1; j < n; ++j) {  // all columns except the hot one
+      const double d = hot_c[static_cast<size_t>(i * n + j)] -
+                       hot_ref[static_cast<size_t>(i * n + j)];
+      num += d * d;
+      den += hot_ref[static_cast<size_t>(i * n + j)] *
+             hot_ref[static_cast<size_t>(i * n + j)];
+    }
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.05);
+}
+
+// ---- pack purity and kernel-mode identities ------------------------------
+
+// Packing is a pure function of the logical weight matrix: the [k, n] and
+// transposed-storage [n, k] layouts of the same operand pack to identical
+// bytes, scales, and column sums.
+TEST(QuantPackTest, PackIsLayoutInvariant) {
+  const int64_t k = 37, n = 41;  // both ragged vs panel geometry
+  const std::vector<float> b = RandomMatrix(k, n, 43);
+  std::vector<float> bt(static_cast<size_t>(n * k));
+  for (int64_t g = 0; g < k; ++g) {
+    for (int64_t j = 0; j < n; ++j) {
+      bt[static_cast<size_t>(j * k + g)] = b[static_cast<size_t>(g * n + j)];
+    }
+  }
+  quant::PackedBf16 h0, h1;
+  quant::PackBf16(b.data(), k, n, /*tb=*/false, &h0);
+  quant::PackBf16(bt.data(), k, n, /*tb=*/true, &h1);
+  EXPECT_EQ(h0.data, h1.data);
+
+  quant::PackedInt8 q0, q1;
+  quant::PackInt8(b.data(), k, n, /*tb=*/false, &q0);
+  quant::PackInt8(bt.data(), k, n, /*tb=*/true, &q1);
+  EXPECT_EQ(q0.data, q1.data);
+  EXPECT_EQ(q0.scale, q1.scale);
+  EXPECT_EQ(q0.colsum, q1.colsum);
+}
+
+// The int8 kernel's scalar, AVX-512, and AMX bodies accumulate the same
+// exact integers and share the dequant epilogue: all available modes must
+// agree bitwise in one process.
+TEST(QuantKernelModeTest, Int8ScalarVectorAmxBitwiseIdentical) {
+  const int64_t m = 23, k = 70, n = 45;  // ragged k: padded reduction groups
+  const std::vector<float> a = RandomMatrix(m, k, 51, -2.0f, 3.0f);
+  const std::vector<float> b = RandomMatrix(k, n, 52);
+  quant::PackedInt8 packed;
+  quant::PackInt8(b.data(), k, n, /*tb=*/false, &packed);
+
+  auto run = [&]() {
+    std::vector<float> c(static_cast<size_t>(m * n));
+    quant::GemmRowsInt8(a.data(), packed, c.data(), k, n, 0, m);
+    return c;
+  };
+  simd::SetForceScalar(true);
+  const std::vector<float> scalar = run();
+  simd::SetForceScalar(false);
+  if (quant::HasVectorInt8()) {
+    quant::SetDisableAmx(true);
+    EXPECT_EQ(run(), scalar) << "AVX-512 VNNI body diverged from scalar";
+    quant::SetDisableAmx(false);
+  }
+  if (quant::HasAmxInt8()) {
+    EXPECT_EQ(run(), scalar) << "AMX tile body diverged from scalar";
+  }
+}
+
+// bf16 scalar and vector modes are separate bit patterns (like the fp32
+// kernels), but each mode is individually deterministic.
+TEST(QuantKernelModeTest, Bf16ModesAreIndividuallyDeterministic) {
+  const int64_t m = 9, k = 33, n = 40;
+  const std::vector<float> a = RandomMatrix(m, k, 61);
+  const std::vector<float> b = RandomMatrix(k, n, 62);
+  quant::PackedBf16 packed;
+  quant::PackBf16(b.data(), k, n, /*tb=*/false, &packed);
+  auto run = [&]() {
+    std::vector<float> c(static_cast<size_t>(m * n));
+    quant::GemmRowsBf16(a.data(), packed, c.data(), k, n, 0, m);
+    return c;
+  };
+  simd::SetForceScalar(true);
+  EXPECT_EQ(run(), run());
+  simd::SetForceScalar(false);
+  EXPECT_EQ(run(), run());
+}
+
+// Row-range calls assemble the same matrix as one full-range call, so any
+// ParallelForRange partition of the rows is unobservable.
+TEST(QuantKernelModeTest, RowPartitionIsUnobservable) {
+  const int64_t m = 16, k = 40, n = 37;
+  const std::vector<float> a = RandomMatrix(m, k, 71);
+  const std::vector<float> b = RandomMatrix(k, n, 72);
+  quant::PackedInt8 q;
+  quant::PackInt8(b.data(), k, n, /*tb=*/false, &q);
+  quant::PackedBf16 h;
+  quant::PackBf16(b.data(), k, n, /*tb=*/false, &h);
+
+  std::vector<float> whole(static_cast<size_t>(m * n));
+  std::vector<float> split(static_cast<size_t>(m * n));
+  quant::GemmRowsInt8(a.data(), q, whole.data(), k, n, 0, m);
+  quant::GemmRowsInt8(a.data(), q, split.data(), k, n, 0, 5);
+  quant::GemmRowsInt8(a.data(), q, split.data(), k, n, 5, 6);
+  quant::GemmRowsInt8(a.data(), q, split.data(), k, n, 6, m);
+  EXPECT_EQ(whole, split);
+
+  quant::GemmRowsBf16(a.data(), h, whole.data(), k, n, 0, m);
+  quant::GemmRowsBf16(a.data(), h, split.data(), k, n, 0, 11);
+  quant::GemmRowsBf16(a.data(), h, split.data(), k, n, 11, m);
+  EXPECT_EQ(whole, split);
+}
+
+// LinearInto (the legacy-stack entry) is the pack-per-call twin of
+// GemmRows*: same bits, plus the bias row epilogue.
+TEST(QuantKernelModeTest, LinearIntoMatchesPrepackedGemmPlusBias) {
+  const int64_t m = 8, k = 24, n = 19;
+  const std::vector<float> x = RandomMatrix(m, k, 81);
+  const std::vector<float> w = RandomMatrix(k, n, 82);
+  const std::vector<float> bias = RandomMatrix(1, n, 83);
+
+  for (Precision p : {Precision::kBf16, Precision::kInt8}) {
+    std::vector<float> want(static_cast<size_t>(m * n));
+    if (p == Precision::kBf16) {
+      quant::PackedBf16 packed;
+      quant::PackBf16(w.data(), k, n, /*tb=*/false, &packed);
+      quant::GemmRowsBf16(x.data(), packed, want.data(), k, n, 0, m);
+    } else {
+      quant::PackedInt8 packed;
+      quant::PackInt8(w.data(), k, n, /*tb=*/false, &packed);
+      quant::GemmRowsInt8(x.data(), packed, want.data(), k, n, 0, m);
+    }
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        want[static_cast<size_t>(i * n + j)] += bias[static_cast<size_t>(j)];
+      }
+    }
+    std::vector<float> got(static_cast<size_t>(m * n));
+    quant::LinearInto(x.data(), w.data(), bias.data(), got.data(), m, k, n, p);
+    EXPECT_EQ(got, want) << PrecisionName(p);
+  }
+}
+
+// ---- precision override plumbing -----------------------------------------
+
+TEST(PrecisionOverrideTest, ForceWinsOverRequestAndClears) {
+  ClearForcePrecision();
+  EXPECT_EQ(ResolvePrecision(Precision::kBf16), Precision::kBf16);
+  SetForcePrecision(Precision::kInt8);
+  EXPECT_EQ(ResolvePrecision(Precision::kF32), Precision::kInt8);
+  EXPECT_EQ(ResolvePrecision(Precision::kBf16), Precision::kInt8);
+  ClearForcePrecision();
+  EXPECT_EQ(ResolvePrecision(Precision::kF32), Precision::kF32);
+}
+
+TEST(PrecisionOverrideTest, ParseAndNameRoundTrip) {
+  Precision p;
+  ASSERT_TRUE(ParsePrecision("fp32", &p));
+  EXPECT_EQ(p, Precision::kF32);
+  ASSERT_TRUE(ParsePrecision("bf16", &p));
+  EXPECT_EQ(p, Precision::kBf16);
+  ASSERT_TRUE(ParsePrecision("int8", &p));
+  EXPECT_EQ(p, Precision::kInt8);
+  EXPECT_FALSE(ParsePrecision("fp16", &p));
+  EXPECT_FALSE(ParsePrecision(nullptr, &p));
+  for (Precision q :
+       {Precision::kF32, Precision::kBf16, Precision::kInt8}) {
+    Precision back;
+    ASSERT_TRUE(ParsePrecision(PrecisionName(q), &back));
+    EXPECT_EQ(back, q);
+  }
+}
+
+TEST(PrecisionOverrideTest, ScopedPrecisionRestoresOnExit) {
+  EXPECT_EQ(ActivePrecision(), Precision::kF32);
+  {
+    ScopedPrecision outer(Precision::kBf16);
+    EXPECT_EQ(ActivePrecision(), Precision::kBf16);
+    {
+      ScopedPrecision inner(Precision::kInt8);
+      EXPECT_EQ(ActivePrecision(), Precision::kInt8);
+    }
+    EXPECT_EQ(ActivePrecision(), Precision::kBf16);
+  }
+  EXPECT_EQ(ActivePrecision(), Precision::kF32);
+}
+
+}  // namespace
+}  // namespace imdiff

@@ -1106,6 +1106,133 @@ TEST(ServeDegradeTest, DeadlineDegradationIsDeterministicAndTagged) {
   }
 }
 
+// force_precision pins every block to a reduced precision: blocks are tagged
+// end-to-end, the run is bitwise reproducible, it matches a serial replay
+// pinned at the same rung — and reduced-precision scores never enter the
+// window-score cache (the cache is an fp32-only contract).
+TEST(ServePrecisionTest, ForcedPrecisionPinsTagsAndSkipsCache) {
+  // The fp32 phase below must really score at fp32 to differ from the
+  // forced-int8 phase; neutralize any IMDIFF_PRECISION override (the
+  // forced-precision CI legs) for the duration of the test.
+  ScopedPrecisionOverrideClear no_override;
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 37;
+  options.batch.flush_window_seconds = 0.002;
+  // Two tenants with identical content: at fp32 the second tenant's windows
+  // hit the shared window-score cache.
+  const std::vector<TenantStream> streams = {MakeStream("pin-a", 161, 200),
+                                             MakeStream("pin-b", 161, 200)};
+  const int64_t hits_before = CounterValue("serve.cache_hits");
+  const serve::ReplayStats fp32_run =
+      serve::ReplayThroughServer(model, streams, options);
+  EXPECT_GT(CounterValue("serve.cache_hits"), hits_before);
+  EXPECT_EQ(fp32_run.precision_dropped_alerts, 0);
+
+  options.force_precision = static_cast<int>(Precision::kInt8);
+  const int64_t hits_fp32 = CounterValue("serve.cache_hits");
+  const int64_t drops_before = CounterValue("serve.precision_drops");
+  const serve::ReplayStats first =
+      serve::ReplayThroughServer(model, streams, options);
+  // Identical windows recur, but nothing was cached and nothing hit.
+  EXPECT_EQ(CounterValue("serve.cache_hits"), hits_fp32);
+  EXPECT_EQ(first.precision_dropped_alerts, first.alerts);
+  EXPECT_EQ(CounterValue("serve.precision_drops") - drops_before,
+            first.alerts);
+  // Pinned rung, seeded noise: a second run reproduces every bit, and the
+  // serial replay pinned at (level 0, int8) is the exact reference.
+  const serve::ReplayStats second =
+      serve::ReplayThroughServer(model, streams, options);
+  EXPECT_EQ(first.scores, second.scores);
+  for (const TenantStream& stream : streams) {
+    EXPECT_EQ(serve::ReplaySerial(*model, options.session.online,
+                                  options.session.seed_base, stream,
+                                  /*degrade_level=*/0, Precision::kInt8),
+              first.scores.at(stream.tenant))
+        << stream.tenant;
+  }
+  EXPECT_NE(first.scores.at("pin-a"), fp32_run.scores.at("pin-a"));
+}
+
+// The keyed "serve.precision" chaos point drops every block to int8
+// (probability 1): tagged, bitwise-reproducible, equal to the serial replay
+// pinned at the same precision with the chain untouched.
+TEST(ServePrecisionTest, PrecisionChaosIsDeterministicAndTagged) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  FaultScope faults("serve.precision:1", 77);
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 41;
+  options.batch.flush_window_seconds = 0.002;
+  const std::vector<TenantStream> streams = {MakeStream("chaos-a", 171, 150),
+                                             MakeStream("chaos-b", 172, 150)};
+
+  const serve::ReplayStats first =
+      serve::ReplayThroughServer(model, streams, options);
+  EXPECT_EQ(first.precision_dropped_alerts, first.alerts);
+  EXPECT_EQ(first.degraded_alerts, 0);  // precision axis only — full chain
+  const serve::ReplayStats second =
+      serve::ReplayThroughServer(model, streams, options);
+  EXPECT_EQ(first.scores, second.scores);
+  for (const TenantStream& stream : streams) {
+    EXPECT_EQ(serve::ReplaySerial(*model, options.session.online,
+                                  options.session.seed_base, stream,
+                                  /*degrade_level=*/0, Precision::kInt8),
+              first.scores.at(stream.tenant))
+        << stream.tenant;
+  }
+}
+
+// Mild deadline pressure drops precision before it truncates the chain: an
+// overshoot within the bf16 speedup credit scores at (level 0, bf16) — vote
+// diversity is spent only after both precision rungs.
+TEST(ServePrecisionTest, DeadlinePressureDropsPrecisionBeforeSteps) {
+  std::shared_ptr<const ModelEntry> model = SharedModel();
+  Histogram* batch_score =
+      MetricsRegistry::Global().GetHistogram("serve.batch_score_seconds");
+  batch_score->Reset();
+  // p90 of 6s against a 5s deadline: over = 1.2, inside the bf16 credit.
+  batch_score->Record(6.0);
+
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.deadline_seconds = 5.0;
+  options.session.online.block = 50;
+  options.session.online.context = 50;
+  options.session.seed_base = 43;
+  options.batch.flush_window_seconds = 0.002;
+
+  std::mutex mu;
+  std::vector<std::pair<int, Precision>> rungs;
+  StreamServer server(model, options,
+                      [&](const StreamServer::ScoredBlock& scored) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        rungs.emplace_back(scored.degrade_level,
+                                           scored.precision);
+                      });
+  const TenantStream stream = MakeStream("pressure", 181, 50);
+  const int64_t k = stream.samples.dim(1);
+  std::vector<float> sample(static_cast<size_t>(k));
+  for (int64_t l = 0; l < 50; ++l) {
+    std::copy_n(stream.samples.data() + l * k, k, sample.begin());
+    while (!server.Submit("pressure", sample)) std::this_thread::yield();
+  }
+  server.Drain();
+  server.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(rungs.size(), 1u);
+    EXPECT_EQ(rungs[0].first, 0);  // chain untouched
+    EXPECT_EQ(rungs[0].second, Precision::kBf16);
+  }
+  batch_score->Reset();
+}
+
 // A failed session rehydrate (corrupt/lost stash) rebuilds the session from
 // the live stream: the replay completes, later blocks still score, and the
 // failure is counted — no crash, no wedged tenant.

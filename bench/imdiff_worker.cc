@@ -14,6 +14,16 @@
 //   [--flush-ms F] [--batch-windows W] [--queue Q] [--workers N]
 //   [--max-resident S] [--max-stashed S] [--seed S] [--epochs E]
 //   [--deadline-ms D] [--force-degrade L] [--precision {fp32,bf16,int8}]
+//   [--refresh-every N] [--refresh-recent N] [--shadow-fraction F]
+//   [--verdict-pairs P] [--refresh-psi X] [--refresh-ks X]
+//   [--refresh-mean-ratio X] [--refresh-epochs N]
+//
+// --refresh-every N > 0 enables the continuous-refresh loop (DESIGN.md §18)
+// on this shard: every N accepted samples the worker refits a candidate on
+// its sessions' recent-sample window, shadow-scores a seeded fraction of
+// traffic against it, and auto-promotes on the drift verdict. Each shard
+// refreshes independently on its own tenants. Shadow blocks never cross the
+// wire; drain results report promotions and shadow-block counts.
 //
 // Exits 0 on a graceful kShutdown (or channel teardown), 1 when the socket
 // path is unusable (stale socket file: fail fast, never clobber), 2 on a
@@ -79,11 +89,35 @@ int Main(int argc, char** argv) {
       IMDIFF_CHECK(ParsePrecision(name, &p))
           << "--precision must be fp32, bf16, or int8, got" << name;
       options.serve.force_precision = static_cast<int>(p);
+    } else if (std::strcmp(argv[i], "--refresh-every") == 0) {
+      options.serve.refresh.refresh_every = std::atoll(next("--refresh-every"));
+      options.serve.refresh.enabled = options.serve.refresh.refresh_every > 0;
+    } else if (std::strcmp(argv[i], "--refresh-recent") == 0) {
+      options.serve.session.refresh_recent =
+          std::atoll(next("--refresh-recent"));
+    } else if (std::strcmp(argv[i], "--shadow-fraction") == 0) {
+      options.serve.refresh.shadow_fraction = std::atof(next("--shadow-fraction"));
+    } else if (std::strcmp(argv[i], "--verdict-pairs") == 0) {
+      options.serve.refresh.verdict_pairs = std::atoll(next("--verdict-pairs"));
+    } else if (std::strcmp(argv[i], "--refresh-psi") == 0) {
+      options.serve.refresh.psi_promote = std::atof(next("--refresh-psi"));
+    } else if (std::strcmp(argv[i], "--refresh-ks") == 0) {
+      options.serve.refresh.ks_promote = std::atof(next("--refresh-ks"));
+    } else if (std::strcmp(argv[i], "--refresh-mean-ratio") == 0) {
+      options.serve.refresh.mean_ratio_promote =
+          std::atof(next("--refresh-mean-ratio"));
+    } else if (std::strcmp(argv[i], "--refresh-epochs") == 0) {
+      options.serve.refresh.fit_epochs =
+          static_cast<int>(std::atoll(next("--refresh-epochs")));
     } else {
       IMDIFF_CHECK(false) << "unknown flag" << argv[i];
     }
   }
   IMDIFF_CHECK(!options.socket_path.empty()) << "--socket is required";
+  if (options.serve.refresh.enabled &&
+      options.serve.session.refresh_recent <= 0) {
+    options.serve.session.refresh_recent = 256;  // match serve_replay default
+  }
   options.serve.session.online.block = block;
   options.serve.session.online.context = context;
   options.serve.session.seed_base = seed;

@@ -16,10 +16,26 @@
 //   [--faults SPEC] [--fault-seed S] [--deadline-ms D] [--scores-out PATH]
 //   [--force-degrade L] [--precision {fp32,bf16,int8}]
 //   [--zipf EXP] [--total-samples N] [--missing R] [--gaps R] [--drift R]
-//   [--shifts R] [--season A] [--burst-min N] [--burst-tail T]
-//   [--drain-every N]
+//   [--shifts R] [--season A] [--dynamics-scale F] [--dynamics-break B]
+//   [--burst-min N] [--burst-tail T] [--drain-every N]
 //   [--shards N] [--socket-dir D] [--worker-bin PATH] [--worker-threads T]
 //   [--fail-on-shed] [--reshard-every N] [--reshard-tenants M]
+//   [--refresh-every N] [--refresh-recent N] [--shadow-fraction F]
+//   [--verdict-pairs P] [--refresh-psi X] [--refresh-ks X]
+//   [--refresh-mean-ratio X] [--refresh-epochs N]
+//
+// --refresh-every N > 0 (requires --zipf) arms the continuous-refresh loop
+// (DESIGN.md §18): every N accepted samples a candidate model is refitted on
+// the sessions' recent-sample window (--refresh-recent per-tenant cap),
+// staged as the registry shadow, dual-scored against --shadow-fraction of
+// full-quality traffic until --verdict-pairs paired blocks complete, and
+// promoted or rolled back on the drift verdict (--refresh-psi / --refresh-ks
+// divergence gates, --refresh-mean-ratio improvement gate). The whole loop
+// is a pure function of the stream and the seeds: with --workers 1 and
+// drain-point-only flushes, two identical runs produce bitwise-identical
+// promotion logs, which --scores-out records as hex "refresh ..." lines —
+// the refresh-drift CI job cmp's them. In sharded mode the flags are
+// forwarded to every worker and each shard refreshes independently.
 //
 // --shards N (requires --zipf) switches to multi-process sharded serving
 // (DESIGN.md §16): N imdiff_worker processes are spawned on unix-domain
@@ -127,6 +143,10 @@ struct ReplayFlags {
   double drift = 0.0;
   double shifts = 0.0;
   double season = 0.0;
+  // Dynamics break (concept drift in the frequency content): period scale
+  // applied from --dynamics-break (stream fraction) on. 1.0 disables.
+  double dynamics_scale = 1.0;
+  double dynamics_break = 0.25;
   int64_t burst_min = 4;
   double burst_tail = 1.2;
   int64_t drain_every = 4096;
@@ -138,6 +158,17 @@ struct ReplayFlags {
   bool fail_on_shed = false;
   int64_t reshard_every = 0;  // move tenants after every Nth drain barrier
   int64_t reshard_tenants = 1;
+  // Continuous refresh (> 0 enables; requires --zipf): fit cadence in
+  // accepted samples, per-tenant recent-sample cap, shadow selection
+  // fraction, verdict pair count, and the drift-verdict gates.
+  int64_t refresh_every = 0;
+  int64_t refresh_recent = 256;
+  double shadow_fraction = 0.25;
+  int64_t verdict_pairs = 12;
+  double refresh_psi = 0.25;
+  double refresh_ks = 0.5;
+  double refresh_mean_ratio = 0.8;
+  int64_t refresh_epochs = 0;  // <= 0 inherits the live model's epochs
 };
 
 ReplayFlags ParseFlags(int argc, char** argv) {
@@ -209,6 +240,10 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.shifts = std::atof(next("--shifts"));
     } else if (std::strcmp(argv[i], "--season") == 0) {
       flags.season = std::atof(next("--season"));
+    } else if (std::strcmp(argv[i], "--dynamics-scale") == 0) {
+      flags.dynamics_scale = std::atof(next("--dynamics-scale"));
+    } else if (std::strcmp(argv[i], "--dynamics-break") == 0) {
+      flags.dynamics_break = std::atof(next("--dynamics-break"));
     } else if (std::strcmp(argv[i], "--burst-min") == 0) {
       flags.burst_min = std::atoll(next("--burst-min"));
     } else if (std::strcmp(argv[i], "--burst-tail") == 0) {
@@ -229,6 +264,22 @@ ReplayFlags ParseFlags(int argc, char** argv) {
       flags.reshard_every = std::atoll(next("--reshard-every"));
     } else if (std::strcmp(argv[i], "--reshard-tenants") == 0) {
       flags.reshard_tenants = std::atoll(next("--reshard-tenants"));
+    } else if (std::strcmp(argv[i], "--refresh-every") == 0) {
+      flags.refresh_every = std::atoll(next("--refresh-every"));
+    } else if (std::strcmp(argv[i], "--refresh-recent") == 0) {
+      flags.refresh_recent = std::atoll(next("--refresh-recent"));
+    } else if (std::strcmp(argv[i], "--shadow-fraction") == 0) {
+      flags.shadow_fraction = std::atof(next("--shadow-fraction"));
+    } else if (std::strcmp(argv[i], "--verdict-pairs") == 0) {
+      flags.verdict_pairs = std::atoll(next("--verdict-pairs"));
+    } else if (std::strcmp(argv[i], "--refresh-psi") == 0) {
+      flags.refresh_psi = std::atof(next("--refresh-psi"));
+    } else if (std::strcmp(argv[i], "--refresh-ks") == 0) {
+      flags.refresh_ks = std::atof(next("--refresh-ks"));
+    } else if (std::strcmp(argv[i], "--refresh-mean-ratio") == 0) {
+      flags.refresh_mean_ratio = std::atof(next("--refresh-mean-ratio"));
+    } else if (std::strcmp(argv[i], "--refresh-epochs") == 0) {
+      flags.refresh_epochs = std::atoll(next("--refresh-epochs"));
     } else {
       IMDIFF_CHECK(false) << "unknown flag" << argv[i];
     }
@@ -242,10 +293,30 @@ bool FileExists(const std::string& path) {
   return std::ifstream(path).good();
 }
 
-// Load-generator mode: Zipf tenants, heavy-tailed bursts, ugly streams.
-int RunZipfLoad(const ReplayFlags& flags,
-                std::shared_ptr<const serve::ModelEntry> model,
-                const serve::StreamServer::Options& options) {
+// Place the generic synthetic tenant channels into the middle of the model's
+// training band (see UglyStreamConfig::channel_offset): sessions normalize
+// tenant traffic with the model's min-max statistics, so a stream generated
+// at the synthetic base's unit scale would clamp wholesale to the
+// normalization boundary and the scored content would be constant. The clean
+// base emits roughly +/-2-scale series; gain = range/8 keeps typical values
+// inside the middle half of [min, max] with headroom for drift ramps and
+// regime shifts to move the data before the clamp bites.
+void RebaseStreamToStats(const MinMaxStats& stats, UglyStreamConfig* stream) {
+  const size_t k = stats.min.size();
+  stream->channel_offset.resize(k);
+  stream->channel_gain.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    const float range = stats.max[j] - stats.min[j];
+    stream->channel_offset[j] = 0.5f * (stats.min[j] + stats.max[j]);
+    stream->channel_gain[j] = range / 8.0f;
+  }
+}
+
+// One LoadConfig for every consumer of the plan (single-process load,
+// sharded load, and the training-corpus builder below): the plan is a pure
+// function of this config, so all three must construct it identically.
+serve::LoadConfig BuildLoadConfigFromFlags(const ReplayFlags& flags,
+                                           const MinMaxStats& stats) {
   serve::LoadConfig load;
   load.num_tenants = flags.tenants;
   load.total_samples = flags.total_samples > 0
@@ -261,6 +332,48 @@ int RunZipfLoad(const ReplayFlags& flags,
   load.stream.drift_rate = static_cast<float>(flags.drift);
   load.stream.shift_rate = flags.shifts;
   load.stream.season_amplitude = static_cast<float>(flags.season);
+  load.stream.dynamics_period_scale = static_cast<float>(flags.dynamics_scale);
+  load.stream.dynamics_break = flags.dynamics_break;
+  RebaseStreamToStats(stats, &load.stream);
+  return load;
+}
+
+// Training corpus for the load-generator mode: the head tenants' own stream
+// realizations with every distortion zeroed — "yesterday's traffic", before
+// any drift arrived. MakeUglyStream draws the clean base before applying
+// distortions, so a tenant's clean-config samples are bitwise the
+// pre-distortion base of the stream the run will score. Training the live
+// model on these makes a control (no-distortion) replay score in-sample
+// traffic: the refresh loop's refit has nothing to improve and rolls back,
+// and only genuine distortion-driven drift can move the promotion verdict.
+std::vector<Tensor> BuildZipfTrainingSegments(const ReplayFlags& flags,
+                                              const MinMaxStats& stats,
+                                              int64_t num_features,
+                                              int64_t min_rows) {
+  serve::LoadConfig load = BuildLoadConfigFromFlags(flags, stats);
+  load.stream.missing_rate = 0.0;
+  load.stream.gap_rate = 0.0;
+  load.stream.drift_rate = 0.0f;
+  load.stream.shift_rate = 0.0;
+  load.stream.season_amplitude = 0.0f;
+  load.stream.dynamics_period_scale = 1.0f;
+  const serve::LoadPlan plan = serve::BuildLoadPlan(load, num_features);
+  std::vector<Tensor> segments;
+  for (int64_t t = 0;
+       t < load.num_tenants && segments.size() < 8; ++t) {
+    const auto it = plan.streams.find(t);
+    if (it == plan.streams.end()) continue;
+    if (it->second.samples.dim(0) < min_rows) continue;
+    segments.push_back(it->second.samples);
+  }
+  return segments;
+}
+
+// Load-generator mode: Zipf tenants, heavy-tailed bursts, ugly streams.
+int RunZipfLoad(const ReplayFlags& flags,
+                std::shared_ptr<const serve::ModelEntry> model,
+                const serve::StreamServer::Options& options) {
+  serve::LoadConfig load = BuildLoadConfigFromFlags(flags, model->stats);
   load.collect_scores = !flags.scores_out.empty();
 
   std::printf("load: %" PRId64 " tenants, %" PRId64
@@ -299,6 +412,31 @@ int RunZipfLoad(const ReplayFlags& flags,
               stats.sessions_evicted, stats.sessions_rehydrated,
               stats.rehydrate_failures, stats.stash_evictions,
               stats.peak_rss_kb);
+  if (flags.refresh_every > 0) {
+    MetricsRegistry& metrics = MetricsRegistry::Global();
+    std::printf("refresh: %" PRId64 " fits staged, %" PRId64
+                " promoted, %" PRId64 " rolled back, %" PRId64
+                " fit failures, %" PRId64 " promote failures, %" PRId64
+                " shadow aborts, %" PRId64 " windows too short | %" PRId64
+                " shadow blocks dual-scored\n",
+                metrics.GetCounter("refresh.fits")->value(),
+                metrics.GetCounter("refresh.promotions")->value(),
+                metrics.GetCounter("refresh.rollbacks")->value(),
+                metrics.GetCounter("refresh.fit_failures")->value(),
+                metrics.GetCounter("refresh.promote_failures")->value(),
+                metrics.GetCounter("refresh.shadow_aborts")->value(),
+                metrics.GetCounter("refresh.window_short")->value(),
+                stats.shadow_blocks);
+    for (const auto& event : stats.refresh_events) {
+      std::printf("refresh event: %s fit=%" PRId64 " at=%" PRId64
+                  " live=v%" PRId64 " shadow=v%" PRId64
+                  " psi=%.3f ks=%.3f agree=%.2f means=%.4f/%.4f\n",
+                  serve::RefreshTrainer::KindName(event.kind),
+                  event.fit_ordinal, event.at_sample, event.live_version,
+                  event.shadow_version, event.psi, event.ks, event.agreement,
+                  event.live_mean, event.shadow_mean);
+    }
+  }
   MetricsRegistry::Global()
       .GetGauge("process.peak_rss_kb")
       ->Set(static_cast<double>(stats.peak_rss_kb));
@@ -327,6 +465,42 @@ int RunZipfLoad(const ReplayFlags& flags,
         << "\n";
     out << "serve.stash_evictions " << stats.stash_evictions << "\n";
     out << "serve.sessions_evicted " << stats.sessions_evicted << "\n";
+    if (flags.refresh_every > 0) {
+      // Promotion-decision log in hex (%a) — bitwise-comparable across runs.
+      // Two identically-flagged runs must produce identical lines: the
+      // refresh-drift CI job cmp's whole files.
+      MetricsRegistry& metrics = MetricsRegistry::Global();
+      char buf[256];
+      for (const auto& event : stats.refresh_events) {
+        std::snprintf(buf, sizeof(buf),
+                      " fit=%" PRId64 " at=%" PRId64 " live=%" PRId64
+                      " shadow=%" PRId64,
+                      event.fit_ordinal, event.at_sample, event.live_version,
+                      event.shadow_version);
+        out << "refresh " << serve::RefreshTrainer::KindName(event.kind)
+            << buf;
+        std::snprintf(buf, sizeof(buf),
+                      " psi=%a ks=%a agree=%a live_mean=%a shadow_mean=%a",
+                      event.psi, event.ks, event.agreement, event.live_mean,
+                      event.shadow_mean);
+        out << buf << "\n";
+      }
+      out << "serve.shadow_blocks " << stats.shadow_blocks << "\n";
+      out << "refresh.fits " << metrics.GetCounter("refresh.fits")->value()
+          << "\n";
+      out << "refresh.promotions "
+          << metrics.GetCounter("refresh.promotions")->value() << "\n";
+      out << "refresh.rollbacks "
+          << metrics.GetCounter("refresh.rollbacks")->value() << "\n";
+      out << "refresh.fit_failures "
+          << metrics.GetCounter("refresh.fit_failures")->value() << "\n";
+      out << "refresh.promote_failures "
+          << metrics.GetCounter("refresh.promote_failures")->value() << "\n";
+      out << "refresh.shadow_aborts "
+          << metrics.GetCounter("refresh.shadow_aborts")->value() << "\n";
+      out << "refresh.window_short "
+          << metrics.GetCounter("refresh.window_short")->value() << "\n";
+    }
     out.flush();
     if (out.good()) {
       IMDIFF_LOG(Info) << "score dump written to " << flags.scores_out;
@@ -430,6 +604,24 @@ int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
       args.push_back(
           PrecisionName(static_cast<Precision>(flags.force_precision)));
     }
+    if (flags.refresh_every > 0) {
+      args.push_back("--refresh-every");
+      args.push_back(std::to_string(flags.refresh_every));
+      args.push_back("--refresh-recent");
+      args.push_back(std::to_string(flags.refresh_recent));
+      args.push_back("--shadow-fraction");
+      args.push_back(std::to_string(flags.shadow_fraction));
+      args.push_back("--verdict-pairs");
+      args.push_back(std::to_string(flags.verdict_pairs));
+      args.push_back("--refresh-psi");
+      args.push_back(std::to_string(flags.refresh_psi));
+      args.push_back("--refresh-ks");
+      args.push_back(std::to_string(flags.refresh_ks));
+      args.push_back("--refresh-mean-ratio");
+      args.push_back(std::to_string(flags.refresh_mean_ratio));
+      args.push_back("--refresh-epochs");
+      args.push_back(std::to_string(flags.refresh_epochs));
+    }
     ShardProcess p;
     p.id = s;
     p.pid = SpawnWorker(flags.worker_bin, args);
@@ -462,20 +654,7 @@ int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
         << "publish failed: " << router.error();
 
     serve::ShardedLoadConfig config;
-    config.load.num_tenants = flags.tenants;
-    config.load.total_samples = flags.total_samples > 0
-                                    ? flags.total_samples
-                                    : flags.tenants * flags.samples;
-    config.load.seed = flags.seed;
-    config.load.zipf_exponent = flags.zipf;
-    config.load.burst_min = flags.burst_min;
-    config.load.burst_tail = flags.burst_tail;
-    config.load.drain_every = flags.drain_every;
-    config.load.stream.missing_rate = flags.missing;
-    config.load.stream.gap_rate = flags.gaps;
-    config.load.stream.drift_rate = static_cast<float>(flags.drift);
-    config.load.stream.shift_rate = flags.shifts;
-    config.load.stream.season_amplitude = static_cast<float>(flags.season);
+    config.load = BuildLoadConfigFromFlags(flags, norm);
     config.load.collect_scores = !flags.scores_out.empty();
     config.reshard_every = flags.reshard_every;
     config.reshard_tenants = flags.reshard_tenants;
@@ -501,6 +680,11 @@ int RunShardedLoad(const ReplayFlags& flags, const MinMaxStats& norm,
                 PRId64 " of %" PRId64 " shards alive at exit\n",
                 stats.moves, stats.crashes, router.alive_shards(),
                 flags.shards);
+    if (flags.refresh_every > 0) {
+      std::printf("refresh: %" PRId64 " promotions, %" PRId64
+                  " shadow blocks dual-scored across shards\n",
+                  stats.promotions, stats.shadow_blocks);
+    }
     std::printf("tenant latency: p50 across tenants p50=%.1fms p99=%.1fms | "
                 "p99 across tenants p50=%.1fms p99=%.1fms | peak rss %" PRId64
                 " KB\n",
@@ -673,7 +857,19 @@ int Main(int argc, char** argv) {
   if (!published) {
     auto detector = std::make_shared<ImDiffusionDetector>(config);
     Stopwatch fit_timer;
-    detector->Fit(ApplyMinMax(train_set.train, stats));
+    if (flags.zipf > 0.0) {
+      // Load-generator mode: train on the head tenants' own clean stream
+      // histories (BuildZipfTrainingSegments) through the same segment-fit
+      // path the refresh loop's candidates use.
+      const std::vector<Tensor> segments = BuildZipfTrainingSegments(
+          flags, stats, k, /*min_rows=*/config.model.window);
+      IMDIFF_CHECK(!segments.empty())
+          << "no tenant stream is long enough to train on; raise "
+             "--total-samples or lower --tenants";
+      detector->FitRawSegments(segments, &stats);
+    } else {
+      detector->Fit(ApplyMinMax(train_set.train, stats));
+    }
     std::printf("model: fitted in %.1fs\n", fit_timer.ElapsedSeconds());
     if (!flags.model_path.empty()) {
       if (serve::SaveModelWithRetry(*detector, flags.model_path)) {
@@ -720,6 +916,21 @@ int Main(int argc, char** argv) {
   options.deadline_seconds = flags.deadline_ms / 1000.0;
   options.force_degrade_level = flags.force_degrade;
   options.force_precision = flags.force_precision;
+  if (flags.refresh_every > 0) {
+    IMDIFF_CHECK(flags.zipf > 0.0)
+        << "--refresh-every requires the --zipf load mode";
+    options.session.refresh_recent = flags.refresh_recent;
+    options.refresh.enabled = true;
+    options.refresh.registry = &registry;  // outlives the server (this frame)
+    options.refresh.model_name = "latency";
+    options.refresh.refresh_every = flags.refresh_every;
+    options.refresh.shadow_fraction = flags.shadow_fraction;
+    options.refresh.verdict_pairs = flags.verdict_pairs;
+    options.refresh.psi_promote = flags.refresh_psi;
+    options.refresh.ks_promote = flags.refresh_ks;
+    options.refresh.mean_ratio_promote = flags.refresh_mean_ratio;
+    options.refresh.fit_epochs = static_cast<int>(flags.refresh_epochs);
+  }
 
   if (flags.shards > 0) {
     return RunShardedLoad(flags, stats, k);

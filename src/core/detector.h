@@ -19,6 +19,14 @@ struct DetectionResult {
   // ImDiffusion's ensemble voting). Empty when the detector defers
   // thresholding to the harness.
   std::vector<uint8_t> labels;
+  // Optional per-timestamp raw reconstruction error, BEFORE any per-series
+  // threshold calibration (for ImDiffusion: the smoothed final-step imputed
+  // error). Unlike `scores` — which Eq. 12 self-calibrates against the scored
+  // series' own error quantile, making its mean nearly scale-invariant — the
+  // raw error is scale-sensitive, so two models scoring the same normalized
+  // inputs are directly comparable on it. The continuous-refresh drift
+  // verdict sketches this channel. Empty for detectors without it.
+  std::vector<float> raw_errors;
 };
 
 // A self-supervised anomaly detector: fit on an anomaly-free series, score a

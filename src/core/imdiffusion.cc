@@ -112,10 +112,78 @@ std::string ImDiffusionDetector::name() const {
   return "ImDiffusion";
 }
 
+MinMaxStats ImDiffusionDetector::FitRawWindow(const Tensor& raw,
+                                              const MinMaxStats* reuse_stats) {
+  IMDIFF_CHECK_EQ(raw.ndim(), 2u);
+  IMDIFF_CHECK_GE(raw.dim(0), config_.model.window)
+      << "refresh window shorter than the model window";
+  const MinMaxStats stats = reuse_stats != nullptr ? *reuse_stats
+                                                   : FitMinMax(raw);
+  Fit(ApplyMinMax(raw, stats));
+  return stats;
+}
+
+MinMaxStats ImDiffusionDetector::FitRawSegments(
+    const std::vector<Tensor>& segments, const MinMaxStats* reuse_stats) {
+  const int64_t window = config_.model.window;
+  std::vector<const Tensor*> usable;
+  int64_t k = -1;
+  for (const Tensor& seg : segments) {
+    IMDIFF_CHECK_EQ(seg.ndim(), 2u);
+    if (k < 0) k = seg.dim(1);
+    IMDIFF_CHECK_EQ(seg.dim(1), k);
+    if (seg.dim(0) >= window) usable.push_back(&seg);
+  }
+  IMDIFF_CHECK(!usable.empty())
+      << "no refresh segment reaches the model window";
+
+  MinMaxStats stats;
+  if (reuse_stats != nullptr) {
+    stats = *reuse_stats;
+  } else {
+    stats = FitMinMax(*usable[0]);
+    for (size_t i = 1; i < usable.size(); ++i) {
+      const MinMaxStats s = FitMinMax(*usable[i]);
+      for (size_t j = 0; j < stats.min.size(); ++j) {
+        stats.min[j] = std::min(stats.min[j], s.min[j]);
+        stats.max[j] = std::max(stats.max[j], s.max[j]);
+      }
+    }
+  }
+
+  // Cut windows within each segment independently, then stack: a training
+  // window never spans the join between two segments.
+  std::vector<Tensor> batches;
+  int64_t total = 0;
+  for (const Tensor* seg : usable) {
+    Tensor b = WindowsToBkl(
+        WindowBatch(ApplyMinMax(*seg, stats), window, config_.train_stride));
+    total += b.dim(0);
+    batches.push_back(std::move(b));
+  }
+  Tensor windows({total, k, window});
+  float* out = windows.mutable_data();
+  for (const Tensor& b : batches) {
+    std::copy(b.data(), b.data() + b.numel(), out);
+    out += b.numel();
+  }
+  FitWindowBatch(windows, k);
+  return stats;
+}
+
 void ImDiffusionDetector::Fit(const Tensor& train) {
-  IMDIFF_TRACE_SCOPE("train.fit_seconds");
   IMDIFF_CHECK_EQ(train.ndim(), 2u);
-  const int64_t k = train.dim(1);
+  Tensor windows = WindowsToBkl(WindowBatch(
+      train, config_.model.window, config_.train_stride));  // [N, K, L]
+  FitWindowBatch(windows, train.dim(1));
+}
+
+void ImDiffusionDetector::FitWindowBatch(const Tensor& windows, int64_t k) {
+  IMDIFF_TRACE_SCOPE("train.fit_seconds");
+  IMDIFF_CHECK_EQ(windows.ndim(), 3u);
+  IMDIFF_CHECK_EQ(windows.dim(1), k);
+  IMDIFF_CHECK_EQ(windows.dim(2), config_.model.window);
+  IMDIFF_CHECK_GT(windows.dim(0), 0);
   config_.model.num_features = k;
   config_.model.num_diffusion_steps = config_.schedule.num_steps;
   config_.model.num_policies = 2;
@@ -131,8 +199,6 @@ void ImDiffusionDetector::Fit(const Tensor& train) {
   loss_history_.clear();
 
   const int64_t window = config_.model.window;
-  Tensor windows = WindowsToBkl(
-      WindowBatch(train, window, config_.train_stride));  // [N, K, L]
   const int64_t num_windows = windows.dim(0);
   const int64_t per_window = k * window;
 
@@ -497,6 +563,10 @@ DetectionResult ImDiffusionDetector::ReduceSeries(
           final_errors[static_cast<size_t>(l)] >= tau_final ? 1 : 0;
     }
   }
+
+  // Raw (pre-calibration) final-step error channel for cross-model
+  // comparison — see DetectionResult::raw_errors.
+  result.raw_errors = final_errors;
 
   if (step_series_out != nullptr) *step_series_out = std::move(step_series);
   if (step_labels_out != nullptr) *step_labels_out = std::move(step_labels);

@@ -18,6 +18,7 @@
 
 #include "core/detector.h"
 #include "core/im_transformer.h"
+#include "data/dataset.h"
 #include "core/masking.h"
 #include "diffusion/ddpm.h"
 #include "graph/graph.h"
@@ -94,6 +95,30 @@ class ImDiffusionDetector : public AnomalyDetector {
   std::string name() const override;
   void Fit(const Tensor& train) override;
   DetectionResult Run(const Tensor& test) override;
+
+  // Fit entry point for the serving layer's continuous refresh (DESIGN.md
+  // §18): takes a RAW (unnormalized) [L, K] sample window — e.g. the
+  // registry-assembled sliding window of recent stream samples — normalizes,
+  // and runs Fit. With `reuse_stats` the window is normalized in THAT space
+  // (the refresh loop passes the live version's stats: streaming sessions
+  // keep normalizing with the stats they were created under, so a candidate
+  // must be trained — and shadow-scored — in the same space to be
+  // comparable and promotable). Without it, fresh per-channel min-max
+  // statistics are fitted on the window. Returns the statistics used, for
+  // publishing alongside the model. Requires L >= the configured model
+  // window.
+  MinMaxStats FitRawWindow(const Tensor& raw,
+                           const MinMaxStats* reuse_stats = nullptr);
+
+  // Segment-aware variant: each entry is one CONTIGUOUS raw [L_i, K] series
+  // (e.g. one tenant's recent samples). Training windows are cut within each
+  // segment only — a window never spans the artificial discontinuity between
+  // two tenants' series, which would otherwise dominate a refresh window
+  // assembled from many short per-tenant runs and teach the candidate to
+  // reproduce join garbage. Segments shorter than the model window are
+  // skipped; at least one usable segment is required.
+  MinMaxStats FitRawSegments(const std::vector<Tensor>& segments,
+                             const MinMaxStats* reuse_stats = nullptr);
 
   // Step-by-step introspection of the ensemble inference, for the Fig. 8
   // style analysis. Entries are ordered along the reverse chain.
@@ -234,6 +259,10 @@ class ImDiffusionDetector : public AnomalyDetector {
   std::vector<float> SeriesFromWindows(
       const std::vector<std::vector<float>>& window_rows,
       const std::vector<int64_t>& starts, int64_t length) const;
+  // Shared trainer: (re)initializes the model and runs the training loop
+  // over a pre-cut [N, K, W] window batch (Fit cuts one series with
+  // train_stride; FitRawSegments cuts each segment independently).
+  void FitWindowBatch(const Tensor& windows, int64_t k);
   // Eq. 12 + ensemble voting over assembled per-step window errors.
   DetectionResult ReduceSeries(
       const std::vector<std::vector<std::vector<float>>>& step_window_errors,

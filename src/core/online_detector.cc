@@ -115,6 +115,10 @@ OnlineDetector::Alert OnlineDetector::MakeAlert(const ReadyBlock& ready,
   if (!result.labels.empty()) {
     alert.labels.assign(result.labels.end() - emit, result.labels.end());
   }
+  if (result.raw_errors.size() == result.scores.size()) {
+    alert.raw_errors.assign(result.raw_errors.end() - emit,
+                            result.raw_errors.end());
+  }
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("online.blocks_scored")->Increment();
   registry.GetCounter("online.samples_emitted")->Increment(emit);

@@ -62,6 +62,10 @@ class OnlineDetector {
     int64_t start = 0;                // global index of the block's first sample
     std::vector<float> scores;        // per-timestamp
     std::vector<uint8_t> labels;      // detector's built-in rule (may be empty)
+    // Raw pre-calibration error tail (DetectionResult::raw_errors); empty
+    // when the wrapped detector does not expose it. The refresh drift
+    // verdict prefers this channel over the self-calibrated scores.
+    std::vector<float> raw_errors;
   };
 
   // A full block ready for scoring: the normalized context+block series plus

@@ -63,6 +63,40 @@ UglyStream MakeUglyStream(uint64_t seed, const UglyStreamConfig& config) {
   stream.samples = GenerateCleanSeries(base, rng);
   float* p = stream.samples.mutable_data();
 
+  // Dynamics break: from the break point on, replace the series with a
+  // realization whose harmonic periods are scaled — a concept-drift event in
+  // the dynamics (see header). Draws from `rng` only when enabled, so
+  // disabled configs reproduce pre-feature streams bitwise.
+  if (config.dynamics_period_scale != 1.0f) {
+    IMDIFF_CHECK_GT(config.dynamics_period_scale, 0.0f);
+    IMDIFF_CHECK_GE(config.dynamics_break, 0.0);
+    IMDIFF_CHECK_LE(config.dynamics_break, 1.0);
+    SyntheticConfig shifted = base;
+    shifted.min_period *= config.dynamics_period_scale;
+    shifted.max_period *= config.dynamics_period_scale;
+    const Tensor regime = GenerateCleanSeries(shifted, rng);
+    const float* q = regime.data();
+    const int64_t start =
+        static_cast<int64_t>(config.dynamics_break * static_cast<double>(length));
+    for (int64_t t = start; t < length; ++t) {
+      for (int64_t j = 0; j < k; ++j) p[t * k + j] = q[t * k + j];
+    }
+  }
+
+  // Re-base channels into the caller's value band before any distortion, so
+  // drift ramps and regime shifts act in the re-based units (see header).
+  if (!config.channel_offset.empty() || !config.channel_gain.empty()) {
+    IMDIFF_CHECK_EQ(static_cast<int64_t>(config.channel_offset.size()), k);
+    IMDIFF_CHECK_EQ(static_cast<int64_t>(config.channel_gain.size()), k);
+    for (int64_t t = 0; t < length; ++t) {
+      for (int64_t j = 0; j < k; ++j) {
+        p[t * k + j] = config.channel_offset[static_cast<size_t>(j)] +
+                       config.channel_gain[static_cast<size_t>(j)] *
+                           p[t * k + j];
+      }
+    }
+  }
+
   // Seasonal load envelope: one phase per stream, all channels breathe
   // together (a shared load driver), with a small per-channel depth spread.
   if (config.season_amplitude != 0.0f) {

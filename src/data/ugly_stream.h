@@ -35,6 +35,17 @@ struct UglyStreamConfig {
   // fields above.
   SyntheticConfig base;
 
+  // Optional per-channel affine re-basing of the clean series, applied
+  // BEFORE the distortions below: x <- offset[j] + gain[j] * x. The generic
+  // synthetic base emits roughly unit-scale channels; a serving harness that
+  // normalizes tenant traffic with a reference dataset's min-max statistics
+  // must place the stream inside that dataset's value band, or every sample
+  // clamps to the normalization boundary and the scored content is constant.
+  // Empty vectors disable (offset 0, gain 1); otherwise both must have
+  // `dims` entries.
+  std::vector<float> channel_offset;
+  std::vector<float> channel_gain;
+
   // --- Missing data ---------------------------------------------------
   // Per-element iid dropout probability (a sensor missing one reading).
   double missing_rate = 0.0;
@@ -46,6 +57,19 @@ struct UglyStreamConfig {
   // Pareto tail index of gap lengths; smaller = heavier tail (rare long
   // outages among many short blips).
   double gap_tail = 1.4;
+
+  // --- Dynamics break ---------------------------------------------------
+  // Concept drift in the series' DYNAMICS rather than its level: at
+  // `dynamics_break` (fraction of the stream) every harmonic period of the
+  // base generator is multiplied by `dynamics_period_scale` and the stream
+  // switches to the re-drawn realization. Level shifts and slow ramps are
+  // largely invisible to a context-conditioned imputer — the offset rides
+  // along in the unmasked context — but a frequency change defeats
+  // interpolation itself, which is what makes a model trained on the old
+  // dynamics genuinely stale. 1.0 disables (and draws nothing from the rng,
+  // so disabled streams are bitwise identical to pre-feature ones).
+  float dynamics_period_scale = 1.0f;
+  double dynamics_break = 0.5;
 
   // --- Drift ----------------------------------------------------------
   // Slope of the slow additive concept drift, per step (applied to every

@@ -1,0 +1,106 @@
+// Streaming score-distribution drift statistics for the continuous-refresh
+// loop (DESIGN.md §18).
+//
+// The refresh trainer dual-scores a seeded fraction of traffic against a
+// shadow model and must decide — deterministically, from bounded state —
+// whether the live and shadow score distributions differ enough to promote
+// the shadow. The primitives here are:
+//
+//  - QuantileSketch: a Greenwald-Khanna streaming quantile summary. Memory is
+//    O(1/eps · log(eps·n)); any quantile query is answered within eps·n rank
+//    error. Everything is deterministic in the insertion sequence (no
+//    randomized sampling), so two replays that feed the same scores in the
+//    same order produce bitwise-identical summaries — the property the
+//    promotion-determinism CI gate relies on.
+//  - Psi / KsDistance: population stability index and Kolmogorov-Smirnov
+//    distance between two sketches, the drift verdict's distance measures.
+//  - AlertAgreement: paired live-vs-shadow block-alert agreement counts.
+
+#ifndef IMDIFF_METRICS_DRIFT_H_
+#define IMDIFF_METRICS_DRIFT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace imdiff {
+
+// Greenwald-Khanna quantile sketch. Add() is amortized O(size); Quantile()
+// and Rank() are O(size). Not thread-safe (callers hold their own lock).
+class QuantileSketch {
+ public:
+  // `epsilon` bounds the rank error of every query to epsilon * count().
+  explicit QuantileSketch(double epsilon = 0.01);
+
+  void Add(double value);
+
+  // Value whose rank is within epsilon * count() of q * count(). Requires
+  // count() > 0. q is clamped to [0, 1].
+  double Quantile(double q) const;
+
+  // Estimated number of inserted values <= `value`, within epsilon * count().
+  double Rank(double value) const;
+
+  // Empirical CDF at `value`: Rank(value) / count(); 0 when empty.
+  double Cdf(double value) const;
+
+  int64_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  // Mean of every inserted value (exact, not sketched); 0 when empty.
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  void Reset();
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    int64_t g = 0;      // rmin(i) - rmin(i-1)
+    int64_t delta = 0;  // rmax(i) - rmin(i)
+  };
+
+  void Compress();
+
+  double epsilon_;
+  int64_t count_ = 0;
+  int64_t since_compress_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::vector<Entry> entries_;  // sorted by value
+};
+
+// Population stability index of `actual` against `expected` over `bins`
+// equal-mass bins of the expected distribution: sum (a_i - e_i) * ln(a_i /
+// e_i) with fractions floored at 1e-6. ~0 for matching distributions; common
+// practice reads >= 0.25 as a material shift. Returns 0 when either sketch is
+// empty.
+double Psi(const QuantileSketch& expected, const QuantileSketch& actual,
+           int bins = 10);
+
+// Kolmogorov-Smirnov distance: max |CDF_a - CDF_b| evaluated on a merged
+// grid of `resolution` quantiles from each sketch. Returns 0 when either is
+// empty.
+double KsDistance(const QuantileSketch& a, const QuantileSketch& b,
+                  int resolution = 64);
+
+// Paired block-alert agreement between the live and shadow model. A pair
+// with no alert on either side counts as agreement — on an all-normal stream
+// two models that both stay silent agree perfectly (Rate() == 1), which is
+// the zero-alert edge case the verdict must not misread as divergence.
+struct AlertAgreement {
+  int64_t both = 0;
+  int64_t live_only = 0;
+  int64_t shadow_only = 0;
+  int64_t neither = 0;
+
+  void Record(bool live_alert, bool shadow_alert);
+  int64_t pairs() const { return both + live_only + shadow_only + neither; }
+  // Agreeing fraction; 1.0 with no pairs yet (no evidence of divergence).
+  double Rate() const;
+  void Reset() { *this = AlertAgreement(); }
+};
+
+}  // namespace imdiff
+
+#endif  // IMDIFF_METRICS_DRIFT_H_

@@ -136,6 +136,8 @@ Frame Encode(const DrainResultMsg& m) {
   w.I64(m.alerts);
   w.I64(m.degraded_blocks);
   w.I64(m.precision_drops);
+  w.I64(m.promotions);
+  w.I64(m.shadow_blocks);
   return MakeFrame(MsgType::kDrainResult, std::move(w));
 }
 
@@ -147,6 +149,8 @@ bool Decode(const Frame& f, DrainResultMsg* m) {
   r.I64(&m->alerts);
   r.I64(&m->degraded_blocks);
   r.I64(&m->precision_drops);
+  r.I64(&m->promotions);
+  r.I64(&m->shadow_blocks);
   return Finish(f, MsgType::kDrainResult, r);
 }
 

@@ -87,6 +87,11 @@ struct DrainResultMsg {
   int64_t alerts = 0;
   int64_t degraded_blocks = 0;
   int64_t precision_drops = 0;  // blocks scored below fp32
+  // Continuous-refresh activity (DESIGN.md §18): refresh promotions applied
+  // and shadow blocks dual-scored on this worker. Shadow blocks themselves
+  // never cross the wire — only these counts do.
+  int64_t promotions = 0;
+  int64_t shadow_blocks = 0;
 };
 
 // One serialized session: `state` is the SerializeSession byte format

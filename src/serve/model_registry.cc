@@ -111,6 +111,62 @@ bool SaveModelWithRetry(const ImDiffusionDetector& detector,
   return false;
 }
 
+int64_t ModelRegistry::PublishShadow(
+    const std::string& name,
+    std::shared_ptr<const ImDiffusionDetector> detector,
+    const MinMaxStats& stats) {
+  IMDIFF_CHECK(detector != nullptr);
+  IMDIFF_CHECK(detector->fitted()) << "cannot stage an unfitted shadow";
+  IMDIFF_CHECK_EQ(stats.min.size(), stats.max.size());
+  IMDIFF_CHECK(!stats.min.empty())
+      << "shadow models need normalization statistics";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto live = entries_.find(name);
+  IMDIFF_CHECK(live != entries_.end())
+      << "no live version to shadow: " << name;
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->version = live->second->version + 1;  // provisional
+  entry->detector = std::move(detector);
+  entry->stats = stats;
+  shadows_[name] = entry;
+  MetricsRegistry::Global().GetCounter("registry.shadows_staged")->Increment();
+  return entry->version;
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::AcquireShadow(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shadows_.find(name);
+  return it == shadows_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::PromoteShadow(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto shadow = shadows_.find(name);
+  if (shadow == shadows_.end()) return nullptr;
+  auto live = entries_.find(name);
+  IMDIFF_CHECK(live != entries_.end());
+  // Entries are immutable once visible: build a fresh one with the version
+  // assigned now, so an unrelated Publish between staging and promotion
+  // cannot produce a duplicate number.
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->version = live->second->version + 1;
+  entry->detector = shadow->second->detector;
+  entry->stats = shadow->second->stats;
+  entries_[name] = entry;
+  shadows_.erase(shadow);
+  MetricsRegistry::Global().GetCounter("serve.models_published")->Increment();
+  return entry;
+}
+
+void ModelRegistry::DropShadow(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shadows_.erase(name);
+}
+
 std::shared_ptr<const ModelEntry> ModelRegistry::Acquire(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -66,9 +66,40 @@ class ModelRegistry {
   // Latest version number for `name`; 0 when unknown.
   int64_t latest_version(const std::string& name) const;
 
+  // ---- Shadow versions (continuous refresh, DESIGN.md §18) --------------
+  //
+  // A shadow is a fitted candidate staged next to the live version of
+  // `name`: it is dual-scored against sampled traffic but invisible to
+  // Acquire(), so nothing serves it until the drift verdict promotes it. At
+  // most one shadow per name; publishing a new one replaces the old (the
+  // refresh loop rolls back before refitting). Shadow entries carry the
+  // version the candidate WOULD get if promoted (live + 1 at publish time)
+  // so in-flight shadow blocks are distinguishable from live ones by
+  // version; the authoritative number is re-assigned at promotion.
+
+  // Stages `detector` as the shadow of `name`. Requires a live version to
+  // shadow. Returns the provisional version. Thread-safe.
+  int64_t PublishShadow(const std::string& name,
+                        std::shared_ptr<const ImDiffusionDetector> detector,
+                        const MinMaxStats& stats);
+
+  // Current shadow of `name`, or nullptr when none is staged.
+  std::shared_ptr<const ModelEntry> AcquireShadow(const std::string& name) const;
+
+  // Promotes the shadow to the live version (live latest + 1, assigned now)
+  // and clears the shadow slot. Returns the new live entry, or nullptr when
+  // no shadow is staged. The caller owns swapping serving sessions onto the
+  // returned entry (StreamServer::SwapModel).
+  std::shared_ptr<const ModelEntry> PromoteShadow(const std::string& name);
+
+  // Drops the staged shadow of `name`, if any (drift verdict rollback, or a
+  // crashed shadow round). Entries already acquired stay valid.
+  void DropShadow(const std::string& name);
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const ModelEntry>> entries_;
+  std::map<std::string, std::shared_ptr<const ModelEntry>> shadows_;
 };
 
 // Writes the detector's checkpoint with bounded retry + seeded backoff.

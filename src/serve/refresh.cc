@@ -1,0 +1,376 @@
+#include "serve/refresh.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/server.h"
+#include "utils/check.h"
+#include "utils/fault.h"
+#include "utils/logging.h"
+#include "utils/metrics.h"
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace serve {
+
+const char* RefreshTrainer::KindName(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::kFitSkipped:
+      return "fit_skipped";
+    case Event::Kind::kFitFailed:
+      return "fit_failed";
+    case Event::Kind::kShadowStaged:
+      return "shadow_staged";
+    case Event::Kind::kShadowAborted:
+      return "shadow_aborted";
+    case Event::Kind::kPromoted:
+      return "promoted";
+    case Event::Kind::kPromoteFailed:
+      return "promote_failed";
+    case Event::Kind::kRolledBack:
+      return "rolled_back";
+  }
+  return "unknown";
+}
+
+RefreshTrainer::RefreshTrainer(StreamServer* server,
+                               const RefreshOptions& options)
+    : server_(server),
+      options_(options),
+      live_sketch_(options.sketch_epsilon),
+      shadow_sketch_(options.sketch_epsilon) {
+  IMDIFF_CHECK(server_ != nullptr);
+  IMDIFF_CHECK(options_.registry != nullptr)
+      << "refresh needs the model registry";
+  IMDIFF_CHECK(!options_.model_name.empty());
+  IMDIFF_CHECK_GT(options_.shadow_fraction, 0.0);
+  IMDIFF_CHECK_GT(options_.verdict_pairs, 0);
+  trainer_ = std::thread(&RefreshTrainer::TrainerLoop, this);
+}
+
+RefreshTrainer::~RefreshTrainer() { Shutdown(); }
+
+void RefreshTrainer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(fit_mu_);
+    if (fit_stop_) return;
+    fit_stop_ = true;
+  }
+  fit_cv_.notify_all();
+  if (trainer_.joinable()) trainer_.join();
+}
+
+void RefreshTrainer::OnSample() {
+  int64_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++samples_;
+    if (options_.refresh_every <= 0) return;
+    if (samples_ % options_.refresh_every != 0) return;
+    // A shadow still resolving means this cadence tick is skipped, not
+    // queued: the loop refits from fresher data on the next tick instead.
+    if (state_ != State::kIdle) return;
+    ordinal = ++fit_ordinal_;
+    // Occupy the state machine for the fit's duration so a concurrent
+    // worker's tick cannot start a second fit.
+    state_ = State::kResolving;
+  }
+  RunFitAttempt(ordinal);
+}
+
+int64_t RefreshTrainer::LiveVersionLocked() const {
+  return options_.registry->latest_version(options_.model_name);
+}
+
+void RefreshTrainer::AppendEventLocked(Event event) {
+  events_.push_back(event);
+}
+
+void RefreshTrainer::RunFitAttempt(int64_t ordinal) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const std::shared_ptr<const ModelEntry> live = server_->sessions().model();
+  const int64_t window = live->detector->config().model.window;
+  const int64_t need = std::max(window, options_.min_window);
+
+  // Only tenants whose retained snippet can yield at least one full training
+  // window participate: a training window must never span the artificial
+  // discontinuity between two tenants' streams.
+  std::vector<Tensor> segments;
+  int64_t rows = 0;
+  if (server_->sessions().CollectRefreshSegments(window, &segments)) {
+    for (const Tensor& seg : segments) rows += seg.dim(0);
+  }
+  if (rows < need) {
+    metrics.GetCounter("refresh.window_short")->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kIdle;
+    Event event;
+    event.kind = Event::Kind::kFitSkipped;
+    event.fit_ordinal = ordinal;
+    event.at_sample = samples_;
+    event.live_version = LiveVersionLocked();
+    AppendEventLocked(event);
+    return;
+  }
+
+  FitResult result = FitOnTrainerThread(std::move(segments), ordinal);
+  if (!result.ok) {
+    // Failed fit: keep serving the live version; the sample window lives in
+    // the sessions and is retained for the next cadence tick.
+    metrics.GetCounter("refresh.fit_failures")->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kIdle;
+    Event event;
+    event.kind = Event::Kind::kFitFailed;
+    event.fit_ordinal = ordinal;
+    event.at_sample = samples_;
+    event.live_version = LiveVersionLocked();
+    AppendEventLocked(event);
+    return;
+  }
+
+  const int64_t shadow_version = options_.registry->PublishShadow(
+      options_.model_name, result.detector, result.stats);
+  metrics.GetCounter("refresh.fits")->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  shadow_model_ = options_.registry->AcquireShadow(options_.model_name);
+  IMDIFF_CHECK(shadow_model_ != nullptr);
+  pairs_.clear();
+  pairs_done_ = 0;
+  live_sketch_.Reset();
+  shadow_sketch_.Reset();
+  agreement_.Reset();
+  state_ = State::kShadowing;
+  Event event;
+  event.kind = Event::Kind::kShadowStaged;
+  event.fit_ordinal = ordinal;
+  event.at_sample = samples_;
+  event.live_version = LiveVersionLocked();
+  event.shadow_version = shadow_version;
+  AppendEventLocked(event);
+}
+
+RefreshTrainer::FitResult RefreshTrainer::FitOnTrainerThread(
+    std::vector<Tensor> segments, int64_t ordinal) {
+  std::unique_lock<std::mutex> lock(fit_mu_);
+  fit_segments_ = std::move(segments);
+  fit_job_ordinal_ = ordinal;
+  fit_pending_ = true;
+  fit_done_ = false;
+  fit_cv_.notify_all();
+  // Join the fit: the refresh loop's decisions stay a pure function of the
+  // stream because the ingest worker observes the fit's completion at the
+  // cadence tick, never at a wall-clock-dependent point.
+  fit_cv_.wait(lock, [this] { return fit_done_; });
+  return std::move(fit_result_);
+}
+
+void RefreshTrainer::TrainerLoop() {
+  std::unique_lock<std::mutex> lock(fit_mu_);
+  while (true) {
+    fit_cv_.wait(lock, [this] { return fit_stop_ || fit_pending_; });
+    if (fit_stop_) return;
+    std::vector<Tensor> segments = std::move(fit_segments_);
+    const int64_t ordinal = fit_job_ordinal_;
+    fit_pending_ = false;
+    lock.unlock();
+
+    FitResult result;
+    if (IMDIFF_FAULT("refresh.fit")) {
+      IMDIFF_LOG(Warning) << "injected refresh.fit fault (attempt " << ordinal
+                          << "); keeping the live version";
+    } else {
+      const std::shared_ptr<const ModelEntry> live =
+          server_->sessions().model();
+      ImDiffusionConfig config = live->detector->config();
+      if (options_.fit_epochs > 0) config.epochs = options_.fit_epochs;
+      if (options_.fit_stride > 0) config.train_stride = options_.fit_stride;
+      auto detector = std::make_shared<ImDiffusionDetector>(config);
+      // Train in the LIVE normalization space: streaming sessions keep the
+      // stats they were created under, so the candidate must score — and,
+      // once promoted, serve — the same normalized inputs the live model
+      // does. The drift signal reaches the candidate through the window's
+      // content, not through refitted statistics. Each tenant's snippet is a
+      // separate segment so no training window crosses a tenant boundary.
+      result.stats = detector->FitRawSegments(segments, &live->stats);
+      result.detector = std::move(detector);
+      result.ok = true;
+    }
+
+    lock.lock();
+    fit_result_ = std::move(result);
+    fit_done_ = true;
+    fit_cv_.notify_all();
+  }
+}
+
+bool RefreshTrainer::BeginShadowScore(
+    uint64_t session_seed, int64_t block_index,
+    std::shared_ptr<const ModelEntry>* shadow_model) {
+  IMDIFF_CHECK(shadow_model != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kShadowing) return false;
+  // Pure function of (refresh seed, session seed, block index): two replays
+  // of the same stream shadow-score exactly the same blocks, regardless of
+  // worker interleaving.
+  const uint64_t key = MixSeed(
+      options_.seed, MixSeed(session_seed, static_cast<uint64_t>(block_index)));
+  if (options_.shadow_fraction < 1.0 &&
+      static_cast<double>(key) * 0x1.0p-64 >= options_.shadow_fraction) {
+    return false;
+  }
+  if (IMDIFF_FAULT_KEYED("refresh.shadow_score", key)) {
+    // Crash mid-shadow: the candidate and every accumulated drift statistic
+    // are discarded; serving continues on the live version and the next
+    // cadence tick starts a fresh round.
+    IMDIFF_LOG(Warning) << "injected refresh.shadow_score fault; discarding "
+                        << "shadow round";
+    MetricsRegistry::Global().GetCounter("refresh.shadow_aborts")->Increment();
+    AbortShadowLocked(Event::Kind::kShadowAborted, shadow_model_->version);
+    return false;
+  }
+  pairs_[{session_seed, block_index}] = PairSlot();
+  *shadow_model = shadow_model_;
+  return true;
+}
+
+void RefreshTrainer::AbortShadowLocked(Event::Kind kind,
+                                       int64_t shadow_version) {
+  options_.registry->DropShadow(options_.model_name);
+  shadow_model_.reset();
+  pairs_.clear();
+  pairs_done_ = 0;
+  live_sketch_.Reset();
+  shadow_sketch_.Reset();
+  agreement_.Reset();
+  state_ = State::kIdle;
+  Event event;
+  event.kind = kind;
+  event.fit_ordinal = fit_ordinal_;
+  event.at_sample = samples_;
+  event.live_version = LiveVersionLocked();
+  event.shadow_version = shadow_version;
+  AppendEventLocked(event);
+}
+
+void RefreshTrainer::OnScored(const BlockRequest& request,
+                              const OnlineDetector::Alert& alert) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (state_ != State::kShadowing) return;  // stale completion after abort
+  auto it = pairs_.find({request.session_seed, request.block_index});
+  if (it == pairs_.end()) return;  // not selected for dual-scoring
+  PairSlot& slot = it->second;
+  const bool fired = std::any_of(alert.labels.begin(), alert.labels.end(),
+                                 [](uint8_t l) { return l != 0; });
+  // Sketch the RAW error channel when the detector exposes it: Eq. 12
+  // self-calibrates `scores` against each block's own error quantile, which
+  // makes the score mean nearly scale-invariant — blind to exactly the
+  // error-level inflation that drift causes. The raw channel keeps the
+  // scale, and both models score the same normalized inputs, so live vs
+  // shadow raw errors are directly comparable.
+  const std::vector<float>& channel =
+      alert.raw_errors.empty() ? alert.scores : alert.raw_errors;
+  if (request.shadow) {
+    slot.shadow_done = true;
+    slot.shadow_alert = fired;
+    slot.shadow_scores = channel;
+  } else {
+    slot.live_done = true;
+    slot.live_alert = fired;
+    slot.live_scores = channel;
+  }
+  if (!slot.live_done || !slot.shadow_done) return;
+
+  for (float v : slot.live_scores) live_sketch_.Add(v);
+  for (float v : slot.shadow_scores) shadow_sketch_.Add(v);
+  agreement_.Record(slot.live_alert, slot.shadow_alert);
+  pairs_.erase(it);
+  ++pairs_done_;
+  if (pairs_done_ >= options_.verdict_pairs) ResolveVerdict(lock);
+}
+
+void RefreshTrainer::ResolveVerdict(std::unique_lock<std::mutex>& lock) {
+  Event event;
+  event.fit_ordinal = fit_ordinal_;
+  event.at_sample = samples_;
+  event.live_version = LiveVersionLocked();
+  event.shadow_version = shadow_model_->version;
+  event.psi = Psi(live_sketch_, shadow_sketch_);
+  event.ks = KsDistance(live_sketch_, shadow_sketch_);
+  event.agreement = agreement_.Rate();
+  event.live_mean = live_sketch_.Mean();
+  event.shadow_mean = shadow_sketch_.Mean();
+  const bool diverged = event.psi >= options_.psi_promote ||
+                        event.ks >= options_.ks_promote;
+  // The shadow must consider current traffic LESS anomalous than the live
+  // model: that is what drift looks like (the live model scores the new
+  // regime high, the refit scores it low). A diverged-but-worse candidate is
+  // a bad fit and must not serve.
+  const bool improved =
+      event.shadow_mean <= options_.mean_ratio_promote * event.live_mean;
+  const bool promote = diverged && improved;
+  const std::shared_ptr<const ModelEntry> shadow = shadow_model_;
+  state_ = State::kResolving;
+  lock.unlock();
+
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  if (promote) {
+    bool failed = false;
+    if (IMDIFF_FAULT("refresh.promote")) {
+      IMDIFF_LOG(Warning) << "injected refresh.promote fault; rolling back "
+                          << "shadow version " << shadow->version;
+      failed = true;
+    }
+    // Checkpoint BEFORE the registry swap: a failed save aborts the
+    // promotion and the previous checkpoint stays intact (SaveParameters
+    // commits by rename), so a restart warm-loads the version that is
+    // actually serving.
+    if (!failed && !options_.checkpoint_path.empty()) {
+      failed = !SaveModelWithRetry(*shadow->detector, options_.checkpoint_path,
+                                   options_.save_backoff);
+    }
+    if (failed) {
+      options_.registry->DropShadow(options_.model_name);
+      metrics.GetCounter("refresh.promote_failures")->Increment();
+      event.kind = Event::Kind::kPromoteFailed;
+    } else {
+      const std::shared_ptr<const ModelEntry> entry =
+          options_.registry->PromoteShadow(options_.model_name);
+      IMDIFF_CHECK(entry != nullptr);
+      // Full hot-swap discipline (DESIGN.md §11/§18): session window caches
+      // cleared and the degradation ladder's cost predictor reset — a
+      // promotion is a model change exactly like a manual publish.
+      server_->SwapModel(entry);
+      metrics.GetCounter("refresh.promotions")->Increment();
+      event.kind = Event::Kind::kPromoted;
+      event.shadow_version = entry->version;  // authoritative promoted number
+    }
+  } else {
+    options_.registry->DropShadow(options_.model_name);
+    metrics.GetCounter("refresh.rollbacks")->Increment();
+    event.kind = Event::Kind::kRolledBack;
+  }
+
+  lock.lock();
+  shadow_model_.reset();
+  pairs_.clear();
+  pairs_done_ = 0;
+  live_sketch_.Reset();
+  shadow_sketch_.Reset();
+  agreement_.Reset();
+  state_ = State::kIdle;
+  AppendEventLocked(event);
+}
+
+bool RefreshTrainer::shadow_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == State::kShadowing;
+}
+
+std::vector<RefreshTrainer::Event> RefreshTrainer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+}  // namespace serve
+}  // namespace imdiff

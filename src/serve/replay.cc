@@ -78,6 +78,7 @@ ReplayStats ReplayThroughServer(std::shared_ptr<const ModelEntry> model,
 
   std::mutex mu;
   auto on_alert = [&](const StreamServer::ScoredBlock& scored) {
+    if (scored.shadow) return;  // drift statistics, not alerts
     std::lock_guard<std::mutex> lock(mu);
     ++stats.alerts;
     if (scored.degrade_level > 0) ++stats.degraded_alerts;
@@ -243,6 +244,8 @@ LoadStats ReplayLoad(std::shared_ptr<const ModelEntry> model,
   Counter* const stash_evictions =
       registry.GetCounter("serve.stash_evictions");
   Counter* const missing_filled = registry.GetCounter("online.missing_filled");
+  Counter* const shadow_blocks = registry.GetCounter("serve.shadow_blocks");
+  const int64_t shadow_blocks0 = shadow_blocks->value();
   const int64_t hits0 = hits->value();
   const int64_t misses0 = misses->value();
   const int64_t evicted0 = evicted->value();
@@ -260,6 +263,11 @@ LoadStats ReplayLoad(std::shared_ptr<const ModelEntry> model,
     }
   }
   auto on_alert = [&](const StreamServer::ScoredBlock& scored) {
+    // Shadow dual-scores are drift-statistics traffic, not alerts: they must
+    // not land in the alert count, the latency spreads, or the assembled
+    // score streams (the streams are the bitwise-parity artifact of the LIVE
+    // serving path).
+    if (scored.shadow) return;
     std::lock_guard<std::mutex> lock(mu);
     ++stats.alerts;
     if (scored.degrade_level > 0) ++stats.degraded_alerts;
@@ -315,6 +323,11 @@ LoadStats ReplayLoad(std::shared_ptr<const ModelEntry> model,
       stats.seconds > 0.0
           ? static_cast<double>(config.total_samples) / stats.seconds
           : 0.0;
+  // The promotion-decision log must be captured before the server (which
+  // owns the trainer) shuts down.
+  if (server.refresh() != nullptr) {
+    stats.refresh_events = server.refresh()->events();
+  }
   server.Shutdown();
 
   // Reduce each tenant's latencies to p50/p99, then summarize the spread of
@@ -344,6 +357,7 @@ LoadStats ReplayLoad(std::shared_ptr<const ModelEntry> model,
       rehydrate_failures->value() - rehydrate_failures0;
   stats.stash_evictions = stash_evictions->value() - stash_evictions0;
   stats.missing_filled = missing_filled->value() - missing_filled0;
+  stats.shadow_blocks = shadow_blocks->value() - shadow_blocks0;
   stats.peak_rss_kb = ProcessPeakRssKb();
   return stats;
 }
@@ -603,6 +617,8 @@ ShardedLoadStats ReplayLoadSharded(ShardRouter& router,
   stats.shed = totals.shed;
   stats.degraded_blocks = totals.degraded_blocks;
   stats.precision_drops = totals.precision_drops;
+  stats.promotions = totals.promotions;
+  stats.shadow_blocks = totals.shadow_blocks;
   // The final barrier flushed every worker and its reader delivered every
   // scored block before the drain result (same FIFO connection), so the
   // callback is quiescent and safe to detach.

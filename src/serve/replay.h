@@ -168,6 +168,12 @@ struct LoadStats {
   int64_t stash_evictions = 0;
   int64_t missing_filled = 0;  // feature values filled by carry-forward
   int64_t peak_rss_kb = -1;    // ProcessPeakRssKb() after the run
+  // Continuous-refresh activity (DESIGN.md §18): shadow dual-scored blocks
+  // (counter delta) and the ordered promotion-decision log, captured before
+  // server shutdown. Shadow blocks are excluded from `alerts`, the latency
+  // spreads, and the assembled score streams.
+  int64_t shadow_blocks = 0;
+  std::vector<RefreshTrainer::Event> refresh_events;
   // Per-tenant score streams (only when LoadConfig::collect_scores).
   std::map<std::string, std::vector<float>> scores;
 };
@@ -228,6 +234,10 @@ struct ShardedLoadStats {
   int64_t shed = 0;
   int64_t degraded_blocks = 0;
   int64_t precision_drops = 0;
+  // Continuous-refresh activity summed over surviving workers (each shard
+  // runs its own refresh loop on its own tenants).
+  int64_t promotions = 0;
+  int64_t shadow_blocks = 0;
   // Chaos / resharding activity during the run.
   int64_t moves = 0;
   int64_t crashes = 0;

@@ -444,6 +444,8 @@ bool ShardRouter::DrainAll(DrainTotals* totals) {
         sums.alerts += result.alerts;
         sums.degraded_blocks += result.degraded_blocks;
         sums.precision_drops += result.precision_drops;
+        sums.promotions += result.promotions;
+        sums.shadow_blocks += result.shadow_blocks;
       }
     }
     if (failed < 0 && options_.snapshot_on_drain) {

@@ -107,6 +107,9 @@ class ShardRouter {
     int64_t alerts = 0;
     int64_t degraded_blocks = 0;
     int64_t precision_drops = 0;
+    // Continuous-refresh activity across live shards (DESIGN.md §18).
+    int64_t promotions = 0;
+    int64_t shadow_blocks = 0;
   };
   // Barrier: drains every live shard (pipelined — shards drain in
   // parallel), then refreshes the stash copies (all-or-nothing) and clears

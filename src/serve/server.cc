@@ -30,6 +30,7 @@ StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
                  scored.block_index = request.block_index;
                  scored.degrade_level = request.degrade_level;
                  scored.precision = request.precision;
+                 scored.shadow = request.shadow;
                  scored.alert = OnlineDetector::MakeAlert(request.ready, result);
                  // Ready-to-alert latency: queueing at the batcher plus the
                  // batched scoring pass — the end-to-end cost the serving
@@ -38,14 +39,25 @@ StreamServer::StreamServer(std::shared_ptr<const ModelEntry> model,
                      std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - request.ready_time)
                          .count();
-                 MetricsRegistry::Global()
-                     .GetHistogram("serve.alert_latency_seconds")
-                     ->Record(scored.latency_seconds);
+                 // Shadow blocks are observability traffic, not alerts: they
+                 // must not skew the alert-latency distribution.
+                 if (!scored.shadow) {
+                   MetricsRegistry::Global()
+                       .GetHistogram("serve.alert_latency_seconds")
+                       ->Record(scored.latency_seconds);
+                 }
+                 if (refresh_) refresh_->OnScored(request, scored.alert);
                  if (on_alert_) on_alert_(scored);
                }),
       on_alert_(std::move(on_alert)) {
   IMDIFF_CHECK_GT(options_.num_workers, 0);
   IMDIFF_CHECK_GT(options_.queue_capacity, 0);
+  shadow_blocks_ = MetricsRegistry::Global().GetCounter("serve.shadow_blocks");
+  if (options_.refresh.enabled) {
+    IMDIFF_CHECK_GT(options_.session.refresh_recent, 0)
+        << "refresh enabled with no recent-sample capture";
+    refresh_ = std::make_unique<RefreshTrainer>(this, options_.refresh);
+  }
   shards_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -127,8 +139,28 @@ void StreamServer::WorkerLoop(Shard* shard) {
       block.precision = rung.precision;
       if (block.degrade_level > 0) degraded_blocks_->Increment();
       if (block.precision != Precision::kF32) precision_drops_->Increment();
-      batcher_.Submit(std::move(block));
+      // Continuous refresh (DESIGN.md §18): while a shadow is staged, a
+      // seeded fraction of full-quality blocks is dual-scored against it.
+      // Degraded rungs are never selected — their live scores would not be
+      // comparable to the shadow's full-quality ones.
+      std::shared_ptr<const ModelEntry> shadow;
+      if (refresh_ && rung.degrade_level == 0 &&
+          rung.precision == Precision::kF32 &&
+          refresh_->BeginShadowScore(block.session_seed, block.block_index,
+                                     &shadow)) {
+        BlockRequest dual;
+        sessions_.DuplicateForShadow(block, std::move(shadow), &dual);
+        shadow_blocks_->Increment();
+        batcher_.Submit(std::move(block));
+        batcher_.Submit(std::move(dual));
+      } else {
+        batcher_.Submit(std::move(block));
+      }
     }
+    // Cadence hook: counts the processed sample and, on a tick, runs the fit
+    // synchronously with this worker blocked on the trainer thread — the
+    // loop's decisions stay a pure function of the stream position.
+    if (refresh_) refresh_->OnSample();
 
     {
       std::lock_guard<std::mutex> lock(shard->mu);
@@ -222,6 +254,8 @@ void StreamServer::Shutdown() {
     if (shard->worker.joinable()) shard->worker.join();
   }
   batcher_.Shutdown();
+  // Workers and batcher are joined: no further fit can be requested.
+  if (refresh_) refresh_->Shutdown();
 }
 
 }  // namespace serve

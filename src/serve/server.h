@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "serve/batcher.h"
+#include "serve/refresh.h"
 #include "serve/session_manager.h"
 
 namespace imdiff {
@@ -66,6 +67,11 @@ class StreamServer {
     int force_precision = -1;
     SessionManager::Options session;
     MicroBatcher::Options batch;
+    // Continuous model refresh (DESIGN.md §18): background retraining on the
+    // sessions' recent-sample window, shadow dual-scoring, drift-gated
+    // auto-promotion. Inert unless refresh.enabled; requires
+    // session.refresh_recent > 0 to have samples to fit on.
+    RefreshOptions refresh;
   };
 
   // A scored block for one tenant.
@@ -83,6 +89,11 @@ class StreamServer {
     // quantity serve.alert_latency_seconds records, surfaced per block so a
     // load generator can aggregate latency per tenant.
     double latency_seconds = 0.0;
+    // Shadow dual-score result (continuous refresh, DESIGN.md §18): scored
+    // against the staged candidate, delivered for observability only.
+    // Consumers must not treat it as an alert; it is excluded from the
+    // alert-latency metric and never forwarded across shard transports.
+    bool shadow = false;
   };
   // Runs on a batcher/worker thread; must be thread-safe and non-blocking
   // (it sits on the scoring path).
@@ -125,6 +136,8 @@ class StreamServer {
 
   SessionManager& sessions() { return sessions_; }
   MicroBatcher& batcher() { return batcher_; }
+  // Null unless Options::refresh.enabled.
+  RefreshTrainer* refresh() { return refresh_.get(); }
   int64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
   int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
@@ -167,8 +180,13 @@ class StreamServer {
   Counter* precision_drops_ = nullptr;     // serve.precision_drops
   FaultPoint* deadline_fault_ = nullptr;   // "serve.deadline" injection point
   FaultPoint* precision_fault_ = nullptr;  // "serve.precision" injection point
+  Counter* shadow_blocks_ = nullptr;       // serve.shadow_blocks
   SessionManager sessions_;
   MicroBatcher batcher_;
+  // Declared after sessions_/batcher_ so it is destroyed first: the trainer
+  // thread reads the session manager. Created in the constructor body, after
+  // the batcher exists and before workers start.
+  std::unique_ptr<RefreshTrainer> refresh_;
   AlertCallback on_alert_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> accepted_{0};

@@ -91,6 +91,7 @@ SessionManager::Session& SessionManager::GetOrCreateLocked(
     // the restored global positions).
     session.online.ImportState(stashed->second.state);
     session.blocks = stashed->second.blocks;
+    session.refresh_recent = std::move(stashed->second.refresh_recent);
     stash_.erase(stashed);
     registry.GetCounter("serve.sessions_rehydrated")->Increment();
     registry.GetGauge("serve.stash_size")
@@ -120,6 +121,7 @@ void SessionManager::MaybeEvictLocked(int64_t incoming) {
     stash.state = victim->second.online.ExportState();
     stash.blocks = victim->second.blocks;
     stash.tick = ++tick_;
+    stash.refresh_recent = std::move(victim->second.refresh_recent);
     stash_[victim->first] = std::move(stash);
     sessions_.erase(victim);
     registry.GetCounter("serve.sessions_evicted")->Increment();
@@ -155,6 +157,29 @@ bool SessionManager::Append(const std::string& tenant,
   std::lock_guard<std::mutex> lock(mu_);
   Session& session = GetOrCreateLocked(tenant);
   session.tick = ++tick_;
+
+  // Refresh-window capture (DESIGN.md §18): retain a sampled subset of
+  // fully observed raw samples for the next candidate fit. The retention
+  // decision is keyed by (refresh seed, session seed, tenant stream
+  // position) — order-independent across tenants and workers — and the
+  // per-tenant deque keeps memory bounded.
+  if (options_.refresh_recent > 0 &&
+      (observed.empty() ||
+       std::all_of(observed.begin(), observed.end(),
+                   [](uint8_t o) { return o != 0; }))) {
+    const uint64_t key =
+        MixSeed(options_.refresh_seed,
+                MixSeed(session.seed,
+                        static_cast<uint64_t>(session.online.total_samples())));
+    if (options_.refresh_sample_rate >= 1.0 ||
+        static_cast<double>(key) * 0x1.0p-64 < options_.refresh_sample_rate) {
+      session.refresh_recent.push_back(sample);
+      while (static_cast<int64_t>(session.refresh_recent.size()) >
+             options_.refresh_recent) {
+        session.refresh_recent.pop_front();
+      }
+    }
+  }
 
   OnlineDetector::ReadyBlock ready;
   if (!session.online.AppendBuffered(sample, observed, &ready)) return false;
@@ -203,6 +228,9 @@ void SessionManager::CompleteBlock(const BlockRequest& request) {
   IMDIFF_CHECK_GT(session.pending, 0);
   --session.pending;
   if (!options_.cache_window_scores) return;
+  // Shadow dual-scores never touch the cache: cached entries are reused as
+  // live full-quality scores, and these belong to the staged candidate.
+  if (request.shadow) return;
   // A hot swap between ready and completion invalidates the write-back: the
   // scores belong to the old version, the cache to the new one.
   if (request.model != model_) return;
@@ -228,6 +256,72 @@ void SessionManager::CompleteBlock(const BlockRequest& request) {
     session.cache.erase(session.cache.begin(),
                         session.cache.lower_bound(min_keep));
   }
+}
+
+void SessionManager::DuplicateForShadow(
+    const BlockRequest& live, std::shared_ptr<const ModelEntry> shadow_model,
+    BlockRequest* out) {
+  IMDIFF_CHECK(out != nullptr);
+  IMDIFF_CHECK(shadow_model != nullptr && shadow_model->detector != nullptr);
+  // The plan (window starts and seeds) was laid out for the live model's
+  // window/stride; it is only valid against a shadow with the same geometry.
+  IMDIFF_CHECK_EQ(shadow_model->detector->config().model.window,
+                  live.model->detector->config().model.window);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(live.tenant);
+  IMDIFF_CHECK(it != sessions_.end()) << "shadow of an unknown session";
+  IMDIFF_CHECK_GT(it->second.pending, 0)
+      << "shadow duplicate of a block not in flight";
+  *out = live;
+  out->model = std::move(shadow_model);
+  out->shadow = true;
+  // No cache prefill: the session cache holds live-version scores.
+  out->scores.assign(out->plan.seeds.size(), {});
+  out->hit.assign(out->plan.seeds.size(), 0);
+  ++it->second.pending;
+  ++pending_total_;
+}
+
+bool SessionManager::CollectRefreshSegments(int64_t min_rows,
+                                            std::vector<Tensor>* out) const {
+  IMDIFF_CHECK(out != nullptr);
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Tenant-name-ordered merge over resident and stashed sessions (a tenant
+  // is in exactly one of the two maps), so the assembled corpus is a pure
+  // function of per-session state.
+  std::vector<const std::deque<std::vector<float>>*> sources;
+  auto resident = sessions_.begin();
+  auto stashed = stash_.begin();
+  while (resident != sessions_.end() || stashed != stash_.end()) {
+    const std::deque<std::vector<float>>* recent = nullptr;
+    if (stashed == stash_.end() ||
+        (resident != sessions_.end() && resident->first < stashed->first)) {
+      recent = &resident->second.refresh_recent;
+      ++resident;
+    } else {
+      recent = &stashed->second.refresh_recent;
+      ++stashed;
+    }
+    if (static_cast<int64_t>(recent->size()) < std::max<int64_t>(min_rows, 1))
+      continue;
+    sources.push_back(recent);
+  }
+  if (sources.empty()) return false;
+  const int64_t k = static_cast<int64_t>(sources.front()->front().size());
+  out->reserve(sources.size());
+  for (const auto* recent : sources) {
+    Tensor segment =
+        Tensor::Uninitialized({static_cast<int64_t>(recent->size()), k});
+    float* dst = segment.mutable_data();
+    for (const std::vector<float>& row : *recent) {
+      IMDIFF_CHECK_EQ(static_cast<int64_t>(row.size()), k);
+      std::copy(row.begin(), row.end(), dst);
+      dst += k;
+    }
+    out->push_back(std::move(segment));
+  }
+  return true;
 }
 
 void SessionManager::SwapModel(std::shared_ptr<const ModelEntry> model) {
@@ -262,8 +356,9 @@ int64_t SessionManager::pending_blocks() const {
 namespace {
 
 // Bump on any layout change: a version mismatch fails the decode cleanly
-// instead of misreading a foreign process's bytes.
-constexpr uint8_t kSessionWireVersion = 1;
+// instead of misreading a foreign process's bytes. v2 appended the tenant's
+// refresh-window samples (continuous refresh, DESIGN.md §18).
+constexpr uint8_t kSessionWireVersion = 2;
 
 }  // namespace
 
@@ -279,6 +374,8 @@ std::vector<uint8_t> SerializeSession(const SessionSnapshot& snapshot) {
   w.U32(static_cast<uint32_t>(snapshot.state.buffer.size()));
   for (const std::vector<float>& row : snapshot.state.buffer) w.FloatVec(row);
   w.FloatVec(snapshot.state.fill);
+  w.U32(static_cast<uint32_t>(snapshot.refresh_recent.size()));
+  for (const std::vector<float>& row : snapshot.refresh_recent) w.FloatVec(row);
   return w.Take();
 }
 
@@ -303,8 +400,17 @@ bool DeserializeSession(const std::vector<uint8_t>& bytes,
     out->state.buffer.push_back(std::move(row));
   }
   r.FloatVec(&out->state.fill);
+  uint32_t refresh_rows = 0;
+  r.U32(&refresh_rows);
+  out->refresh_recent.clear();
+  for (uint32_t i = 0; i < refresh_rows && r.ok(); ++i) {
+    std::vector<float> row;
+    if (!r.FloatVec(&row)) return false;
+    out->refresh_recent.push_back(std::move(row));
+  }
   return r.ok() && r.remaining() == 0 &&
-         out->state.buffer.size() == rows;
+         out->state.buffer.size() == rows &&
+         out->refresh_recent.size() == refresh_rows;
 }
 
 bool SessionManager::SnapshotSession(const std::string& tenant,
@@ -316,12 +422,16 @@ bool SessionManager::SnapshotSession(const std::string& tenant,
     if (resident->second.pending > 0) return false;  // drain first
     out->state = resident->second.online.ExportState();
     out->blocks = resident->second.blocks;
+    out->refresh_recent.assign(resident->second.refresh_recent.begin(),
+                               resident->second.refresh_recent.end());
     return true;
   }
   auto stashed = stash_.find(tenant);
   if (stashed == stash_.end()) return false;
   out->state = stashed->second.state;
   out->blocks = stashed->second.blocks;
+  out->refresh_recent.assign(stashed->second.refresh_recent.begin(),
+                             stashed->second.refresh_recent.end());
   return true;
 }
 
@@ -335,6 +445,8 @@ bool SessionManager::ExportSession(const std::string& tenant,
     if (resident->second.pending > 0) return false;
     out->state = resident->second.online.ExportState();
     out->blocks = resident->second.blocks;
+    out->refresh_recent.assign(resident->second.refresh_recent.begin(),
+                               resident->second.refresh_recent.end());
     sessions_.erase(resident);
     registry.GetCounter("serve.sessions_exported")->Increment();
     return true;
@@ -343,6 +455,8 @@ bool SessionManager::ExportSession(const std::string& tenant,
   if (stashed == stash_.end()) return false;
   out->state = std::move(stashed->second.state);
   out->blocks = stashed->second.blocks;
+  out->refresh_recent.assign(stashed->second.refresh_recent.begin(),
+                             stashed->second.refresh_recent.end());
   stash_.erase(stashed);
   registry.GetCounter("serve.sessions_exported")->Increment();
   registry.GetGauge("serve.stash_size")
@@ -365,6 +479,8 @@ void SessionManager::ImportSession(const std::string& tenant,
   Stash stash;
   stash.state = snapshot.state;
   stash.blocks = snapshot.blocks;
+  stash.refresh_recent.assign(snapshot.refresh_recent.begin(),
+                              snapshot.refresh_recent.end());
   stash.tick = ++tick_;  // newest: an over-cap drop evicts older stashes
   stash_[tenant] = std::move(stash);
   registry.GetCounter("serve.sessions_imported")->Increment();

@@ -28,6 +28,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -91,6 +92,12 @@ struct BlockRequest {
   // (tagged on the ScoredBlock) but never written back to the window-score
   // cache — cached entries are reused as full-quality scores.
   Precision precision = Precision::kF32;
+  // Shadow dual-score request (continuous refresh, DESIGN.md §18): the block
+  // is scored against the staged shadow model for drift statistics only.
+  // Shadow results are tagged end-to-end, excluded from the alert stream,
+  // and — like degraded and reduced-precision scores — never written back to
+  // the window-score cache (the cache belongs to the live version).
+  bool shadow = false;
 };
 
 // Cross-process session state (DESIGN.md §16): everything needed to continue
@@ -103,6 +110,10 @@ struct BlockRequest {
 struct SessionSnapshot {
   OnlineDetector::State state;
   int64_t blocks = 0;
+  // The tenant's sampled recent raw samples for refresh fits (oldest first);
+  // travels with the session so resharding moves and crash recovery keep the
+  // refresh window's content intact (DESIGN.md §18).
+  std::vector<std::vector<float>> refresh_recent;
 };
 
 // Byte round-trip of a snapshot in the net wire format — what the shard
@@ -136,6 +147,17 @@ class SessionManager {
     // every entry — the reference for the cache-prune property test, which
     // asserts the pruned run hits exactly as often as the unbounded one.
     bool prune_window_cache = true;
+    // --- Continuous-refresh sample window (DESIGN.md §18) ----------------
+    // Per-tenant cap of recent RAW samples retained for refresh fits
+    // (sampled at ingest, oldest dropped first); 0 disables capture. Only
+    // fully observed samples are retained — a partially observed sample's
+    // raw values at missing features are garbage by contract.
+    int64_t refresh_recent = 0;
+    // Retention probability per eligible sample. The decision is a pure
+    // function of (refresh_seed, session seed, tenant stream position), so
+    // window membership is independent of worker interleaving.
+    double refresh_sample_rate = 1.0;
+    uint64_t refresh_seed = 0x52454652;  // "REFR"
   };
 
   SessionManager(std::shared_ptr<const ModelEntry> model,
@@ -157,6 +179,28 @@ class SessionManager {
   // Batcher write-back: stores freshly computed window scores in the
   // session's cache and releases the in-flight hold.
   void CompleteBlock(const BlockRequest& request);
+
+  // Clones a just-planned live block into a shadow dual-score request
+  // against `shadow_model` (DESIGN.md §18): same windows, same seeds — so
+  // live and shadow score distributions are comparable noise-for-noise —
+  // but no cache prefill (the session cache holds live-version scores) and
+  // the shadow tag set. Takes a second in-flight hold on the session; the
+  // batcher releases it through CompleteBlock like any other block. `live`
+  // must still be in flight (call between Append and the batcher Submit).
+  void DuplicateForShadow(const BlockRequest& live,
+                          std::shared_ptr<const ModelEntry> shadow_model,
+                          BlockRequest* out);
+
+  // Assembles the refresh fit corpus: one [rows, K] segment per tenant's
+  // retained recent raw samples (resident and stashed), in tenant-name
+  // order — a pure function of session state, independent of call timing.
+  // Each segment is CONTIGUOUS within one tenant's stream; tenants with
+  // fewer than `min_rows` retained samples are skipped (their snippets are
+  // too short to cut a training window from, and concatenating them across
+  // tenants would train on artificial discontinuities). Returns false when
+  // no tenant qualifies.
+  bool CollectRefreshSegments(int64_t min_rows,
+                              std::vector<Tensor>* out) const;
 
   // Hot swap: blocks becoming ready after this call score against `model`;
   // blocks already in flight keep the version they captured. Session window
@@ -203,11 +247,15 @@ class SessionManager {
     uint64_t tick = 0;    // LRU stamp
     int pending = 0;      // blocks in flight at the batcher
     std::map<int64_t, ImDiffusionDetector::WindowScore> cache;
+    // Sampled recent raw samples for refresh fits (oldest first, capped at
+    // options.refresh_recent).
+    std::deque<std::vector<float>> refresh_recent;
   };
   struct Stash {
     OnlineDetector::State state;
     int64_t blocks = 0;
     uint64_t tick = 0;  // eviction-order stamp for the stash cap's LRU drop
+    std::deque<std::vector<float>> refresh_recent;
   };
 
   Session& GetOrCreateLocked(const std::string& tenant);

@@ -56,6 +56,10 @@ int RunShardWorker(const WorkerOptions& options) {
       "serve.degraded_blocks");
   Counter* precision_drops = MetricsRegistry::Global().GetCounter(
       "serve.precision_drops");
+  Counter* promotions = MetricsRegistry::Global().GetCounter(
+      "refresh.promotions");
+  Counter* shadow_blocks = MetricsRegistry::Global().GetCounter(
+      "serve.shadow_blocks");
 
   ModelRegistry registry;
   std::unique_ptr<StreamServer> server;
@@ -66,6 +70,12 @@ int RunShardWorker(const WorkerOptions& options) {
 
   auto on_alert = [&](const StreamServer::ScoredBlock& block) {
     if (suppress_alerts.load(std::memory_order_relaxed)) return;
+    // Shadow dual-scores (continuous refresh, DESIGN.md §18) stay inside the
+    // worker: they exist for this shard's drift statistics, and forwarding
+    // them would corrupt the router's positional score assembly (a shadow
+    // block covers the same positions as its live twin with different
+    // scores — a guaranteed conflict).
+    if (block.shadow) return;
     net::ScoredBlockMsg msg;
     msg.tenant = block.tenant;
     msg.block_index = block.block_index;
@@ -100,8 +110,14 @@ int RunShardWorker(const WorkerOptions& options) {
         if (result.version > 0) {
           std::shared_ptr<const ModelEntry> model = registry.Acquire(m.name);
           if (server == nullptr) {
-            server = std::make_unique<StreamServer>(model, options.serve,
-                                                    on_alert);
+            // The refresh loop targets whatever name the router published:
+            // the registry handle and model name can only be bound here.
+            StreamServer::Options serve = options.serve;
+            if (serve.refresh.enabled) {
+              serve.refresh.registry = &registry;
+              serve.refresh.model_name = m.name;
+            }
+            server = std::make_unique<StreamServer>(model, serve, on_alert);
           } else {
             server->SwapModel(model);
           }
@@ -146,6 +162,8 @@ int RunShardWorker(const WorkerOptions& options) {
         result.alerts = alert_blocks.load(std::memory_order_relaxed);
         result.degraded_blocks = degraded->value();
         result.precision_drops = precision_drops->value();
+        result.promotions = promotions->value();
+        result.shadow_blocks = shadow_blocks->value();
         channel.Send(net::Encode(result));
         break;
       }

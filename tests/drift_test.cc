@@ -1,0 +1,161 @@
+#include "metrics/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "utils/rng.h"
+
+namespace imdiff {
+namespace {
+
+// True rank of `value` in `sorted` (number of elements <= value).
+double ExactRank(const std::vector<double>& sorted, double value) {
+  return static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), value) - sorted.begin());
+}
+
+std::vector<double> GaussianSamples(uint64_t seed, int n, double mean,
+                                    double stddev) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    values.push_back(rng.Normal(mean, stddev));
+  }
+  return values;
+}
+
+TEST(QuantileSketchTest, RankErrorWithinEpsilonBound) {
+  const double eps = 0.01;
+  const int n = 5000;
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) values.push_back(rng.Uniform());
+
+  QuantileSketch sketch(eps);
+  for (double v : values) sketch.Add(v);
+  ASSERT_EQ(sketch.count(), n);
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double estimate = sketch.Quantile(q);
+    const double rank = ExactRank(sorted, estimate);
+    // GK guarantees eps * n rank error; allow a small slack for the midpoint
+    // tie-break at the boundaries.
+    EXPECT_NEAR(rank, q * n, 2.0 * eps * n) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, ExactExtremaAndMean) {
+  QuantileSketch sketch(0.02);
+  double sum = 0.0;
+  for (int i = 100; i >= 1; --i) {
+    sketch.Add(static_cast<double>(i));
+    sum += i;
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 100.0);
+  EXPECT_DOUBLE_EQ(sketch.Mean(), sum / 100.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), sketch.min());
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), sketch.max());
+}
+
+TEST(QuantileSketchTest, DeterministicInInsertionSequence) {
+  const std::vector<double> values = GaussianSamples(11, 3000, 0.0, 1.0);
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  for (double v : values) a.Add(v);
+  for (double v : values) b.Add(v);
+  for (int i = 0; i <= 20; ++i) {
+    const double q = i / 20.0;
+    // Bitwise: same insertion sequence, same summary, same answers.
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(a.Rank(0.5), b.Rank(0.5));
+}
+
+TEST(QuantileSketchTest, CdfMonotoneAndBounded) {
+  QuantileSketch sketch(0.02);
+  for (double v : GaussianSamples(3, 2000, 5.0, 2.0)) sketch.Add(v);
+  double prev = -1.0;
+  for (int i = 0; i <= 40; ++i) {
+    const double x = -3.0 + 16.0 * i / 40.0;
+    const double c = sketch.Cdf(x);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(sketch.Cdf(sketch.max()), 1.0);
+}
+
+TEST(DriftTest, PsiNearZeroForMatchingDistributions) {
+  QuantileSketch expected(0.01);
+  QuantileSketch actual(0.01);
+  for (double v : GaussianSamples(21, 4000, 0.0, 1.0)) expected.Add(v);
+  for (double v : GaussianSamples(22, 4000, 0.0, 1.0)) actual.Add(v);
+  EXPECT_LT(Psi(expected, actual), 0.05);
+}
+
+TEST(DriftTest, PsiLargeForShiftedDistribution) {
+  QuantileSketch expected(0.01);
+  QuantileSketch shifted(0.01);
+  for (double v : GaussianSamples(31, 4000, 0.0, 1.0)) expected.Add(v);
+  for (double v : GaussianSamples(32, 4000, 2.0, 1.0)) shifted.Add(v);
+  // A two-sigma mean shift is far past the conventional 0.25 "material
+  // shift" reading.
+  EXPECT_GT(Psi(expected, shifted), 1.0);
+}
+
+TEST(DriftTest, PsiEmptySketchIsZero) {
+  QuantileSketch empty(0.01);
+  QuantileSketch full(0.01);
+  for (double v : GaussianSamples(41, 100, 0.0, 1.0)) full.Add(v);
+  EXPECT_EQ(Psi(empty, full), 0.0);
+  EXPECT_EQ(Psi(full, empty), 0.0);
+}
+
+TEST(DriftTest, KsMatchesAnalyticValueForShiftedGaussians) {
+  QuantileSketch a(0.005);
+  QuantileSketch b(0.005);
+  for (double v : GaussianSamples(51, 8000, 0.0, 1.0)) a.Add(v);
+  for (double v : GaussianSamples(52, 8000, 1.0, 1.0)) b.Add(v);
+  // KS of N(0,1) vs N(1,1) is 2*Phi(0.5) - 1 ~= 0.3829.
+  EXPECT_NEAR(KsDistance(a, b), 0.3829, 0.05);
+}
+
+TEST(DriftTest, KsNearZeroForMatchingDistributions) {
+  QuantileSketch a(0.005);
+  QuantileSketch b(0.005);
+  for (double v : GaussianSamples(61, 8000, 0.0, 1.0)) a.Add(v);
+  for (double v : GaussianSamples(62, 8000, 0.0, 1.0)) b.Add(v);
+  EXPECT_LT(KsDistance(a, b), 0.05);
+}
+
+TEST(DriftTest, AgreementRateZeroAlertEdgeCases) {
+  AlertAgreement agreement;
+  // No pairs yet: no evidence of divergence.
+  EXPECT_DOUBLE_EQ(agreement.Rate(), 1.0);
+
+  // All-normal stream: both models silent on every pair is full agreement.
+  for (int i = 0; i < 10; ++i) agreement.Record(false, false);
+  EXPECT_EQ(agreement.pairs(), 10);
+  EXPECT_DOUBLE_EQ(agreement.Rate(), 1.0);
+
+  agreement.Record(true, false);
+  agreement.Record(false, true);
+  agreement.Record(true, true);
+  EXPECT_EQ(agreement.pairs(), 13);
+  EXPECT_DOUBLE_EQ(agreement.Rate(), 11.0 / 13.0);
+
+  agreement.Reset();
+  EXPECT_EQ(agreement.pairs(), 0);
+  EXPECT_DOUBLE_EQ(agreement.Rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace imdiff

@@ -1,0 +1,520 @@
+// Continuous-refresh tests (src/serve/refresh, DESIGN.md §18): shadow block
+// tagging and live-path isolation, the stale-cache-across-promotion
+// regression, fault recovery at every refresh fault point, and the two-run
+// bitwise determinism contract of the promotion decision log.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online_detector.h"
+#include "data/benchmarks.h"
+#include "serve/model_registry.h"
+#include "serve/refresh.h"
+#include "serve/replay.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "utils/fault.h"
+#include "utils/metrics.h"
+
+namespace imdiff {
+namespace {
+
+using serve::BlockRequest;
+using serve::ModelEntry;
+using serve::ModelRegistry;
+using serve::RefreshTrainer;
+using serve::SessionManager;
+using serve::StreamServer;
+using serve::TenantStream;
+
+using Event = RefreshTrainer::Event;
+
+// Tiny configuration (see serve_test.cc) with stochastic sampling ON so the
+// shadow dual-score shares the live block's seeded noise streams.
+ImDiffusionConfig RefreshTinyConfig(uint64_t seed) {
+  ImDiffusionConfig config;
+  config.model.window = 40;
+  config.model.hidden = 16;
+  config.model.num_blocks = 1;
+  config.model.num_heads = 2;
+  config.model.ff_dim = 32;
+  config.model.step_embed_dim = 16;
+  config.model.side_dim = 8;
+  config.schedule.num_steps = 6;
+  config.schedule.beta_end = 0.7f;
+  config.num_masked_windows = 2;
+  config.epochs = 4;
+  config.batch_size = 4;
+  config.train_stride = 10;
+  config.vote_last_steps = 4;
+  config.vote_stride = 1;
+  config.stochastic_sampling = true;
+  config.seed = seed;
+  return config;
+}
+
+// One shared fitted live model for the suite (fitting dominates test time).
+std::shared_ptr<const ModelEntry> SharedModel() {
+  static const std::shared_ptr<const ModelEntry> entry = [] {
+    const MtsDataset history = MakeMicroserviceLatencyDataset(
+        /*seed=*/3, /*num_services=*/3, /*train_length=*/240,
+        /*test_length=*/1);
+    auto e = std::make_shared<ModelEntry>();
+    e->name = "latency";
+    e->version = 1;
+    e->stats = FitMinMax(history.train);
+    auto detector = std::make_shared<ImDiffusionDetector>(RefreshTinyConfig(11));
+    detector->Fit(ApplyMinMax(history.train, e->stats));
+    e->detector = std::move(detector);
+    return e;
+  }();
+  return entry;
+}
+
+// A second fitted model with different weights but the SAME normalization
+// stats, so a stale cache entry from version 1 is numerically detectable
+// after a swap to version 2.
+std::shared_ptr<const ModelEntry> AltModel() {
+  static const std::shared_ptr<const ModelEntry> entry = [] {
+    const MtsDataset history = MakeMicroserviceLatencyDataset(
+        /*seed=*/3, /*num_services=*/3, /*train_length=*/240,
+        /*test_length=*/1);
+    auto e = std::make_shared<ModelEntry>();
+    e->name = "latency";
+    e->version = 2;
+    e->stats = SharedModel()->stats;
+    auto detector = std::make_shared<ImDiffusionDetector>(RefreshTinyConfig(29));
+    detector->Fit(ApplyMinMax(history.train, e->stats));
+    e->detector = std::move(detector);
+    return e;
+  }();
+  return entry;
+}
+
+TenantStream MakeStream(const std::string& tenant, uint64_t seed,
+                        int64_t length) {
+  TenantStream stream;
+  stream.tenant = tenant;
+  stream.samples = MakeMicroserviceLatencyDataset(seed, /*num_services=*/3,
+                                                  /*train_length=*/1,
+                                                  /*test_length=*/length)
+                       .test;
+  return stream;
+}
+
+int64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+// Thread-safe scored-block collector (the callback runs on batcher threads).
+struct BlockLog {
+  std::mutex mu;
+  std::vector<StreamServer::ScoredBlock> blocks;
+
+  StreamServer::AlertCallback Callback() {
+    return [this](const StreamServer::ScoredBlock& block) {
+      std::lock_guard<std::mutex> lock(mu);
+      blocks.push_back(block);
+    };
+  }
+  // Assembled live (non-shadow) score stream for one tenant, in block order.
+  std::vector<float> LiveScores(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::map<int64_t, const StreamServer::ScoredBlock*> ordered;
+    for (const auto& block : blocks) {
+      if (block.shadow || block.tenant != tenant) continue;
+      ordered[block.block_index] = &block;
+    }
+    std::vector<float> scores;
+    for (const auto& [index, block] : ordered) {
+      scores.insert(scores.end(), block->alert.scores.begin(),
+                    block->alert.scores.end());
+    }
+    return scores;
+  }
+  int64_t ShadowCount() {
+    std::lock_guard<std::mutex> lock(mu);
+    int64_t n = 0;
+    for (const auto& block : blocks) n += block.shadow ? 1 : 0;
+    return n;
+  }
+};
+
+// Worker=1 base options with drain-point-only batcher flushes: every refresh
+// decision then resolves at a Drain() call, a pure function of the stream.
+StreamServer::Options RefreshBaseOptions() {
+  StreamServer::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 4096;
+  options.session.online.block = 20;
+  options.session.online.context = 40;
+  options.session.seed_base = 7;
+  options.session.refresh_recent = 128;
+  options.batch.max_batch_windows = INT64_C(1) << 30;
+  options.batch.flush_window_seconds = 1e9;
+  return options;
+}
+
+void ArmRefresh(StreamServer::Options* options, ModelRegistry* registry,
+                int64_t refresh_every, int64_t verdict_pairs) {
+  options->refresh.enabled = true;
+  options->refresh.registry = registry;
+  options->refresh.model_name = "latency";
+  options->refresh.refresh_every = refresh_every;
+  options->refresh.fit_epochs = 1;
+  options->refresh.verdict_pairs = verdict_pairs;
+  options->refresh.shadow_fraction = 1.0;
+}
+
+std::shared_ptr<const ModelEntry> PublishLive(ModelRegistry* registry) {
+  std::shared_ptr<const ModelEntry> base = SharedModel();
+  registry->Publish("latency", base->detector, base->stats);
+  return registry->Acquire("latency");
+}
+
+// Submits samples [begin, end) of `stream`, then drains: a deterministic
+// flush point at which pending blocks score and verdicts resolve.
+void SubmitChunkAndDrain(StreamServer* server, const TenantStream& stream,
+                         int64_t begin, int64_t end) {
+  const int64_t k = stream.samples.dim(1);
+  const float* p = stream.samples.data();
+  for (int64_t t = begin; t < end; ++t) {
+    std::vector<float> sample(p + t * k, p + (t + 1) * k);
+    ASSERT_TRUE(server->Submit(stream.tenant, std::move(sample)));
+  }
+  server->Drain();
+}
+
+int64_t CountEvents(const std::vector<Event>& events, Event::Kind kind) {
+  int64_t n = 0;
+  for (const Event& event : events) n += event.kind == kind ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Refresh window collection
+
+TEST(RefreshWindowTest, CollectRefreshSegmentsSkipsShortTenants) {
+  StreamServer::Options base = RefreshBaseOptions();
+  base.session.refresh_recent = 64;
+  SessionManager sessions(SharedModel(), base.session);
+
+  const TenantStream long_a = MakeStream("a", 21, 50);
+  const TenantStream long_b = MakeStream("b", 22, 50);
+  const TenantStream short_c = MakeStream("c", 23, 10);
+  BlockRequest request;
+  for (const TenantStream* stream : {&long_b, &long_a, &short_c}) {
+    const int64_t k = stream->samples.dim(1);
+    const float* p = stream->samples.data();
+    for (int64_t t = 0; t < stream->samples.dim(0); ++t) {
+      sessions.Append(stream->tenant,
+                      std::vector<float>(p + t * k, p + (t + 1) * k), &request);
+    }
+  }
+
+  // min_rows = model window: "c" (10 rows) is skipped, "a" and "b" qualify,
+  // in tenant-name order, each one contiguous [rows, K] segment.
+  std::vector<Tensor> segments;
+  ASSERT_TRUE(sessions.CollectRefreshSegments(40, &segments));
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].dim(0), 50);
+  EXPECT_EQ(segments[1].dim(0), 50);
+  const float* a = long_a.samples.data();
+  const float* got = segments[0].data();
+  for (int64_t i = 0; i < segments[0].numel(); ++i) {
+    ASSERT_EQ(got[i], a[i]) << "segment 0 is not tenant a's raw rows at " << i;
+  }
+
+  // No tenant retains 60 rows -> nothing to fit on.
+  EXPECT_FALSE(sessions.CollectRefreshSegments(60, &segments));
+  EXPECT_TRUE(segments.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shadow scoring
+
+TEST(RefreshShadowTest, ShadowBlocksAreTaggedAndLeaveLiveScoresUntouched) {
+  ModelRegistry registry;
+  std::shared_ptr<const ModelEntry> live = PublishLive(&registry);
+  StreamServer::Options options = RefreshBaseOptions();
+  // A verdict that never resolves keeps the shadow active for the whole run.
+  ArmRefresh(&options, &registry, /*refresh_every=*/100,
+             /*verdict_pairs=*/1000000);
+
+  const TenantStream stream = MakeStream("t0", 5, 400);
+  const int64_t shadow_before = CounterValue("serve.shadow_blocks");
+  BlockLog log;
+  StreamServer server(live, options, log.Callback());
+  for (int64_t begin = 0; begin < 400; begin += 100) {
+    SubmitChunkAndDrain(&server, stream, begin, begin + 100);
+  }
+  ASSERT_NE(server.refresh(), nullptr);
+  EXPECT_TRUE(server.refresh()->shadow_active());
+  const std::vector<Event> events = server.refresh()->events();
+  server.Shutdown();
+
+  EXPECT_GE(CountEvents(events, Event::Kind::kShadowStaged), 1);
+  EXPECT_EQ(CountEvents(events, Event::Kind::kPromoted), 0);
+  EXPECT_GT(log.ShadowCount(), 0);
+  EXPECT_EQ(CounterValue("serve.shadow_blocks") - shadow_before,
+            log.ShadowCount());
+
+  // Every shadow block is full quality and pairs with a live block of the
+  // same ordinal (same windows, same seeds).
+  std::map<int64_t, int> live_blocks;
+  {
+    std::lock_guard<std::mutex> lock(log.mu);
+    for (const auto& block : log.blocks) {
+      if (!block.shadow) live_blocks[block.block_index] += 1;
+    }
+    for (const auto& block : log.blocks) {
+      if (!block.shadow) continue;
+      EXPECT_EQ(block.degrade_level, 0);
+      EXPECT_EQ(block.precision, Precision::kF32);
+      EXPECT_EQ(live_blocks.count(block.block_index), 1u) << block.block_index;
+    }
+  }
+
+  // Dual-scoring is observability-only: the live score stream must be
+  // bitwise identical to the serial no-refresh ground truth. A shadow score
+  // leaking into the window-score cache would corrupt later live blocks and
+  // fail this comparison.
+  const std::vector<float> serial = serve::ReplaySerial(
+      *live, options.session.online, options.session.seed_base, stream);
+  EXPECT_EQ(serial, log.LiveScores("t0"));
+}
+
+// ---------------------------------------------------------------------------
+// Stale-cache-across-promotion regression
+
+// A promotion hot-swaps the model under sessions whose window-score caches
+// hold OLD-version scores; reusing them would splice version-1 scores into
+// version-2 blocks. The fix clears resident caches in SwapModel, so a swap
+// mid-stream must be bitwise equivalent to the same swap with the cache
+// disabled entirely.
+TEST(RefreshPromotionTest, SwapModelInvalidatesWindowScoreCache) {
+  const TenantStream stream = MakeStream("t0", 9, 240);
+  auto run = [&stream](bool cache_enabled) {
+    StreamServer::Options options = RefreshBaseOptions();
+    options.session.cache_window_scores = cache_enabled;
+    BlockLog log;
+    StreamServer server(SharedModel(), options, log.Callback());
+    SubmitChunkAndDrain(&server, stream, 0, 120);
+    if (cache_enabled) {
+      EXPECT_GT(server.sessions().cached_window_scores(), 0);
+    }
+    server.SwapModel(AltModel());
+    // The regression: any version-1 entry surviving the swap would be
+    // served as a version-2 score in the overlap windows below.
+    EXPECT_EQ(server.sessions().cached_window_scores(), 0);
+    SubmitChunkAndDrain(&server, stream, 120, 240);
+    server.Shutdown();
+    return log.LiveScores("t0");
+  };
+  const std::vector<float> cached = run(/*cache_enabled=*/true);
+  const std::vector<float> uncached = run(/*cache_enabled=*/false);
+  ASSERT_EQ(cached.size(), 240u);
+  EXPECT_EQ(cached, uncached);
+}
+
+TEST(RefreshPromotionTest, AlwaysPromoteVerdictHotSwapsAndKeepsServing) {
+  ModelRegistry registry;
+  std::shared_ptr<const ModelEntry> live = PublishLive(&registry);
+  StreamServer::Options options = RefreshBaseOptions();
+  ArmRefresh(&options, &registry, /*refresh_every=*/100, /*verdict_pairs=*/2);
+  // Force-promote thresholds: any divergence counts (psi >= 0 always) and
+  // the improvement gate accepts any mean ratio.
+  options.refresh.psi_promote = 0.0;
+  options.refresh.mean_ratio_promote = 1e9;
+
+  const TenantStream stream = MakeStream("t0", 5, 400);
+  BlockLog log;
+  StreamServer server(live, options, log.Callback());
+  for (int64_t begin = 0; begin < 400; begin += 100) {
+    SubmitChunkAndDrain(&server, stream, begin, begin + 100);
+  }
+  const std::vector<Event> events = server.refresh()->events();
+  const int64_t live_version = server.sessions().model()->version;
+  server.Shutdown();
+
+  ASSERT_GE(CountEvents(events, Event::Kind::kPromoted), 1);
+  EXPECT_GE(registry.latest_version("latency"), 2);
+  EXPECT_EQ(live_version, registry.latest_version("latency"));
+  // The first promotion swaps version 1 -> 2 and records the verdict inputs.
+  for (const Event& event : events) {
+    if (event.kind != Event::Kind::kPromoted) continue;
+    EXPECT_EQ(event.live_version, event.shadow_version - 1);
+    EXPECT_GT(event.shadow_mean, 0.0);
+    EXPECT_GT(event.live_mean, 0.0);
+    break;
+  }
+  // Serving continued after the swap: blocks past the promotion point were
+  // delivered (400 samples / block 20 = 20 live blocks).
+  EXPECT_EQ(log.LiveScores("t0").size(), 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault recovery
+
+TEST(RefreshFaultTest, FitFaultKeepsServingTheLiveVersion) {
+  ModelRegistry registry;
+  std::shared_ptr<const ModelEntry> live = PublishLive(&registry);
+  StreamServer::Options options = RefreshBaseOptions();
+  ArmRefresh(&options, &registry, /*refresh_every=*/100, /*verdict_pairs=*/2);
+
+  const int64_t failures_before = CounterValue("refresh.fit_failures");
+  FaultScope faults("refresh.fit:1", 5);
+  const TenantStream stream = MakeStream("t0", 5, 300);
+  BlockLog log;
+  StreamServer server(live, options, log.Callback());
+  for (int64_t begin = 0; begin < 300; begin += 100) {
+    SubmitChunkAndDrain(&server, stream, begin, begin + 100);
+  }
+  const std::vector<Event> events = server.refresh()->events();
+  server.Shutdown();
+
+  // Every cadence tick retried the fit, failed, and kept serving.
+  EXPECT_GE(CountEvents(events, Event::Kind::kFitFailed), 2);
+  EXPECT_EQ(CountEvents(events, Event::Kind::kShadowStaged), 0);
+  EXPECT_GE(CounterValue("refresh.fit_failures") - failures_before, 2);
+  EXPECT_EQ(log.ShadowCount(), 0);
+  EXPECT_EQ(registry.latest_version("latency"), 1);
+  const std::vector<float> serial = serve::ReplaySerial(
+      *live, options.session.online, options.session.seed_base, stream);
+  EXPECT_EQ(serial, log.LiveScores("t0"));
+}
+
+TEST(RefreshFaultTest, ShadowScoreFaultDiscardsTheRoundCleanly) {
+  ModelRegistry registry;
+  std::shared_ptr<const ModelEntry> live = PublishLive(&registry);
+  StreamServer::Options options = RefreshBaseOptions();
+  ArmRefresh(&options, &registry, /*refresh_every=*/100,
+             /*verdict_pairs=*/1000000);
+
+  const int64_t aborts_before = CounterValue("refresh.shadow_aborts");
+  FaultScope faults("refresh.shadow_score:1", 5);
+  const TenantStream stream = MakeStream("t0", 5, 400);
+  BlockLog log;
+  StreamServer server(live, options, log.Callback());
+  for (int64_t begin = 0; begin < 400; begin += 100) {
+    SubmitChunkAndDrain(&server, stream, begin, begin + 100);
+  }
+  const std::vector<Event> events = server.refresh()->events();
+  const bool still_shadowing = server.refresh()->shadow_active();
+  server.Shutdown();
+
+  // Each staged round died at its first selected block: the shadow and all
+  // drift state were discarded, no dual-score was ever delivered, and the
+  // next cadence tick staged a fresh round.
+  EXPECT_GE(CountEvents(events, Event::Kind::kShadowAborted), 2);
+  EXPECT_EQ(CountEvents(events, Event::Kind::kShadowStaged),
+            CountEvents(events, Event::Kind::kShadowAborted) +
+                (still_shadowing ? 1 : 0));
+  EXPECT_GE(CounterValue("refresh.shadow_aborts") - aborts_before, 2);
+  EXPECT_EQ(log.ShadowCount(), 0);
+  EXPECT_EQ(registry.latest_version("latency"), 1);
+  const std::vector<float> serial = serve::ReplaySerial(
+      *live, options.session.online, options.session.seed_base, stream);
+  EXPECT_EQ(serial, log.LiveScores("t0"));
+}
+
+TEST(RefreshFaultTest, PromoteFaultRollsBackWithLiveVersionIntact) {
+  ModelRegistry registry;
+  std::shared_ptr<const ModelEntry> live = PublishLive(&registry);
+  StreamServer::Options options = RefreshBaseOptions();
+  ArmRefresh(&options, &registry, /*refresh_every=*/100, /*verdict_pairs=*/2);
+  options.refresh.psi_promote = 0.0;  // verdict always says promote...
+  options.refresh.mean_ratio_promote = 1e9;
+
+  const int64_t failures_before = CounterValue("refresh.promote_failures");
+  FaultScope faults("refresh.promote:1", 5);  // ...and the promotion fails
+  const TenantStream stream = MakeStream("t0", 5, 400);
+  BlockLog log;
+  StreamServer server(live, options, log.Callback());
+  for (int64_t begin = 0; begin < 400; begin += 100) {
+    SubmitChunkAndDrain(&server, stream, begin, begin + 100);
+  }
+  const std::vector<Event> events = server.refresh()->events();
+  const int64_t live_version = server.sessions().model()->version;
+  server.Shutdown();
+
+  EXPECT_GE(CountEvents(events, Event::Kind::kPromoteFailed), 1);
+  EXPECT_EQ(CountEvents(events, Event::Kind::kPromoted), 0);
+  EXPECT_GE(CounterValue("refresh.promote_failures") - failures_before, 1);
+  // The shadow was dropped and the live version never changed.
+  EXPECT_EQ(registry.latest_version("latency"), 1);
+  EXPECT_EQ(live_version, 1);
+  const std::vector<float> serial = serve::ReplaySerial(
+      *live, options.session.online, options.session.seed_base, stream);
+  EXPECT_EQ(serial, log.LiveScores("t0"));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+// Two replays of the same stream with the same refresh config must make
+// bitwise-identical promotion decisions — the property the refresh-drift CI
+// job checks end to end on the zipf harness.
+TEST(RefreshDeterminismTest, TwoRunsProduceIdenticalDecisionLogs) {
+  const std::vector<TenantStream> streams = {MakeStream("t0", 5, 300),
+                                             MakeStream("t1", 6, 300)};
+  auto run = [&streams]() {
+    ModelRegistry registry;
+    std::shared_ptr<const ModelEntry> live = PublishLive(&registry);
+    StreamServer::Options options = RefreshBaseOptions();
+    ArmRefresh(&options, &registry, /*refresh_every=*/150,
+               /*verdict_pairs=*/3);
+    BlockLog log;
+    StreamServer server(live, options, log.Callback());
+    const int64_t k = streams[0].samples.dim(1);
+    for (int64_t begin = 0; begin < 300; begin += 100) {
+      // Round-robin interleave, the ingest order a router produces.
+      for (int64_t t = begin; t < begin + 100; ++t) {
+        for (const TenantStream& stream : streams) {
+          const float* p = stream.samples.data();
+          EXPECT_TRUE(server.Submit(
+              stream.tenant, std::vector<float>(p + t * k, p + (t + 1) * k)));
+        }
+      }
+      server.Drain();
+    }
+    const std::vector<Event> events = server.refresh()->events();
+    std::map<std::string, std::vector<float>> scores;
+    for (const TenantStream& stream : streams) {
+      scores[stream.tenant] = log.LiveScores(stream.tenant);
+    }
+    server.Shutdown();
+    return std::make_pair(events, scores);
+  };
+
+  const auto [events_a, scores_a] = run();
+  const auto [events_b, scores_b] = run();
+  ASSERT_EQ(events_a.size(), events_b.size());
+  ASSERT_GE(events_a.size(), 1u);  // at least one resolved transition
+  for (size_t i = 0; i < events_a.size(); ++i) {
+    const Event& a = events_a[i];
+    const Event& b = events_b[i];
+    EXPECT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind)) << i;
+    EXPECT_EQ(a.fit_ordinal, b.fit_ordinal) << i;
+    EXPECT_EQ(a.at_sample, b.at_sample) << i;
+    EXPECT_EQ(a.live_version, b.live_version) << i;
+    EXPECT_EQ(a.shadow_version, b.shadow_version) << i;
+    // Bitwise: the verdict inputs are doubles compared exactly.
+    EXPECT_EQ(a.psi, b.psi) << i;
+    EXPECT_EQ(a.ks, b.ks) << i;
+    EXPECT_EQ(a.agreement, b.agreement) << i;
+    EXPECT_EQ(a.live_mean, b.live_mean) << i;
+    EXPECT_EQ(a.shadow_mean, b.shadow_mean) << i;
+  }
+  EXPECT_EQ(scores_a, scores_b);
+}
+
+}  // namespace
+}  // namespace imdiff
